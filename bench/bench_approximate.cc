@@ -1,0 +1,65 @@
+// Ablation — complete vs. sound-but-incomplete typechecking (the paper's
+// introduction contrasts its complete algorithms with the XDuce/CDuce
+// style). The approximate checker is faster but returns kUnknown on
+// typesafe instances whose safety depends on structure the approximation
+// loses; the series below measure both the speed gap and the precision gap.
+
+#include <benchmark/benchmark.h>
+
+#include "src/base/logging.h"
+#include "src/core/approximate.h"
+#include "src/core/trac.h"
+#include "src/workload/families.h"
+
+namespace xtc {
+namespace {
+
+void BM_Approx_LooseSchemas(benchmark::State& state) {
+  PaperExample ex = WidthFamily(2, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    StatusOr<ApproximateResult> r =
+        TypecheckApproximate(*ex.transducer, *ex.din, *ex.dout);
+    XTC_CHECK(r.ok());
+    XTC_CHECK(r->verdict == ApproximateVerdict::kTypechecks);
+  }
+}
+BENCHMARK(BM_Approx_LooseSchemas)->DenseRange(0, 4, 1);
+
+void BM_Approx_SameInstancesComplete(benchmark::State& state) {
+  PaperExample ex = WidthFamily(2, static_cast<int>(state.range(0)));
+  TypecheckOptions opts;
+  opts.want_counterexample = false;
+  for (auto _ : state) {
+    StatusOr<TypecheckResult> r =
+        TypecheckTrac(*ex.transducer, *ex.din, *ex.dout, opts);
+    XTC_CHECK(r.ok() && r->typechecks);
+  }
+}
+BENCHMARK(BM_Approx_SameInstancesComplete)->DenseRange(0, 4, 1);
+
+void BM_Approx_PrecisionGap(benchmark::State& state) {
+  // FilterFamily typechecks, but only the complete engine can tell: the
+  // approximation conflates the section levels. Count of kUnknown verdicts
+  // on typesafe instances = the price of incompleteness.
+  int unknown = 0;
+  int total = 0;
+  for (auto _ : state) {
+    unknown = 0;
+    total = 0;
+    for (int n = 1; n <= 6; ++n) {
+      PaperExample ex = FilterFamily(n);
+      StatusOr<ApproximateResult> r =
+          TypecheckApproximate(*ex.transducer, *ex.din, *ex.dout);
+      XTC_CHECK(r.ok());
+      ++total;
+      if (r->verdict == ApproximateVerdict::kUnknown) ++unknown;
+    }
+    benchmark::DoNotOptimize(unknown);
+  }
+  state.counters["unknown_on_safe"] = unknown;
+  state.counters["instances"] = total;
+}
+BENCHMARK(BM_Approx_PrecisionGap)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace xtc

@@ -1,0 +1,63 @@
+// Experiment E7 — Corollary 38: counterexample generation in PTIME. Pairs
+// decision-only runs with decision+witness runs across the engines, and
+// verifies every produced witness against Definition 8.
+
+#include <benchmark/benchmark.h>
+
+#include "src/base/logging.h"
+#include "src/core/minvast.h"
+#include "src/core/trac.h"
+#include "src/tree/tree.h"
+#include "src/workload/families.h"
+
+namespace xtc {
+namespace {
+
+void BM_Cor38_DecisionOnly(benchmark::State& state) {
+  PaperExample ex = FailingFilterFamily(static_cast<int>(state.range(0)));
+  TypecheckOptions opts;
+  opts.want_counterexample = false;
+  for (auto _ : state) {
+    StatusOr<TypecheckResult> r =
+        TypecheckTrac(*ex.transducer, *ex.din, *ex.dout, opts);
+    XTC_CHECK(r.ok() && !r->typechecks);
+  }
+}
+BENCHMARK(BM_Cor38_DecisionOnly)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_Cor38_WithWitness(benchmark::State& state) {
+  PaperExample ex = FailingFilterFamily(static_cast<int>(state.range(0)));
+  TypecheckOptions opts;
+  std::size_t witness_nodes = 0;
+  for (auto _ : state) {
+    StatusOr<TypecheckResult> r =
+        TypecheckTrac(*ex.transducer, *ex.din, *ex.dout, opts);
+    XTC_CHECK(r.ok() && !r->typechecks);
+    XTC_CHECK(r->counterexample != nullptr);
+    XTC_CHECK(VerifyCounterexample(*ex.transducer, *ex.din, *ex.dout,
+                                   r->counterexample));
+    witness_nodes = NodeCount(r->counterexample);
+  }
+  state.counters["witness_nodes"] = static_cast<double>(witness_nodes);
+}
+BENCHMARK(BM_Cor38_WithWitness)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_Cor38_MinVastWitness(benchmark::State& state) {
+  // The Section 6 route: test t_min and t_vast; the witness is one of them.
+  PaperExample ex = RePlusCopyFamily(static_cast<int>(state.range(0)));
+  // Demand exactly one a: with copying width >= 2 every document violates.
+  XTC_CHECK(ex.dout->SetRule("r", "a").ok());
+  TypecheckOptions opts;
+  for (auto _ : state) {
+    StatusOr<TypecheckResult> r =
+        TypecheckMinVast(*ex.transducer, *ex.din, *ex.dout, opts);
+    XTC_CHECK(r.ok() && !r->typechecks);
+    XTC_CHECK(r->counterexample != nullptr);
+    XTC_CHECK(VerifyCounterexample(*ex.transducer, *ex.din, *ex.dout,
+                                   r->counterexample));
+  }
+}
+BENCHMARK(BM_Cor38_MinVastWitness)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace xtc

@@ -1,0 +1,67 @@
+// Experiment F2 — Fig. 2: executing the Example 6 transducer. Throughput of
+// the transformation substrate on growing input trees (the translation of
+// Fig. 2's tree is checked in tests/transducer_test.cc).
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/paper_examples.h"
+#include "src/td/exec.h"
+
+namespace xtc {
+namespace {
+
+// A full binary tree of the given depth with alternating a/b labels.
+Node* FullTree(int depth, int a, int b, TreeBuilder* builder) {
+  if (depth <= 1) return builder->Leaf(a);
+  Node* child = FullTree(depth - 1, b, a, builder);
+  Node* child2 = FullTree(depth - 1, b, a, builder);
+  return builder->Make(a, std::vector<Node*>{child, child2});
+}
+
+void BM_Fig2_TransformExample6(benchmark::State& state) {
+  PaperExample ex = MakeExample6();
+  Arena input_arena;
+  TreeBuilder input_builder(&input_arena);
+  int a = *ex.alphabet->Find("a");
+  int b = *ex.alphabet->Find("b");
+  // Root the tree at b so the copying rules (p,b)/(q,b) drive the run.
+  Node* input = FullTree(static_cast<int>(state.range(0)), b, a,
+                         &input_builder);
+  std::size_t out_nodes = 0;
+  for (auto _ : state) {
+    Arena arena;
+    TreeBuilder builder(&arena);
+    Node* out = Apply(*ex.transducer, input, &builder);
+    out_nodes = NodeCount(out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["in_nodes"] = static_cast<double>(NodeCount(input));
+  state.counters["out_nodes"] = static_cast<double>(out_nodes);
+}
+BENCHMARK(BM_Fig2_TransformExample6)->DenseRange(4, 12, 2);
+
+void BM_Fig2_CopyingBlowup(benchmark::State& state) {
+  // The copying rule (q, b) -> c(p q) doubles work down b-spines: output
+  // size is exponential in the input depth. Series documents the blow-up.
+  PaperExample ex = MakeExample6();
+  Arena input_arena;
+  TreeBuilder input_builder(&input_arena);
+  int b = *ex.alphabet->Find("b");
+  Node* spine = input_builder.Leaf(b);
+  for (int i = 1; i < state.range(0); ++i) {
+    spine = input_builder.Make(b, std::vector<Node*>{spine});
+  }
+  std::size_t out_nodes = 0;
+  for (auto _ : state) {
+    Arena arena;
+    TreeBuilder builder(&arena);
+    Node* out = Apply(*ex.transducer, spine, &builder);
+    out_nodes = NodeCount(out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["out_nodes"] = static_cast<double>(out_nodes);
+}
+BENCHMARK(BM_Fig2_CopyingBlowup)->DenseRange(2, 16, 2);
+
+}  // namespace
+}  // namespace xtc

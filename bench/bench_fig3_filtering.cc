@@ -1,0 +1,92 @@
+// Experiment F3 — Fig. 3 / Examples 10-11: the book-filtering scenario.
+// Typechecking time for the ToC and ToC+summary transducers against the
+// book DTD, plus transformation throughput on grown Fig. 3-style documents.
+
+#include <benchmark/benchmark.h>
+
+#include "src/base/logging.h"
+#include "src/core/trac.h"
+#include "src/core/paper_examples.h"
+#include "src/td/exec.h"
+#include "src/workload/families.h"
+
+namespace xtc {
+namespace {
+
+void BM_Fig3_TypecheckToc(benchmark::State& state) {
+  PaperExample ex = MakeBookExample(/*with_summary=*/false);
+  TypecheckOptions opts;
+  opts.want_counterexample = false;
+  for (auto _ : state) {
+    StatusOr<TypecheckResult> r =
+        TypecheckTrac(*ex.transducer, *ex.din, *ex.dout, opts);
+    XTC_CHECK(r.ok() && r->typechecks);
+  }
+}
+BENCHMARK(BM_Fig3_TypecheckToc);
+
+void BM_Fig3_TypecheckTocWithSummary(benchmark::State& state) {
+  PaperExample ex = MakeBookExample(/*with_summary=*/true);
+  TypecheckOptions opts;
+  opts.want_counterexample = false;
+  std::uint64_t configs = 0;
+  for (auto _ : state) {
+    StatusOr<TypecheckResult> r =
+        TypecheckTrac(*ex.transducer, *ex.din, *ex.dout, opts);
+    XTC_CHECK(r.ok() && r->typechecks);
+    configs = r->stats.configs;
+  }
+  state.counters["configs"] = static_cast<double>(configs);
+}
+BENCHMARK(BM_Fig3_TypecheckTocWithSummary);
+
+void BM_Fig3_FilterDepthScaling(benchmark::State& state) {
+  // Recursive deletion through n section levels (Example 10's point:
+  // unbounded deletion without copying stays PTIME).
+  PaperExample ex = FilterFamily(static_cast<int>(state.range(0)));
+  TypecheckOptions opts;
+  opts.want_counterexample = false;
+  for (auto _ : state) {
+    StatusOr<TypecheckResult> r =
+        TypecheckTrac(*ex.transducer, *ex.din, *ex.dout, opts);
+    XTC_CHECK(r.ok() && r->typechecks);
+  }
+  state.counters["|din|"] = static_cast<double>(ex.din->Size());
+}
+BENCHMARK(BM_Fig3_FilterDepthScaling)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Fig3_TransformThroughput(benchmark::State& state) {
+  // Fig. 3's document replicated to `n` chapters.
+  PaperExample ex = MakeBookExample(true);
+  Arena arena;
+  TreeBuilder builder(&arena);
+  int book = *ex.alphabet->Find("book");
+  int title = *ex.alphabet->Find("title");
+  int author = *ex.alphabet->Find("author");
+  int chapter = *ex.alphabet->Find("chapter");
+  int intro = *ex.alphabet->Find("intro");
+  int section = *ex.alphabet->Find("section");
+  int paragraph = *ex.alphabet->Find("paragraph");
+  std::vector<Node*> kids{builder.Leaf(title), builder.Leaf(author)};
+  for (int i = 0; i < state.range(0); ++i) {
+    Node* sec = builder.Make(
+        section, std::vector<Node*>{builder.Leaf(title),
+                                    builder.Leaf(paragraph)});
+    kids.push_back(builder.Make(
+        chapter,
+        std::vector<Node*>{builder.Leaf(title), builder.Leaf(intro), sec}));
+  }
+  Node* doc = builder.Make(book, kids);
+  XTC_CHECK(ex.din->Valid(doc));
+  for (auto _ : state) {
+    Arena out_arena;
+    TreeBuilder out_builder(&out_arena);
+    Node* out = Apply(*ex.transducer, doc, &out_builder);
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["chapters"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Fig3_TransformThroughput)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace xtc

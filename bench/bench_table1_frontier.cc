@@ -1,0 +1,79 @@
+// Experiment T1 — Table 1: the complexity frontier of typechecking per
+// transducer class × schema formalism. The paper's table gives complexity
+// classes; this harness regenerates its *shape* with wall-clock series:
+//
+//   nd/bc × DTD(DFA)      PTIME      -> flat polynomial growth
+//   d/bc  × DTD(DFA)      PTIME for T_trac (this paper's Theorem 15)
+//   nd/bc × DTD(NFA)      PSPACE     -> exponential via determinization
+//   del-relab × DTA       PTIME      (Theorem 20)
+//
+// Who wins and where the blow-ups live is the reproduction target; see
+// EXPERIMENTS.md.
+
+#include <benchmark/benchmark.h>
+
+#include "src/base/logging.h"
+#include "src/core/nfa_dtd.h"
+#include "src/core/relab.h"
+#include "src/core/trac.h"
+#include "src/workload/families.h"
+
+namespace xtc {
+namespace {
+
+void CheckOk(const StatusOr<TypecheckResult>& r, bool expect) {
+  XTC_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+  XTC_CHECK(r->typechecks == expect);
+}
+
+// Row "nd/bc, DTD(DFA)" — PTIME: relabelings of growing schema size.
+void BM_Table1_NdBc_DtdDfa(benchmark::State& state) {
+  PaperExample ex = RelabFamily(static_cast<int>(state.range(0)));
+  TypecheckOptions opts;
+  opts.want_counterexample = false;
+  for (auto _ : state) {
+    CheckOk(TypecheckTrac(*ex.transducer, *ex.din, *ex.dout, opts), true);
+  }
+  state.counters["|din|"] = static_cast<double>(ex.din->Size());
+}
+BENCHMARK(BM_Table1_NdBc_DtdDfa)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+// Row "d/bc, DTD(DFA)" — deletion allowed: PTIME for T_trac (Theorem 15).
+void BM_Table1_DBc_DtdDfa(benchmark::State& state) {
+  PaperExample ex = FilterFamily(static_cast<int>(state.range(0)));
+  TypecheckOptions opts;
+  opts.want_counterexample = false;
+  for (auto _ : state) {
+    CheckOk(TypecheckTrac(*ex.transducer, *ex.din, *ex.dout, opts), true);
+  }
+  state.counters["|din|"] = static_cast<double>(ex.din->Size());
+}
+BENCHMARK(BM_Table1_DBc_DtdDfa)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+// Row "nd/bc, DTD(NFA)" — PSPACE: complete checking via determinization
+// blows up exponentially in n on the "n-th letter from the end" family.
+void BM_Table1_NdBc_DtdNfa(benchmark::State& state) {
+  PaperExample ex = NfaSchemaFamily(static_cast<int>(state.range(0)));
+  TypecheckOptions opts;
+  opts.want_counterexample = false;
+  for (auto _ : state) {
+    StatusOr<TypecheckResult> r = TypecheckViaDeterminization(
+        *ex.transducer, *ex.din, *ex.dout, opts, 1 << 20);
+    CheckOk(r, true);
+  }
+}
+BENCHMARK(BM_Table1_NdBc_DtdNfa)->DenseRange(2, 10, 2);
+
+// Row "del-relab, DTA" — Theorem 20: PTIME through tree automata.
+void BM_Table1_DelRelab_Dta(benchmark::State& state) {
+  PaperExample ex = RelabFamily(static_cast<int>(state.range(0)));
+  TypecheckOptions opts;
+  opts.want_counterexample = false;
+  for (auto _ : state) {
+    CheckOk(TypecheckDelRelab(*ex.transducer, *ex.din, *ex.dout, opts), true);
+  }
+}
+BENCHMARK(BM_Table1_DelRelab_Dta)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+}  // namespace xtc

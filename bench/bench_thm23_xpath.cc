@@ -1,0 +1,57 @@
+// Experiment E4 — Theorem 23: XPath{/, *} patterns compile into T_trac
+// with linear overhead; typechecking stays PTIME. Sweeps the pattern
+// length; also measures the compilation step alone and the Example 22
+// instance.
+
+#include <benchmark/benchmark.h>
+
+#include "src/base/logging.h"
+#include "src/core/paper_examples.h"
+#include "src/core/typecheck.h"
+#include "src/td/compile_selectors.h"
+#include "src/workload/families.h"
+
+namespace xtc {
+namespace {
+
+void BM_Thm23_CompileChain(benchmark::State& state) {
+  PaperExample ex = XPathChainFamily(static_cast<int>(state.range(0)));
+  std::size_t compiled_size = 0;
+  for (auto _ : state) {
+    StatusOr<Transducer> compiled = CompileSelectors(*ex.transducer);
+    XTC_CHECK_MSG(compiled.ok(), compiled.status().ToString().c_str());
+    compiled_size = compiled->Size();
+    benchmark::DoNotOptimize(compiled);
+  }
+  state.counters["|T'|"] = static_cast<double>(compiled_size);
+}
+BENCHMARK(BM_Thm23_CompileChain)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_Thm23_TypecheckChain(benchmark::State& state) {
+  PaperExample ex = XPathChainFamily(static_cast<int>(state.range(0)));
+  TypecheckOptions opts;
+  opts.want_counterexample = false;
+  for (auto _ : state) {
+    StatusOr<TypecheckResult> r =
+        Typecheck(*ex.transducer, *ex.din, *ex.dout, opts);
+    XTC_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+    XTC_CHECK(r->typechecks);
+  }
+}
+BENCHMARK(BM_Thm23_TypecheckChain)->Arg(2)->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Thm23_Example22(benchmark::State& state) {
+  PaperExample ex = MakeExample22();
+  TypecheckOptions opts;
+  opts.want_counterexample = false;
+  for (auto _ : state) {
+    StatusOr<TypecheckResult> r =
+        Typecheck(*ex.transducer, *ex.din, *ex.dout, opts);
+    XTC_CHECK(r.ok() && r->typechecks);
+  }
+}
+BENCHMARK(BM_Thm23_Example22)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace xtc

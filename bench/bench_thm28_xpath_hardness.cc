@@ -1,0 +1,95 @@
+// Experiment E5 — Theorem 28 / Lemma 27: XPath descendant axes make
+// typechecking coNP-hard. The Lemma 27 unary-DFA instances (3-CNF via the
+// first primes) grow polynomially as automata but their intersection needs
+// lcm-sized witnesses; the Theorem 28(2) reduction turns them into
+// typechecking instances whose compiled transducers fall outside T_trac.
+// The bench measures (a) instance generation, (b) the n-way product oracle
+// blow-up, and (c) bounded complete checking on the reduced instances.
+
+#include <benchmark/benchmark.h>
+
+#include "src/base/logging.h"
+#include "src/core/brute_force.h"
+#include "src/core/hardness.h"
+#include "src/td/compile_selectors.h"
+#include "src/td/widths.h"
+
+namespace xtc {
+namespace {
+
+std::vector<CnfClause> RingFormula(int num_vars) {
+  // (x_i ∨ ¬x_{i+1} ∨ x_{i+2}) for all i: satisfiable (all true).
+  std::vector<CnfClause> clauses;
+  for (int i = 0; i < num_vars; ++i) {
+    clauses.push_back(CnfClause{CnfLiteral{i, true},
+                                CnfLiteral{(i + 1) % num_vars, false},
+                                CnfLiteral{(i + 2) % num_vars, true}});
+  }
+  return clauses;
+}
+
+void BM_Thm28_Lemma27Encoding(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<CnfClause> clauses = RingFormula(n);
+  std::size_t total_states = 0;
+  for (auto _ : state) {
+    std::vector<Dfa> dfas = Make3CnfUnaryDfas(clauses, n);
+    total_states = 0;
+    for (const Dfa& d : dfas) total_states += d.num_states();
+    benchmark::DoNotOptimize(dfas);
+  }
+  state.counters["dfa_states"] = static_cast<double>(total_states);
+}
+BENCHMARK(BM_Thm28_Lemma27Encoding)->DenseRange(3, 7, 1);
+
+void BM_Thm28_IntersectionOracle(benchmark::State& state) {
+  // The exponential n-way product on the encoded formulas.
+  const int n = static_cast<int>(state.range(0));
+  std::vector<Dfa> dfas = Make3CnfUnaryDfas(RingFormula(n), n);
+  bool empty = true;
+  for (auto _ : state) {
+    empty = DfaIntersectionEmpty(dfas);
+    benchmark::DoNotOptimize(empty);
+  }
+  XTC_CHECK(!empty);  // the ring formula is satisfiable
+}
+BENCHMARK(BM_Thm28_IntersectionOracle)->DenseRange(3, 6, 1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Thm28_ReducedInstanceBoundedCheck(benchmark::State& state) {
+  // Complete bounded checking of the Theorem 28(2) instance; the compiled
+  // transducer has unbounded deletion path width, so only the brute-force
+  // baseline applies — and its cost explodes with the witness size.
+  const int n = static_cast<int>(state.range(0));
+  std::vector<Dfa> dfas;
+  for (int i = 0; i < n; ++i) {
+    Dfa d(1);
+    int modulus = 2 + i;
+    for (int s = 0; s < modulus; ++s) d.AddState(s == 0);
+    d.SetInitial(0);
+    for (int s = 0; s < modulus; ++s) {
+      d.SetTransition(s, 0, (s + 1) % modulus);
+    }
+    dfas.push_back(std::move(d));
+  }
+  PaperExample ex = MakeTheorem28Instance(dfas);
+  StatusOr<Transducer> compiled = CompileSelectors(*ex.transducer);
+  XTC_CHECK(compiled.ok());
+  XTC_CHECK(!AnalyzeWidths(*compiled).dpw_bounded);
+  BruteForceOptions bf;
+  bf.max_depth = 4 + n;
+  bf.max_width = 7;
+  bf.max_trees = 30000;
+  bool found = false;
+  for (auto _ : state) {
+    TypecheckResult r = TypecheckBruteForce(*compiled, *ex.din, *ex.dout, bf);
+    found = !r.typechecks;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["found_cex"] = found ? 1 : 0;
+}
+BENCHMARK(BM_Thm28_ReducedInstanceBoundedCheck)->DenseRange(1, 3, 1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace xtc

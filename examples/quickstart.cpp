@@ -1,0 +1,74 @@
+// Quickstart: define a schema pair and a transformation, typecheck it, and
+// inspect a counterexample when it fails.
+//
+// The scenario: a feed of `items` is filtered down to its `entry` titles.
+
+#include <cstdio>
+
+#include "src/core/typecheck.h"
+#include "src/fa/alphabet.h"
+#include "src/schema/dtd.h"
+#include "src/td/exec.h"
+#include "src/td/transducer.h"
+#include "src/tree/codec.h"
+
+int main() {
+  using namespace xtc;
+
+  // 1. Intern the document vocabulary (everything up front: DTDs snapshot
+  //    the alphabet).
+  Alphabet alphabet;
+  for (const char* s : {"feed", "item", "title", "body", "digest"}) {
+    alphabet.Intern(s);
+  }
+
+  // 2. The input schema: feed -> item+, item -> title body.
+  Dtd din(&alphabet, *alphabet.Find("feed"));
+  if (!din.SetRule("feed", "item+").ok()) return 1;
+  if (!din.SetRule("item", "title body").ok()) return 1;
+
+  // 3. The transformation: keep every item title under a digest root.
+  //    (q, item) -> q deletes the item wrapper; recursion does the rest.
+  Transducer t(&alphabet);
+  t.AddState("q0");
+  t.AddState("q");
+  t.SetInitial(0);
+  if (!t.SetRuleFromString("q0", "feed", "digest(q)").ok()) return 1;
+  if (!t.SetRuleFromString("q", "item", "q").ok()) return 1;
+  if (!t.SetRuleFromString("q", "title", "title").ok()) return 1;
+
+  // 4. The output schema: digest -> title+.
+  Dtd dout(&alphabet, *alphabet.Find("digest"));
+  if (!dout.SetRule("digest", "title+").ok()) return 1;
+
+  // 5. Typecheck: every valid feed must produce a valid digest.
+  StatusOr<TypecheckResult> ok = Typecheck(t, din, dout);
+  if (!ok.ok()) {
+    std::printf("error: %s\n", ok.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("digest transformation typechecks: %s\n",
+              ok->typechecks ? "yes" : "no");
+
+  // 6. Now tighten the output schema so the instance fails, and look at the
+  //    counterexample the checker produces (Corollary 38).
+  if (!dout.SetRule("digest", "title title title+").ok()) return 1;
+  StatusOr<TypecheckResult> bad = Typecheck(t, din, dout);
+  if (!bad.ok()) return 1;
+  std::printf("tightened schema typechecks: %s\n",
+              bad->typechecks ? "yes" : "no");
+  if (!bad->typechecks && bad->counterexample != nullptr) {
+    std::printf("counterexample input: %s\n",
+                ToTermString(bad->counterexample, alphabet).c_str());
+    Arena arena;
+    TreeBuilder builder(&arena);
+    Node* out = Apply(t, bad->counterexample, &builder);
+    std::printf("its translation:      %s\n",
+                ToTermString(out, alphabet).c_str());
+    std::printf("verified: %s\n",
+                VerifyCounterexample(t, din, dout, bad->counterexample)
+                    ? "yes"
+                    : "no");
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+#include "src/base/arena.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+
+namespace xtc {
+
+void* Arena::Allocate(std::size_t bytes, std::size_t align) {
+  XTC_CHECK(align != 0 && (align & (align - 1)) == 0);
+  if (bytes == 0) bytes = 1;
+  if (!blocks_.empty()) {
+    Block& b = blocks_.back();
+    // Align the absolute address, not the block offset: the block base has
+    // no alignment guarantee beyond operator new's.
+    std::uintptr_t base = reinterpret_cast<std::uintptr_t>(b.data.get());
+    std::size_t offset = ((base + b.used + align - 1) & ~(align - 1)) - base;
+    if (offset + bytes <= b.size) {
+      b.used = offset + bytes;
+      bytes_allocated_ += bytes;
+      return b.data.get() + offset;
+    }
+  }
+  std::size_t block_size = std::max(kBlockSize, bytes + align);
+  Block b;
+  b.data = std::make_unique<char[]>(block_size);
+  b.size = block_size;
+  blocks_.push_back(std::move(b));
+  Block& nb = blocks_.back();
+  std::size_t offset =
+      ((reinterpret_cast<std::uintptr_t>(nb.data.get()) + align - 1) &
+       ~(align - 1)) -
+      reinterpret_cast<std::uintptr_t>(nb.data.get());
+  nb.used = offset + bytes;
+  bytes_allocated_ += bytes;
+  return nb.data.get() + offset;
+}
+
+}  // namespace xtc

@@ -1,0 +1,64 @@
+#ifndef XTC_BASE_ARENA_H_
+#define XTC_BASE_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace xtc {
+
+/// A bump allocator. Unranked trees (Section 2.1 of the paper) are built
+/// out of many small nodes with child arrays; owning them individually is
+/// slow and error-prone, so a tree's nodes live in an Arena and are freed
+/// all at once when the arena dies. Allocations are never individually
+/// released. The arena is move-only.
+class Arena {
+ public:
+  Arena() = default;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` bytes aligned to `align` (a power of two).
+  void* Allocate(std::size_t bytes, std::size_t align);
+
+  /// Allocates and default-constructs a T. T must be trivially destructible
+  /// (the arena never runs destructors).
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena-allocated types must be trivially destructible");
+    void* p = Allocate(sizeof(T), alignof(T));
+    return new (p) T(static_cast<Args&&>(args)...);
+  }
+
+  /// Allocates an uninitialized array of n T's.
+  template <typename T>
+  T* NewArray(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena-allocated types must be trivially destructible");
+    if (n == 0) return nullptr;
+    return static_cast<T*>(Allocate(sizeof(T) * n, alignof(T)));
+  }
+
+  /// Total bytes handed out (diagnostics).
+  std::size_t bytes_allocated() const { return bytes_allocated_; }
+
+ private:
+  static constexpr std::size_t kBlockSize = 64 * 1024;
+
+  struct Block {
+    std::unique_ptr<char[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  std::vector<Block> blocks_;
+  std::size_t bytes_allocated_ = 0;
+};
+
+}  // namespace xtc
+
+#endif  // XTC_BASE_ARENA_H_

@@ -1,0 +1,37 @@
+#ifndef XTC_BASE_LOGGING_H_
+#define XTC_BASE_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Checked assertions for invariant violations. Following the session style
+// guides we do not use exceptions; a failed check is a programming error and
+// aborts with a diagnostic. Checks are always on (they guard correctness of
+// decision procedures, not hot inner loops).
+
+#define XTC_CHECK(cond)                                                      \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "XTC_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define XTC_CHECK_MSG(cond, msg)                                             \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "XTC_CHECK failed at %s:%d: %s (%s)\n", __FILE__, \
+                   __LINE__, #cond, msg);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define XTC_CHECK_EQ(a, b) XTC_CHECK((a) == (b))
+#define XTC_CHECK_NE(a, b) XTC_CHECK((a) != (b))
+#define XTC_CHECK_LT(a, b) XTC_CHECK((a) < (b))
+#define XTC_CHECK_LE(a, b) XTC_CHECK((a) <= (b))
+#define XTC_CHECK_GT(a, b) XTC_CHECK((a) > (b))
+#define XTC_CHECK_GE(a, b) XTC_CHECK((a) >= (b))
+
+#endif  // XTC_BASE_LOGGING_H_

@@ -1,0 +1,15 @@
+#include "src/core/almost_always.h"
+
+#include "src/core/explicit_nta.h"
+#include "src/nta/analysis.h"
+
+namespace xtc {
+
+StatusOr<bool> TypechecksAlmostAlways(const Transducer& t, const Dtd& din,
+                                      const Dtd& dout, int max_states) {
+  StatusOr<Nta> b = BuildCounterexampleNta(t, din, dout, max_states);
+  if (!b.ok()) return b.status();
+  return IsFiniteLanguage(*b);
+}
+
+}  // namespace xtc

@@ -1,0 +1,19 @@
+#ifndef XTC_CORE_ALMOST_ALWAYS_H_
+#define XTC_CORE_ALMOST_ALWAYS_H_
+
+#include "src/base/status.h"
+#include "src/core/typecheck.h"
+
+namespace xtc {
+
+/// Almost-always typechecking (Corollary 39, after Engelfriet & Maneth):
+/// whether {t ∈ L(d_in) | T(t) ∉ L(d_out)} is finite. Decided by building
+/// the explicit counterexample NTA of Lemma 14 and running the finiteness
+/// test of Proposition 4(1). PTIME for T_trac with DTD(DFA) schemas.
+StatusOr<bool> TypechecksAlmostAlways(const Transducer& t, const Dtd& din,
+                                      const Dtd& dout,
+                                      int max_states = 200000);
+
+}  // namespace xtc
+
+#endif  // XTC_CORE_ALMOST_ALWAYS_H_

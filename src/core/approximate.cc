@@ -1,0 +1,172 @@
+#include "src/core/approximate.h"
+
+#include <map>
+
+#include "src/base/logging.h"
+#include "src/core/reachable.h"
+#include "src/fa/eps_nfa.h"
+
+namespace xtc {
+namespace {
+
+// Builds one shared epsilon-NFA containing, per reachable pair (p, b), a
+// sub-automaton whose entry→exit language over-approximates
+// { top(T^p(t)) | t ∈ L(d_in, b) }: literal template symbols become edges,
+// and a state occurrence becomes a loop node that may absorb the languages
+// of all (state, usable child symbol) sub-automata, any number of times in
+// any order.
+class Approximator {
+ public:
+  Approximator(const Transducer& t, const Dtd& din, const Dtd& dout)
+      : t_(t), din_(din), dout_(dout), reach_(t, din),
+        enfa_(din.num_symbols()) {}
+
+  StatusOr<ApproximateResult> Run(int max_dfa_states);
+
+ private:
+  // The entry/exit of the (p, b) sub-automaton, built on demand (cycles in
+  // the deletion graph are fine: states first, edges after).
+  std::pair<int, int> PairPorts(int p, int b) {
+    auto it = ports_.find({p, b});
+    if (it != ports_.end()) return it->second;
+    int entry = enfa_.AddState();
+    int exit = enfa_.AddState();
+    ports_.emplace(std::make_pair(p, b), std::make_pair(entry, exit));
+    pending_.emplace_back(p, b);
+    return {entry, exit};
+  }
+
+  // Appends one star-substitution node for state `s` processing children of
+  // a `parent`-labelled node; returns the chain's new tail.
+  int StateLoopNode(int s, int parent, int chain_from) {
+    int node = enfa_.AddState();
+    enfa_.AddEdge(chain_from, -1, node);
+    std::vector<bool> children = din_.UsableChildren(parent);
+    for (int c = 0; c < din_.num_symbols(); ++c) {
+      if (!children[static_cast<std::size_t>(c)]) continue;
+      auto [entry, exit] = PairPorts(s, c);
+      enfa_.AddEdge(node, -1, entry);
+      enfa_.AddEdge(exit, -1, node);
+    }
+    return node;
+  }
+
+  // Lays out a sibling sequence (template children or a rule's top level)
+  // as a chain from `from`; returns the tail state.
+  int LayoutSiblings(const RhsHedge& hedge, int parent_symbol, int from) {
+    int cur = from;
+    for (const RhsNode& n : hedge) {
+      if (n.kind == RhsNode::Kind::kLabel) {
+        int next = enfa_.AddState();
+        enfa_.AddEdge(cur, n.label, next);
+        cur = next;
+      } else {
+        XTC_CHECK(n.kind == RhsNode::Kind::kState);
+        cur = StateLoopNode(n.state, parent_symbol, cur);
+      }
+    }
+    return cur;
+  }
+
+  void EmitPair(int p, int b) {
+    auto [entry, exit] = ports_.at({p, b});
+    const RhsHedge* rhs = t_.rule(p, b);
+    if (rhs == nullptr) {
+      enfa_.AddEdge(entry, -1, exit);  // top(T^p(t)) = epsilon
+      return;
+    }
+    int tail = LayoutSiblings(*rhs, b, entry);
+    enfa_.AddEdge(tail, -1, exit);
+  }
+
+  const Transducer& t_;
+  const Dtd& din_;
+  const Dtd& dout_;
+  ReachablePairs reach_;
+  EpsNfa enfa_;
+  std::map<std::pair<int, int>, std::pair<int, int>> ports_;
+  std::vector<std::pair<int, int>> pending_;
+};
+
+StatusOr<ApproximateResult> Approximator::Run(int max_dfa_states) {
+  ApproximateResult result;
+  result.verdict = ApproximateVerdict::kTypechecks;
+  if (din_.LanguageEmpty()) return result;
+
+  const RhsHedge* root_rhs = t_.rule(t_.initial(), din_.start());
+  if (root_rhs == nullptr || root_rhs->size() != 1 ||
+      (*root_rhs)[0].kind != RhsNode::Kind::kLabel ||
+      (*root_rhs)[0].label != dout_.start()) {
+    // Not even the root shape matches: genuinely fails (no approximation
+    // involved), reported as kUnknown for a uniform interface.
+    result.verdict = ApproximateVerdict::kUnknown;
+    return result;
+  }
+
+  // Collect one check per label node of every reachable template: the
+  // node's approximated children language, laid out as a fresh chain.
+  struct Check {
+    int sigma;
+    int start;
+    int end;
+  };
+  std::vector<Check> checks;
+  for (const auto& [q, a] : reach_.pairs()) {
+    const RhsHedge* rhs = t_.rule(q, a);
+    if (rhs == nullptr) continue;
+    std::vector<const RhsNode*> stack;
+    for (const RhsNode& n : *rhs) stack.push_back(&n);
+    while (!stack.empty()) {
+      const RhsNode* u = stack.back();
+      stack.pop_back();
+      if (u->kind != RhsNode::Kind::kLabel) continue;
+      for (const RhsNode& c : u->children) stack.push_back(&c);
+      Check check;
+      check.sigma = u->label;
+      check.start = enfa_.AddState();
+      check.end = LayoutSiblings(u->children, a, check.start);
+      checks.push_back(check);
+    }
+  }
+  // Emit all referenced pair sub-automata (discovering more as we go).
+  while (!pending_.empty()) {
+    auto [p, b] = pending_.back();
+    pending_.pop_back();
+    EmitPair(p, b);
+    ++result.stats.configs;
+  }
+
+  for (const Check& check : checks) {
+    ++result.stats.evaluations;
+    // The shared automaton re-ported to this check's start/end (epsilon
+    // closure decides acceptance, so trailing epsilon paths count).
+    Nfa local = enfa_.BuildPort(check.start, check.end);
+    Dfa det = Dfa::FromNfa(local);
+    if (det.num_states() > max_dfa_states) {
+      return ResourceExhaustedError(
+          "approximate typechecker exceeded the DFA budget");
+    }
+    result.stats.product_states += static_cast<std::uint64_t>(det.num_states());
+    if (!det.IncludedIn(dout_.RuleDfa(check.sigma))) {
+      result.verdict = ApproximateVerdict::kUnknown;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+StatusOr<ApproximateResult> TypecheckApproximate(const Transducer& t,
+                                                 const Dtd& din,
+                                                 const Dtd& dout,
+                                                 int max_dfa_states) {
+  if (t.HasSelectors()) {
+    return FailedPreconditionError("compile selectors before typechecking");
+  }
+  XTC_CHECK(t.alphabet() == din.alphabet() && t.alphabet() == dout.alphabet());
+  Approximator approx(t, din, dout);
+  return approx.Run(max_dfa_states);
+}
+
+}  // namespace xtc

@@ -1,0 +1,43 @@
+#ifndef XTC_CORE_APPROXIMATE_H_
+#define XTC_CORE_APPROXIMATE_H_
+
+#include "src/base/status.h"
+#include "src/core/typecheck.h"
+
+namespace xtc {
+
+/// Verdict of a sound but incomplete check (the XDuce/CDuce-style
+/// typechecking the paper's introduction contrasts with its complete
+/// algorithms).
+enum class ApproximateVerdict {
+  kTypechecks,  ///< proven safe (sound)
+  kUnknown,     ///< the over-approximation violates d_out; may be a false
+                ///< alarm (incomplete)
+};
+
+struct ApproximateResult {
+  ApproximateVerdict verdict;
+  TypecheckStats stats;
+};
+
+/// A fast, sound, incomplete typechecker: for every transducer state p and
+/// input symbol b it infers a REGULAR over-approximation of the top strings
+/// { top(T^p(t)) | t ∈ L(d_in, b) } — each state occurrence in a template
+/// contributes the Kleene closure of its per-child-symbol languages, losing
+/// child counts and cross-copy correlation — and checks every produced
+/// node's approximated children language against d_out. If the
+/// approximation fits, the instance provably typechecks; otherwise the
+/// result is kUnknown (complete engines may still prove safety — that gap
+/// is exactly the paper's motivation for complete algorithms, and
+/// bench_approximate measures it).
+///
+/// Works for ANY selector-free transducer and any DTD schemas whose rules
+/// determinize within `max_dfa_states`.
+StatusOr<ApproximateResult> TypecheckApproximate(const Transducer& t,
+                                                 const Dtd& din,
+                                                 const Dtd& dout,
+                                                 int max_dfa_states = 1 << 14);
+
+}  // namespace xtc
+
+#endif  // XTC_CORE_APPROXIMATE_H_

@@ -1,0 +1,155 @@
+#include "src/core/brute_force.h"
+
+#include <map>
+
+#include "src/base/logging.h"
+#include "src/td/exec.h"
+
+namespace xtc {
+namespace {
+
+// Enumerates words of the rule language of `symbol` with length <= max_width.
+std::vector<std::vector<int>> RuleWords(const Dtd& dtd, int symbol,
+                                        int max_width) {
+  const Nfa& nfa = dtd.RuleNfa(symbol);
+  std::vector<std::vector<int>> out;
+  // DFS over (state-set, word) pairs.
+  struct Item {
+    std::vector<bool> states;
+    std::vector<int> word;
+  };
+  std::vector<bool> init(static_cast<std::size_t>(nfa.num_states()), false);
+  for (int s = 0; s < nfa.num_states(); ++s) {
+    if (nfa.initial(s)) init[static_cast<std::size_t>(s)] = true;
+  }
+  std::vector<Item> stack;
+  stack.push_back({init, {}});
+  while (!stack.empty()) {
+    Item item = std::move(stack.back());
+    stack.pop_back();
+    bool accepting = false;
+    for (int s = 0; s < nfa.num_states(); ++s) {
+      if (item.states[static_cast<std::size_t>(s)] && nfa.final(s)) {
+        accepting = true;
+      }
+    }
+    if (accepting) out.push_back(item.word);
+    if (static_cast<int>(item.word.size()) >= max_width) continue;
+    // Group successors by symbol.
+    std::map<int, std::vector<bool>> succ;
+    for (int s = 0; s < nfa.num_states(); ++s) {
+      if (!item.states[static_cast<std::size_t>(s)]) continue;
+      for (const auto& [sym, t] : nfa.Edges(s)) {
+        auto [it, inserted] = succ.try_emplace(
+            sym,
+            std::vector<bool>(static_cast<std::size_t>(nfa.num_states()),
+                              false));
+        it->second[static_cast<std::size_t>(t)] = true;
+      }
+    }
+    for (auto& [sym, states] : succ) {
+      Item next;
+      next.states = std::move(states);
+      next.word = item.word;
+      next.word.push_back(sym);
+      stack.push_back(std::move(next));
+    }
+  }
+  return out;
+}
+
+class Enumerator {
+ public:
+  Enumerator(const Dtd& dtd, const BruteForceOptions& options,
+             TreeBuilder* builder)
+      : dtd_(dtd), options_(options), builder_(builder) {}
+
+  // All trees of L(d, symbol) with depth <= depth, up to the budget.
+  const std::vector<Node*>& Trees(int symbol, int depth) {
+    auto key = std::make_pair(symbol, depth);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    std::vector<Node*> result;
+    if (depth >= 1) {
+      for (const std::vector<int>& word :
+           RuleWords(dtd_, symbol, options_.max_width)) {
+        if (word.empty()) {
+          result.push_back(builder_->Leaf(symbol));
+          continue;
+        }
+        if (depth == 1) continue;
+        // Cartesian product of child tree sets.
+        std::vector<const std::vector<Node*>*> sets;
+        bool empty = false;
+        for (int c : word) {
+          sets.push_back(&Trees(c, depth - 1));
+          if (sets.back()->empty()) {
+            empty = true;
+            break;
+          }
+        }
+        if (empty) continue;
+        std::vector<std::size_t> idx(word.size(), 0);
+        while (true) {
+          std::vector<Node*> kids;
+          kids.reserve(word.size());
+          for (std::size_t i = 0; i < word.size(); ++i) {
+            kids.push_back((*sets[i])[idx[i]]);
+          }
+          result.push_back(builder_->Make(symbol, kids));
+          if (++produced_ >= options_.max_trees) break;
+          std::size_t pos = 0;
+          while (pos < idx.size()) {
+            if (++idx[pos] < sets[pos]->size()) break;
+            idx[pos] = 0;
+            ++pos;
+          }
+          if (pos == idx.size()) break;
+        }
+        if (produced_ >= options_.max_trees) break;
+      }
+    }
+    return memo_.emplace(key, std::move(result)).first->second;
+  }
+
+ private:
+  const Dtd& dtd_;
+  BruteForceOptions options_;
+  TreeBuilder* builder_;
+  std::map<std::pair<int, int>, std::vector<Node*>> memo_;
+  std::uint64_t produced_ = 0;
+};
+
+}  // namespace
+
+std::vector<Node*> EnumerateValidTrees(const Dtd& dtd, int symbol,
+                                       const BruteForceOptions& options,
+                                       TreeBuilder* builder) {
+  Enumerator e(dtd, options, builder);
+  return e.Trees(symbol, options.max_depth);
+}
+
+TypecheckResult TypecheckBruteForce(const Transducer& t, const Dtd& din,
+                                    const Dtd& dout,
+                                    const BruteForceOptions& options) {
+  TypecheckResult result;
+  result.arena = std::make_shared<Arena>();
+  TreeBuilder builder(result.arena.get());
+  std::vector<Node*> trees =
+      EnumerateValidTrees(din, din.start(), options, &builder);
+  result.typechecks = true;
+  for (Node* input : trees) {
+    Arena scratch;
+    TreeBuilder out_builder(&scratch);
+    Node* output = Apply(t, input, &out_builder);
+    ++result.stats.evaluations;
+    if (output == nullptr || !dout.Valid(output)) {
+      result.typechecks = false;
+      result.counterexample = input;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace xtc

@@ -1,0 +1,36 @@
+#ifndef XTC_CORE_BRUTE_FORCE_H_
+#define XTC_CORE_BRUTE_FORCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/typecheck.h"
+
+namespace xtc {
+
+/// Bounds for exhaustive enumeration.
+struct BruteForceOptions {
+  int max_depth = 4;    ///< max tree depth
+  int max_width = 3;    ///< max children per node
+  std::uint64_t max_trees = 200000;  ///< total enumeration budget
+};
+
+/// Enumerates every tree of L(d, symbol) within the bounds (up to the
+/// budget), in increasing depth. Used as the testing oracle and as the
+/// naive baseline in benches.
+std::vector<Node*> EnumerateValidTrees(const Dtd& dtd, int symbol,
+                                       const BruteForceOptions& options,
+                                       TreeBuilder* builder);
+
+/// Baseline typechecker: transforms every enumerated input tree and
+/// validates the output. Complete only up to the enumeration bounds — a
+/// result with typechecks == true means "no counterexample within bounds".
+/// Sound for counterexamples: when typechecks == false the returned tree is
+/// a genuine counterexample.
+TypecheckResult TypecheckBruteForce(const Transducer& t, const Dtd& din,
+                                    const Dtd& dout,
+                                    const BruteForceOptions& options = {});
+
+}  // namespace xtc
+
+#endif  // XTC_CORE_BRUTE_FORCE_H_

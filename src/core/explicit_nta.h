@@ -1,0 +1,27 @@
+#ifndef XTC_CORE_EXPLICIT_NTA_H_
+#define XTC_CORE_EXPLICIT_NTA_H_
+
+#include "src/base/status.h"
+#include "src/core/typecheck.h"
+#include "src/nta/nta.h"
+
+namespace xtc {
+
+/// Materializes the counterexample automaton B of Lemma 14 (its top-down
+/// reachable part) as an explicit NTA(NFA):
+///
+///     L(B) = { t ∈ L(d_in) | T(t) ∉ L(d_out) }.
+///
+/// State kinds mirror the paper's: Σ-states (din-valid subtrees), (a, q)
+/// "find" states, (a, q, check) states, and the (a, (q_1, ℓ_1, r_1), ...)
+/// obligation tuples; horizontal languages are built as explicit NFAs.
+/// This is the faithful construction — exponential in C·K — used to
+/// cross-validate the lazy engine, to measure the Lemma 14 size bound, and
+/// for almost-always typechecking (Corollary 39) via NTA finiteness.
+/// `max_states` bounds the construction.
+StatusOr<Nta> BuildCounterexampleNta(const Transducer& t, const Dtd& din,
+                                     const Dtd& dout, int max_states);
+
+}  // namespace xtc
+
+#endif  // XTC_CORE_EXPLICIT_NTA_H_

@@ -1,0 +1,74 @@
+#ifndef XTC_CORE_HARDNESS_H_
+#define XTC_CORE_HARDNESS_H_
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/brute_force.h"
+#include "src/core/paper_examples.h"
+#include "src/fa/dfa.h"
+#include "src/xpath/ast.h"
+
+namespace xtc {
+
+/// Theorem 18: reduces DFA intersection emptiness to typechecking. The
+/// returned instance (transducer with deletion and copying width two and
+/// finite deletion path width, DTD(DFA) schemas) typechecks iff
+/// ∩ L(A_i) = ∅. `dfas` run over symbols 0..|delta_names|-1.
+PaperExample MakeTheorem18Instance(const std::vector<Dfa>& dfas,
+                                   const std::vector<std::string>& delta_names);
+
+/// A literal of a 3-CNF clause; variables are 0-based.
+struct CnfLiteral {
+  int var;
+  bool positive;
+};
+using CnfClause = std::array<CnfLiteral, 3>;
+
+/// The first n primes (Lemma 27 encodes assignments as a^r with x_i true
+/// iff r ≡ 0 mod p_i).
+std::vector<int> FirstPrimes(int n);
+
+/// Lemma 27: one unary DFA per clause (alphabet {a} = symbol 0) such that
+/// ∩ L(A_i) ≠ ∅ iff the formula is satisfiable.
+std::vector<Dfa> Make3CnfUnaryDfas(const std::vector<CnfClause>& clauses,
+                                   int num_vars);
+
+/// Theorem 28(2): reduces unary-DFA intersection emptiness to typechecking
+/// with XPath{//} selectors (copying and deletion width one). The instance
+/// typechecks iff ∩ L(A_i) = ∅. The returned transducer uses selectors;
+/// compiling them away (Theorem 29's construction) yields unbounded
+/// deletion path width — that is exactly the coNP-hardness at work.
+PaperExample MakeTheorem28Instance(const std::vector<Dfa>& unary_dfas);
+
+/// Reference oracle: emptiness of ∩ L(A_i) by an n-way product BFS
+/// (exponential in n; used to validate the reductions on small instances).
+bool DfaIntersectionEmpty(const std::vector<Dfa>& dfas);
+
+/// The Lemma 26 pattern transformation: appends a step to `target` after
+/// every selecting literal — /ℓ[...] becomes /ℓ[...]/target and //ℓ[...]
+/// becomes //ℓ[...]//target — so that "P1 ⊆ P2 under d" becomes "whenever
+/// P′1 selects an x1 node, P′2 selects an x2 node" under the d′ that hangs
+/// x1 and x2 leaves below every node.
+XPathPatternPtr Lemma26Pattern(const XPathPatternPtr& pattern, int target);
+
+/// Theorem 28(1): reduces XPath containment in the presence of a DTD(DFA)
+/// to typechecking. The shared alphabet must already intern "r", "x1" and
+/// "x2" (fresh symbols unused by `d` and the patterns), and every rule of
+/// `d` must be regex-backed. The instance typechecks iff
+/// f_{P1}(t, ε) ⊆ f_{P2}(t, ε) for every tree t satisfying d.
+PaperExample MakeTheorem28aInstance(std::shared_ptr<Alphabet> alphabet,
+                                    const Dtd& d, const XPathPatternPtr& p1,
+                                    const XPathPatternPtr& p2);
+
+/// Bounded containment oracle: checks f_{P1}(t, ε) ⊆ f_{P2}(t, ε) on every
+/// tree of L(d) within the enumeration bounds. Used to validate the
+/// Theorem 28(1) reduction on small instances.
+bool XPathContainedBounded(const XPathPattern& p1, const XPathPattern& p2,
+                           const Dtd& d, const BruteForceOptions& bounds);
+
+}  // namespace xtc
+
+#endif  // XTC_CORE_HARDNESS_H_

@@ -1,0 +1,159 @@
+#include "src/core/minvast.h"
+
+#include <map>
+
+#include "src/base/logging.h"
+#include "src/schema/witness.h"
+#include "src/tree/hashcons.h"
+
+namespace xtc {
+namespace {
+
+// Symbolic conformance of T(t) to d_out for hash-consed t: validity and
+// output-DFA effects are memoized per (state, shared node), so the check is
+// polynomial in the DAG size even when t unfolds exponentially.
+class SymbolicChecker {
+ public:
+  SymbolicChecker(const Transducer& t, const Dtd& dout,
+                  const SharedForest& forest)
+      : t_(t), dout_(dout), forest_(forest) {}
+
+  // Whether T(t_root) is a tree satisfying d_out.
+  bool OutputConforms(int root) {
+    const RhsHedge* rhs = t_.rule(t_.initial(), forest_.label(root));
+    // The translation must be a single tree rooted at the output start
+    // symbol (Definition 5).
+    if (rhs == nullptr || rhs->size() != 1 ||
+        (*rhs)[0].kind != RhsNode::Kind::kLabel ||
+        (*rhs)[0].label != dout_.start()) {
+      return false;
+    }
+    return TemplateValid(*rhs, root);
+  }
+
+ private:
+  // delta* of the complete DFA for d_out(sigma) over the string
+  // top(T^{p}(t_node)), as a function table Q_sigma -> Q_sigma.
+  const std::vector<int>& Eff(int p, int node, int sigma) {
+    auto key = std::make_tuple(p, node, sigma);
+    auto it = eff_memo_.find(key);
+    if (it != eff_memo_.end()) return it->second;
+    const Dfa& d = dout_.RuleDfaComplete(sigma);
+    std::vector<int> f(static_cast<std::size_t>(d.num_states()));
+    for (int x = 0; x < d.num_states(); ++x) f[static_cast<std::size_t>(x)] = x;
+    const RhsHedge* rhs = t_.rule(p, forest_.label(node));
+    if (rhs != nullptr) {
+      for (int x = 0; x < d.num_states(); ++x) {
+        int cur = x;
+        for (const RhsNode& n : *rhs) {
+          if (n.kind == RhsNode::Kind::kLabel) {
+            cur = d.Step(cur, n.label);
+          } else {
+            XTC_CHECK(n.kind == RhsNode::Kind::kState);
+            for (int c : forest_.children(node)) {
+              cur = Eff(n.state, c, sigma)[static_cast<std::size_t>(cur)];
+            }
+          }
+        }
+        f[static_cast<std::size_t>(x)] = cur;
+      }
+    }
+    return eff_memo_.emplace(key, std::move(f)).first->second;
+  }
+
+  // Whether T^{p}(t_node) partly satisfies d_out.
+  bool Valid(int p, int node) {
+    auto key = std::make_pair(p, node);
+    auto it = valid_memo_.find(key);
+    if (it != valid_memo_.end()) return it->second;
+    valid_memo_.emplace(key, true);  // harmless on DAGs (no real cycles)
+    const RhsHedge* rhs = t_.rule(p, forest_.label(node));
+    bool ok = rhs == nullptr || TemplateValid(*rhs, node);
+    valid_memo_[key] = ok;
+    return ok;
+  }
+
+  // Checks all output nodes produced by this template instantiated at
+  // `node`, including everything produced below its states.
+  bool TemplateValid(const RhsHedge& rhs, int node) {
+    for (const RhsNode& n : rhs) {
+      if (n.kind == RhsNode::Kind::kState) {
+        for (int c : forest_.children(node)) {
+          if (!Valid(n.state, c)) return false;
+        }
+        continue;
+      }
+      XTC_CHECK(n.kind == RhsNode::Kind::kLabel);
+      // The children string of this produced node must match d_out(label).
+      const Dfa& d = dout_.RuleDfaComplete(n.label);
+      int x = d.initial();
+      for (const RhsNode& ch : n.children) {
+        if (ch.kind == RhsNode::Kind::kLabel) {
+          x = d.Step(x, ch.label);
+        } else {
+          for (int c : forest_.children(node)) {
+            x = Eff(ch.state, c, n.label)[static_cast<std::size_t>(x)];
+          }
+        }
+      }
+      if (!d.final(x)) return false;
+      if (!TemplateValid(n.children, node)) return false;
+    }
+    return true;
+  }
+
+  const Transducer& t_;
+  const Dtd& dout_;
+  const SharedForest& forest_;
+  std::map<std::pair<int, int>, bool> valid_memo_;
+  std::map<std::tuple<int, int, int>, std::vector<int>> eff_memo_;
+};
+
+}  // namespace
+
+StatusOr<TypecheckResult> TypecheckMinVast(const Transducer& t, const Dtd& din,
+                                           const Dtd& dout,
+                                           const TypecheckOptions& options) {
+  if (t.HasSelectors()) {
+    return FailedPreconditionError("compile selectors before typechecking");
+  }
+  if (!din.IsRePlusDtd() || !dout.IsRePlusDtd()) {
+    return FailedPreconditionError(
+        "the t_min/t_vast algorithm requires DTD(RE+) schemas");
+  }
+  TypecheckResult result;
+  result.arena = std::make_shared<Arena>();
+  TreeBuilder builder(result.arena.get());
+
+  if (din.LanguageEmpty()) {
+    result.typechecks = true;
+    return result;
+  }
+  StatusOr<RePlusWitnesses> witnesses = BuildRePlusWitnesses(din);
+  if (!witnesses.ok()) return witnesses.status();
+  int t_min = witnesses->t_min[static_cast<std::size_t>(din.start())];
+  int t_vast = witnesses->t_vast[static_cast<std::size_t>(din.start())];
+  XTC_CHECK_GE(t_min, 0);  // start symbol inhabited
+
+  SymbolicChecker checker(t, dout, witnesses->forest);
+  int bad = -1;
+  if (!checker.OutputConforms(t_min)) {
+    bad = t_min;
+  } else if (!checker.OutputConforms(t_vast)) {
+    bad = t_vast;
+  }
+  result.stats.configs = static_cast<std::uint64_t>(witnesses->forest.size());
+  if (bad == -1) {
+    result.typechecks = true;
+    return result;
+  }
+  result.typechecks = false;
+  if (options.want_counterexample) {
+    StatusOr<Node*> tree =
+        witnesses->forest.Materialize(bad, &builder, std::uint64_t{1} << 20);
+    if (tree.ok()) result.counterexample = *tree;
+  }
+  return result;
+}
+
+}  // namespace xtc

@@ -1,0 +1,22 @@
+#ifndef XTC_CORE_MINVAST_H_
+#define XTC_CORE_MINVAST_H_
+
+#include "src/base/status.h"
+#include "src/core/typecheck.h"
+
+namespace xtc {
+
+/// The alternative Section 6 algorithm for TC[T_d,c, DTD(RE+)]: an instance
+/// typechecks iff neither t_min nor t_vast (Section 5's witness trees for
+/// the input DTD) is a counterexample. Both witnesses are kept hash-consed
+/// (t_vast's unfolding doubles below every +, so it is exponential as a
+/// tree but polynomial as a DAG) and T(t)'s conformance to d_out is checked
+/// symbolically with per-(shared node, state) memoization, keeping the
+/// whole check polynomial.
+StatusOr<TypecheckResult> TypecheckMinVast(const Transducer& t, const Dtd& din,
+                                           const Dtd& dout,
+                                           const TypecheckOptions& options = {});
+
+}  // namespace xtc
+
+#endif  // XTC_CORE_MINVAST_H_

@@ -1,0 +1,32 @@
+#include "src/core/nfa_dtd.h"
+
+#include "src/core/trac.h"
+
+namespace xtc {
+
+StatusOr<Dtd> DeterminizeDtd(const Dtd& dtd, int max_dfa_states) {
+  Dtd out(dtd.alphabet(), dtd.start());
+  for (int s = 0; s < dtd.num_symbols(); ++s) {
+    if (!dtd.HasRule(s)) continue;
+    Dfa dfa = Dfa::FromNfa(dtd.RuleNfa(s));
+    if (dfa.num_states() > max_dfa_states) {
+      return ResourceExhaustedError(
+          "subset construction exceeded the DFA state budget for rule '" +
+          dtd.alphabet()->Name(s) + "'");
+    }
+    out.SetRuleDfa(s, std::move(dfa));
+  }
+  return out;
+}
+
+StatusOr<TypecheckResult> TypecheckViaDeterminization(
+    const Transducer& t, const Dtd& din, const Dtd& dout,
+    const TypecheckOptions& options, int max_dfa_states) {
+  StatusOr<Dtd> din_det = DeterminizeDtd(din, max_dfa_states);
+  if (!din_det.ok()) return din_det.status();
+  StatusOr<Dtd> dout_det = DeterminizeDtd(dout, max_dfa_states);
+  if (!dout_det.ok()) return dout_det.status();
+  return TypecheckTrac(t, *din_det, *dout_det, options);
+}
+
+}  // namespace xtc

@@ -1,0 +1,23 @@
+#ifndef XTC_CORE_NFA_DTD_H_
+#define XTC_CORE_NFA_DTD_H_
+
+#include "src/base/status.h"
+#include "src/core/typecheck.h"
+
+namespace xtc {
+
+/// Converts every rule of a DTD(NFA) to a DFA by subset construction.
+/// `max_dfa_states` caps each rule's DFA — the exponential blowup here is
+/// exactly the PSPACE price of DTD(NFA) schemas (Table 1, nd/bc column).
+StatusOr<Dtd> DeterminizeDtd(const Dtd& dtd, int max_dfa_states);
+
+/// Complete typechecker for DTD(NFA) schemas: determinize both schemas,
+/// then run the Lemma 14 engine. Worst-case exponential in the schema
+/// sizes, matching the PSPACE-hardness of TC[T_nd,bc, DTD(NFA)].
+StatusOr<TypecheckResult> TypecheckViaDeterminization(
+    const Transducer& t, const Dtd& din, const Dtd& dout,
+    const TypecheckOptions& options = {}, int max_dfa_states = 1 << 16);
+
+}  // namespace xtc
+
+#endif  // XTC_CORE_NFA_DTD_H_

@@ -1,0 +1,121 @@
+#include "src/core/paper_examples.h"
+
+#include "src/base/logging.h"
+#include "src/tree/codec.h"
+
+namespace xtc {
+namespace {
+
+void MustSetRule(Transducer* t, std::string_view state,
+                 std::string_view symbol, std::string_view rhs) {
+  Status s = t->SetRuleFromString(state, symbol, rhs);
+  XTC_CHECK_MSG(s.ok(), s.ToString().c_str());
+}
+
+void MustSetDtdRule(Dtd* d, std::string_view symbol, std::string_view regex) {
+  Status s = d->SetRule(symbol, regex);
+  XTC_CHECK_MSG(s.ok(), s.ToString().c_str());
+}
+
+}  // namespace
+
+PaperExample MakeExample6() {
+  PaperExample ex;
+  ex.alphabet = std::make_shared<Alphabet>();
+  for (const char* s : {"a", "b", "c", "d", "e"}) ex.alphabet->Intern(s);
+  ex.transducer = std::make_shared<Transducer>(ex.alphabet.get());
+  int p = ex.transducer->AddState("p");
+  ex.transducer->AddState("q");
+  ex.transducer->SetInitial(p);
+  MustSetRule(ex.transducer.get(), "p", "a", "d(e)");
+  MustSetRule(ex.transducer.get(), "p", "b", "d(q)");
+  MustSetRule(ex.transducer.get(), "q", "a", "c p");
+  MustSetRule(ex.transducer.get(), "q", "b", "c(p q)");
+  return ex;
+}
+
+Node* MakeExample7Tree(Alphabet* alphabet, TreeBuilder* builder) {
+  StatusOr<Node*> t = ParseTerm("b(b(a b) a)", alphabet, builder);
+  XTC_CHECK(t.ok());
+  return *t;
+}
+
+PaperExample MakeBookExample(bool with_summary) {
+  PaperExample ex;
+  ex.alphabet = std::make_shared<Alphabet>();
+  for (const char* s : {"book", "title", "author", "chapter", "intro",
+                        "section", "paragraph"}) {
+    ex.alphabet->Intern(s);
+  }
+  int book = *ex.alphabet->Find("book");
+
+  ex.din = std::make_shared<Dtd>(ex.alphabet.get(), book);
+  MustSetDtdRule(ex.din.get(), "book", "title author+ chapter+");
+  MustSetDtdRule(ex.din.get(), "chapter", "title intro section+");
+  MustSetDtdRule(ex.din.get(), "section", "title paragraph+ section*");
+
+  ex.transducer = std::make_shared<Transducer>(ex.alphabet.get());
+  int q = ex.transducer->AddState("q");
+  ex.transducer->SetInitial(q);
+  ex.dout = std::make_shared<Dtd>(ex.alphabet.get(), book);
+  if (!with_summary) {
+    MustSetRule(ex.transducer.get(), "q", "book", "book(q)");
+    MustSetRule(ex.transducer.get(), "q", "chapter", "chapter q");
+    MustSetRule(ex.transducer.get(), "q", "title", "title");
+    MustSetRule(ex.transducer.get(), "q", "section", "q");
+    // The chapter's own title plus at least one section title follow every
+    // chapter element.
+    MustSetDtdRule(ex.dout.get(), "book", "title (chapter title title+)+");
+  } else {
+    ex.transducer->AddState("p");
+    ex.transducer->AddState("p2");
+    MustSetRule(ex.transducer.get(), "q", "book", "book(q p)");
+    MustSetRule(ex.transducer.get(), "q", "chapter", "chapter q");
+    MustSetRule(ex.transducer.get(), "q", "title", "title");
+    MustSetRule(ex.transducer.get(), "q", "section", "q");
+    MustSetRule(ex.transducer.get(), "p", "chapter", "chapter(p2)");
+    MustSetRule(ex.transducer.get(), "p2", "title", "title");
+    MustSetRule(ex.transducer.get(), "p2", "intro", "intro");
+    // Example 11's output DTD.
+    MustSetDtdRule(ex.dout.get(), "book", "title (chapter title*)* chapter*");
+    MustSetDtdRule(ex.dout.get(), "chapter", "title intro | %");
+  }
+  return ex;
+}
+
+PaperExample MakeExample12() {
+  PaperExample ex;
+  ex.alphabet = std::make_shared<Alphabet>();
+  ex.alphabet->Intern("a");
+  ex.transducer = std::make_shared<Transducer>(ex.alphabet.get());
+  int q0 = ex.transducer->AddState("q0");
+  for (const char* s : {"q1", "q2", "q3", "q4", "q5", "q6", "q7", "q8"}) {
+    ex.transducer->AddState(s);
+  }
+  ex.transducer->SetInitial(q0);
+  MustSetRule(ex.transducer.get(), "q0", "a", "a(q1 q5)");
+  MustSetRule(ex.transducer.get(), "q1", "a", "q2 a q2 a");
+  MustSetRule(ex.transducer.get(), "q2", "a", "a q3 q3 a q3");
+  MustSetRule(ex.transducer.get(), "q3", "a", "q4");
+  MustSetRule(ex.transducer.get(), "q4", "a", "a");
+  MustSetRule(ex.transducer.get(), "q5", "a", "q6 a a q6");
+  MustSetRule(ex.transducer.get(), "q6", "a", "q7 q7");
+  MustSetRule(ex.transducer.get(), "q7", "a", "a q8 a");
+  MustSetRule(ex.transducer.get(), "q8", "a", "a a q7");
+  return ex;
+}
+
+PaperExample MakeExample22() {
+  PaperExample ex = MakeBookExample(false);
+  // Rewrite the ToC transducer with an XPath selector: all section-title
+  // bookkeeping is replaced by ⟨q, .//title⟩ on chapters.
+  ex.transducer = std::make_shared<Transducer>(ex.alphabet.get());
+  int q = ex.transducer->AddState("q");
+  ex.transducer->SetInitial(q);
+  MustSetRule(ex.transducer.get(), "q", "book", "book(q)");
+  MustSetRule(ex.transducer.get(), "q", "chapter", "chapter <q, .//title>");
+  MustSetRule(ex.transducer.get(), "q", "title", "title");
+  return ex;
+}
+
+}  // namespace xtc

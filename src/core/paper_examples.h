@@ -1,0 +1,46 @@
+#ifndef XTC_CORE_PAPER_EXAMPLES_H_
+#define XTC_CORE_PAPER_EXAMPLES_H_
+
+#include <memory>
+
+#include "src/fa/alphabet.h"
+#include "src/schema/dtd.h"
+#include "src/td/transducer.h"
+#include "src/tree/tree.h"
+
+namespace xtc {
+
+/// A bundled instance of the typechecking problem (some components may be
+/// absent depending on the example).
+struct PaperExample {
+  std::shared_ptr<Alphabet> alphabet;
+  std::shared_ptr<Transducer> transducer;
+  std::shared_ptr<Dtd> din;
+  std::shared_ptr<Dtd> dout;
+};
+
+/// Example 6: states {p, q} over {a, b, c, d, e}; (p,a)→d(e), (p,b)→d(q),
+/// (q,a)→c p, (q,b)→c(p q). Fig. 1 is its XSLT rendering.
+PaperExample MakeExample6();
+
+/// The tree of Example 7 / Fig. 2(a): b(b(a b) a).
+Node* MakeExample7Tree(Alphabet* alphabet, TreeBuilder* builder);
+
+/// Example 10/11, the book-filtering scenario. `with_summary` selects the
+/// second transducer (table of contents plus summary); its output schema is
+/// exactly Example 11's DTD and the instance typechecks. Without summary,
+/// the output schema is the tight ToC DTD book → title (chapter title
+/// title+)+ and the instance also typechecks.
+PaperExample MakeBookExample(bool with_summary);
+
+/// Example 12 / Fig. 4: the transducer with copying width 3 and deletion
+/// path width 6 (Example 17).
+PaperExample MakeExample12();
+
+/// Example 22: the ToC transformation written with an XPath selector
+/// ⟨q, .//title⟩ instead of deleting states.
+PaperExample MakeExample22();
+
+}  // namespace xtc
+
+#endif  // XTC_CORE_PAPER_EXAMPLES_H_

@@ -1,0 +1,116 @@
+#include "src/core/reachable.h"
+
+#include <deque>
+
+#include "src/base/logging.h"
+#include "src/schema/witness.h"
+
+namespace xtc {
+
+void StatesInRhs(const RhsHedge& rhs, std::vector<bool>* states) {
+  for (const RhsNode& n : rhs) {
+    switch (n.kind) {
+      case RhsNode::Kind::kLabel:
+        StatesInRhs(n.children, states);
+        break;
+      case RhsNode::Kind::kState:
+      case RhsNode::Kind::kSelect:
+        (*states)[static_cast<std::size_t>(n.state)] = true;
+        break;
+    }
+  }
+}
+
+int ReachablePairs::Index(int state, int symbol) const {
+  return state * din_.num_symbols() + symbol;
+}
+
+ReachablePairs::ReachablePairs(const Transducer& t, const Dtd& din)
+    : t_(t), din_(din) {
+  XTC_CHECK_MSG(!t.HasSelectors(),
+                "compile selectors before reachability analysis");
+  const std::size_t total = static_cast<std::size_t>(t.num_states()) *
+                            static_cast<std::size_t>(din.num_symbols());
+  reachable_.assign(total, false);
+  origin_.assign(total, -1);
+  if (din.LanguageEmpty() || t.initial() < 0) return;
+
+  std::deque<int> queue;
+  auto visit = [&](int state, int symbol, int origin_pair) {
+    int idx = Index(state, symbol);
+    if (reachable_[static_cast<std::size_t>(idx)]) return;
+    reachable_[static_cast<std::size_t>(idx)] = true;
+    origin_[static_cast<std::size_t>(idx)] = origin_pair;
+    pairs_.emplace_back(state, symbol);
+    queue.push_back(static_cast<int>(pairs_.size()) - 1);
+  };
+  visit(t.initial(), din.start(), -1);
+  while (!queue.empty()) {
+    int pair_pos = queue.front();
+    queue.pop_front();
+    auto [q, a] = pairs_[static_cast<std::size_t>(pair_pos)];
+    const RhsHedge* rhs = t.rule(q, a);
+    if (rhs == nullptr) continue;
+    std::vector<bool> states(static_cast<std::size_t>(t.num_states()), false);
+    StatesInRhs(*rhs, &states);
+    std::vector<bool> children = din.UsableChildren(a);
+    for (int p = 0; p < t.num_states(); ++p) {
+      if (!states[static_cast<std::size_t>(p)]) continue;
+      for (int b = 0; b < din.num_symbols(); ++b) {
+        if (children[static_cast<std::size_t>(b)]) visit(p, b, pair_pos);
+      }
+    }
+  }
+}
+
+bool ReachablePairs::IsReachable(int state, int symbol) const {
+  return reachable_[static_cast<std::size_t>(Index(state, symbol))];
+}
+
+Node* ReachablePairs::EmbedWitness(int state, int symbol, Node* subtree,
+                                   TreeBuilder* builder) const {
+  XTC_CHECK(IsReachable(state, symbol));
+  // Recover the symbol chain root -> ... -> (state, symbol).
+  std::vector<int> chain;  // symbols from target up to root
+  int pos = -1;
+  for (std::size_t i = 0; i < pairs_.size(); ++i) {
+    if (pairs_[i] == std::make_pair(state, symbol)) {
+      pos = static_cast<int>(i);
+      break;
+    }
+  }
+  XTC_CHECK_GE(pos, 0);
+  std::vector<int> pair_chain;
+  for (int cur = pos; cur != -1;
+       cur = origin_[static_cast<std::size_t>(Index(
+           pairs_[static_cast<std::size_t>(cur)].first,
+           pairs_[static_cast<std::size_t>(cur)].second))]) {
+    pair_chain.push_back(cur);
+  }
+  // pair_chain goes target..root; build top-down.
+  Node* current = subtree;
+  for (std::size_t i = 0; i + 1 < pair_chain.size(); ++i) {
+    int child_symbol =
+        pairs_[static_cast<std::size_t>(pair_chain[i])].second;
+    int parent_symbol =
+        pairs_[static_cast<std::size_t>(pair_chain[i + 1])].second;
+    std::optional<std::vector<int>> word =
+        din_.UsableWordContaining(parent_symbol, child_symbol);
+    XTC_CHECK(word.has_value());
+    std::vector<Node*> kids;
+    bool placed = false;
+    for (int b : *word) {
+      if (!placed && b == child_symbol) {
+        kids.push_back(current);
+        placed = true;
+      } else {
+        kids.push_back(MinimalValidTree(din_, b, builder));
+      }
+    }
+    XTC_CHECK(placed);
+    current = builder->Make(parent_symbol, kids);
+  }
+  return current;
+}
+
+}  // namespace xtc

@@ -1,0 +1,383 @@
+#include "src/core/relab.h"
+
+#include <map>
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/core/brute_force.h"
+#include "src/fa/eps_nfa.h"
+#include "src/nta/analysis.h"
+#include "src/nta/product.h"
+#include "src/schema/witness.h"
+#include "src/td/classes.h"
+
+namespace xtc {
+namespace {
+
+// The #-marked totalized template of one rule of T': trees whose nodes
+// carry labels over Σ ∪ {#} plus at most one state leaf.
+struct MarkedNode {
+  int label = -1;  // -1 for the state leaf
+  int state = -1;
+  std::vector<int> children;  // node ids
+};
+
+struct MarkedRule {
+  int state;                      // q_T
+  int symbol;                     // a
+  std::vector<MarkedNode> nodes;  // indexed by id
+  std::vector<int> roots;         // top-level trees, in order (>= 1)
+  int state_node = -1;            // id of the unique state leaf, or -1
+  int state_parent = -1;          // its parent node id
+  int state_pos = -1;             // its position among the parent's children
+};
+
+int AddMarkedRec(const RhsNode& n, MarkedRule* rule) {
+  MarkedNode node;
+  if (n.kind == RhsNode::Kind::kState) {
+    node.state = n.state;
+  } else {
+    XTC_CHECK(n.kind == RhsNode::Kind::kLabel);
+    node.label = n.label;
+  }
+  int id = static_cast<int>(rule->nodes.size());
+  rule->nodes.push_back(node);
+  for (const RhsNode& c : n.children) {
+    int cid = AddMarkedRec(c, rule);
+    rule->nodes[static_cast<std::size_t>(id)].children.push_back(cid);
+  }
+  return id;
+}
+
+// Builds T''s rule for (state, symbol): wrap top-level states as #(q) and
+// turn missing/empty templates into the single leaf #.
+MarkedRule MarkRule(const Transducer& t, int state, int symbol,
+                    int hash_symbol) {
+  MarkedRule rule;
+  rule.state = state;
+  rule.symbol = symbol;
+  const RhsHedge* rhs = t.rule(state, symbol);
+  if (rhs == nullptr || rhs->empty()) {
+    MarkedNode hash;
+    hash.label = hash_symbol;
+    rule.nodes.push_back(hash);
+    rule.roots.push_back(0);
+    return rule;
+  }
+  for (const RhsNode& n : *rhs) {
+    if (n.kind == RhsNode::Kind::kState) {
+      MarkedNode hash;
+      hash.label = hash_symbol;
+      int hid = static_cast<int>(rule.nodes.size());
+      rule.nodes.push_back(hash);
+      MarkedNode leaf;
+      leaf.state = n.state;
+      int sid = static_cast<int>(rule.nodes.size());
+      rule.nodes.push_back(leaf);
+      rule.nodes[static_cast<std::size_t>(hid)].children.push_back(sid);
+      rule.roots.push_back(hid);
+    } else {
+      rule.roots.push_back(AddMarkedRec(n, &rule));
+    }
+  }
+  for (std::size_t id = 0; id < rule.nodes.size(); ++id) {
+    const MarkedNode& n = rule.nodes[id];
+    for (std::size_t j = 0; j < n.children.size(); ++j) {
+      int c = n.children[j];
+      if (rule.nodes[static_cast<std::size_t>(c)].state != -1) {
+        XTC_CHECK_EQ(rule.state_node, -1);  // del-relab: at most one state
+        rule.state_node = c;
+        rule.state_parent = static_cast<int>(id);
+        rule.state_pos = static_cast<int>(j);
+      }
+    }
+  }
+  return rule;
+}
+
+}  // namespace
+
+StatusOr<Nta> OutputLanguageNta(const Transducer& t, const Nta& ain,
+                                int hash_symbol) {
+  if (!IsDelRelab(t)) {
+    return FailedPreconditionError(
+        "Lemma 19 requires templates with at most one state (T_del-relab)");
+  }
+  const int base = hash_symbol;  // input symbols are 0..base-1
+  XTC_CHECK_EQ(ain.num_symbols(), base);
+  const int n_a = ain.num_states();
+
+  // Inhabitation of (root symbol, A_in state) pairs: stateless templates
+  // produce fixed output without traversing the input subtree, so B_in must
+  // separately certify that an input subtree with root c and run state q_A
+  // exists at all (otherwise the image picks up spurious trees).
+  std::vector<bool> reach = ReachableStates(ain);
+  auto rootable = [&](int c, int qa) {
+    const Nfa* h = ain.Horizontal(qa, c);
+    return h != nullptr && h->AcceptsSomeOver(&reach);
+  };
+
+  // T''s rules for every (transducer state, base symbol).
+  std::vector<MarkedRule> rules;
+  std::map<std::pair<int, int>, int> rule_index;
+  for (int q = 0; q < t.num_states(); ++q) {
+    for (int a = 0; a < base; ++a) {
+      rule_index[{q, a}] = static_cast<int>(rules.size());
+      rules.push_back(MarkRule(t, q, a, hash_symbol));
+    }
+  }
+
+  // B_in states: (rule, qA, non-state node of the template).
+  std::map<std::tuple<int, int, int>, int> ids;
+  int num_states = 0;
+  for (std::size_t r = 0; r < rules.size(); ++r) {
+    for (int qa = 0; qa < n_a; ++qa) {
+      for (std::size_t u = 0; u < rules[r].nodes.size(); ++u) {
+        if (rules[r].nodes[u].state != -1) continue;
+        ids[{static_cast<int>(r), qa, static_cast<int>(u)}] = num_states++;
+      }
+    }
+  }
+
+  Nta out(hash_symbol + 1, num_states);
+
+  // Finals: roots of initial-state rules paired with accepting a_in states.
+  for (int a = 0; a < base; ++a) {
+    int r = rule_index.at({t.initial(), a});
+    // Hedge-shaped initial templates never produce trees; such roots are
+    // handled by the Definition 5 pre-check at the Dtd-level entry point.
+    if (rules[static_cast<std::size_t>(r)].roots.size() != 1) continue;
+    int root = rules[static_cast<std::size_t>(r)].roots[0];
+    if (rules[static_cast<std::size_t>(r)]
+            .nodes[static_cast<std::size_t>(root)]
+            .state != -1) {
+      continue;
+    }
+    for (int qa = 0; qa < n_a; ++qa) {
+      if (ain.final(qa)) out.SetFinal(ids.at({r, qa, root}));
+    }
+  }
+
+  for (const auto& [key, id] : ids) {
+    auto [r, qa, u] = key;
+    const MarkedRule& rule = rules[static_cast<std::size_t>(r)];
+    const MarkedNode& node = rule.nodes[static_cast<std::size_t>(u)];
+    if (rule.state_node == -1 && !rootable(rule.symbol, qa)) {
+      // Stateless template whose input subtree cannot exist with this
+      // A_in state: the B_in state stays uninhabited.
+      continue;
+    }
+    if (u != rule.state_parent) {
+      // Fixed children word (possibly empty for leaves).
+      std::vector<int> word;
+      for (int c : node.children) word.push_back(ids.at({r, qa, c}));
+      out.SetTransition(id, node.label, Nfa::SingleWord(num_states, word));
+      continue;
+    }
+    // The state leaf sits at position state_pos among u's children: splice
+    // in the substituted language of delta_Ain(qa, a) (the D' of Lemma 19).
+    const Nfa* d = ain.Horizontal(qa, rule.symbol);
+    if (d == nullptr) continue;  // empty horizontal: no transition at all
+    EpsNfa enfa(num_states);
+    int cur = enfa.AddState(/*initial=*/true);
+    for (int j = 0; j < rule.state_pos; ++j) {
+      int next = enfa.AddState();
+      enfa.AddEdge(cur,
+                   ids.at({r, qa,
+                           node.children[static_cast<std::size_t>(j)]}),
+                   next);
+      cur = next;
+    }
+    // Embed D: reading child state q'_A becomes reading the chain of
+    // template roots of rhs'(q', c) for every input symbol c.
+    std::vector<int> dmap(static_cast<std::size_t>(d->num_states()));
+    for (int s = 0; s < d->num_states(); ++s) {
+      dmap[static_cast<std::size_t>(s)] = enfa.AddState();
+    }
+    for (int s = 0; s < d->num_states(); ++s) {
+      if (d->initial(s)) {
+        enfa.AddEdge(cur, -1, dmap[static_cast<std::size_t>(s)]);
+      }
+    }
+    int qprime = rule.nodes[static_cast<std::size_t>(rule.state_node)].state;
+    for (int s = 0; s < d->num_states(); ++s) {
+      for (const auto& [child_state, to] : d->Edges(s)) {
+        for (int c = 0; c < base; ++c) {
+          int r2 = rule_index.at({qprime, c});
+          const std::vector<int>& roots =
+              rules[static_cast<std::size_t>(r2)].roots;
+          int from = dmap[static_cast<std::size_t>(s)];
+          for (std::size_t k = 0; k < roots.size(); ++k) {
+            int target = (k + 1 == roots.size())
+                             ? dmap[static_cast<std::size_t>(to)]
+                             : enfa.AddState();
+            enfa.AddEdge(from, ids.at({r2, child_state, roots[k]}), target);
+            from = target;
+          }
+        }
+      }
+    }
+    // Suffix chain after the spliced language.
+    int tail = enfa.AddState();
+    for (int s = 0; s < d->num_states(); ++s) {
+      if (d->final(s)) {
+        enfa.AddEdge(dmap[static_cast<std::size_t>(s)], -1, tail);
+      }
+    }
+    cur = tail;
+    for (std::size_t j = static_cast<std::size_t>(rule.state_pos) + 1;
+         j < node.children.size(); ++j) {
+      int next = enfa.AddState();
+      enfa.AddEdge(cur, ids.at({r, qa, node.children[j]}), next);
+      cur = next;
+    }
+    enfa.SetFinal(cur);
+    out.SetTransition(id, node.label, enfa.Build());
+  }
+  return out;
+}
+
+Nta HashEliminationNta(const Nta& aout, int hash_symbol) {
+  const int base = hash_symbol;
+  XTC_CHECK_EQ(aout.num_symbols(), base);
+  const int n = aout.num_states();
+
+  // Index the horizontal NFAs of aout; pair states (h, x, y) mark #-nodes
+  // whose spliced-out children drive h from x to y.
+  struct HInfo {
+    int state;
+    int symbol;
+    const Nfa* nfa;
+    int pair_offset;  // first pair-state id
+  };
+  std::vector<HInfo> hs;
+  int num_states = n;
+  for (const auto& [key, nfa] : aout.transitions()) {
+    HInfo info;
+    info.state = key.first;
+    info.symbol = key.second;
+    info.nfa = &nfa;
+    info.pair_offset = num_states;
+    num_states += nfa.num_states() * nfa.num_states();
+    hs.push_back(info);
+  }
+
+  Nta out(base + 1, num_states);
+  for (int q = 0; q < n; ++q) out.SetFinal(q, aout.final(q));
+
+  for (const HInfo& info : hs) {
+    const Nfa& h = *info.nfa;
+    const int m = h.num_states();
+    auto pair_id = [&](int x, int y) { return info.pair_offset + x * m + y; };
+
+    // The lifted automaton: original edges read normal child states; jump
+    // edges x --(h,x,y)--> y read #-children.
+    auto lift = [&](int init, int fin) {
+      // init/fin == -1 keep the original initials/finals.
+      Nfa lifted(num_states);
+      for (int s = 0; s < m; ++s) {
+        bool is_init = init == -1 ? h.initial(s) : s == init;
+        bool is_fin = fin == -1 ? h.final(s) : s == fin;
+        lifted.AddState(is_init, is_fin);
+      }
+      for (int s = 0; s < m; ++s) {
+        for (const auto& [sym, to] : h.Edges(s)) {
+          lifted.AddTransition(s, sym, to);
+        }
+      }
+      for (int x = 0; x < m; ++x) {
+        for (int y = 0; y < m; ++y) {
+          lifted.AddTransition(x, pair_id(x, y), y);
+        }
+      }
+      return lifted;
+    };
+
+    // Normal node: delta(q, a) lifted.
+    out.SetTransition(info.state, info.symbol, lift(-1, -1));
+    // Pair nodes: labelled #, children must drive h from x to y.
+    for (int x = 0; x < m; ++x) {
+      for (int y = 0; y < m; ++y) {
+        out.SetTransition(pair_id(x, y), hash_symbol, lift(x, y));
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+StatusOr<bool> DelRelabEmptiness(const Transducer& t, const Nta& ain,
+                                 const Nta& aout_dtac,
+                                 TypecheckStats* stats) {
+  const int base = ain.num_symbols();
+  Nta aout_complement = ComplementedDtac(aout_dtac);
+  StatusOr<Nta> bin = OutputLanguageNta(t, ain, base);
+  if (!bin.ok()) return bin.status();
+  Nta bout = HashEliminationNta(aout_complement, base);
+  Nta product = Intersect(*bin, bout);
+  stats->nta_states = static_cast<std::uint64_t>(product.num_states());
+  stats->nta_size = product.Size();
+  return IsEmptyLanguage(product);
+}
+
+}  // namespace
+
+StatusOr<TypecheckResult> TypecheckDelRelabNta(const Transducer& t,
+                                               const Nta& ain,
+                                               const Nta& aout_dtac,
+                                               const TypecheckOptions& options) {
+  (void)options;
+  TypecheckResult result;
+  result.arena = std::make_shared<Arena>();
+  StatusOr<bool> empty = DelRelabEmptiness(t, ain, aout_dtac, &result.stats);
+  if (!empty.ok()) return empty.status();
+  result.typechecks = *empty;
+  return result;
+}
+
+StatusOr<TypecheckResult> TypecheckDelRelab(const Transducer& t,
+                                            const Dtd& din, const Dtd& dout,
+                                            const TypecheckOptions& options) {
+  XTC_CHECK(t.alphabet() == din.alphabet() && t.alphabet() == dout.alphabet());
+  TypecheckResult result;
+  result.arena = std::make_shared<Arena>();
+  TreeBuilder builder(result.arena.get());
+  if (din.LanguageEmpty()) {
+    result.typechecks = true;
+    return result;
+  }
+  // Root pre-check: the translation must be a single tree (Definition 5).
+  const RhsHedge* root_rhs = t.rule(t.initial(), din.start());
+  if (root_rhs == nullptr || root_rhs->size() != 1 ||
+      (*root_rhs)[0].kind != RhsNode::Kind::kLabel) {
+    result.typechecks = false;
+    if (options.want_counterexample) {
+      result.counterexample = MinimalValidTree(din, din.start(), &builder);
+    }
+    return result;
+  }
+  Nta ain = Nta::FromDtd(din);
+  Nta aout = CompletedDeterministic(Nta::FromDtd(dout));
+  StatusOr<bool> empty = DelRelabEmptiness(t, ain, aout, &result.stats);
+  if (!empty.ok()) return empty.status();
+  result.typechecks = *empty;
+  if (!result.typechecks && options.want_counterexample) {
+    // Recover an input counterexample by bounded search (the product
+    // witness is an output tree; see DESIGN.md).
+    for (int depth = 2; depth <= 6 && result.counterexample == nullptr;
+         ++depth) {
+      BruteForceOptions bf;
+      bf.max_depth = depth;
+      bf.max_width = 4;
+      TypecheckResult brute = TypecheckBruteForce(t, din, dout, bf);
+      if (!brute.typechecks) {
+        result.arena = brute.arena;
+        result.counterexample = brute.counterexample;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace xtc

@@ -1,0 +1,45 @@
+#ifndef XTC_CORE_RELAB_H_
+#define XTC_CORE_RELAB_H_
+
+#include "src/base/status.h"
+#include "src/core/typecheck.h"
+#include "src/nta/nta.h"
+
+namespace xtc {
+
+/// Lemma 19 applied to the #-marked totalization T' of a T_del-relab
+/// transducer: returns an NTA(NFA) B with L(B) = T'(L(a_in)). Top-level
+/// (deleting) states of rules are wrapped as #(q) and missing rules become
+/// the single leaf #, so T' is non-deleting and total with at most one
+/// state per template; `hash_symbol` is the id used for # (typically the
+/// base alphabet size; the result runs over hash_symbol + 1 symbols).
+StatusOr<Nta> OutputLanguageNta(const Transducer& t, const Nta& ain,
+                                int hash_symbol);
+
+/// The #-eliminating automaton of Theorem 20: accepts a tree t over
+/// Σ ∪ {#} iff γ(t) ∈ L(aout), where γ splices out #-labelled nodes.
+/// `aout` must be a complete bottom-up deterministic automaton over the
+/// base alphabet (pass the complemented output DTAc to obtain B_out).
+Nta HashEliminationNta(const Nta& aout, int hash_symbol);
+
+/// Theorem 20: TC[T_del-relab, DTAc(DFA)] in PTIME, here applied to DTD
+/// schemas (the input DTD becomes an NTA(NFA), the output DTD a DTAc by
+/// completion; both canonical automata are deterministic already):
+/// typechecks iff L(B_in ∩ B_out) = ∅. Counterexamples (in terms of the
+/// *input* tree) are recovered by a bounded search when requested.
+StatusOr<TypecheckResult> TypecheckDelRelab(const Transducer& t,
+                                            const Dtd& din, const Dtd& dout,
+                                            const TypecheckOptions& options = {});
+
+/// The NTA-schema variant of Theorem 20: `ain` is any NTA(NFA) over the
+/// base alphabet, `aout_dtac` must be a complete bottom-up deterministic
+/// automaton (determinize first otherwise — the exponential step the
+/// paper's EXPTIME cells charge).
+StatusOr<TypecheckResult> TypecheckDelRelabNta(const Transducer& t,
+                                               const Nta& ain,
+                                               const Nta& aout_dtac,
+                                               const TypecheckOptions& options = {});
+
+}  // namespace xtc
+
+#endif  // XTC_CORE_RELAB_H_

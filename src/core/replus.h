@@ -1,0 +1,23 @@
+#ifndef XTC_CORE_REPLUS_H_
+#define XTC_CORE_REPLUS_H_
+
+#include "src/base/status.h"
+#include "src/core/typecheck.h"
+
+namespace xtc {
+
+/// Decides TC[T_d,c, DTD(RE+)] — Section 5 / Theorem 37 — for ARBITRARY
+/// deterministic top–down transducers (unbounded copying and deletion) in
+/// PTIME. For every reachable pair (q, a) and rhs node u labelled σ it
+/// builds the non-recursive extended grammar G_{q,a,u} (whose language is
+/// RE+-equivalent to the real output language L_{q,a,u}, Theorem 30) and
+/// checks L(G_{q,a,u}) ⊆ L(dout(σ)) by a state-pair-relation fixpoint over
+/// the output DFA (the PTIME CFG ∩ DFA emptiness construction).
+/// Counterexamples come from the t_min / t_vast witnesses (Corollary 38).
+StatusOr<TypecheckResult> TypecheckRePlus(const Transducer& t, const Dtd& din,
+                                          const Dtd& dout,
+                                          const TypecheckOptions& options = {});
+
+}  // namespace xtc
+
+#endif  // XTC_CORE_REPLUS_H_

@@ -1,0 +1,588 @@
+#include "src/core/trac.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/core/reachable.h"
+#include "src/schema/witness.h"
+#include "src/td/exec.h"
+
+namespace xtc {
+namespace {
+
+// One obligation: top(T^{p}(t)) must drive A_sigma from `l` to `r`.
+struct Obl {
+  int p;
+  int l;
+  int r;
+
+  auto operator<=>(const Obl&) const = default;
+};
+
+// A template's top level split into constant label segments and states:
+// seps[0] s[0] seps[1] s[1] ... s[k-1] seps[k].
+struct TopPattern {
+  std::vector<int> states;
+  std::vector<std::vector<int>> seps;
+};
+
+TopPattern SplitTop(const Alphabet& alphabet, const RhsHedge& rhs) {
+  (void)alphabet;
+  TopPattern out;
+  out.seps.emplace_back();
+  for (const RhsNode& n : rhs) {
+    if (n.kind == RhsNode::Kind::kLabel) {
+      out.seps.back().push_back(n.label);
+    } else {
+      out.states.push_back(n.state);
+      out.seps.emplace_back();
+    }
+  }
+  return out;
+}
+
+// One simulated copy of A_sigma during the hedge product: `state` is the
+// transducer state whose output this copy tracks; `start` is the DFA state
+// it begins in, or -1 when it must be guessed (within-obligation chaining).
+struct Copy {
+  int state;
+  int start;
+};
+
+// How one obligation's copies are verified at the end of the hedge.
+struct Group {
+  int first_copy;                      // index of its first copy
+  int count;                           // number of copies (k_i >= 1)
+  std::vector<std::vector<int>> seps;  // w_0..w_k
+  int target;                          // r_i, or -1 for a complement check
+};
+
+class Engine {
+ public:
+  Engine(const Transducer& t, const Dtd& din, const Dtd& dout,
+         const TypecheckOptions& options)
+      : t_(t),
+        din_(din),
+        dout_(dout),
+        options_(options),
+        reach_(t, din) {}
+
+  StatusOr<TypecheckResult> Run();
+
+ private:
+  struct Entry {
+    // Sat configuration (is_top == false): exists t in L(din, b) meeting all
+    // obligations against A_sigma. Top check (is_top == true): the rhs node
+    // `u` of rule (q, a) labelled sigma can produce a child string rejected
+    // by A_sigma.
+    bool is_top = false;
+    int b = -1;      // input symbol (Sat) / input symbol a (top)
+    int sigma = -1;  // output DFA index
+    std::vector<Obl> obls;    // Sat only
+    TopPattern pattern;       // top only
+    int q = -1;               // top only: the rule's state
+
+    bool status = false;
+    std::set<int> dependents;
+    // Witness: per child position, (input symbol, child config id or -1).
+    std::vector<std::pair<int, int>> witness;
+    bool has_witness = false;
+  };
+
+  using SatKey = std::tuple<int, int, std::vector<Obl>>;
+
+  const Dfa& OutDfa(int sigma) const { return dout_.RuleDfaComplete(sigma); }
+  // Partial DFA: dead steps prune the child-symbol enumeration.
+  const Dfa& InDfa(int b) const { return din_.RuleDfa(b); }
+
+  // Interns a Sat configuration; returns -1 when it is statically false
+  // (contradictory obligations: one state, one start, two targets).
+  int GetSatConfig(int b, int sigma, std::vector<Obl> obls);
+
+  // Runs the worklist to the least fixpoint.
+  Status Solve();
+
+  // Evaluates entry `id` under current knowledge; true = satisfiable.
+  StatusOr<bool> Eval(int id);
+
+  // Expands a Sat entry's obligations to copies/groups. Returns false if an
+  // obligation is statically violated (no copies case mismatch).
+  bool ExpandSat(const Entry& e, std::vector<Copy>* copies,
+                 std::vector<Group>* groups) const;
+
+  // Shared hedge product search for entry `id` (with input symbol `b` and
+  // output DFA `sigma`). Returns true and stores the witness into the entry
+  // if an accepting configuration is found. Entries are addressed by id
+  // because interning child configurations may reallocate entries_.
+  StatusOr<bool> HedgeSearch(int id, int b, int sigma,
+                             const std::vector<Copy>& copies,
+                             std::vector<Group> groups);
+
+  Node* BuildConfigWitness(int id, TreeBuilder* builder,
+                           std::size_t* budget) const;
+
+  const Transducer& t_;
+  const Dtd& din_;
+  const Dtd& dout_;
+  TypecheckOptions options_;
+  ReachablePairs reach_;
+  TypecheckStats stats_;
+
+  std::vector<Entry> entries_;
+  std::map<SatKey, int> sat_ids_;
+  std::deque<int> worklist_;
+  std::vector<bool> queued_;
+};
+
+int Engine::GetSatConfig(int b, int sigma, std::vector<Obl> obls) {
+  std::sort(obls.begin(), obls.end());
+  obls.erase(std::unique(obls.begin(), obls.end()), obls.end());
+  // Contradiction: same transducer state and start, different targets — the
+  // output string is a function of t, so no tree can satisfy both.
+  for (std::size_t i = 1; i < obls.size(); ++i) {
+    if (obls[i].p == obls[i - 1].p && obls[i].l == obls[i - 1].l &&
+        obls[i].r != obls[i - 1].r) {
+      return -1;
+    }
+  }
+  SatKey key(b, sigma, obls);
+  auto it = sat_ids_.find(key);
+  if (it != sat_ids_.end()) return it->second;
+  int id = static_cast<int>(entries_.size());
+  Entry e;
+  e.b = b;
+  e.sigma = sigma;
+  e.obls = std::move(obls);
+  entries_.push_back(std::move(e));
+  queued_.push_back(true);
+  sat_ids_.emplace(std::move(key), id);
+  worklist_.push_back(id);
+  ++stats_.configs;
+  return id;
+}
+
+bool Engine::ExpandSat(const Entry& e, std::vector<Copy>* copies,
+                       std::vector<Group>* groups) const {
+  const Dfa& a_sigma = OutDfa(e.sigma);
+  for (const Obl& obl : e.obls) {
+    const RhsHedge* rhs = t_.rule(obl.p, e.b);
+    if (rhs == nullptr) {
+      // top(T^p(t)) = epsilon: the obligation holds iff l == r.
+      if (obl.l != obl.r) return false;
+      continue;
+    }
+    TopPattern pat = SplitTop(*t_.alphabet(), *rhs);
+    if (pat.states.empty()) {
+      // Constant top string: check it directly.
+      if (a_sigma.Run(obl.l, pat.seps[0]) != obl.r) return false;
+      continue;
+    }
+    Group g;
+    g.first_copy = static_cast<int>(copies->size());
+    g.count = static_cast<int>(pat.states.size());
+    g.seps = pat.seps;
+    g.target = obl.r;
+    for (int j = 0; j < g.count; ++j) {
+      Copy c;
+      c.state = pat.states[static_cast<std::size_t>(j)];
+      c.start = j == 0 ? a_sigma.Run(obl.l, pat.seps[0]) : -1;
+      copies->push_back(c);
+    }
+    groups->push_back(std::move(g));
+  }
+  return true;
+}
+
+StatusOr<bool> Engine::HedgeSearch(int id, int b, int sigma,
+                                   const std::vector<Copy>& copies,
+                                   std::vector<Group> groups) {
+  const Dfa& a_sigma = OutDfa(sigma);
+  const Dfa& d_in = InDfa(b);
+  const int k = static_cast<int>(copies.size());
+  const int n_sigma = a_sigma.num_states();
+  const std::vector<bool>& inhabited = din_.InhabitedSymbols();
+
+  // Guessed starts: copies with start == -1.
+  std::vector<int> guess_pos;
+  for (int c = 0; c < k; ++c) {
+    if (copies[static_cast<std::size_t>(c)].start == -1) guess_pos.push_back(c);
+  }
+
+  // Acceptance test for a product configuration (din state d, copy states y).
+  auto accepts = [&](int d, const std::vector<int>& y,
+                     const std::vector<int>& guesses) {
+    if (!d_in.final(d)) return false;
+    for (const Group& g : groups) {
+      for (int j = 0; j < g.count; ++j) {
+        int end = a_sigma.Run(y[static_cast<std::size_t>(g.first_copy + j)],
+                              g.seps[static_cast<std::size_t>(j) + 1]);
+        if (j + 1 < g.count) {
+          // Must equal the guessed start of the next copy in the chain.
+          int next = g.first_copy + j + 1;
+          int gi = -1;
+          for (std::size_t gp = 0; gp < guess_pos.size(); ++gp) {
+            if (guess_pos[gp] == next) gi = static_cast<int>(gp);
+          }
+          XTC_CHECK_GE(gi, 0);
+          if (end != guesses[static_cast<std::size_t>(gi)]) return false;
+        } else if (g.target >= 0) {
+          if (end != g.target) return false;
+        } else {
+          // Complement acceptance (top check): the produced string must be
+          // REJECTED by A_sigma.
+          if (a_sigma.final(end)) return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  if (d_in.initial() == Dfa::kDead) return false;
+
+  // Iterate over all guess vectors.
+  std::vector<int> guesses(guess_pos.size(), 0);
+  while (true) {
+    // Product BFS from the initial configuration.
+    std::vector<int> y0(static_cast<std::size_t>(k));
+    for (int c = 0; c < k; ++c) {
+      int start = copies[static_cast<std::size_t>(c)].start;
+      if (start == -1) {
+        for (std::size_t gp = 0; gp < guess_pos.size(); ++gp) {
+          if (guess_pos[gp] == c) start = guesses[gp];
+        }
+      }
+      y0[static_cast<std::size_t>(c)] = start;
+    }
+
+    struct Parent {
+      int prev;
+      int symbol;
+      int child_cfg;
+    };
+    std::map<std::pair<int, std::vector<int>>, int> ids;
+    std::vector<std::pair<int, std::vector<int>>> states;
+    std::vector<Parent> parents;
+    std::deque<int> queue;
+    auto intern = [&](int d, std::vector<int> y, Parent par) {
+      auto it = ids.find({d, y});
+      if (it != ids.end()) return -1;
+      int id = static_cast<int>(states.size());
+      ids.emplace(std::make_pair(d, y), id);
+      states.emplace_back(d, std::move(y));
+      parents.push_back(par);
+      queue.push_back(id);
+      ++stats_.product_states;
+      return id;
+    };
+    intern(d_in.initial(), y0, Parent{-1, -1, -1});
+    int accept_id = -1;
+    while (!queue.empty() && accept_id == -1) {
+      int pid = queue.front();
+      queue.pop_front();
+      auto [d, y] = states[static_cast<std::size_t>(pid)];
+      if (accepts(d, y, guesses)) {
+        accept_id = pid;
+        break;
+      }
+      if (stats_.product_states > options_.max_product_states_per_eval) {
+        return ResourceExhaustedError(
+            "trac engine exceeded the product-state budget (is the "
+            "transducer outside T_trac?)");
+      }
+      for (int c = 0; c < din_.num_symbols(); ++c) {
+        if (!inhabited[static_cast<std::size_t>(c)]) continue;
+        int d2 = d_in.Step(d, c);
+        if (d2 == Dfa::kDead) continue;
+        // Per-copy candidate end states via singleton configurations: a
+        // tree witnessing the joint configuration also witnesses each
+        // singleton, so currently-false singletons cannot contribute (and
+        // re-evaluation is scheduled for when they flip). This replaces the
+        // n_sigma^k enumeration by a product of (typically tiny) sets.
+        std::vector<std::vector<int>> cand(static_cast<std::size_t>(k));
+        bool dead_copy = false;
+        for (int i = 0; i < k && !dead_copy; ++i) {
+          for (int zi = 0; zi < n_sigma; ++zi) {
+            int sid = GetSatConfig(
+                c, sigma,
+                {Obl{copies[static_cast<std::size_t>(i)].state,
+                     y[static_cast<std::size_t>(i)], zi}});
+            if (stats_.configs > options_.max_configs) {
+              return ResourceExhaustedError(
+                  "trac engine exceeded the configuration budget (is the "
+                  "transducer outside T_trac?)");
+            }
+            if (sid < 0) continue;
+            if (entries_[static_cast<std::size_t>(sid)].status) {
+              cand[static_cast<std::size_t>(i)].push_back(zi);
+            } else {
+              entries_[static_cast<std::size_t>(sid)].dependents.insert(id);
+            }
+          }
+          if (cand[static_cast<std::size_t>(i)].empty()) dead_copy = true;
+        }
+        if (dead_copy) continue;
+        // Joint enumeration over the candidate product.
+        std::vector<std::size_t> idx(static_cast<std::size_t>(k), 0);
+        while (true) {
+          std::vector<int> z(static_cast<std::size_t>(k));
+          std::vector<Obl> child;
+          child.reserve(static_cast<std::size_t>(k));
+          for (int i = 0; i < k; ++i) {
+            z[static_cast<std::size_t>(i)] =
+                cand[static_cast<std::size_t>(i)]
+                    [idx[static_cast<std::size_t>(i)]];
+            child.push_back(Obl{copies[static_cast<std::size_t>(i)].state,
+                                y[static_cast<std::size_t>(i)],
+                                z[static_cast<std::size_t>(i)]});
+          }
+          int cfg = GetSatConfig(c, sigma, std::move(child));
+          if (stats_.configs > options_.max_configs) {
+            return ResourceExhaustedError(
+                "trac engine exceeded the configuration budget (is the "
+                "transducer outside T_trac?)");
+          }
+          if (cfg >= 0) {
+            if (entries_[static_cast<std::size_t>(cfg)].status) {
+              intern(d2, z, Parent{pid, c, cfg});
+            } else {
+              // Re-evaluate this entry when the child flips.
+              entries_[static_cast<std::size_t>(cfg)].dependents.insert(id);
+            }
+          }
+          // Odometer over the candidate indices.
+          int pos = 0;
+          while (pos < k) {
+            if (++idx[static_cast<std::size_t>(pos)] <
+                cand[static_cast<std::size_t>(pos)].size()) {
+              break;
+            }
+            idx[static_cast<std::size_t>(pos)] = 0;
+            ++pos;
+          }
+          if (pos == k) break;
+        }
+      }
+    }
+    if (accept_id != -1) {
+      // Reconstruct the accepted child sequence.
+      Entry& e = entries_[static_cast<std::size_t>(id)];
+      e.witness.clear();
+      for (int cur = accept_id;
+           parents[static_cast<std::size_t>(cur)].prev != -1;
+           cur = parents[static_cast<std::size_t>(cur)].prev) {
+        e.witness.emplace_back(parents[static_cast<std::size_t>(cur)].symbol,
+                               parents[static_cast<std::size_t>(cur)].child_cfg);
+      }
+      std::reverse(e.witness.begin(), e.witness.end());
+      e.has_witness = true;
+      return true;
+    }
+    // Next guess vector.
+    std::size_t pos = 0;
+    while (pos < guesses.size()) {
+      if (++guesses[pos] < n_sigma) break;
+      guesses[pos] = 0;
+      ++pos;
+    }
+    if (pos == guesses.size()) return false;
+  }
+}
+
+StatusOr<bool> Engine::Eval(int id) {
+  ++stats_.evaluations;
+  // Copy the immutable fields: entries_ may reallocate below.
+  const bool is_top = entries_[static_cast<std::size_t>(id)].is_top;
+  const int b = entries_[static_cast<std::size_t>(id)].b;
+  const int sigma = entries_[static_cast<std::size_t>(id)].sigma;
+  std::vector<Copy> copies;
+  std::vector<Group> groups;
+  if (is_top) {
+    const TopPattern pattern = entries_[static_cast<std::size_t>(id)].pattern;
+    const Dfa& a_sigma = OutDfa(sigma);
+    if (pattern.states.empty()) {
+      return !a_sigma.Accepts(pattern.seps[0]);
+    }
+    Group g;
+    g.first_copy = 0;
+    g.count = static_cast<int>(pattern.states.size());
+    g.seps = pattern.seps;
+    g.target = -1;  // complement acceptance
+    for (int j = 0; j < g.count; ++j) {
+      Copy c;
+      c.state = pattern.states[static_cast<std::size_t>(j)];
+      c.start = j == 0 ? a_sigma.Run(a_sigma.initial(), pattern.seps[0]) : -1;
+      copies.push_back(c);
+    }
+    groups.push_back(std::move(g));
+    return HedgeSearch(id, b, sigma, copies, std::move(groups));
+  }
+  if (!ExpandSat(entries_[static_cast<std::size_t>(id)], &copies, &groups)) {
+    return false;
+  }
+  if (copies.empty()) {
+    return din_.InhabitedSymbols()[static_cast<std::size_t>(b)];
+  }
+  return HedgeSearch(id, b, sigma, copies, std::move(groups));
+}
+
+Status Engine::Solve() {
+  while (!worklist_.empty()) {
+    int id = worklist_.front();
+    worklist_.pop_front();
+    queued_[static_cast<std::size_t>(id)] = false;
+    if (entries_[static_cast<std::size_t>(id)].status) continue;
+    StatusOr<bool> v = Eval(id);
+    if (!v.ok()) return v.status();
+    if (*v) {
+      Entry& e = entries_[static_cast<std::size_t>(id)];
+      e.status = true;
+      for (int dep : e.dependents) {
+        if (!queued_[static_cast<std::size_t>(dep)] &&
+            !entries_[static_cast<std::size_t>(dep)].status) {
+          queued_[static_cast<std::size_t>(dep)] = true;
+          worklist_.push_back(dep);
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Node* Engine::BuildConfigWitness(int id, TreeBuilder* builder,
+                                 std::size_t* budget) const {
+  if (*budget == 0) return nullptr;
+  --*budget;
+  const Entry& e = entries_[static_cast<std::size_t>(id)];
+  XTC_CHECK(e.status);
+  if (!e.has_witness) {
+    return MinimalValidTree(din_, e.b, builder);
+  }
+  std::vector<Node*> kids;
+  for (const auto& [symbol, child_cfg] : e.witness) {
+    Node* child = BuildConfigWitness(child_cfg, builder, budget);
+    if (child == nullptr) return nullptr;
+    kids.push_back(child);
+  }
+  return builder->Make(e.b, kids);
+}
+
+StatusOr<TypecheckResult> Engine::Run() {
+  XTC_CHECK_MSG(!t_.HasSelectors(),
+                "compile selectors before typechecking (Theorems 23/29)");
+  XTC_CHECK(t_.alphabet() == din_.alphabet() &&
+            t_.alphabet() == dout_.alphabet());
+  TypecheckResult result;
+  result.arena = std::make_shared<Arena>();
+  TreeBuilder builder(result.arena.get());
+
+  // Vacuous: empty input language.
+  if (din_.LanguageEmpty()) {
+    result.typechecks = true;
+    result.stats = stats_;
+    return result;
+  }
+
+  // Root checks: T(t) is the single tree produced by rhs(q0, s_in); its
+  // root label must be the output start symbol, and it must exist at all.
+  const RhsHedge* root_rhs = t_.rule(t_.initial(), din_.start());
+  if (root_rhs == nullptr || root_rhs->size() != 1 ||
+      (*root_rhs)[0].kind != RhsNode::Kind::kLabel ||
+      (*root_rhs)[0].label != dout_.start()) {
+    result.typechecks = false;
+    if (options_.want_counterexample) {
+      result.counterexample = MinimalValidTree(din_, din_.start(), &builder);
+    }
+    result.stats = stats_;
+    return result;
+  }
+
+  // One top check per Sigma-labelled node of every reachable rule template.
+  struct TopRef {
+    int entry;
+    int q;
+    int a;
+  };
+  std::vector<TopRef> tops;
+  for (const auto& [q, a] : reach_.pairs()) {
+    const RhsHedge* rhs = t_.rule(q, a);
+    if (rhs == nullptr) continue;
+    // Walk all label nodes of the template.
+    struct Item {
+      const RhsNode* node;
+    };
+    std::vector<const RhsNode*> stack;
+    for (const RhsNode& n : *rhs) stack.push_back(&n);
+    while (!stack.empty()) {
+      const RhsNode* u = stack.back();
+      stack.pop_back();
+      if (u->kind != RhsNode::Kind::kLabel) continue;
+      for (const RhsNode& c : u->children) stack.push_back(&c);
+      Entry e;
+      e.is_top = true;
+      e.b = a;
+      e.q = q;
+      e.sigma = u->label;
+      e.pattern = SplitTop(*t_.alphabet(), u->children);
+      int id = static_cast<int>(entries_.size());
+      entries_.push_back(std::move(e));
+      queued_.push_back(true);
+      worklist_.push_back(id);
+      ++stats_.configs;
+      tops.push_back(TopRef{id, q, a});
+    }
+  }
+
+  Status solve = Solve();
+  if (!solve.ok()) return solve;
+
+  result.typechecks = true;
+  for (const TopRef& top : tops) {
+    const Entry& e = entries_[static_cast<std::size_t>(top.entry)];
+    if (!e.status) continue;
+    result.typechecks = false;
+    if (!options_.want_counterexample) break;
+    // Build the violating subtree rooted at the input node (q, a).
+    std::vector<Node*> kids;
+    bool ok = true;
+    if (e.has_witness) {
+      std::size_t budget = std::size_t{1} << 20;
+      for (const auto& [symbol, child_cfg] : e.witness) {
+        Node* child = BuildConfigWitness(child_cfg, &builder, &budget);
+        if (child == nullptr) {
+          ok = false;
+          break;
+        }
+        kids.push_back(child);
+      }
+    } else {
+      std::optional<std::vector<int>> word = din_.ShortestUsableWord(top.a);
+      XTC_CHECK(word.has_value());
+      for (int b : *word) {
+        kids.push_back(MinimalValidTree(din_, b, &builder));
+      }
+    }
+    if (!ok) break;
+    Node* subtree = builder.Make(top.a, kids);
+    result.counterexample =
+        reach_.EmbedWitness(top.q, top.a, subtree, &builder);
+    break;
+  }
+  result.stats = stats_;
+  return result;
+}
+
+}  // namespace
+
+StatusOr<TypecheckResult> TypecheckTrac(const Transducer& t, const Dtd& din,
+                                        const Dtd& dout,
+                                        const TypecheckOptions& options) {
+  Engine engine(t, din, dout, options);
+  return engine.Run();
+}
+
+}  // namespace xtc

@@ -1,0 +1,35 @@
+#ifndef XTC_CORE_TRAC_H_
+#define XTC_CORE_TRAC_H_
+
+#include "src/base/status.h"
+#include "src/core/typecheck.h"
+
+namespace xtc {
+
+/// Decides TC[T_trac, DTD(DFA)] — Lemma 14 / Theorem 15 — in time
+/// O((|din| · |T|^{CK} · |dout|^{CK})^α) for transducers of copying width C
+/// and deletion path width K. Implementation: instead of materializing the
+/// paper's counterexample automaton B, its emptiness is decided lazily by a
+/// least fixpoint over configurations
+///
+///     Sat(b, A_σ, [(p_1, ℓ_1, r_1), ..., (p_m, ℓ_m, r_m)])  :=
+///       ∃ t ∈ L(d_in, b) such that for every i,
+///       top(T^{p_i}(t)) drives the output DFA A_σ from ℓ_i to r_i,
+///
+/// which are exactly the "(a, (q_1, ℓ^b_1, r^b_1), ...)" states of B that
+/// are reachable top-down; the violation checks at each rhs node u mirror
+/// B's (a, q, check) states with complemented acceptance. Counterexamples
+/// are reconstructed from fixpoint witnesses (Corollary 38).
+///
+/// Preconditions: selector-free transducer, DTD(DFA) schemas over one
+/// shared alphabet. The engine is correct for any deterministic top–down
+/// transducer; outside T_trac (unbounded deletion path width) the
+/// configuration space is unbounded and the run ends with
+/// kResourceExhausted at the configured limits.
+StatusOr<TypecheckResult> TypecheckTrac(const Transducer& t, const Dtd& din,
+                                        const Dtd& dout,
+                                        const TypecheckOptions& options = {});
+
+}  // namespace xtc
+
+#endif  // XTC_CORE_TRAC_H_

@@ -1,0 +1,57 @@
+#include "src/core/typecheck.h"
+
+#include <optional>
+
+#include "src/core/nfa_dtd.h"
+#include "src/core/replus.h"
+#include "src/core/trac.h"
+#include "src/td/classes.h"
+#include "src/td/compile_selectors.h"
+#include "src/td/exec.h"
+#include "src/td/widths.h"
+
+namespace xtc {
+
+bool VerifyCounterexample(const Transducer& t, const Dtd& din, const Dtd& dout,
+                          const Node* tree) {
+  if (tree == nullptr || !din.Valid(tree)) return false;
+  Arena scratch;
+  TreeBuilder builder(&scratch);
+  Node* output = Apply(t, tree, &builder);
+  return output == nullptr || !dout.Valid(output);
+}
+
+StatusOr<TypecheckResult> Typecheck(const Transducer& t, const Dtd& din,
+                                    const Dtd& dout,
+                                    const TypecheckOptions& options) {
+  // Selectors are compiled away first (Theorems 23/29).
+  std::optional<Transducer> compiled;
+  const Transducer* effective = &t;
+  if (t.HasSelectors()) {
+    StatusOr<Transducer> c = CompileSelectors(t);
+    if (!c.ok()) return c.status();
+    compiled = *std::move(c);
+    effective = &*compiled;
+  }
+
+  // DTD(NFA) schemas: determinize (the PSPACE price), then re-dispatch.
+  if (!din.IsDfaDtd() || !dout.IsDfaDtd()) {
+    return TypecheckViaDeterminization(*effective, din, dout, options);
+  }
+
+  WidthAnalysis widths = AnalyzeWidths(*effective);
+  if (widths.dpw_bounded) {
+    // T_trac: the Lemma 14 engine (Theorem 15), PTIME for fixed C, K.
+    return TypecheckTrac(*effective, din, dout, options);
+  }
+  if (din.IsRePlusDtd() && dout.IsRePlusDtd()) {
+    // Unbounded copying/deletion but RE+ schemas: Theorem 37.
+    return TypecheckRePlus(*effective, din, dout, options);
+  }
+  return UnimplementedError(
+      "instance is outside the paper's tractable fragments (unbounded "
+      "deletion path width with non-RE+ schemas is PSPACE/coNP-hard; "
+      "Theorems 18 and 28) — use TypecheckBruteForce for bounded checking");
+}
+
+}  // namespace xtc

@@ -1,0 +1,64 @@
+#ifndef XTC_CORE_TYPECHECK_H_
+#define XTC_CORE_TYPECHECK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/base/arena.h"
+#include "src/base/status.h"
+#include "src/schema/dtd.h"
+#include "src/td/transducer.h"
+#include "src/tree/tree.h"
+
+namespace xtc {
+
+/// Instrumentation counters shared by the typechecking engines; benches
+/// report these next to wall-clock times (they track the paper's size
+/// bounds, e.g. Lemma 14's automaton size).
+struct TypecheckStats {
+  std::uint64_t configs = 0;          ///< distinct fixpoint configurations
+  std::uint64_t evaluations = 0;      ///< configuration (re-)evaluations
+  std::uint64_t product_states = 0;   ///< product states explored
+  std::uint64_t nta_states = 0;       ///< states of constructed NTAs
+  std::uint64_t nta_size = 0;         ///< total size of constructed NTAs
+};
+
+/// Outcome of a typechecking run (Definition 9). When the instance does not
+/// typecheck, `counterexample` is a tree t in L(d_in) with T(t) not in
+/// L(d_out) (Corollary 38), owned by `arena`.
+struct TypecheckResult {
+  bool typechecks = false;
+  std::shared_ptr<Arena> arena;
+  Node* counterexample = nullptr;
+  TypecheckStats stats;
+};
+
+/// Resource limits for the engines; decision procedures fail softly with
+/// kResourceExhausted instead of thrashing (the hard instances of Sections
+/// 3.2 and 4 are exponential by design).
+struct TypecheckOptions {
+  std::uint64_t max_configs = 1u << 22;
+  std::uint64_t max_product_states_per_eval = 1u << 22;
+  bool want_counterexample = true;
+};
+
+/// Checks a claimed counterexample against the definition: t must satisfy
+/// d_in and T(t) must violate d_out. Used by tests and by the engines'
+/// self-verification.
+bool VerifyCounterexample(const Transducer& t, const Dtd& din, const Dtd& dout,
+                          const Node* tree);
+
+/// Front door: dispatches to the paper's algorithms by scenario. Selectors
+/// are compiled away (Theorems 23/29); DTD(NFA) schemas are determinized
+/// (the PSPACE price of Table 1); transducers with bounded deletion path
+/// width run the Lemma 14 engine (Theorem 15); unbounded transducers over
+/// DTD(RE+) run the Section 5 algorithm (Theorem 37). Everything else is
+/// provably intractable (Theorems 18/28) and is reported as such.
+StatusOr<TypecheckResult> Typecheck(const Transducer& t, const Dtd& din,
+                                    const Dtd& dout,
+                                    const TypecheckOptions& options = {});
+
+}  // namespace xtc
+
+#endif  // XTC_CORE_TYPECHECK_H_

@@ -1,0 +1,52 @@
+#ifndef XTC_FA_ALPHABET_H_
+#define XTC_FA_ALPHABET_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/logging.h"
+
+namespace xtc {
+
+/// Interns symbol names to dense integer ids. Trees, DTDs, automata and
+/// transducers over the same documents share one Alphabet; all automata in
+/// this library run over int symbol ids.
+class Alphabet {
+ public:
+  Alphabet() = default;
+
+  /// Returns the id for `name`, creating it if needed.
+  int Intern(std::string_view name) {
+    auto it = ids_.find(std::string(name));
+    if (it != ids_.end()) return it->second;
+    int id = static_cast<int>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for `name` if already interned.
+  std::optional<int> Find(std::string_view name) const {
+    auto it = ids_.find(std::string(name));
+    if (it == ids_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  const std::string& Name(int id) const {
+    XTC_CHECK(id >= 0 && id < static_cast<int>(names_.size()));
+    return names_[id];
+  }
+
+  int size() const { return static_cast<int>(names_.size()); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, int> ids_;
+};
+
+}  // namespace xtc
+
+#endif  // XTC_FA_ALPHABET_H_

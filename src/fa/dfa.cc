@@ -1,0 +1,309 @@
+#include "src/fa/dfa.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <numeric>
+
+#include "src/base/logging.h"
+
+namespace xtc {
+
+int Dfa::AddState(bool final) {
+  int id = num_states();
+  final_.push_back(final);
+  trans_.emplace_back(num_symbols_, kDead);
+  return id;
+}
+
+void Dfa::SetFinal(int state, bool final) {
+  XTC_CHECK(state >= 0 && state < num_states());
+  final_[state] = final;
+}
+
+void Dfa::SetTransition(int from, int symbol, int to) {
+  XTC_CHECK(from >= 0 && from < num_states());
+  XTC_CHECK(symbol >= 0 && symbol < num_symbols_);
+  XTC_CHECK(to >= kDead && to < num_states());
+  trans_[from][symbol] = to;
+}
+
+int Dfa::Step(int state, int symbol) const {
+  if (state == kDead) return kDead;
+  XTC_CHECK(state >= 0 && state < num_states());
+  XTC_CHECK(symbol >= 0 && symbol < num_symbols_);
+  return trans_[state][symbol];
+}
+
+int Dfa::Run(int state, std::span<const int> word) const {
+  for (int sym : word) {
+    if (state == kDead) return kDead;
+    state = Step(state, sym);
+  }
+  return state;
+}
+
+bool Dfa::Accepts(std::span<const int> word) const {
+  int s = Run(initial_, word);
+  return s != kDead && final_[s];
+}
+
+std::size_t Dfa::Size() const {
+  std::size_t edges = 0;
+  for (const auto& row : trans_) {
+    for (int t : row) {
+      if (t != kDead) ++edges;
+    }
+  }
+  return static_cast<std::size_t>(num_states()) +
+         static_cast<std::size_t>(num_symbols_) + edges;
+}
+
+bool Dfa::IsComplete() const {
+  if (initial_ == kDead) return false;
+  for (const auto& row : trans_) {
+    for (int t : row) {
+      if (t == kDead) return false;
+    }
+  }
+  return true;
+}
+
+Dfa Dfa::Completed() const {
+  Dfa out = *this;
+  if (out.initial_ == kDead) {
+    out.initial_ = out.AddState(false);
+  }
+  bool needs_sink = false;
+  for (const auto& row : out.trans_) {
+    if (std::find(row.begin(), row.end(), kDead) != row.end()) {
+      needs_sink = true;
+      break;
+    }
+  }
+  if (!needs_sink) return out;
+  int sink = out.AddState(false);
+  for (auto& row : out.trans_) {
+    for (int& t : row) {
+      if (t == kDead) t = sink;
+    }
+  }
+  return out;
+}
+
+Dfa Dfa::Complemented() const {
+  Dfa out = Completed();
+  for (int s = 0; s < out.num_states(); ++s) {
+    out.final_[s] = !out.final_[s];
+  }
+  return out;
+}
+
+Dfa Dfa::Product(const Dfa& a_in, const Dfa& b_in, BoolOp op) {
+  // Complete operands so the pairing never loses track of one side.
+  Dfa a = a_in.Completed();
+  Dfa b = b_in.Completed();
+  Dfa out(a.num_symbols());
+  XTC_CHECK_EQ(a.num_symbols(), b.num_symbols());
+  std::map<std::pair<int, int>, int> ids;
+  std::deque<std::pair<int, int>> queue;
+  auto get = [&](int sa, int sb) {
+    auto it = ids.find({sa, sb});
+    if (it != ids.end()) return it->second;
+    bool fa = a.final(sa);
+    bool fb = b.final(sb);
+    bool f = false;
+    switch (op) {
+      case BoolOp::kAnd:
+        f = fa && fb;
+        break;
+      case BoolOp::kOr:
+        f = fa || fb;
+        break;
+      case BoolOp::kDiff:
+        f = fa && !fb;
+        break;
+    }
+    int id = out.AddState(f);
+    ids.emplace(std::make_pair(sa, sb), id);
+    queue.emplace_back(sa, sb);
+    return id;
+  };
+  out.SetInitial(get(a.initial(), b.initial()));
+  while (!queue.empty()) {
+    auto [sa, sb] = queue.front();
+    queue.pop_front();
+    int from = ids.at({sa, sb});
+    for (int sym = 0; sym < a.num_symbols(); ++sym) {
+      int ta = a.Step(sa, sym);
+      int tb = b.Step(sb, sym);
+      out.SetTransition(from, sym, get(ta, tb));
+    }
+  }
+  return out;
+}
+
+bool Dfa::IsEmpty() const { return !ShortestAccepted().has_value(); }
+
+std::optional<std::vector<int>> Dfa::ShortestAccepted() const {
+  if (initial_ == kDead) return std::nullopt;
+  std::vector<int> pred_state(num_states(), -2);
+  std::vector<int> pred_sym(num_states(), -1);
+  std::deque<int> queue;
+  pred_state[initial_] = -1;
+  queue.push_back(initial_);
+  while (!queue.empty()) {
+    int s = queue.front();
+    queue.pop_front();
+    if (final_[s]) {
+      std::vector<int> word;
+      for (int cur = s; pred_state[cur] != -1; cur = pred_state[cur]) {
+        word.push_back(pred_sym[cur]);
+      }
+      std::reverse(word.begin(), word.end());
+      return word;
+    }
+    for (int sym = 0; sym < num_symbols_; ++sym) {
+      int t = trans_[s][sym];
+      if (t == kDead || pred_state[t] != -2) continue;
+      pred_state[t] = s;
+      pred_sym[t] = sym;
+      queue.push_back(t);
+    }
+  }
+  return std::nullopt;
+}
+
+bool Dfa::IncludedIn(const Dfa& other) const {
+  return Product(*this, other, BoolOp::kDiff).IsEmpty();
+}
+
+bool Dfa::EquivalentTo(const Dfa& other) const {
+  return IncludedIn(other) && other.IncludedIn(*this);
+}
+
+Dfa Dfa::Minimized() const {
+  Dfa c = Completed();
+  // Restrict to states reachable from the initial state.
+  std::vector<int> order;
+  std::vector<int> index(c.num_states(), -1);
+  order.push_back(c.initial());
+  index[c.initial()] = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    int s = order[i];
+    for (int sym = 0; sym < c.num_symbols(); ++sym) {
+      int t = c.trans_[s][sym];
+      if (index[t] == -1) {
+        index[t] = static_cast<int>(order.size());
+        order.push_back(t);
+      }
+    }
+  }
+  const int n = static_cast<int>(order.size());
+  // Moore refinement on the reachable part.
+  std::vector<int> cls(n);
+  for (int i = 0; i < n; ++i) cls[i] = c.final_[order[i]] ? 1 : 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::map<std::vector<int>, int> sig_to_cls;
+    std::vector<int> next_cls(n);
+    for (int i = 0; i < n; ++i) {
+      std::vector<int> sig;
+      sig.reserve(c.num_symbols() + 1);
+      sig.push_back(cls[i]);
+      for (int sym = 0; sym < c.num_symbols(); ++sym) {
+        sig.push_back(cls[index[c.trans_[order[i]][sym]]]);
+      }
+      auto [it, inserted] =
+          sig_to_cls.emplace(std::move(sig), static_cast<int>(sig_to_cls.size()));
+      next_cls[i] = it->second;
+      (void)inserted;
+    }
+    if (next_cls != cls) {
+      changed = true;
+      cls = std::move(next_cls);
+    }
+  }
+  int num_classes = *std::max_element(cls.begin(), cls.end()) + 1;
+  Dfa out(c.num_symbols());
+  for (int k = 0; k < num_classes; ++k) out.AddState(false);
+  for (int i = 0; i < n; ++i) {
+    if (c.final_[order[i]]) out.SetFinal(cls[i]);
+    for (int sym = 0; sym < c.num_symbols(); ++sym) {
+      out.SetTransition(cls[i], sym, cls[index[c.trans_[order[i]][sym]]]);
+    }
+  }
+  out.SetInitial(cls[0]);
+  return out;
+}
+
+Nfa Dfa::ToNfa() const {
+  Nfa out(num_symbols_);
+  for (int s = 0; s < num_states(); ++s) {
+    out.AddState(s == initial_, final_[s]);
+  }
+  for (int s = 0; s < num_states(); ++s) {
+    for (int sym = 0; sym < num_symbols_; ++sym) {
+      if (trans_[s][sym] != kDead) out.AddTransition(s, sym, trans_[s][sym]);
+    }
+  }
+  return out;
+}
+
+Nfa Dfa::Reverse(const Dfa& d) {
+  Nfa out(d.num_symbols());
+  for (int s = 0; s < d.num_states(); ++s) {
+    out.AddState(d.final(s), s == d.initial());
+  }
+  for (int s = 0; s < d.num_states(); ++s) {
+    for (int sym = 0; sym < d.num_symbols(); ++sym) {
+      int t = d.trans_[s][sym];
+      if (t != kDead) out.AddTransition(t, sym, s);
+    }
+  }
+  return out;
+}
+
+Dfa Dfa::FromNfa(const Nfa& n) {
+  Dfa out(n.num_symbols());
+  std::map<std::vector<int>, int> ids;
+  std::deque<std::vector<int>> queue;
+  auto intern = [&](std::vector<int> set) {
+    auto it = ids.find(set);
+    if (it != ids.end()) return it->second;
+    bool f = false;
+    for (int s : set) {
+      if (n.final(s)) f = true;
+    }
+    int id = out.AddState(f);
+    ids.emplace(set, id);
+    queue.push_back(std::move(set));
+    return id;
+  };
+  std::vector<int> init;
+  for (int s = 0; s < n.num_states(); ++s) {
+    if (n.initial(s)) init.push_back(s);
+  }
+  out.SetInitial(intern(std::move(init)));
+  while (!queue.empty()) {
+    std::vector<int> set = queue.front();
+    queue.pop_front();
+    int from = ids.at(set);
+    // Collect successors per symbol sparsely.
+    std::map<int, std::vector<int>> succ;
+    for (int s : set) {
+      for (const auto& [sym, t] : n.Edges(s)) {
+        succ[sym].push_back(t);
+      }
+    }
+    for (auto& [sym, tos] : succ) {
+      std::sort(tos.begin(), tos.end());
+      tos.erase(std::unique(tos.begin(), tos.end()), tos.end());
+      out.SetTransition(from, sym, intern(tos));
+    }
+  }
+  return out;
+}
+
+}  // namespace xtc

@@ -1,0 +1,86 @@
+#ifndef XTC_FA_DFA_H_
+#define XTC_FA_DFA_H_
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/fa/nfa.h"
+
+namespace xtc {
+
+/// A deterministic finite automaton over integer symbols 0..num_symbols-1.
+/// May be partial: missing transitions go to the implicit dead state
+/// Dfa::kDead. DTD(DFA) rules (Section 2.2) and output-schema automata
+/// (Lemma 14) are represented with this class.
+class Dfa {
+ public:
+  static constexpr int kDead = -1;
+
+  explicit Dfa(int num_symbols) : num_symbols_(num_symbols) {}
+
+  int AddState(bool final = false);
+  void SetInitial(int state) { initial_ = state; }
+  void SetFinal(int state, bool final = true);
+  void SetTransition(int from, int symbol, int to);
+
+  int num_states() const { return static_cast<int>(trans_.size()); }
+  int num_symbols() const { return num_symbols_; }
+  int initial() const { return initial_; }
+  bool final(int state) const { return final_[state]; }
+
+  /// One transition step; `state` may be kDead (stays dead).
+  int Step(int state, int symbol) const;
+
+  /// Runs the automaton on `word` starting from `state`; returns the
+  /// resulting state (possibly kDead). This is the delta-star used all over
+  /// the Lemma 14 construction.
+  int Run(int state, std::span<const int> word) const;
+
+  bool Accepts(std::span<const int> word) const;
+
+  /// Paper size measure.
+  std::size_t Size() const;
+
+  bool IsComplete() const;
+
+  /// Returns an equivalent complete DFA (adds a sink if needed).
+  Dfa Completed() const;
+
+  /// Returns a complete DFA for the complement language.
+  Dfa Complemented() const;
+
+  enum class BoolOp { kAnd, kOr, kDiff };
+
+  /// Product construction. For kDiff, accepts L(a) \ L(b); b is completed
+  /// internally as needed.
+  static Dfa Product(const Dfa& a, const Dfa& b, BoolOp op);
+
+  bool IsEmpty() const;
+  std::optional<std::vector<int>> ShortestAccepted() const;
+
+  /// Language inclusion L(this) ⊆ L(other).
+  bool IncludedIn(const Dfa& other) const;
+  bool EquivalentTo(const Dfa& other) const;
+
+  /// Moore partition-refinement minimization (complete result DFA over the
+  /// reachable part).
+  Dfa Minimized() const;
+
+  Nfa ToNfa() const;
+
+  /// Subset construction.
+  static Nfa Reverse(const Dfa& d);
+  static Dfa FromNfa(const Nfa& n);
+
+ private:
+  int num_symbols_;
+  int initial_ = kDead;
+  std::vector<bool> final_;
+  std::vector<std::vector<int>> trans_;  // trans_[state][symbol]
+};
+
+}  // namespace xtc
+
+#endif  // XTC_FA_DFA_H_

@@ -1,0 +1,103 @@
+#include "src/fa/eps_nfa.h"
+
+#include "src/base/logging.h"
+
+namespace xtc {
+
+int EpsNfa::AddState(bool initial, bool final) {
+  initial_.push_back(initial);
+  final_.push_back(final);
+  edges_.emplace_back();
+  return static_cast<int>(edges_.size()) - 1;
+}
+
+void EpsNfa::SetInitial(int state, bool initial) {
+  initial_[static_cast<std::size_t>(state)] = initial;
+}
+
+void EpsNfa::SetFinal(int state, bool final) {
+  final_[static_cast<std::size_t>(state)] = final;
+}
+
+void EpsNfa::AddEdge(int from, int symbol, int to) {
+  XTC_CHECK(from >= 0 && from < num_states());
+  XTC_CHECK(to >= 0 && to < num_states());
+  XTC_CHECK(symbol >= -1 && symbol < num_symbols_);
+  edges_[static_cast<std::size_t>(from)].emplace_back(symbol, to);
+}
+
+std::vector<std::vector<bool>> EpsNfa::Closure() const {
+  const int n = num_states();
+  std::vector<std::vector<bool>> closure(
+      static_cast<std::size_t>(n),
+      std::vector<bool>(static_cast<std::size_t>(n), false));
+  for (int s = 0; s < n; ++s) {
+    std::vector<int> stack{s};
+    closure[static_cast<std::size_t>(s)][static_cast<std::size_t>(s)] = true;
+    while (!stack.empty()) {
+      int cur = stack.back();
+      stack.pop_back();
+      for (const auto& [sym, to] : edges_[static_cast<std::size_t>(cur)]) {
+        if (sym == -1 && !closure[static_cast<std::size_t>(s)]
+                                 [static_cast<std::size_t>(to)]) {
+          closure[static_cast<std::size_t>(s)][static_cast<std::size_t>(to)] =
+              true;
+          stack.push_back(to);
+        }
+      }
+    }
+  }
+  return closure;
+}
+
+Nfa EpsNfa::Build() const {
+  const int n = num_states();
+  std::vector<std::vector<bool>> closure = Closure();
+  Nfa out(num_symbols_);
+  for (int s = 0; s < n; ++s) {
+    bool fin = false;
+    for (int u = 0; u < n; ++u) {
+      if (closure[static_cast<std::size_t>(s)][static_cast<std::size_t>(u)] &&
+          final_[static_cast<std::size_t>(u)]) {
+        fin = true;
+      }
+    }
+    out.AddState(initial_[static_cast<std::size_t>(s)], fin);
+  }
+  for (int s = 0; s < n; ++s) {
+    for (int u = 0; u < n; ++u) {
+      if (!closure[static_cast<std::size_t>(s)][static_cast<std::size_t>(u)]) {
+        continue;
+      }
+      for (const auto& [sym, to] : edges_[static_cast<std::size_t>(u)]) {
+        if (sym != -1) out.AddTransition(s, sym, to);
+      }
+    }
+  }
+  return out;
+}
+
+Nfa EpsNfa::BuildPort(int start, int end) const {
+  const int n = num_states();
+  XTC_CHECK(start >= 0 && start < n && end >= 0 && end < n);
+  std::vector<std::vector<bool>> closure = Closure();
+  Nfa out(num_symbols_);
+  for (int s = 0; s < n; ++s) {
+    out.AddState(s == start,
+                 closure[static_cast<std::size_t>(s)]
+                        [static_cast<std::size_t>(end)]);
+  }
+  for (int s = 0; s < n; ++s) {
+    for (int u = 0; u < n; ++u) {
+      if (!closure[static_cast<std::size_t>(s)][static_cast<std::size_t>(u)]) {
+        continue;
+      }
+      for (const auto& [sym, to] : edges_[static_cast<std::size_t>(u)]) {
+        if (sym != -1) out.AddTransition(s, sym, to);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace xtc

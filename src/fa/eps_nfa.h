@@ -1,0 +1,47 @@
+#ifndef XTC_FA_EPS_NFA_H_
+#define XTC_FA_EPS_NFA_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/fa/nfa.h"
+
+namespace xtc {
+
+/// An NFA builder with epsilon edges (symbol -1); Build() eliminates them
+/// by forward closure. Constructions that concatenate and splice automata
+/// (Lemma 19's D′ substitution, the approximate typechecker's star-
+/// substitution) assemble here and convert once.
+class EpsNfa {
+ public:
+  explicit EpsNfa(int num_symbols) : num_symbols_(num_symbols) {}
+
+  int AddState(bool initial = false, bool final = false);
+  void SetInitial(int state, bool initial = true);
+  void SetFinal(int state, bool final = true);
+
+  /// symbol == -1 adds an epsilon edge.
+  void AddEdge(int from, int symbol, int to);
+
+  int num_states() const { return static_cast<int>(edges_.size()); }
+
+  /// Epsilon elimination by forward closure.
+  Nfa Build() const;
+
+  /// Builds with initial = {start} and finals = every state whose epsilon
+  /// closure contains `end` (so acceptance through trailing epsilon paths
+  /// is preserved). Used for sub-languages of a shared automaton.
+  Nfa BuildPort(int start, int end) const;
+
+ private:
+  std::vector<std::vector<bool>> Closure() const;
+
+  int num_symbols_;
+  std::vector<bool> initial_;
+  std::vector<bool> final_;
+  std::vector<std::vector<std::pair<int, int>>> edges_;
+};
+
+}  // namespace xtc
+
+#endif  // XTC_FA_EPS_NFA_H_

@@ -1,0 +1,294 @@
+#include "src/fa/nfa.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/base/logging.h"
+
+namespace xtc {
+
+int Nfa::AddState(bool initial, bool final) {
+  int id = num_states();
+  initial_.push_back(initial);
+  final_.push_back(final);
+  trans_.emplace_back();
+  return id;
+}
+
+void Nfa::SetInitial(int state, bool initial) {
+  XTC_CHECK(state >= 0 && state < num_states());
+  initial_[state] = initial;
+}
+
+void Nfa::SetFinal(int state, bool final) {
+  XTC_CHECK(state >= 0 && state < num_states());
+  final_[state] = final;
+}
+
+void Nfa::AddTransition(int from, int symbol, int to) {
+  XTC_CHECK(from >= 0 && from < num_states());
+  XTC_CHECK(to >= 0 && to < num_states());
+  XTC_CHECK(symbol >= 0 && symbol < num_symbols_);
+  trans_[from].emplace_back(symbol, to);
+}
+
+std::size_t Nfa::Size() const {
+  std::size_t edges = 0;
+  for (const auto& e : trans_) edges += e.size();
+  return static_cast<std::size_t>(num_states()) +
+         static_cast<std::size_t>(num_symbols_) + edges;
+}
+
+bool Nfa::Accepts(std::span<const int> word) const {
+  std::vector<bool> cur = initial_;
+  std::vector<bool> next(num_states());
+  for (int sym : word) {
+    std::fill(next.begin(), next.end(), false);
+    bool any = false;
+    for (int s = 0; s < num_states(); ++s) {
+      if (!cur[s]) continue;
+      for (const auto& [a, t] : trans_[s]) {
+        if (a == sym) {
+          next[t] = true;
+          any = true;
+        }
+      }
+    }
+    if (!any) return false;
+    cur.swap(next);
+  }
+  for (int s = 0; s < num_states(); ++s) {
+    if (cur[s] && final_[s]) return true;
+  }
+  return false;
+}
+
+bool Nfa::AcceptsEpsilon() const {
+  for (int s = 0; s < num_states(); ++s) {
+    if (initial_[s] && final_[s]) return true;
+  }
+  return false;
+}
+
+std::vector<bool> Nfa::ForwardReachable(
+    const std::vector<bool>* allowed) const {
+  std::vector<bool> seen(num_states(), false);
+  std::deque<int> queue;
+  for (int s = 0; s < num_states(); ++s) {
+    if (initial_[s]) {
+      seen[s] = true;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    int s = queue.front();
+    queue.pop_front();
+    for (const auto& [a, t] : trans_[s]) {
+      if (allowed != nullptr && !(*allowed)[a]) continue;
+      if (!seen[t]) {
+        seen[t] = true;
+        queue.push_back(t);
+      }
+    }
+  }
+  return seen;
+}
+
+std::vector<bool> Nfa::BackwardReachable(
+    const std::vector<bool>* allowed) const {
+  // Reverse edges once.
+  std::vector<std::vector<int>> rev(num_states());
+  for (int s = 0; s < num_states(); ++s) {
+    for (const auto& [a, t] : trans_[s]) {
+      if (allowed != nullptr && !(*allowed)[a]) continue;
+      rev[t].push_back(s);
+    }
+  }
+  std::vector<bool> seen(num_states(), false);
+  std::deque<int> queue;
+  for (int s = 0; s < num_states(); ++s) {
+    if (final_[s]) {
+      seen[s] = true;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    int s = queue.front();
+    queue.pop_front();
+    for (int p : rev[s]) {
+      if (!seen[p]) {
+        seen[p] = true;
+        queue.push_back(p);
+      }
+    }
+  }
+  return seen;
+}
+
+bool Nfa::AcceptsSomeOver(const std::vector<bool>* allowed) const {
+  std::vector<bool> fwd = ForwardReachable(allowed);
+  for (int s = 0; s < num_states(); ++s) {
+    if (fwd[s] && final_[s]) return true;
+  }
+  return false;
+}
+
+std::optional<std::vector<int>> Nfa::ShortestAcceptedOver(
+    const std::vector<bool>* allowed) const {
+  // BFS from initial states, remembering the (symbol, predecessor) edge.
+  std::vector<int> pred_state(num_states(), -1);
+  std::vector<int> pred_sym(num_states(), -1);
+  std::vector<bool> seen(num_states(), false);
+  std::deque<int> queue;
+  for (int s = 0; s < num_states(); ++s) {
+    if (initial_[s]) {
+      seen[s] = true;
+      queue.push_back(s);
+      if (final_[s]) return std::vector<int>{};
+    }
+  }
+  while (!queue.empty()) {
+    int s = queue.front();
+    queue.pop_front();
+    for (const auto& [a, t] : trans_[s]) {
+      if (allowed != nullptr && !(*allowed)[a]) continue;
+      if (seen[t]) continue;
+      seen[t] = true;
+      pred_state[t] = s;
+      pred_sym[t] = a;
+      if (final_[t]) {
+        std::vector<int> word;
+        for (int cur = t; pred_state[cur] != -1 || pred_sym[cur] != -1;
+             cur = pred_state[cur]) {
+          word.push_back(pred_sym[cur]);
+        }
+        std::reverse(word.begin(), word.end());
+        return word;
+      }
+      queue.push_back(t);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<bool> Nfa::SymbolsOnAcceptingPaths(
+    const std::vector<bool>* allowed) const {
+  std::vector<bool> fwd = ForwardReachable(allowed);
+  std::vector<bool> bwd = BackwardReachable(allowed);
+  std::vector<bool> used(num_symbols_, false);
+  for (int s = 0; s < num_states(); ++s) {
+    if (!fwd[s]) continue;
+    for (const auto& [a, t] : trans_[s]) {
+      if (allowed != nullptr && !(*allowed)[a]) continue;
+      if (bwd[t]) used[a] = true;
+    }
+  }
+  return used;
+}
+
+bool Nfa::AcceptsInfinitelyManyOver(const std::vector<bool>* allowed) const {
+  // Infinitely many strings iff a useful state (forward- and backward-
+  // reachable) lies on a cycle of useful states. Detect a cycle in the
+  // subgraph induced by useful states via iterative DFS colouring.
+  std::vector<bool> fwd = ForwardReachable(allowed);
+  std::vector<bool> bwd = BackwardReachable(allowed);
+  std::vector<bool> useful(num_states());
+  for (int s = 0; s < num_states(); ++s) useful[s] = fwd[s] && bwd[s];
+
+  enum : char { kWhite = 0, kGray = 1, kBlack = 2 };
+  std::vector<char> color(num_states(), kWhite);
+  std::vector<std::pair<int, std::size_t>> stack;
+  for (int root = 0; root < num_states(); ++root) {
+    if (!useful[root] || color[root] != kWhite) continue;
+    color[root] = kGray;
+    stack.emplace_back(root, 0);
+    while (!stack.empty()) {
+      auto& [s, idx] = stack.back();
+      if (idx < trans_[s].size()) {
+        auto [a, t] = trans_[s][idx++];
+        if (allowed != nullptr && !(*allowed)[a]) continue;
+        if (!useful[t]) continue;
+        if (color[t] == kGray) return true;
+        if (color[t] == kWhite) {
+          color[t] = kGray;
+          stack.emplace_back(t, 0);
+        }
+      } else {
+        color[s] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+Nfa Nfa::Intersection(const Nfa& a, const Nfa& b) {
+  XTC_CHECK_EQ(a.num_symbols(), b.num_symbols());
+  Nfa out(a.num_symbols());
+  const int nb = b.num_states();
+  for (int sa = 0; sa < a.num_states(); ++sa) {
+    for (int sb = 0; sb < nb; ++sb) {
+      out.AddState(a.initial(sa) && b.initial(sb), a.final(sa) && b.final(sb));
+    }
+  }
+  for (int sa = 0; sa < a.num_states(); ++sa) {
+    for (const auto& [sym, ta] : a.Edges(sa)) {
+      for (int sb = 0; sb < nb; ++sb) {
+        for (const auto& [symb, tb] : b.Edges(sb)) {
+          if (sym == symb) {
+            out.AddTransition(sa * nb + sb, sym, ta * nb + tb);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Nfa Nfa::Union(const Nfa& a, const Nfa& b) {
+  XTC_CHECK_EQ(a.num_symbols(), b.num_symbols());
+  Nfa out(a.num_symbols());
+  for (int s = 0; s < a.num_states(); ++s) {
+    out.AddState(a.initial(s), a.final(s));
+  }
+  const int off = a.num_states();
+  for (int s = 0; s < b.num_states(); ++s) {
+    out.AddState(b.initial(s), b.final(s));
+  }
+  for (int s = 0; s < a.num_states(); ++s) {
+    for (const auto& [sym, t] : a.Edges(s)) out.AddTransition(s, sym, t);
+  }
+  for (int s = 0; s < b.num_states(); ++s) {
+    for (const auto& [sym, t] : b.Edges(s)) {
+      out.AddTransition(off + s, sym, off + t);
+    }
+  }
+  return out;
+}
+
+Nfa Nfa::ShiftedSymbols(int offset, int new_num_symbols) const {
+  Nfa out(new_num_symbols);
+  for (int s = 0; s < num_states(); ++s) {
+    out.AddState(initial_[s], final_[s]);
+  }
+  for (int s = 0; s < num_states(); ++s) {
+    for (const auto& [sym, t] : trans_[s]) {
+      XTC_CHECK_LT(sym + offset, new_num_symbols);
+      out.AddTransition(s, sym + offset, t);
+    }
+  }
+  return out;
+}
+
+Nfa Nfa::SingleWord(int num_symbols, std::span<const int> word) {
+  Nfa out(num_symbols);
+  int prev = out.AddState(/*initial=*/true, /*final=*/word.empty());
+  for (std::size_t i = 0; i < word.size(); ++i) {
+    int next = out.AddState(false, i + 1 == word.size());
+    out.AddTransition(prev, word[i], next);
+    prev = next;
+  }
+  return out;
+}
+
+}  // namespace xtc

@@ -1,0 +1,94 @@
+#ifndef XTC_FA_NFA_H_
+#define XTC_FA_NFA_H_
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace xtc {
+
+/// A non-deterministic finite automaton over integer symbols 0..num_symbols-1
+/// (Section 2 of the paper). No epsilon transitions; multiple initial states
+/// are allowed. Transition storage is sparse, so very large alphabets (e.g.
+/// tree-automaton state ids used as string symbols) are cheap.
+class Nfa {
+ public:
+  explicit Nfa(int num_symbols) : num_symbols_(num_symbols) {}
+
+  /// Adds a state and returns its id.
+  int AddState(bool initial = false, bool final = false);
+
+  void SetInitial(int state, bool initial = true);
+  void SetFinal(int state, bool final = true);
+  void AddTransition(int from, int symbol, int to);
+
+  int num_states() const { return static_cast<int>(trans_.size()); }
+  int num_symbols() const { return num_symbols_; }
+  bool initial(int state) const { return initial_[state]; }
+  bool final(int state) const { return final_[state]; }
+
+  /// All (symbol, target) edges out of `state`.
+  const std::vector<std::pair<int, int>>& Edges(int state) const {
+    return trans_[state];
+  }
+
+  /// Paper size measure: |Q| + |Sigma| + total transitions.
+  std::size_t Size() const;
+
+  /// Whether the automaton accepts `word`.
+  bool Accepts(std::span<const int> word) const;
+
+  bool AcceptsEpsilon() const;
+
+  /// Whether L(N) is empty.
+  bool IsEmpty() const { return !AcceptsSomeOver(nullptr); }
+
+  /// Whether the automaton accepts some string all of whose symbols s have
+  /// allowed[s] (allowed == nullptr means every symbol is allowed).
+  bool AcceptsSomeOver(const std::vector<bool>* allowed) const;
+
+  /// A shortest accepted string over the allowed symbols, if any.
+  std::optional<std::vector<int>> ShortestAcceptedOver(
+      const std::vector<bool>* allowed) const;
+
+  /// Symbols that occur on at least one accepting path using only allowed
+  /// symbols. Used for DTD inhabitation and tree-automaton reachability.
+  std::vector<bool> SymbolsOnAcceptingPaths(
+      const std::vector<bool>* allowed) const;
+
+  /// Whether infinitely many strings over the allowed symbols are accepted
+  /// (i.e. some accepting path goes through a cycle). Used for NTA
+  /// finiteness (Proposition 4(1)).
+  bool AcceptsInfinitelyManyOver(const std::vector<bool>* allowed) const;
+
+  /// Product (intersection) automaton: L = L(a) ∩ L(b).
+  static Nfa Intersection(const Nfa& a, const Nfa& b);
+
+  /// Disjoint-union automaton: L = L(a) ∪ L(b).
+  static Nfa Union(const Nfa& a, const Nfa& b);
+
+  /// An NFA accepting exactly {word}.
+  static Nfa SingleWord(int num_symbols, std::span<const int> word);
+
+  /// A copy over a larger alphabet with every symbol s replaced by
+  /// s + offset. Used when embedding tree-automaton horizontal languages
+  /// into a combined state space.
+  Nfa ShiftedSymbols(int offset, int new_num_symbols) const;
+
+ private:
+  // States with an in-edge (or initial) from which a final state is reachable
+  // restricted to allowed symbols; helpers below share BFS plumbing.
+  std::vector<bool> ForwardReachable(const std::vector<bool>* allowed) const;
+  std::vector<bool> BackwardReachable(const std::vector<bool>* allowed) const;
+
+  int num_symbols_;
+  std::vector<bool> initial_;
+  std::vector<bool> final_;
+  std::vector<std::vector<std::pair<int, int>>> trans_;
+};
+
+}  // namespace xtc
+
+#endif  // XTC_FA_NFA_H_

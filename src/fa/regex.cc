@@ -1,0 +1,379 @@
+#include "src/fa/regex.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "src/base/logging.h"
+
+namespace xtc {
+
+namespace {
+
+Regex MakeNode(Regex::Kind kind) {
+  Regex re;
+  re.kind = kind;
+  return re;
+}
+
+}  // namespace
+
+RegexPtr Regex::EmptySet() {
+  return std::make_shared<Regex>(MakeNode(Kind::kEmptySet));
+}
+RegexPtr Regex::Epsilon() {
+  return std::make_shared<Regex>(MakeNode(Kind::kEpsilon));
+}
+RegexPtr Regex::Sym(int symbol) {
+  Regex re = MakeNode(Kind::kSymbol);
+  re.symbol = symbol;
+  return std::make_shared<Regex>(std::move(re));
+}
+RegexPtr Regex::Concat(std::vector<RegexPtr> children) {
+  if (children.empty()) return Epsilon();
+  if (children.size() == 1) return children[0];
+  Regex re = MakeNode(Kind::kConcat);
+  re.children = std::move(children);
+  return std::make_shared<Regex>(std::move(re));
+}
+RegexPtr Regex::Alt(std::vector<RegexPtr> children) {
+  XTC_CHECK(!children.empty());
+  if (children.size() == 1) return children[0];
+  Regex re = MakeNode(Kind::kAlt);
+  re.children = std::move(children);
+  return std::make_shared<Regex>(std::move(re));
+}
+RegexPtr Regex::Star(RegexPtr child) {
+  Regex re = MakeNode(Kind::kStar);
+  re.children = {std::move(child)};
+  return std::make_shared<Regex>(std::move(re));
+}
+RegexPtr Regex::Plus(RegexPtr child) {
+  Regex re = MakeNode(Kind::kPlus);
+  re.children = {std::move(child)};
+  return std::make_shared<Regex>(std::move(re));
+}
+RegexPtr Regex::Opt(RegexPtr child) {
+  Regex re = MakeNode(Kind::kOpt);
+  re.children = {std::move(child)};
+  return std::make_shared<Regex>(std::move(re));
+}
+
+namespace {
+
+bool IsSymbolChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '#' ||
+         c == '$' || c == '.' || c == ':' || c == '-';
+}
+
+class Parser {
+ public:
+  Parser(std::string_view text, Alphabet* alphabet)
+      : text_(text), alphabet_(alphabet) {}
+
+  StatusOr<RegexPtr> Parse() {
+    StatusOr<RegexPtr> re = ParseAlt();
+    if (!re.ok()) return re;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return InvalidArgumentError("trailing characters in regex at position " +
+                                  std::to_string(pos_));
+    }
+    return re;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == ',')) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    SkipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  StatusOr<RegexPtr> ParseAlt() {
+    std::vector<RegexPtr> alts;
+    StatusOr<RegexPtr> first = ParseConcat();
+    if (!first.ok()) return first;
+    alts.push_back(*first);
+    while (Peek() == '|') {
+      ++pos_;
+      StatusOr<RegexPtr> next = ParseConcat();
+      if (!next.ok()) return next;
+      alts.push_back(*next);
+    }
+    return Regex::Alt(std::move(alts));
+  }
+
+  StatusOr<RegexPtr> ParseConcat() {
+    std::vector<RegexPtr> parts;
+    while (true) {
+      char c = Peek();
+      if (c == '\0' || c == '|' || c == ')') break;
+      StatusOr<RegexPtr> part = ParsePostfix();
+      if (!part.ok()) return part;
+      parts.push_back(*part);
+    }
+    return Regex::Concat(std::move(parts));
+  }
+
+  StatusOr<RegexPtr> ParsePostfix() {
+    StatusOr<RegexPtr> base = ParsePrimary();
+    if (!base.ok()) return base;
+    RegexPtr re = *base;
+    while (true) {
+      char c = Peek();
+      if (c == '*') {
+        ++pos_;
+        re = Regex::Star(re);
+      } else if (c == '+') {
+        ++pos_;
+        re = Regex::Plus(re);
+      } else if (c == '?') {
+        ++pos_;
+        re = Regex::Opt(re);
+      } else {
+        break;
+      }
+    }
+    return re;
+  }
+
+  StatusOr<RegexPtr> ParsePrimary() {
+    char c = Peek();
+    if (c == '(') {
+      ++pos_;
+      StatusOr<RegexPtr> inner = ParseAlt();
+      if (!inner.ok()) return inner;
+      if (Peek() != ')') return InvalidArgumentError("expected ')'");
+      ++pos_;
+      return inner;
+    }
+    if (c == '%') {
+      ++pos_;
+      return Regex::Epsilon();
+    }
+    if (IsSymbolChar(c) && c != '\0') {
+      std::size_t start = pos_;
+      while (pos_ < text_.size() && IsSymbolChar(text_[pos_])) ++pos_;
+      std::string_view name = text_.substr(start, pos_ - start);
+      return Regex::Sym(alphabet_->Intern(name));
+    }
+    return InvalidArgumentError("unexpected character '" + std::string(1, c) +
+                                "' in regex");
+  }
+
+  std::string_view text_;
+  Alphabet* alphabet_;
+  std::size_t pos_ = 0;
+};
+
+void ToStringRec(const Regex& re, const Alphabet& alphabet, int parent_prec,
+                 std::string* out) {
+  // Precedence: alt(0) < concat(1) < postfix(2).
+  switch (re.kind) {
+    case Regex::Kind::kEmptySet:
+      out->append("(%|%)");  // no dedicated syntax; unused in practice
+      break;
+    case Regex::Kind::kEpsilon:
+      out->push_back('%');
+      break;
+    case Regex::Kind::kSymbol:
+      out->append(alphabet.Name(re.symbol));
+      break;
+    case Regex::Kind::kConcat: {
+      bool paren = parent_prec > 1;
+      if (paren) out->push_back('(');
+      for (std::size_t i = 0; i < re.children.size(); ++i) {
+        if (i > 0) out->push_back(' ');
+        ToStringRec(*re.children[i], alphabet, 2, out);
+      }
+      if (paren) out->push_back(')');
+      break;
+    }
+    case Regex::Kind::kAlt: {
+      bool paren = parent_prec > 0;
+      if (paren) out->push_back('(');
+      for (std::size_t i = 0; i < re.children.size(); ++i) {
+        if (i > 0) out->append(" | ");
+        ToStringRec(*re.children[i], alphabet, 1, out);
+      }
+      if (paren) out->push_back(')');
+      break;
+    }
+    case Regex::Kind::kStar:
+    case Regex::Kind::kPlus:
+    case Regex::Kind::kOpt: {
+      ToStringRec(*re.children[0], alphabet, 3, out);
+      out->push_back(re.kind == Regex::Kind::kStar   ? '*'
+                     : re.kind == Regex::Kind::kPlus ? '+'
+                                                     : '?');
+      break;
+    }
+  }
+}
+
+// Glushkov bookkeeping: positions are symbol occurrences, numbered from 1.
+struct Glushkov {
+  bool nullable = false;
+  bool empty = false;  // denotes the empty language
+  std::vector<int> first;
+  std::vector<int> last;
+};
+
+void Merge(std::vector<int>* into, const std::vector<int>& from) {
+  into->insert(into->end(), from.begin(), from.end());
+}
+
+Glushkov BuildGlushkov(const Regex& re, std::vector<int>* pos_symbol,
+                       std::vector<std::vector<int>>* follow) {
+  switch (re.kind) {
+    case Regex::Kind::kEmptySet: {
+      Glushkov g;
+      g.empty = true;
+      return g;
+    }
+    case Regex::Kind::kEpsilon: {
+      Glushkov g;
+      g.nullable = true;
+      return g;
+    }
+    case Regex::Kind::kSymbol: {
+      int p = static_cast<int>(pos_symbol->size());
+      pos_symbol->push_back(re.symbol);
+      follow->emplace_back();
+      Glushkov g;
+      g.first = {p};
+      g.last = {p};
+      return g;
+    }
+    case Regex::Kind::kConcat: {
+      Glushkov g;
+      g.nullable = true;
+      for (const RegexPtr& child : re.children) {
+        Glushkov c = BuildGlushkov(*child, pos_symbol, follow);
+        if (c.empty || g.empty) {
+          g.empty = true;
+          g.nullable = false;
+          g.first.clear();
+          g.last.clear();
+          continue;
+        }
+        // follow: every last of the prefix feeds every first of the child.
+        for (int l : g.last) Merge(&(*follow)[l], c.first);
+        if (g.nullable) Merge(&g.first, c.first);
+        if (c.nullable) {
+          Merge(&g.last, c.last);
+        } else {
+          g.last = c.last;
+        }
+        g.nullable = g.nullable && c.nullable;
+      }
+      return g;
+    }
+    case Regex::Kind::kAlt: {
+      Glushkov g;
+      g.empty = true;
+      for (const RegexPtr& child : re.children) {
+        Glushkov c = BuildGlushkov(*child, pos_symbol, follow);
+        if (c.empty) continue;
+        g.empty = false;
+        g.nullable = g.nullable || c.nullable;
+        Merge(&g.first, c.first);
+        Merge(&g.last, c.last);
+      }
+      return g;
+    }
+    case Regex::Kind::kStar:
+    case Regex::Kind::kPlus:
+    case Regex::Kind::kOpt: {
+      Glushkov g = BuildGlushkov(*re.children[0], pos_symbol, follow);
+      if (g.empty) {
+        if (re.kind != Regex::Kind::kPlus) {
+          g.empty = false;
+          g.nullable = true;
+        }
+        return g;
+      }
+      if (re.kind != Regex::Kind::kPlus) g.nullable = true;
+      if (re.kind != Regex::Kind::kOpt) {
+        for (int l : g.last) Merge(&(*follow)[l], g.first);
+      }
+      return g;
+    }
+  }
+  XTC_CHECK_MSG(false, "unreachable regex kind");
+  return {};
+}
+
+}  // namespace
+
+StatusOr<RegexPtr> ParseRegex(std::string_view text, Alphabet* alphabet) {
+  return Parser(text, alphabet).Parse();
+}
+
+std::string RegexToString(const Regex& re, const Alphabet& alphabet) {
+  std::string out;
+  ToStringRec(re, alphabet, 0, &out);
+  return out;
+}
+
+Nfa RegexToNfa(const Regex& re, int num_symbols) {
+  std::vector<int> pos_symbol;
+  std::vector<std::vector<int>> follow;
+  Glushkov g = BuildGlushkov(re, &pos_symbol, &follow);
+  Nfa nfa(num_symbols);
+  // State 0 is the start; state p+1 represents position p.
+  nfa.AddState(/*initial=*/true, /*final=*/!g.empty && g.nullable);
+  for (std::size_t p = 0; p < pos_symbol.size(); ++p) {
+    nfa.AddState(false, false);
+    XTC_CHECK_LT(pos_symbol[p], num_symbols);
+  }
+  if (g.empty) return nfa;
+  for (int p : g.first) nfa.AddTransition(0, pos_symbol[p], p + 1);
+  for (std::size_t p = 0; p < follow.size(); ++p) {
+    std::vector<int> targets = follow[p];
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+    for (int q : targets) {
+      nfa.AddTransition(static_cast<int>(p) + 1, pos_symbol[q], q + 1);
+    }
+  }
+  for (int p : g.last) nfa.SetFinal(p + 1);
+  return nfa;
+}
+
+bool RegexIsOneUnambiguous(const Regex& re, int num_symbols) {
+  Nfa nfa = RegexToNfa(re, num_symbols);
+  for (int s = 0; s < nfa.num_states(); ++s) {
+    std::vector<std::pair<int, int>> edges = nfa.Edges(s);
+    std::sort(edges.begin(), edges.end());
+    for (std::size_t i = 1; i < edges.size(); ++i) {
+      if (edges[i].first == edges[i - 1].first &&
+          edges[i].second != edges[i - 1].second) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+int RegexSize(const Regex& re) {
+  int n = 1;
+  for (const RegexPtr& child : re.children) n += RegexSize(*child);
+  return n;
+}
+
+void RegexSymbols(const Regex& re, std::vector<bool>* used) {
+  if (re.kind == Regex::Kind::kSymbol) {
+    XTC_CHECK_LT(re.symbol, static_cast<int>(used->size()));
+    (*used)[re.symbol] = true;
+  }
+  for (const RegexPtr& child : re.children) RegexSymbols(*child, used);
+}
+
+}  // namespace xtc

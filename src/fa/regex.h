@@ -1,0 +1,73 @@
+#ifndef XTC_FA_REGEX_H_
+#define XTC_FA_REGEX_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/fa/alphabet.h"
+#include "src/fa/nfa.h"
+
+namespace xtc {
+
+/// Immutable regular-expression AST over interned symbols. DTD content
+/// models (Definition 1) are written as regular expressions and compiled to
+/// NFAs/DFAs via the Glushkov position construction.
+struct Regex;
+using RegexPtr = std::shared_ptr<const Regex>;
+
+struct Regex {
+  enum class Kind {
+    kEmptySet,  ///< the empty language
+    kEpsilon,   ///< {ε}
+    kSymbol,    ///< a single alphabet symbol
+    kConcat,    ///< children concatenated
+    kAlt,       ///< union of children
+    kStar,      ///< zero or more
+    kPlus,      ///< one or more
+    kOpt,       ///< zero or one
+  };
+
+  Kind kind = Kind::kEmptySet;
+  int symbol = -1;                 ///< for kSymbol
+  std::vector<RegexPtr> children;  ///< operands
+
+  static RegexPtr EmptySet();
+  static RegexPtr Epsilon();
+  static RegexPtr Sym(int symbol);
+  static RegexPtr Concat(std::vector<RegexPtr> children);
+  static RegexPtr Alt(std::vector<RegexPtr> children);
+  static RegexPtr Star(RegexPtr child);
+  static RegexPtr Plus(RegexPtr child);
+  static RegexPtr Opt(RegexPtr child);
+};
+
+/// Parses a regular expression. Syntax: juxtaposition (whitespace or ',')
+/// is concatenation, '|' is union, postfix '*', '+', '?', parentheses,
+/// '%' denotes epsilon. Symbol names match [A-Za-z0-9_#$.:-]+ and are
+/// interned into `alphabet`.
+StatusOr<RegexPtr> ParseRegex(std::string_view text, Alphabet* alphabet);
+
+/// Renders the expression back to the parser's syntax.
+std::string RegexToString(const Regex& re, const Alphabet& alphabet);
+
+/// Glushkov position automaton; `num_symbols` is the alphabet size of the
+/// resulting NFA (must exceed every symbol used in `re`).
+Nfa RegexToNfa(const Regex& re, int num_symbols);
+
+/// Whether the Glushkov automaton of `re` is deterministic, i.e. whether the
+/// expression is one-unambiguous as required of real-world DTD content
+/// models.
+bool RegexIsOneUnambiguous(const Regex& re, int num_symbols);
+
+/// Number of AST nodes.
+int RegexSize(const Regex& re);
+
+/// Collects the symbols occurring in `re`.
+void RegexSymbols(const Regex& re, std::vector<bool>* used);
+
+}  // namespace xtc
+
+#endif  // XTC_FA_REGEX_H_

@@ -1,0 +1,244 @@
+#include "src/nta/analysis.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+#include "src/fa/dfa.h"
+
+namespace xtc {
+
+std::vector<bool> ReachableStates(const Nta& nta) {
+  // Fig. A.1: R_1 = {q | epsilon in delta(q, a)}; R_i adds q whenever
+  // delta(q, a) meets R_{i-1}^*. We iterate to the fixpoint directly.
+  std::vector<bool> reached(static_cast<std::size_t>(nta.num_states()), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [key, h] : nta.transitions()) {
+      int q = key.first;
+      if (reached[static_cast<std::size_t>(q)]) continue;
+      if (h.AcceptsSomeOver(&reached)) {
+        reached[static_cast<std::size_t>(q)] = true;
+        changed = true;
+      }
+    }
+  }
+  return reached;
+}
+
+bool IsEmptyLanguage(const Nta& nta) {
+  std::vector<bool> reached = ReachableStates(nta);
+  for (int q = 0; q < nta.num_states(); ++q) {
+    if (reached[static_cast<std::size_t>(q)] && nta.final(q)) return false;
+  }
+  return true;
+}
+
+std::optional<int> WitnessTree(const Nta& nta, SharedForest* forest,
+                               std::vector<int>* per_state_ids) {
+  // Re-run the reachability fixpoint remembering, for each newly reached
+  // state, the symbol and child-state word that witnessed it; build the
+  // hash-consed witness trees bottom-up as states get settled.
+  std::vector<int> ids(static_cast<std::size_t>(nta.num_states()), -1);
+  std::vector<bool> reached(static_cast<std::size_t>(nta.num_states()), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [key, h] : nta.transitions()) {
+      auto [q, a] = key;
+      if (reached[static_cast<std::size_t>(q)]) continue;
+      std::optional<std::vector<int>> word = h.ShortestAcceptedOver(&reached);
+      if (!word.has_value()) continue;
+      std::vector<int> kids;
+      kids.reserve(word->size());
+      for (int child_state : *word) {
+        int cid = ids[static_cast<std::size_t>(child_state)];
+        XTC_CHECK_GE(cid, 0);
+        kids.push_back(cid);
+      }
+      ids[static_cast<std::size_t>(q)] = forest->Make(a, kids);
+      reached[static_cast<std::size_t>(q)] = true;
+      changed = true;
+    }
+  }
+  if (per_state_ids != nullptr) *per_state_ids = ids;
+  for (int q = 0; q < nta.num_states(); ++q) {
+    if (reached[static_cast<std::size_t>(q)] && nta.final(q)) {
+      return ids[static_cast<std::size_t>(q)];
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+// States that can occur in an accepting run: reachable (inhabited below)
+// and co-reachable (extendable above to a final root).
+std::vector<bool> UsefulStates(const Nta& nta,
+                               const std::vector<bool>& reached) {
+  std::vector<bool> co(static_cast<std::size_t>(nta.num_states()), false);
+  for (int q = 0; q < nta.num_states(); ++q) {
+    if (nta.final(q) && reached[static_cast<std::size_t>(q)]) {
+      co[static_cast<std::size_t>(q)] = true;
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [key, h] : nta.transitions()) {
+      int p = key.first;
+      if (!co[static_cast<std::size_t>(p)] ||
+          !reached[static_cast<std::size_t>(p)]) {
+        continue;
+      }
+      std::vector<bool> used = h.SymbolsOnAcceptingPaths(&reached);
+      for (int q = 0; q < nta.num_states(); ++q) {
+        if (used[static_cast<std::size_t>(q)] &&
+            !co[static_cast<std::size_t>(q)]) {
+          co[static_cast<std::size_t>(q)] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+  std::vector<bool> useful(static_cast<std::size_t>(nta.num_states()), false);
+  for (int q = 0; q < nta.num_states(); ++q) {
+    useful[static_cast<std::size_t>(q)] =
+        reached[static_cast<std::size_t>(q)] && co[static_cast<std::size_t>(q)];
+  }
+  return useful;
+}
+
+}  // namespace
+
+bool IsFiniteLanguage(const Nta& nta) {
+  std::vector<bool> reached = ReachableStates(nta);
+  std::vector<bool> useful = UsefulStates(nta, reached);
+
+  // Horizontal pumping: a useful state with infinitely many usable child
+  // strings.
+  for (const auto& [key, h] : nta.transitions()) {
+    int q = key.first;
+    if (!useful[static_cast<std::size_t>(q)]) continue;
+    if (h.AcceptsInfinitelyManyOver(&reached)) return false;
+  }
+
+  // Vertical pumping: cycle in the occurs-in-derivation graph restricted to
+  // useful states.
+  std::vector<std::vector<int>> adj(
+      static_cast<std::size_t>(nta.num_states()));
+  for (const auto& [key, h] : nta.transitions()) {
+    int p = key.first;
+    if (!useful[static_cast<std::size_t>(p)]) continue;
+    std::vector<bool> used = h.SymbolsOnAcceptingPaths(&reached);
+    for (int q = 0; q < nta.num_states(); ++q) {
+      if (used[static_cast<std::size_t>(q)] &&
+          useful[static_cast<std::size_t>(q)]) {
+        adj[static_cast<std::size_t>(p)].push_back(q);
+      }
+    }
+  }
+  enum : char { kWhite, kGray, kBlack };
+  std::vector<char> color(static_cast<std::size_t>(nta.num_states()), kWhite);
+  std::vector<std::pair<int, std::size_t>> stack;
+  for (int root = 0; root < nta.num_states(); ++root) {
+    if (!useful[static_cast<std::size_t>(root)] ||
+        color[static_cast<std::size_t>(root)] != kWhite) {
+      continue;
+    }
+    color[static_cast<std::size_t>(root)] = kGray;
+    stack.emplace_back(root, 0);
+    while (!stack.empty()) {
+      auto& [s, idx] = stack.back();
+      if (idx < adj[static_cast<std::size_t>(s)].size()) {
+        int t = adj[static_cast<std::size_t>(s)][idx++];
+        if (color[static_cast<std::size_t>(t)] == kGray) return false;
+        if (color[static_cast<std::size_t>(t)] == kWhite) {
+          color[static_cast<std::size_t>(t)] = kGray;
+          stack.emplace_back(t, 0);
+        }
+      } else {
+        color[static_cast<std::size_t>(s)] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return true;
+}
+
+bool IsBottomUpDeterministic(const Nta& nta) {
+  for (int a = 0; a < nta.num_symbols(); ++a) {
+    for (int q = 0; q < nta.num_states(); ++q) {
+      const Nfa* hq = nta.Horizontal(q, a);
+      if (hq == nullptr) continue;
+      for (int p = q + 1; p < nta.num_states(); ++p) {
+        const Nfa* hp = nta.Horizontal(p, a);
+        if (hp == nullptr) continue;
+        if (!Nfa::Intersection(*hq, *hp).IsEmpty()) return false;
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Union NFA of all horizontal languages for symbol `a` (over num_states
+// symbols); empty NFA when none are set.
+Nfa HorizontalUnion(const Nta& nta, int a) {
+  Nfa acc(nta.num_states());
+  bool first = true;
+  for (int q = 0; q < nta.num_states(); ++q) {
+    const Nfa* h = nta.Horizontal(q, a);
+    if (h == nullptr) continue;
+    if (first) {
+      acc = *h;
+      first = false;
+    } else {
+      acc = Nfa::Union(acc, *h);
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+bool IsComplete(const Nta& nta) {
+  for (int a = 0; a < nta.num_symbols(); ++a) {
+    Nfa u = HorizontalUnion(nta, a);
+    Dfa d = Dfa::FromNfa(u).Complemented();
+    if (!d.IsEmpty()) return false;
+  }
+  return true;
+}
+
+Nta CompletedDeterministic(const Nta& nta) {
+  const int n = nta.num_states();
+  Nta out(nta.num_symbols(), n + 1);
+  for (int q = 0; q < n; ++q) out.SetFinal(q, nta.final(q));
+  for (const auto& [key, h] : nta.transitions()) {
+    out.SetTransition(key.first, key.second, h.ShiftedSymbols(0, n + 1));
+  }
+  const int sink = n;
+  for (int a = 0; a < nta.num_symbols(); ++a) {
+    // delta(sink, a) = (Q ∪ {sink})* minus the union of the existing
+    // horizontal languages. Strings mentioning the sink symbol fall into the
+    // complement automatically, as no existing language mentions it.
+    Nfa u = HorizontalUnion(nta, a).ShiftedSymbols(0, n + 1);
+    Dfa comp = Dfa::FromNfa(u).Completed();
+    // Completed() guarantees totality over symbols 0..n; complement finals.
+    Nfa cnfa = comp.Complemented().ToNfa();
+    out.SetTransition(sink, a, std::move(cnfa));
+  }
+  return out;
+}
+
+Nta ComplementedDtac(const Nta& nta) {
+  Nta out = nta;
+  for (int q = 0; q < nta.num_states(); ++q) {
+    out.SetFinal(q, !nta.final(q));
+  }
+  return out;
+}
+
+}  // namespace xtc

@@ -1,0 +1,50 @@
+#ifndef XTC_NTA_ANALYSIS_H_
+#define XTC_NTA_ANALYSIS_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/nta/nta.h"
+#include "src/tree/hashcons.h"
+
+namespace xtc {
+
+/// States q for which some tree has a run ending in q at its root — the set
+/// R computed by the emptiness algorithm of Fig. A.1 (Proposition 4(2)).
+std::vector<bool> ReachableStates(const Nta& nta);
+
+/// Emptiness of L(nta); PTIME (Proposition 4(2), Lemma 3 for DTAc).
+bool IsEmptyLanguage(const Nta& nta);
+
+/// Generates (a description of) a tree in L(nta) into `forest`
+/// (Proposition 4(3)); nullopt when the language is empty. If
+/// `per_state_ids` is non-null it receives, per state, the id of a witness
+/// tree reaching that state (-1 if the state is unreachable).
+std::optional<int> WitnessTree(const Nta& nta, SharedForest* forest,
+                               std::vector<int>* per_state_ids = nullptr);
+
+/// Finiteness of L(nta); PTIME (Proposition 4(1)). Detects horizontal
+/// pumping (an infinite horizontal language on a useful state) and vertical
+/// pumping (a cycle in the occurs-in-derivation graph of useful states).
+bool IsFiniteLanguage(const Nta& nta);
+
+/// Bottom-up determinism: delta(q, a) and delta(q', a) disjoint for q != q'.
+bool IsBottomUpDeterministic(const Nta& nta);
+
+/// Completeness: for every a, the union over q of delta(q, a) is Q*.
+/// Exponential in the worst case (universality check); intended for
+/// moderate automata and tests.
+bool IsComplete(const Nta& nta);
+
+/// Adds a sink state to a bottom-up deterministic NTA so that it becomes
+/// complete (a DTAc if the input was a DTA). The caller asserts determinism.
+Nta CompletedDeterministic(const Nta& nta);
+
+/// Complements a deterministic *complete* NTA by swapping final states.
+/// The caller asserts the preconditions (Theorem 20 uses this on DTAc
+/// schemas).
+Nta ComplementedDtac(const Nta& nta);
+
+}  // namespace xtc
+
+#endif  // XTC_NTA_ANALYSIS_H_

@@ -1,0 +1,197 @@
+#include "src/nta/determinize.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "src/base/logging.h"
+
+namespace xtc {
+namespace {
+
+// Per input symbol `a`, all horizontal NFAs delta(q, a) are embedded into
+// one global state space so that a set of global states ("h-state")
+// summarizes, for every q simultaneously, where the horizontal run can be.
+struct SymbolSpace {
+  // offset[q] .. offset[q] + size[q] are the global ids of delta(q, a)'s
+  // states; -1 when the transition is absent.
+  std::vector<int> offset;
+  std::vector<const Nfa*> nfa;
+  std::vector<int> initials;                 // global ids
+  std::vector<std::pair<int, int>> finals;   // (global id, q)
+  int total = 0;
+};
+
+SymbolSpace BuildSpace(const Nta& nta, int a) {
+  SymbolSpace sp;
+  sp.offset.assign(static_cast<std::size_t>(nta.num_states()), -1);
+  sp.nfa.assign(static_cast<std::size_t>(nta.num_states()), nullptr);
+  for (int q = 0; q < nta.num_states(); ++q) {
+    const Nfa* h = nta.Horizontal(q, a);
+    if (h == nullptr) continue;
+    sp.offset[static_cast<std::size_t>(q)] = sp.total;
+    sp.nfa[static_cast<std::size_t>(q)] = h;
+    for (int s = 0; s < h->num_states(); ++s) {
+      if (h->initial(s)) sp.initials.push_back(sp.total + s);
+      if (h->final(s)) sp.finals.emplace_back(sp.total + s, q);
+    }
+    sp.total += h->num_states();
+  }
+  std::sort(sp.initials.begin(), sp.initials.end());
+  return sp;
+}
+
+// The set of original states q whose horizontal language accepts at the
+// h-state (sorted global-id set) `h`.
+std::vector<int> TargetSubset(const SymbolSpace& sp,
+                              const std::vector<int>& h) {
+  std::vector<int> subset;
+  for (const auto& [g, q] : sp.finals) {
+    if (std::binary_search(h.begin(), h.end(), g)) subset.push_back(q);
+  }
+  std::sort(subset.begin(), subset.end());
+  subset.erase(std::unique(subset.begin(), subset.end()), subset.end());
+  return subset;
+}
+
+// Advance the h-state by one child whose possible-state set is `subset`.
+std::vector<int> StepH(const Nta& nta, const SymbolSpace& sp,
+                       const std::vector<int>& h,
+                       const std::vector<int>& subset) {
+  std::vector<int> next;
+  for (int g : h) {
+    // Locate which NFA g belongs to (offsets are increasing).
+    int q = -1;
+    for (int cand = nta.num_states() - 1; cand >= 0; --cand) {
+      int off = sp.offset[static_cast<std::size_t>(cand)];
+      if (off != -1 && off <= g) {
+        q = cand;
+        break;
+      }
+    }
+    XTC_CHECK_GE(q, 0);
+    int off = sp.offset[static_cast<std::size_t>(q)];
+    const Nfa* nfa = sp.nfa[static_cast<std::size_t>(q)];
+    for (const auto& [sym, t] : nfa->Edges(g - off)) {
+      if (std::binary_search(subset.begin(), subset.end(), sym)) {
+        next.push_back(off + t);
+      }
+    }
+  }
+  std::sort(next.begin(), next.end());
+  next.erase(std::unique(next.begin(), next.end()), next.end());
+  return next;
+}
+
+}  // namespace
+
+StatusOr<Nta> DeterminizeToDtac(const Nta& nta, int max_states) {
+  const int num_symbols = nta.num_symbols();
+  std::vector<SymbolSpace> spaces;
+  spaces.reserve(static_cast<std::size_t>(num_symbols));
+  for (int a = 0; a < num_symbols; ++a) spaces.push_back(BuildSpace(nta, a));
+
+  // Interned determinized states (subsets of Q).
+  std::map<std::vector<int>, int> det_ids;
+  std::vector<std::vector<int>> det_states;
+  auto intern_det = [&](std::vector<int> subset) {
+    auto it = det_ids.find(subset);
+    if (it != det_ids.end()) return it->second;
+    int id = static_cast<int>(det_states.size());
+    det_ids.emplace(subset, id);
+    det_states.push_back(std::move(subset));
+    return id;
+  };
+
+  // Per symbol: interned h-states and their transition rows (indexed by
+  // det-state id; -1 means "not yet computed").
+  struct HGraph {
+    std::map<std::vector<int>, int> ids;
+    std::vector<std::vector<int>> states;
+    std::vector<std::vector<int>> trans;  // trans[h][det_id] = h'
+    std::vector<int> target;              // det id of TargetSubset
+  };
+  std::vector<HGraph> graphs(static_cast<std::size_t>(num_symbols));
+
+  auto intern_h = [&](int a, std::vector<int> h) {
+    HGraph& g = graphs[static_cast<std::size_t>(a)];
+    auto it = g.ids.find(h);
+    if (it != g.ids.end()) return it->second;
+    int id = static_cast<int>(g.states.size());
+    g.ids.emplace(h, id);
+    g.target.push_back(
+        intern_det(TargetSubset(spaces[static_cast<std::size_t>(a)], h)));
+    g.states.push_back(std::move(h));
+    g.trans.emplace_back();
+    return id;
+  };
+
+  for (int a = 0; a < num_symbols; ++a) {
+    intern_h(a, spaces[static_cast<std::size_t>(a)].initials);
+  }
+
+  // Saturate: new h-states can mint new det states, which extend every
+  // H-graph's alphabet, so loop until nothing changes.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int a = 0; a < num_symbols; ++a) {
+      HGraph& g = graphs[static_cast<std::size_t>(a)];
+      for (std::size_t h = 0; h < g.states.size(); ++h) {
+        g.trans[h].resize(det_states.size(), -1);
+        for (std::size_t s = 0; s < det_states.size(); ++s) {
+          if (g.trans[h][s] != -1) continue;
+          std::vector<int> next =
+              StepH(nta, spaces[static_cast<std::size_t>(a)], g.states[h],
+                    det_states[s]);
+          int hid = intern_h(a, std::move(next));
+          g.trans[h].resize(det_states.size(), -1);  // intern may grow dets
+          g.trans[h][s] = hid;
+          changed = true;
+          if (static_cast<int>(det_states.size()) > max_states ||
+              static_cast<int>(g.states.size()) >
+                  max_states * std::max(1, nta.num_states())) {
+            return ResourceExhaustedError(
+                "NTA determinization exceeded the state budget");
+          }
+        }
+      }
+    }
+  }
+
+  const int n_det = static_cast<int>(det_states.size());
+  Nta out(num_symbols, n_det);
+  for (int s = 0; s < n_det; ++s) {
+    for (int q : det_states[static_cast<std::size_t>(s)]) {
+      if (nta.final(q)) {
+        out.SetFinal(s);
+        break;
+      }
+    }
+  }
+  for (int a = 0; a < num_symbols; ++a) {
+    const HGraph& g = graphs[static_cast<std::size_t>(a)];
+    // One shared transition structure; finals select the target det state.
+    for (int s = 0; s < n_det; ++s) {
+      bool any_final = false;
+      Nfa h(n_det);
+      for (std::size_t hs = 0; hs < g.states.size(); ++hs) {
+        bool is_final = g.target[hs] == s;
+        any_final = any_final || is_final;
+        h.AddState(hs == 0, is_final);
+      }
+      if (!any_final) continue;  // empty horizontal language
+      for (std::size_t hs = 0; hs < g.states.size(); ++hs) {
+        for (int sym = 0; sym < n_det; ++sym) {
+          int t = g.trans[hs][static_cast<std::size_t>(sym)];
+          XTC_CHECK_GE(t, 0);
+          h.AddTransition(static_cast<int>(hs), sym, t);
+        }
+      }
+      out.SetTransition(s, a, std::move(h));
+    }
+  }
+  return out;
+}
+
+}  // namespace xtc

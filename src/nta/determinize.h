@@ -1,0 +1,19 @@
+#ifndef XTC_NTA_DETERMINIZE_H_
+#define XTC_NTA_DETERMINIZE_H_
+
+#include "src/base/status.h"
+#include "src/nta/nta.h"
+
+namespace xtc {
+
+/// Subset construction for unranked tree automata: returns a bottom-up
+/// deterministic, complete NTA (a DTAc) equivalent to `nta`. Exponential in
+/// the worst case — this is exactly the price the paper's EXPTIME cells
+/// charge; `max_states` bounds the determinized state count (and the
+/// per-symbol horizontal subset space) and the construction fails with
+/// kResourceExhausted beyond it.
+StatusOr<Nta> DeterminizeToDtac(const Nta& nta, int max_states);
+
+}  // namespace xtc
+
+#endif  // XTC_NTA_DETERMINIZE_H_

@@ -1,0 +1,102 @@
+#include "src/nta/nta.h"
+
+#include "src/base/logging.h"
+
+namespace xtc {
+
+void Nta::SetFinal(int state, bool final) {
+  XTC_CHECK(state >= 0 && state < num_states_);
+  final_[static_cast<std::size_t>(state)] = final;
+}
+
+void Nta::SetTransition(int state, int symbol, Nfa horizontal) {
+  XTC_CHECK(state >= 0 && state < num_states_);
+  XTC_CHECK(symbol >= 0 && symbol < num_symbols_);
+  XTC_CHECK_EQ(horizontal.num_symbols(), num_states_);
+  delta_.insert_or_assign({state, symbol}, std::move(horizontal));
+}
+
+const Nfa* Nta::Horizontal(int state, int symbol) const {
+  auto it = delta_.find({state, symbol});
+  return it == delta_.end() ? nullptr : &it->second;
+}
+
+std::size_t Nta::Size() const {
+  std::size_t total = static_cast<std::size_t>(num_states_) +
+                      static_cast<std::size_t>(num_symbols_);
+  for (const auto& [key, nfa] : delta_) total += nfa.Size();
+  return total;
+}
+
+namespace {
+
+// Whether `nfa` accepts some word w1..wn with wi drawn from sets[i].
+bool AcceptsSomeChoice(const Nfa& nfa,
+                       const std::vector<std::vector<bool>>& sets) {
+  std::vector<bool> cur(static_cast<std::size_t>(nfa.num_states()), false);
+  for (int s = 0; s < nfa.num_states(); ++s) {
+    if (nfa.initial(s)) cur[static_cast<std::size_t>(s)] = true;
+  }
+  for (const std::vector<bool>& allowed : sets) {
+    std::vector<bool> next(static_cast<std::size_t>(nfa.num_states()), false);
+    bool any = false;
+    for (int s = 0; s < nfa.num_states(); ++s) {
+      if (!cur[static_cast<std::size_t>(s)]) continue;
+      for (const auto& [sym, t] : nfa.Edges(s)) {
+        if (allowed[static_cast<std::size_t>(sym)]) {
+          next[static_cast<std::size_t>(t)] = true;
+          any = true;
+        }
+      }
+    }
+    if (!any) return false;
+    cur.swap(next);
+  }
+  for (int s = 0; s < nfa.num_states(); ++s) {
+    if (cur[static_cast<std::size_t>(s)] && nfa.final(s)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<bool> Nta::AcceptingStatesAt(const Node* tree) const {
+  std::vector<std::vector<bool>> child_sets;
+  child_sets.reserve(tree->child_count);
+  for (const Node* c : tree->Children()) {
+    child_sets.push_back(AcceptingStatesAt(c));
+  }
+  std::vector<bool> out(static_cast<std::size_t>(num_states_), false);
+  if (tree->label < 0 || tree->label >= num_symbols_) return out;
+  for (int q = 0; q < num_states_; ++q) {
+    const Nfa* h = Horizontal(q, tree->label);
+    if (h == nullptr) continue;
+    if (AcceptsSomeChoice(*h, child_sets)) {
+      out[static_cast<std::size_t>(q)] = true;
+    }
+  }
+  return out;
+}
+
+bool Nta::Accepts(const Node* tree) const {
+  if (tree == nullptr) return false;
+  std::vector<bool> states = AcceptingStatesAt(tree);
+  for (int q = 0; q < num_states_; ++q) {
+    if (states[static_cast<std::size_t>(q)] && final(q)) return true;
+  }
+  return false;
+}
+
+Nta Nta::FromDtd(const Dtd& dtd) {
+  const int n = dtd.num_symbols();
+  Nta out(n, n);
+  out.SetFinal(dtd.start());
+  for (int a = 0; a < n; ++a) {
+    // delta(a, a) = d(a); the rule NFA is already over symbol ids, which
+    // coincide with the state ids of this automaton.
+    out.SetTransition(a, a, dtd.RuleNfa(a));
+  }
+  return out;
+}
+
+}  // namespace xtc

@@ -1,0 +1,68 @@
+#ifndef XTC_NTA_NTA_H_
+#define XTC_NTA_NTA_H_
+
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/fa/nfa.h"
+#include "src/schema/dtd.h"
+#include "src/tree/tree.h"
+
+namespace xtc {
+
+/// A non-deterministic unranked tree automaton NTA(NFA) (Definition 2):
+/// states Q, final states F, and per (state, symbol) a horizontal regular
+/// string language delta(q, a) over Q, represented by an NFA whose symbols
+/// are the tree-automaton state ids. Missing transitions denote the empty
+/// language.
+class Nta {
+ public:
+  Nta(int num_symbols, int num_states)
+      : num_symbols_(num_symbols),
+        num_states_(num_states),
+        final_(static_cast<std::size_t>(num_states), false) {}
+
+  int num_symbols() const { return num_symbols_; }
+  int num_states() const { return num_states_; }
+
+  void SetFinal(int state, bool final = true);
+  bool final(int state) const {
+    return final_[static_cast<std::size_t>(state)];
+  }
+
+  /// Installs delta(state, symbol); the NFA's alphabet size must equal
+  /// num_states().
+  void SetTransition(int state, int symbol, Nfa horizontal);
+
+  /// The horizontal language, or nullptr when it is empty.
+  const Nfa* Horizontal(int state, int symbol) const;
+
+  const std::map<std::pair<int, int>, Nfa>& transitions() const {
+    return delta_;
+  }
+
+  /// Paper size measure: |Q| + |Sigma| + sum of horizontal automaton sizes.
+  std::size_t Size() const;
+
+  /// States q such that some run on `tree` labels the root q (bottom-up
+  /// subset evaluation).
+  std::vector<bool> AcceptingStatesAt(const Node* tree) const;
+
+  bool Accepts(const Node* tree) const;
+
+  /// The canonical NTA of a DTD: states are the symbols, delta(a, a) is the
+  /// rule language, and the start symbol is the only final state.
+  static Nta FromDtd(const Dtd& dtd);
+
+ private:
+  int num_symbols_;
+  int num_states_;
+  std::vector<bool> final_;
+  std::map<std::pair<int, int>, Nfa> delta_;
+};
+
+}  // namespace xtc
+
+#endif  // XTC_NTA_NTA_H_

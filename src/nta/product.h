@@ -1,0 +1,20 @@
+#ifndef XTC_NTA_PRODUCT_H_
+#define XTC_NTA_PRODUCT_H_
+
+#include "src/nta/nta.h"
+
+namespace xtc {
+
+/// Product automaton with L = L(a) ∩ L(b). States are pairs (encoded as
+/// qa * b.num_states() + qb); horizontal languages are products of the
+/// operand horizontals with paired child states. Used by Theorem 20
+/// (emptiness of B_in ∩ B_out).
+Nta Intersect(const Nta& a, const Nta& b);
+
+/// Disjoint-union automaton with L = L(a) ∪ L(b): runs stay entirely within
+/// one operand's state space.
+Nta DisjointUnion(const Nta& a, const Nta& b);
+
+}  // namespace xtc
+
+#endif  // XTC_NTA_PRODUCT_H_

@@ -1,0 +1,167 @@
+#include "src/schema/re_plus.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+
+namespace xtc {
+
+StatusOr<RePlus> RePlus::FromRegex(const Regex& re) {
+  std::vector<Factor> factors;
+  std::vector<const Regex*> parts;
+  if (re.kind == Regex::Kind::kConcat) {
+    for (const RegexPtr& c : re.children) parts.push_back(c.get());
+  } else {
+    parts.push_back(&re);
+  }
+  for (const Regex* p : parts) {
+    switch (p->kind) {
+      case Regex::Kind::kEpsilon:
+        break;
+      case Regex::Kind::kSymbol:
+        factors.push_back({p->symbol, false});
+        break;
+      case Regex::Kind::kPlus:
+        if (p->children[0]->kind != Regex::Kind::kSymbol) {
+          return InvalidArgumentError("RE+ allows '+' on single symbols only");
+        }
+        factors.push_back({p->children[0]->symbol, true});
+        break;
+      default:
+        return InvalidArgumentError(
+            "not an RE+ expression: factors must be epsilon, a, or a+");
+    }
+  }
+  return RePlus(std::move(factors));
+}
+
+StatusOr<RePlus> RePlus::Parse(std::string_view text, Alphabet* alphabet) {
+  StatusOr<RegexPtr> re = ParseRegex(text, alphabet);
+  if (!re.ok()) return re.status();
+  return FromRegex(**re);
+}
+
+std::vector<RePlus::NormFactor> RePlus::Normalized() const {
+  std::vector<NormFactor> out;
+  for (const Factor& f : factors_) {
+    if (!out.empty() && out.back().symbol == f.symbol) {
+      out.back().min_count += 1;
+      out.back().unbounded = out.back().unbounded || f.plus;
+    } else {
+      out.push_back({f.symbol, 1, f.plus});
+    }
+  }
+  return out;
+}
+
+std::vector<int> RePlus::MinString() const {
+  std::vector<int> out;
+  for (const NormFactor& f : Normalized()) {
+    out.insert(out.end(), f.min_count, f.symbol);
+  }
+  return out;
+}
+
+std::vector<int> RePlus::VastString() const {
+  std::vector<int> out;
+  for (const NormFactor& f : Normalized()) {
+    int count = f.min_count + (f.unbounded ? 1 : 0);
+    out.insert(out.end(), count, f.symbol);
+  }
+  return out;
+}
+
+bool RePlus::Matches(std::span<const int> word) const {
+  std::vector<NormFactor> norm = Normalized();
+  std::size_t pos = 0;
+  for (const NormFactor& f : norm) {
+    std::size_t run = 0;
+    while (pos + run < word.size() && word[pos + run] == f.symbol) ++run;
+    if (run < static_cast<std::size_t>(f.min_count)) return false;
+    if (!f.unbounded) run = static_cast<std::size_t>(f.min_count);
+    pos += run;
+  }
+  return pos == word.size();
+}
+
+Dfa RePlus::ToDfa(int num_symbols) const {
+  // One state per position in the minimal string; unbounded factors loop on
+  // their last mandatory occurrence.
+  std::vector<NormFactor> norm = Normalized();
+  Dfa dfa(num_symbols);
+  int start = dfa.AddState(false);
+  dfa.SetInitial(start);
+  int cur = start;
+  for (const NormFactor& f : norm) {
+    XTC_CHECK_LT(f.symbol, num_symbols);
+    for (int i = 0; i < f.min_count; ++i) {
+      int next = dfa.AddState(false);
+      dfa.SetTransition(cur, f.symbol, next);
+      cur = next;
+    }
+    if (f.unbounded) dfa.SetTransition(cur, f.symbol, cur);
+  }
+  dfa.SetFinal(cur);
+  return dfa;
+}
+
+RegexPtr RePlus::ToRegex() const {
+  std::vector<RegexPtr> parts;
+  for (const Factor& f : factors_) {
+    RegexPtr s = Regex::Sym(f.symbol);
+    parts.push_back(f.plus ? Regex::Plus(s) : s);
+  }
+  return Regex::Concat(std::move(parts));
+}
+
+std::string RePlus::ToString(const Alphabet& alphabet) const {
+  if (factors_.empty()) return "%";
+  std::string out;
+  for (std::size_t i = 0; i < factors_.size(); ++i) {
+    if (i > 0) out.push_back(' ');
+    out.append(alphabet.Name(factors_[i].symbol));
+    if (factors_[i].plus) out.push_back('+');
+  }
+  return out;
+}
+
+bool RePlus::IncludedIn(const RePlus& other) const {
+  // Lemma 31 / Corollary 32: L(e) ⊆ L(f) iff f matches both e_min and an
+  // e-vast string.
+  std::vector<int> min = MinString();
+  std::vector<int> vast = VastString();
+  return other.Matches(min) && other.Matches(vast);
+}
+
+bool RePlus::EquivalentTo(const RePlus& other) const {
+  return IncludedIn(other) && other.IncludedIn(*this);
+}
+
+bool RePlus::IntersectionEmpty(std::span<const RePlus> exprs) {
+  if (exprs.empty()) return false;
+  // A word shared by all RE+ languages has maximal-block structure equal to
+  // every expression's normalized symbol sequence, so all sequences must
+  // coincide and the per-block count constraints must be jointly satisfiable.
+  std::vector<RePlus::NormFactor> base = exprs[0].Normalized();
+  std::vector<int> exact(base.size(), -1);  // -1: no exact constraint yet
+  std::vector<int> lower(base.size(), 0);
+  for (const RePlus& e : exprs) {
+    std::vector<RePlus::NormFactor> norm = e.Normalized();
+    if (norm.size() != base.size()) return true;
+    for (std::size_t i = 0; i < norm.size(); ++i) {
+      if (norm[i].symbol != base[i].symbol) return true;
+      if (norm[i].unbounded) {
+        lower[i] = std::max(lower[i], norm[i].min_count);
+      } else {
+        if (exact[i] != -1 && exact[i] != norm[i].min_count) return true;
+        exact[i] = norm[i].min_count;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (exact[i] != -1 && exact[i] < lower[i]) return true;
+  }
+  return false;
+}
+
+}  // namespace xtc

@@ -1,0 +1,82 @@
+#ifndef XTC_SCHEMA_RE_PLUS_H_
+#define XTC_SCHEMA_RE_PLUS_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/fa/alphabet.h"
+#include "src/fa/dfa.h"
+#include "src/fa/regex.h"
+
+namespace xtc {
+
+/// An RE+ expression (Section 5): a concatenation α1···αk where every αi is
+/// ε, a, or a+ for an alphabet symbol a. DTD(RE+) schemas admit PTIME
+/// typechecking for arbitrary transducers (Theorem 37).
+class RePlus {
+ public:
+  /// One concatenation factor; `plus` distinguishes a+ from a (ε factors are
+  /// dropped on construction).
+  struct Factor {
+    int symbol;
+    bool plus;
+
+    bool operator==(const Factor&) const = default;
+  };
+
+  RePlus() = default;
+  explicit RePlus(std::vector<Factor> factors) : factors_(std::move(factors)) {}
+
+  /// Extracts the RE+ shape from a regex AST; fails if the expression is not
+  /// a concatenation of symbols, symbol-pluses and epsilons.
+  static StatusOr<RePlus> FromRegex(const Regex& re);
+
+  /// Parses e.g. "title author+ chapter+".
+  static StatusOr<RePlus> Parse(std::string_view text, Alphabet* alphabet);
+
+  const std::vector<Factor>& factors() const { return factors_; }
+
+  /// Normal form of Section 5: successive equal symbols merged into
+  /// a^{=x} (exact) or a^{>=x}; adjacent normalized factors have distinct
+  /// symbols.
+  struct NormFactor {
+    int symbol;
+    int min_count;
+    bool unbounded;
+
+    bool operator==(const NormFactor&) const = default;
+  };
+  std::vector<NormFactor> Normalized() const;
+
+  /// The minimal string e_min (each factor contributes min_count symbols).
+  std::vector<int> MinString() const;
+
+  /// An e-vast string: min_count+1 occurrences for every unbounded factor
+  /// (Section 5; {e_min, e_vast} is RE+-equivalent to L(e), Lemma 31).
+  std::vector<int> VastString() const;
+
+  bool Matches(std::span<const int> word) const;
+
+  Dfa ToDfa(int num_symbols) const;
+  RegexPtr ToRegex() const;
+  std::string ToString(const Alphabet& alphabet) const;
+
+  /// Language inclusion L(this) ⊆ L(other), decided syntactically via
+  /// Lemma 31: it suffices that `other` matches MinString() and
+  /// VastString().
+  bool IncludedIn(const RePlus& other) const;
+  bool EquivalentTo(const RePlus& other) const;
+
+  /// Emptiness of the intersection of many RE+ languages in PTIME
+  /// ([MNS, MFCS 2004], used by the paper's Section 5 discussion).
+  static bool IntersectionEmpty(std::span<const RePlus> exprs);
+
+ private:
+  std::vector<Factor> factors_;
+};
+
+}  // namespace xtc
+
+#endif  // XTC_SCHEMA_RE_PLUS_H_

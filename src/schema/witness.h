@@ -1,0 +1,39 @@
+#ifndef XTC_SCHEMA_WITNESS_H_
+#define XTC_SCHEMA_WITNESS_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/schema/dtd.h"
+#include "src/tree/hashcons.h"
+#include "src/tree/tree.h"
+
+namespace xtc {
+
+inline constexpr uint64_t kInfiniteCost = ~uint64_t{0};
+
+/// Node count of a smallest tree in L(d, a) per symbol a (kInfiniteCost for
+/// uninhabited symbols). Least fixpoint with weighted shortest words.
+std::vector<uint64_t> MinimalTreeCosts(const Dtd& dtd);
+
+/// A smallest tree of L(d, symbol); the symbol must be inhabited.
+Node* MinimalValidTree(const Dtd& dtd, int symbol, TreeBuilder* builder);
+
+/// The Section 5 witness trees t_min and t_vast for a DTD(RE+), represented
+/// hash-consed (t_vast unfolds exponentially). Ids are per symbol; -1 marks
+/// uninhabited symbols (a recursive RE+ rule makes its symbol uninhabited:
+/// every RE+ factor is mandatory, so recursion cannot bottom out).
+struct RePlusWitnesses {
+  SharedForest forest;
+  std::vector<int> t_min;   // forest id per symbol, or -1
+  std::vector<int> t_vast;  // forest id per symbol, or -1
+};
+
+/// Builds the witnesses; fails if the DTD is not a DTD(RE+).
+StatusOr<RePlusWitnesses> BuildRePlusWitnesses(const Dtd& dtd);
+
+}  // namespace xtc
+
+#endif  // XTC_SCHEMA_WITNESS_H_

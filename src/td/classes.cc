@@ -1,0 +1,71 @@
+#include "src/td/classes.h"
+
+namespace xtc {
+namespace {
+
+int CountStates(const RhsHedge& rhs) {
+  int n = 0;
+  for (const RhsNode& node : rhs) {
+    switch (node.kind) {
+      case RhsNode::Kind::kLabel:
+        n += CountStates(node.children);
+        break;
+      case RhsNode::Kind::kState:
+      case RhsNode::Kind::kSelect:
+        ++n;
+        break;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+bool IsNonDeleting(const Transducer& t) {
+  for (const auto& [key, rhs] : t.rules()) {
+    for (const RhsNode& node : rhs) {
+      if (node.kind == RhsNode::Kind::kState) return false;
+    }
+  }
+  return true;
+}
+
+bool IsDelRelab(const Transducer& t) {
+  if (t.HasSelectors()) return false;
+  for (const auto& [key, rhs] : t.rules()) {
+    if (CountStates(rhs) > 1) return false;
+  }
+  return true;
+}
+
+ClassReport ClassifyTransducer(const Transducer& t) {
+  ClassReport report;
+  report.has_selectors = t.HasSelectors();
+  report.non_deleting = IsNonDeleting(t);
+  report.del_relab = IsDelRelab(t);
+  if (!report.has_selectors) {
+    report.widths = AnalyzeWidths(t);
+  }
+  return report;
+}
+
+std::string ClassReportToString(const ClassReport& report) {
+  std::string out = "T[";
+  out += report.non_deleting ? "nd" : "d";
+  if (!report.has_selectors) {
+    out += ", cw=" + std::to_string(report.widths.copying_width);
+    if (report.widths.dpw_bounded) {
+      out += ", K=" + std::to_string(report.widths.deletion_path_width);
+    } else {
+      out += ", K=unbounded";
+    }
+  } else {
+    out += ", selectors";
+  }
+  out += "]";
+  if (report.del_relab) out += " (del-relab)";
+  if (!report.has_selectors && report.widths.dpw_bounded) out += " (trac)";
+  return out;
+}
+
+}  // namespace xtc

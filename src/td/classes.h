@@ -1,0 +1,38 @@
+#ifndef XTC_TD_CLASSES_H_
+#define XTC_TD_CLASSES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/td/transducer.h"
+#include "src/td/widths.h"
+
+namespace xtc {
+
+/// Whether the transducer is non-deleting (T_nd): no bare state occurs at
+/// the top level of any rule template. Selectors ⟨q, P⟩ do not count — the
+/// XPath classes T^XPath_nd of Section 4 are defined on top of T_nd.
+bool IsNonDeleting(const Transducer& t);
+
+/// Whether the transducer is in T_del-relab (Theorem 20): no selectors and
+/// every rule template contains at most one state in total (so deletion
+/// width and copying width are both at most one — a mild generalization of
+/// relabelings).
+bool IsDelRelab(const Transducer& t);
+
+/// Summary of all class memberships used by the paper's scenarios.
+struct ClassReport {
+  bool has_selectors = false;
+  bool non_deleting = false;
+  bool del_relab = false;
+  WidthAnalysis widths;  // only meaningful when !has_selectors
+};
+
+ClassReport ClassifyTransducer(const Transducer& t);
+
+/// Human-readable class line, e.g. "T[d, cw=2, K=6] (trac)".
+std::string ClassReportToString(const ClassReport& report);
+
+}  // namespace xtc
+
+#endif  // XTC_TD_CLASSES_H_

@@ -1,0 +1,164 @@
+#include "src/td/compile_selectors.h"
+
+#include <map>
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/xpath/to_dfa.h"
+
+namespace xtc {
+namespace {
+
+// live[d]: a final state is reachable from d in >= 0 steps.
+std::vector<bool> LiveStates(const Dfa& dfa) {
+  const int n = dfa.num_states();
+  std::vector<bool> live(static_cast<std::size_t>(n), false);
+  for (int s = 0; s < n; ++s) live[static_cast<std::size_t>(s)] = dfa.final(s);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int s = 0; s < n; ++s) {
+      if (live[static_cast<std::size_t>(s)]) continue;
+      for (int sym = 0; sym < dfa.num_symbols(); ++sym) {
+        int t = dfa.Step(s, sym);
+        if (t != Dfa::kDead && live[static_cast<std::size_t>(t)]) {
+          live[static_cast<std::size_t>(s)] = true;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return live;
+}
+
+struct SelectorAutomaton {
+  Dfa dfa;
+  std::vector<bool> live;
+};
+
+class Compiler {
+ public:
+  explicit Compiler(const Transducer& t) : t_(t), out_(t.alphabet()) {}
+
+  StatusOr<Transducer> Run() {
+    const int num_symbols = t_.alphabet()->size();
+    // Copy states and initial.
+    for (int q = 0; q < t_.num_states(); ++q) {
+      out_.AddState(t_.StateName(q));
+    }
+    out_.SetInitial(t_.initial());
+
+    // Compile every selector to a path DFA.
+    for (int s = 0; s < t_.num_selectors(); ++s) {
+      const Selector& sel = t_.selector(s);
+      if (sel.pattern != nullptr) {
+        StatusOr<Dfa> dfa = XPathToDfa(*sel.pattern, num_symbols);
+        if (!dfa.ok()) return dfa.status();
+        automata_.push_back({*std::move(dfa), {}});
+      } else {
+        automata_.push_back({*sel.dfa, {}});
+      }
+      automata_.back().live = LiveStates(automata_.back().dfa);
+    }
+
+    // Rewrite the original rules (discovering used (state, selector) pairs).
+    for (const auto& [key, rhs] : t_.rules()) {
+      out_.SetRule(key.first, key.second, Rewrite(rhs));
+    }
+
+    // Emit simulation rules for the discovered pairs; new pairs can be
+    // discovered while rewriting the carried-over templates.
+    while (!worklist_.empty()) {
+      auto [p, s, d] = worklist_.back();
+      worklist_.pop_back();
+      EmitSimulationRules(p, s, d);
+    }
+    return std::move(out_);
+  }
+
+ private:
+  // The compiled state simulating selector `s` for target state `p` at DFA
+  // state `d`; creates it (and schedules its rules) on first use.
+  int SimState(int p, int s, int d) {
+    auto it = sim_states_.find({p, s, d});
+    if (it != sim_states_.end()) return it->second;
+    int id = out_.AddState(t_.StateName(p) + "~sel" + std::to_string(s) + "#" +
+                           std::to_string(d));
+    sim_states_.emplace(std::make_tuple(p, s, d), id);
+    worklist_.emplace_back(p, s, d);
+    return id;
+  }
+
+  RhsHedge Rewrite(const RhsHedge& rhs) {
+    RhsHedge out;
+    for (const RhsNode& n : rhs) {
+      switch (n.kind) {
+        case RhsNode::Kind::kLabel: {
+          RhsNode copy = RhsNode::Label(n.label, Rewrite(n.children));
+          out.push_back(std::move(copy));
+          break;
+        }
+        case RhsNode::Kind::kState:
+          out.push_back(n);
+          break;
+        case RhsNode::Kind::kSelect: {
+          const SelectorAutomaton& sa =
+              automata_[static_cast<std::size_t>(n.selector)];
+          int d0 = sa.dfa.initial();
+          if (d0 != Dfa::kDead && sa.live[static_cast<std::size_t>(d0)]) {
+            out.push_back(RhsNode::State(SimState(n.state, n.selector, d0)));
+          }
+          // A dead selector selects nothing: the leaf vanishes.
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+  void EmitSimulationRules(int p, int s, int d) {
+    const SelectorAutomaton& sa = automata_[static_cast<std::size_t>(s)];
+    int sim = SimState(p, s, d);
+    for (int b = 0; b < t_.alphabet()->size(); ++b) {
+      if (b >= sa.dfa.num_symbols()) break;
+      int d2 = sa.dfa.Step(d, b);
+      if (d2 == Dfa::kDead || !sa.live[static_cast<std::size_t>(d2)]) continue;
+      RhsHedge rhs;
+      if (sa.dfa.final(d2)) {
+        // The b-node is selected: produce rhs(p, b) here...
+        const RhsHedge* orig = t_.rule(p, b);
+        if (orig != nullptr) {
+          RhsHedge rewritten = Rewrite(*orig);
+          rhs.insert(rhs.end(), rewritten.begin(), rewritten.end());
+        }
+      }
+      // ...and keep scanning below it if deeper matches are possible.
+      bool continues = false;
+      for (int c = 0; c < t_.alphabet()->size(); ++c) {
+        if (c >= sa.dfa.num_symbols()) break;
+        int d3 = sa.dfa.Step(d2, c);
+        if (d3 != Dfa::kDead && sa.live[static_cast<std::size_t>(d3)]) {
+          continues = true;
+          break;
+        }
+      }
+      if (continues) rhs.push_back(RhsNode::State(SimState(p, s, d2)));
+      if (!rhs.empty()) out_.SetRule(sim, b, std::move(rhs));
+    }
+  }
+
+  const Transducer& t_;
+  Transducer out_;
+  std::vector<SelectorAutomaton> automata_;
+  std::map<std::tuple<int, int, int>, int> sim_states_;
+  std::vector<std::tuple<int, int, int>> worklist_;
+};
+
+}  // namespace
+
+StatusOr<Transducer> CompileSelectors(const Transducer& t) {
+  return Compiler(t).Run();
+}
+
+}  // namespace xtc

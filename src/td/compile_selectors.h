@@ -1,0 +1,21 @@
+#ifndef XTC_TD_COMPILE_SELECTORS_H_
+#define XTC_TD_COMPILE_SELECTORS_H_
+
+#include "src/base/status.h"
+#include "src/td/transducer.h"
+
+namespace xtc {
+
+/// Compiles every ⟨q, P⟩ selector of `t` away, yielding an equivalent
+/// selector-free transducer that simulates each selector's path automaton
+/// with deleting states — the constructions of Theorem 23 (XPath{/, *}:
+/// only non-recursively deleting states of deletion width one are
+/// introduced, so T' stays in T^{C,K}_trac with the same C and K) and of
+/// Theorem 29 (DFA selectors / descendant axes on non-deleting transducers:
+/// after a selected node the simulation continues below it, in document
+/// order). XPath selectors must be filter-free; fails otherwise.
+StatusOr<Transducer> CompileSelectors(const Transducer& t);
+
+}  // namespace xtc
+
+#endif  // XTC_TD_COMPILE_SELECTORS_H_

@@ -1,0 +1,69 @@
+#include "src/td/exec.h"
+
+#include "src/base/logging.h"
+#include "src/xpath/eval.h"
+
+namespace xtc {
+namespace {
+
+void ExpandRhsNode(const Transducer& t, const RhsNode& n, const Node* input,
+                   TreeBuilder* builder, Hedge* out);
+
+void ExpandRhsHedge(const Transducer& t, const RhsHedge& rhs,
+                    const Node* input, TreeBuilder* builder, Hedge* out) {
+  for (const RhsNode& n : rhs) ExpandRhsNode(t, n, input, builder, out);
+}
+
+void ExpandRhsNode(const Transducer& t, const RhsNode& n, const Node* input,
+                   TreeBuilder* builder, Hedge* out) {
+  switch (n.kind) {
+    case RhsNode::Kind::kLabel: {
+      Hedge kids;
+      ExpandRhsHedge(t, n.children, input, builder, &kids);
+      out->push_back(builder->Make(n.label, kids));
+      break;
+    }
+    case RhsNode::Kind::kState: {
+      // The state processes every child of the current input node, in order.
+      for (const Node* c : input->Children()) {
+        Hedge sub = ApplyState(t, n.state, c, builder);
+        out->insert(out->end(), sub.begin(), sub.end());
+      }
+      break;
+    }
+    case RhsNode::Kind::kSelect: {
+      const Selector& sel = t.selector(n.selector);
+      std::vector<const Node*> selected =
+          sel.pattern != nullptr ? EvalXPath(*sel.pattern, input)
+                                 : EvalDfaSelector(*sel.dfa, input);
+      for (const Node* v : selected) {
+        Hedge sub = ApplyState(t, n.state, v, builder);
+        out->insert(out->end(), sub.begin(), sub.end());
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Hedge ApplyState(const Transducer& t, int state, const Node* input,
+                 TreeBuilder* builder) {
+  XTC_CHECK(input != nullptr);
+  const RhsHedge* rhs = t.rule(state, input->label);
+  Hedge out;
+  if (rhs == nullptr) return out;
+  ExpandRhsHedge(t, *rhs, input, builder, &out);
+  return out;
+}
+
+Node* Apply(const Transducer& t, const Node* input, TreeBuilder* builder) {
+  XTC_CHECK_GE(t.initial(), 0);
+  Hedge out = ApplyState(t, t.initial(), input, builder);
+  // Definition 5's root restriction: the translation only counts as a tree
+  // when the root rule produced exactly one.
+  if (out.size() != 1) return nullptr;
+  return out[0];
+}
+
+}  // namespace xtc

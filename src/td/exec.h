@@ -1,0 +1,21 @@
+#ifndef XTC_TD_EXEC_H_
+#define XTC_TD_EXEC_H_
+
+#include "src/td/transducer.h"
+#include "src/tree/tree.h"
+
+namespace xtc {
+
+/// T^q(t): the translation of `input` in state `state` (Definition 5 plus
+/// the Section 4 selector semantics). Returns the output hedge; missing
+/// rules yield the empty hedge.
+Hedge ApplyState(const Transducer& t, int state, const Node* input,
+                 TreeBuilder* builder);
+
+/// T(t) = T^{q0}(t) interpreted as a tree; nullptr when the translation is
+/// the empty hedge (no initial rule for the root label).
+Node* Apply(const Transducer& t, const Node* input, TreeBuilder* builder);
+
+}  // namespace xtc
+
+#endif  // XTC_TD_EXEC_H_

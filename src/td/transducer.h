@@ -1,0 +1,115 @@
+#ifndef XTC_TD_TRANSDUCER_H_
+#define XTC_TD_TRANSDUCER_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/fa/alphabet.h"
+#include "src/fa/dfa.h"
+#include "src/xpath/ast.h"
+
+namespace xtc {
+
+/// A node of a rule's right-hand side: an output label with template
+/// children, a bare state (processing all children of the current input
+/// node), or a state-selector pair ⟨q, P⟩ (processing the input nodes
+/// selected by the XPath pattern or path DFA — Section 4). States and
+/// selectors only occur at leaves; output is extended downwards only.
+struct RhsNode {
+  enum class Kind { kLabel, kState, kSelect };
+
+  Kind kind = Kind::kLabel;
+  int label = -1;     ///< kLabel
+  int state = -1;     ///< kState / kSelect
+  int selector = -1;  ///< kSelect: index into the transducer's selectors
+  std::vector<RhsNode> children;  ///< kLabel only
+
+  static RhsNode Label(int label, std::vector<RhsNode> children = {});
+  static RhsNode State(int state);
+  static RhsNode Select(int state, int selector);
+};
+
+using RhsHedge = std::vector<RhsNode>;
+
+/// A node-selection device for ⟨q, P⟩ leaves: an XPath pattern, or a path
+/// DFA (T^DFA transducers, Theorem 29).
+struct Selector {
+  XPathPatternPtr pattern;   ///< set for XPath selectors
+  std::optional<Dfa> dfa;    ///< set for DFA selectors
+};
+
+/// A deterministic top–down unranked tree transducer (Definition 5),
+/// optionally extended with XPath/DFA selectors (Section 4). Rules map
+/// (state, input symbol) to an output hedge template. Definition 5 restricts
+/// the rule applied at the document root to a single label-rooted tree so
+/// that outputs are trees; like the paper's own Example 10 (which reuses its
+/// start state on inner symbols with hedge templates), this is enforced at
+/// application/typechecking time for the actual root rule only.
+class Transducer {
+ public:
+  explicit Transducer(Alphabet* alphabet) : alphabet_(alphabet) {}
+
+  /// Adds a state; names are used in diagnostics, rule parsing, and XSLT
+  /// export modes.
+  int AddState(std::string name);
+
+  int num_states() const { return static_cast<int>(state_names_.size()); }
+  const std::string& StateName(int state) const;
+  std::optional<int> FindState(std::string_view name) const;
+
+  void SetInitial(int state);
+  int initial() const { return initial_; }
+
+  int AddSelector(Selector selector);
+  const Selector& selector(int id) const;
+  int num_selectors() const { return static_cast<int>(selectors_.size()); }
+
+  /// Installs the rule (state, symbol) -> rhs, checking well-formedness
+  /// (states/selectors are leaves and in range).
+  void SetRule(int state, int symbol, RhsHedge rhs);
+
+  /// Parses and installs a rule. The rhs syntax is the paper's term syntax
+  /// where leaf names resolve to states when they match a state name and to
+  /// output labels otherwise; ⟨q, P⟩ is written "<q, ./pattern>". Example:
+  /// "c(p q)" or "chapter <q, .//title>".
+  Status SetRuleFromString(std::string_view state_name,
+                           std::string_view symbol_name,
+                           std::string_view rhs_text);
+
+  /// The rule's template, or nullptr when there is no (state, symbol) rule
+  /// (in which case the transducer outputs the empty hedge).
+  const RhsHedge* rule(int state, int symbol) const;
+
+  const std::map<std::pair<int, int>, RhsHedge>& rules() const {
+    return rules_;
+  }
+
+  Alphabet* alphabet() const { return alphabet_; }
+
+  /// Paper size measure: |Q| + |Sigma| + total rhs nodes.
+  std::size_t Size() const;
+
+  /// Whether any rule uses a ⟨q, P⟩ selector.
+  bool HasSelectors() const;
+
+  /// Renders a rule template in the input syntax.
+  std::string RhsToString(const RhsHedge& rhs) const;
+
+ private:
+  void CheckRhs(const RhsHedge& rhs, bool top_level) const;
+
+  Alphabet* alphabet_;
+  std::vector<std::string> state_names_;
+  std::map<std::string, int, std::less<>> state_ids_;
+  int initial_ = -1;
+  std::vector<Selector> selectors_;
+  std::map<std::pair<int, int>, RhsHedge> rules_;
+};
+
+}  // namespace xtc
+
+#endif  // XTC_TD_TRANSDUCER_H_

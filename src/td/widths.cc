@@ -1,0 +1,198 @@
+#include "src/td/widths.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/base/logging.h"
+
+namespace xtc {
+namespace {
+
+// Iterative Tarjan SCC over an adjacency list; returns the component id per
+// node (ids are in reverse topological order: an edge u->v across components
+// has comp[u] > comp[v]).
+std::vector<int> TarjanScc(const std::vector<std::vector<int>>& adj) {
+  const int n = static_cast<int>(adj.size());
+  std::vector<int> index(static_cast<std::size_t>(n), -1);
+  std::vector<int> low(static_cast<std::size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+  std::vector<int> stack;
+  std::vector<int> comp(static_cast<std::size_t>(n), -1);
+  int next_index = 0;
+  int next_comp = 0;
+
+  struct Frame {
+    int v;
+    std::size_t child;
+  };
+  std::vector<Frame> call;
+  for (int root = 0; root < n; ++root) {
+    if (index[static_cast<std::size_t>(root)] != -1) continue;
+    call.push_back({root, 0});
+    index[static_cast<std::size_t>(root)] =
+        low[static_cast<std::size_t>(root)] = next_index++;
+    stack.push_back(root);
+    on_stack[static_cast<std::size_t>(root)] = true;
+    while (!call.empty()) {
+      Frame& f = call.back();
+      if (f.child < adj[static_cast<std::size_t>(f.v)].size()) {
+        int w = adj[static_cast<std::size_t>(f.v)][f.child++];
+        if (index[static_cast<std::size_t>(w)] == -1) {
+          index[static_cast<std::size_t>(w)] =
+              low[static_cast<std::size_t>(w)] = next_index++;
+          stack.push_back(w);
+          on_stack[static_cast<std::size_t>(w)] = true;
+          call.push_back({w, 0});
+        } else if (on_stack[static_cast<std::size_t>(w)]) {
+          low[static_cast<std::size_t>(f.v)] =
+              std::min(low[static_cast<std::size_t>(f.v)],
+                       index[static_cast<std::size_t>(w)]);
+        }
+      } else {
+        int v = f.v;
+        call.pop_back();
+        if (!call.empty()) {
+          int parent = call.back().v;
+          low[static_cast<std::size_t>(parent)] =
+              std::min(low[static_cast<std::size_t>(parent)],
+                       low[static_cast<std::size_t>(v)]);
+        }
+        if (low[static_cast<std::size_t>(v)] ==
+            index[static_cast<std::size_t>(v)]) {
+          while (true) {
+            int w = stack.back();
+            stack.pop_back();
+            on_stack[static_cast<std::size_t>(w)] = false;
+            comp[static_cast<std::size_t>(w)] = next_comp;
+            if (w == v) break;
+          }
+          ++next_comp;
+        }
+      }
+    }
+  }
+  return comp;
+}
+
+// Collects the states occurring at the top level of a template hedge
+// (kState only: selectors are rejected by AnalyzeWidths) and the sibling-
+// sequence state counts anywhere in the template.
+void ScanSiblings(const RhsHedge& rhs, int* max_states_in_siblings) {
+  int here = 0;
+  for (const RhsNode& n : rhs) {
+    if (n.kind != RhsNode::Kind::kLabel) ++here;
+  }
+  *max_states_in_siblings = std::max(*max_states_in_siblings, here);
+  for (const RhsNode& n : rhs) {
+    if (n.kind == RhsNode::Kind::kLabel) {
+      ScanSiblings(n.children, max_states_in_siblings);
+    }
+  }
+}
+
+uint64_t SatMul(uint64_t a, uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > kWidthSaturated / b) return kWidthSaturated;
+  return std::min(a * b, kWidthSaturated);
+}
+
+}  // namespace
+
+WidthAnalysis AnalyzeWidths(const Transducer& t) {
+  XTC_CHECK_MSG(!t.HasSelectors(),
+                "compile selectors away before width analysis");
+  WidthAnalysis out;
+  out.deletion_width.assign(static_cast<std::size_t>(t.num_states()), 0);
+  out.recursively_deleting.assign(static_cast<std::size_t>(t.num_states()),
+                                  false);
+
+  // Copying width C and per-rule top-level states.
+  std::map<std::pair<int, int>, std::vector<int>> top_states;
+  for (const auto& [key, rhs] : t.rules()) {
+    ScanSiblings(rhs, &out.copying_width);
+    std::vector<int>& tops = top_states[key];
+    for (const RhsNode& n : rhs) {
+      if (n.kind == RhsNode::Kind::kState) tops.push_back(n.state);
+    }
+    auto& dw = out.deletion_width[static_cast<std::size_t>(key.first)];
+    dw = std::max(dw, static_cast<int>(tops.size()));
+  }
+
+  // The deletion path graph G_T (Proposition 16): nodes are rule pairs
+  // (q, a); an edge (q,a) -> (q',a') for every top-level state q' of
+  // rhs(q, a) and every symbol a' with a rule; edge cost = number of
+  // top-level states of rhs(q, a).
+  std::vector<std::pair<int, int>> nodes;
+  std::map<std::pair<int, int>, int> node_id;
+  for (const auto& [key, tops] : top_states) {
+    node_id.emplace(key, static_cast<int>(nodes.size()));
+    nodes.push_back(key);
+  }
+  const int n = static_cast<int>(nodes.size());
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+  std::vector<int> cost(static_cast<std::size_t>(n), 0);
+  for (int v = 0; v < n; ++v) {
+    const std::vector<int>& tops = top_states.at(nodes[static_cast<std::size_t>(v)]);
+    cost[static_cast<std::size_t>(v)] = static_cast<int>(tops.size());
+    for (int q2 : tops) {
+      for (const auto& [key2, id2] : node_id) {
+        if (key2.first == q2) adj[static_cast<std::size_t>(v)].push_back(id2);
+      }
+    }
+  }
+
+  std::vector<int> comp = TarjanScc(adj);
+
+  // recursively_deleting: state-level deletion graph cycles. A state q is on
+  // a cycle iff some (q, a) node has an edge within its SCC (or a self-loop).
+  for (int v = 0; v < n; ++v) {
+    for (int w : adj[static_cast<std::size_t>(v)]) {
+      if (comp[static_cast<std::size_t>(v)] == comp[static_cast<std::size_t>(w)]) {
+        out.recursively_deleting[static_cast<std::size_t>(
+            nodes[static_cast<std::size_t>(v)].first)] = true;
+        // A cycle edge with cost > 1 means copying while recursively
+        // deleting: K is unbounded.
+        if (cost[static_cast<std::size_t>(v)] > 1) out.dpw_bounded = false;
+      }
+    }
+  }
+  if (!out.dpw_bounded) return out;
+
+  // Longest (max-product) path on the condensation G'_T. Every node of a
+  // nontrivial SCC has an intra-SCC out-edge, so (having not bailed out
+  // above) intra-SCC edges all carry cost 1 and contribute nothing to the
+  // product; a component's best value is determined by its cross edges.
+  // Tarjan component ids are in reverse topological order, so successors of
+  // a component have smaller ids and are already settled.
+  int num_comps = 0;
+  for (int v = 0; v < n; ++v) {
+    num_comps = std::max(num_comps, comp[static_cast<std::size_t>(v)] + 1);
+  }
+  std::vector<uint64_t> best_comp(static_cast<std::size_t>(num_comps), 1);
+  uint64_t k = 1;
+  for (int c = 0; c < num_comps; ++c) {
+    uint64_t val = 1;
+    for (int v = 0; v < n; ++v) {
+      if (comp[static_cast<std::size_t>(v)] != c) continue;
+      for (int w : adj[static_cast<std::size_t>(v)]) {
+        int cw = comp[static_cast<std::size_t>(w)];
+        if (cw == c) continue;  // intra-SCC: cost 1, no effect
+        uint64_t via =
+            SatMul(static_cast<uint64_t>(cost[static_cast<std::size_t>(v)]),
+                   best_comp[static_cast<std::size_t>(cw)]);
+        val = std::max(val, via);
+      }
+    }
+    best_comp[static_cast<std::size_t>(c)] = val;
+    k = std::max(k, val);
+  }
+  out.deletion_path_width = k;
+  return out;
+}
+
+bool IsTrac(const WidthAnalysis& analysis, int max_c, uint64_t max_k) {
+  return analysis.dpw_bounded && analysis.copying_width <= max_c &&
+         analysis.deletion_path_width <= max_k;
+}
+
+}  // namespace xtc

@@ -1,0 +1,48 @@
+#ifndef XTC_TD_WIDTHS_H_
+#define XTC_TD_WIDTHS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/td/transducer.h"
+
+namespace xtc {
+
+/// K values saturate here (the paper bounds intermediate costs by |T|^|T|,
+/// which needs |T| log |T| bits; we saturate rather than carry bignums —
+/// any saturated transducer is far outside every practical T^{C,K}_trac).
+inline constexpr uint64_t kWidthSaturated = uint64_t{1} << 62;
+
+/// The copying/deletion analysis of Section 2.5 and Proposition 16.
+struct WidthAnalysis {
+  /// C: max number of state/selector occurrences in one sibling sequence.
+  int copying_width = 0;
+
+  /// Whether the deletion path width K is finite. It is infinite exactly
+  /// when some cycle of the deletion path graph G_T carries an edge of cost
+  /// > 1 (copying while recursively deleting).
+  bool dpw_bounded = true;
+
+  /// K: the largest cost of a path in G_T (valid when dpw_bounded).
+  uint64_t deletion_path_width = 1;
+
+  /// dw(q): max number of states in top(rhs(q, a)) over all a.
+  std::vector<int> deletion_width;
+
+  /// Whether the state occurs twice in some deletion path (i.e. lies on a
+  /// cycle of the state-level deletion graph).
+  std::vector<bool> recursively_deleting;
+};
+
+/// Computes C and K (Proposition 16: PTIME via longest path in the cycle-
+/// condensed deletion path graph). The transducer must be selector-free;
+/// compile selectors away first (Theorems 23/29).
+WidthAnalysis AnalyzeWidths(const Transducer& t);
+
+/// Membership in T^{C,K}_trac: dpw_bounded with copying width <= C and
+/// deletion path width <= K.
+bool IsTrac(const WidthAnalysis& analysis, int max_c, uint64_t max_k);
+
+}  // namespace xtc
+
+#endif  // XTC_TD_WIDTHS_H_

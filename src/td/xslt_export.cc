@@ -1,0 +1,75 @@
+#include "src/td/xslt_export.h"
+
+#include "src/xpath/ast.h"
+
+namespace xtc {
+namespace {
+
+void Indent(int depth, std::string* out) {
+  out->append(static_cast<std::size_t>(depth) * 2, ' ');
+}
+
+void RenderRhsNode(const Transducer& t, const RhsNode& n, int depth,
+                   std::string* out) {
+  const Alphabet& alphabet = *t.alphabet();
+  switch (n.kind) {
+    case RhsNode::Kind::kLabel:
+      Indent(depth, out);
+      if (n.children.empty()) {
+        out->append("<" + alphabet.Name(n.label) + "/>\n");
+      } else {
+        out->append("<" + alphabet.Name(n.label) + ">\n");
+        for (const RhsNode& c : n.children) {
+          RenderRhsNode(t, c, depth + 1, out);
+        }
+        Indent(depth, out);
+        out->append("</" + alphabet.Name(n.label) + ">\n");
+      }
+      break;
+    case RhsNode::Kind::kState:
+      Indent(depth, out);
+      out->append("<xsl:apply-templates mode=\"" + t.StateName(n.state) +
+                  "\"/>\n");
+      break;
+    case RhsNode::Kind::kSelect: {
+      Indent(depth, out);
+      const Selector& sel = t.selector(n.selector);
+      std::string select =
+          sel.pattern != nullptr
+              ? PatternToString(*sel.pattern, alphabet)
+              : std::string("(: path automaton #") +
+                    std::to_string(n.selector) + " :)";
+      // XSLT paths are written relative to the context node: drop "./".
+      if (select.rfind("./", 0) == 0 && select.rfind(".//", 0) != 0) {
+        select = select.substr(2);
+      }
+      out->append("<xsl:apply-templates select=\"" + select + "\" mode=\"" +
+                  t.StateName(n.state) + "\"/>\n");
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string ExportXslt(const Transducer& t) {
+  std::string out;
+  out +=
+      "<xsl:stylesheet version=\"1.0\" "
+      "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">\n";
+  out += "<!-- start the program in mode \"" + t.StateName(t.initial()) +
+         "\" -->\n";
+  for (const auto& [key, rhs] : t.rules()) {
+    const auto& [state, symbol] = key;
+    out += "<xsl:template match=\"" + t.alphabet()->Name(symbol) +
+           "\" mode=\"" + t.StateName(state) + "\">\n";
+    for (const RhsNode& n : rhs) {
+      RenderRhsNode(t, n, 1, &out);
+    }
+    out += "</xsl:template>\n";
+  }
+  out += "</xsl:stylesheet>\n";
+  return out;
+}
+
+}  // namespace xtc

@@ -1,0 +1,18 @@
+#ifndef XTC_TD_XSLT_EXPORT_H_
+#define XTC_TD_XSLT_EXPORT_H_
+
+#include <string>
+
+#include "src/td/transducer.h"
+
+namespace xtc {
+
+/// Renders the transducer as the equivalent XSLT program, one template per
+/// rule, exactly in the style of Fig. 1: states become modes, bare states
+/// become `<xsl:apply-templates mode="q"/>`, and ⟨q, P⟩ selectors become
+/// `<xsl:apply-templates select="..." mode="q"/>`.
+std::string ExportXslt(const Transducer& t);
+
+}  // namespace xtc
+
+#endif  // XTC_TD_XSLT_EXPORT_H_

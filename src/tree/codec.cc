@@ -1,0 +1,206 @@
+#include "src/tree/codec.h"
+
+#include <cctype>
+#include <vector>
+
+namespace xtc {
+namespace {
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '#' ||
+         c == '$' || c == '.' || c == ':' || c == '-';
+}
+
+void TermRec(const Node* tree, const Alphabet& alphabet, std::string* out) {
+  out->append(alphabet.Name(tree->label));
+  if (tree->child_count == 0) return;
+  out->push_back('(');
+  for (uint32_t i = 0; i < tree->child_count; ++i) {
+    if (i > 0) out->push_back(' ');
+    TermRec(tree->children[i], alphabet, out);
+  }
+  out->push_back(')');
+}
+
+class TermParser {
+ public:
+  TermParser(std::string_view text, Alphabet* alphabet, TreeBuilder* builder)
+      : text_(text), alphabet_(alphabet), builder_(builder) {}
+
+  StatusOr<Node*> Parse() {
+    StatusOr<Node*> t = ParseTree();
+    if (!t.ok()) return t;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return InvalidArgumentError("trailing characters in term at position " +
+                                  std::to_string(pos_));
+    }
+    return t;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  StatusOr<Node*> ParseTree() {
+    SkipSpace();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() && IsNameChar(text_[pos_])) ++pos_;
+    if (pos_ == start) {
+      return InvalidArgumentError("expected a label at position " +
+                                  std::to_string(pos_));
+    }
+    int label = alphabet_->Intern(text_.substr(start, pos_ - start));
+    std::vector<Node*> children;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '(') {
+      ++pos_;
+      SkipSpace();
+      while (pos_ < text_.size() && text_[pos_] != ')') {
+        StatusOr<Node*> child = ParseTree();
+        if (!child.ok()) return child;
+        children.push_back(*child);
+        SkipSpace();
+      }
+      if (pos_ >= text_.size()) return InvalidArgumentError("missing ')'");
+      ++pos_;  // consume ')'
+    }
+    return builder_->Make(label, children);
+  }
+
+  std::string_view text_;
+  Alphabet* alphabet_;
+  TreeBuilder* builder_;
+  std::size_t pos_ = 0;
+};
+
+void XmlRec(const Node* tree, const Alphabet& alphabet, bool indent, int depth,
+            std::string* out) {
+  if (indent) out->append(static_cast<std::size_t>(depth) * 2, ' ');
+  out->push_back('<');
+  out->append(alphabet.Name(tree->label));
+  if (tree->child_count == 0) {
+    out->append("/>");
+    if (indent) out->push_back('\n');
+    return;
+  }
+  out->push_back('>');
+  if (indent) out->push_back('\n');
+  for (Node* c : tree->Children()) XmlRec(c, alphabet, indent, depth + 1, out);
+  if (indent) out->append(static_cast<std::size_t>(depth) * 2, ' ');
+  out->append("</");
+  out->append(alphabet.Name(tree->label));
+  out->push_back('>');
+  if (indent) out->push_back('\n');
+}
+
+class XmlParser {
+ public:
+  XmlParser(std::string_view text, Alphabet* alphabet, TreeBuilder* builder)
+      : text_(text), alphabet_(alphabet), builder_(builder) {}
+
+  StatusOr<Node*> Parse() {
+    StatusOr<Node*> t = ParseElement();
+    if (!t.ok()) return t;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return InvalidArgumentError("trailing characters after root element");
+    }
+    return t;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  StatusOr<Node*> ParseElement() {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '<') {
+      return InvalidArgumentError("expected '<' at position " +
+                                  std::to_string(pos_));
+    }
+    ++pos_;
+    std::size_t start = pos_;
+    while (pos_ < text_.size() && IsNameChar(text_[pos_])) ++pos_;
+    if (pos_ == start) return InvalidArgumentError("expected element name");
+    std::string name(text_.substr(start, pos_ - start));
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '/') {
+      ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] != '>') {
+        return InvalidArgumentError("expected '>' after '/'");
+      }
+      ++pos_;
+      return builder_->Leaf(alphabet_->Intern(name));
+    }
+    if (pos_ >= text_.size() || text_[pos_] != '>') {
+      return InvalidArgumentError(
+          "expected '>' (attributes and text content are not supported)");
+    }
+    ++pos_;
+    std::vector<Node*> children;
+    while (true) {
+      SkipSpace();
+      if (pos_ + 1 < text_.size() && text_[pos_] == '<' &&
+          text_[pos_ + 1] == '/') {
+        break;
+      }
+      StatusOr<Node*> child = ParseElement();
+      if (!child.ok()) return child;
+      children.push_back(*child);
+    }
+    pos_ += 2;  // consume "</"
+    std::size_t cstart = pos_;
+    while (pos_ < text_.size() && IsNameChar(text_[pos_])) ++pos_;
+    if (text_.substr(cstart, pos_ - cstart) != name) {
+      return InvalidArgumentError("mismatched closing tag for <" + name + ">");
+    }
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '>') {
+      return InvalidArgumentError("expected '>' in closing tag");
+    }
+    ++pos_;
+    return builder_->Make(alphabet_->Intern(name), children);
+  }
+
+  std::string_view text_;
+  Alphabet* alphabet_;
+  TreeBuilder* builder_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string ToTermString(const Node* tree, const Alphabet& alphabet) {
+  if (tree == nullptr) return "";
+  std::string out;
+  TermRec(tree, alphabet, &out);
+  return out;
+}
+
+StatusOr<Node*> ParseTerm(std::string_view text, Alphabet* alphabet,
+                          TreeBuilder* builder) {
+  return TermParser(text, alphabet, builder).Parse();
+}
+
+std::string ToXml(const Node* tree, const Alphabet& alphabet, bool indent) {
+  if (tree == nullptr) return "";
+  std::string out;
+  XmlRec(tree, alphabet, indent, 0, &out);
+  return out;
+}
+
+StatusOr<Node*> ParseXml(std::string_view text, Alphabet* alphabet,
+                         TreeBuilder* builder) {
+  return XmlParser(text, alphabet, builder).Parse();
+}
+
+}  // namespace xtc

@@ -1,0 +1,35 @@
+#ifndef XTC_TREE_CODEC_H_
+#define XTC_TREE_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/base/status.h"
+#include "src/fa/alphabet.h"
+#include "src/tree/tree.h"
+
+namespace xtc {
+
+/// Serializes a tree in the paper's term syntax, e.g. "book(title chapter(
+/// title intro section(title paragraph)))". A leaf `a()` is printed as `a`.
+std::string ToTermString(const Node* tree, const Alphabet& alphabet);
+
+/// Parses the term syntax; symbol names are interned into `alphabet` and
+/// nodes allocated via `builder`.
+StatusOr<Node*> ParseTerm(std::string_view text, Alphabet* alphabet,
+                          TreeBuilder* builder);
+
+/// Serializes a tree as structure-only XML: `<a><b/><c/></a>`. If `indent`
+/// is true, pretty-prints with two-space indentation.
+std::string ToXml(const Node* tree, const Alphabet& alphabet,
+                  bool indent = false);
+
+/// Parses structure-only XML (elements only; attributes, text content,
+/// comments, processing instructions and doctypes are rejected — the paper's
+/// abstraction, like Milo–Suciu–Vianu's, focuses on structure, not content).
+StatusOr<Node*> ParseXml(std::string_view text, Alphabet* alphabet,
+                         TreeBuilder* builder);
+
+}  // namespace xtc
+
+#endif  // XTC_TREE_CODEC_H_

@@ -1,0 +1,71 @@
+#include "src/tree/hashcons.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+
+namespace xtc {
+
+int SharedForest::Make(int label, std::span<const int> children) {
+  std::pair<int, std::vector<int>> key(
+      label, std::vector<int>(children.begin(), children.end()));
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(Entry{label, key.second});
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+uint64_t SharedForest::UnfoldedSize(int id) const {
+  if (size_memo_.size() < nodes_.size()) size_memo_.resize(nodes_.size(), 0);
+  if (size_memo_[id] != 0) return size_memo_[id];
+  // Children have smaller ids than their parents (interning is bottom-up),
+  // so a simple recursion terminates.
+  uint64_t total = 1;
+  for (int c : nodes_[id].children) {
+    uint64_t cs = UnfoldedSize(c);
+    if (cs == kSaturated || total + cs < total) {
+      total = kSaturated;
+      break;
+    }
+    total += cs;
+  }
+  size_memo_[id] = total;
+  return total;
+}
+
+int SharedForest::UnfoldedDepth(int id) const {
+  if (depth_memo_.size() < nodes_.size()) depth_memo_.resize(nodes_.size(), 0);
+  if (depth_memo_[id] != 0) return depth_memo_[id];
+  int best = 0;
+  for (int c : nodes_[id].children) best = std::max(best, UnfoldedDepth(c));
+  depth_memo_[id] = best + 1;
+  return best + 1;
+}
+
+StatusOr<Node*> SharedForest::Materialize(int id, TreeBuilder* builder,
+                                          uint64_t max_nodes) const {
+  if (UnfoldedSize(id) > max_nodes) {
+    return ResourceExhaustedError(
+        "unfolded tree exceeds the materialization budget");
+  }
+  std::vector<Node*> kids;
+  kids.reserve(nodes_[id].children.size());
+  for (int c : nodes_[id].children) {
+    StatusOr<Node*> k = Materialize(c, builder, max_nodes);
+    if (!k.ok()) return k;
+    kids.push_back(*k);
+  }
+  return builder->Make(nodes_[id].label, kids);
+}
+
+int SharedForest::Intern(const Node* tree) {
+  XTC_CHECK(tree != nullptr);
+  std::vector<int> kids;
+  kids.reserve(tree->child_count);
+  for (const Node* c : tree->Children()) kids.push_back(Intern(c));
+  return Make(tree->label, kids);
+}
+
+}  // namespace xtc

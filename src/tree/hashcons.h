@@ -1,0 +1,63 @@
+#ifndef XTC_TREE_HASHCONS_H_
+#define XTC_TREE_HASHCONS_H_
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/tree/tree.h"
+
+namespace xtc {
+
+/// A hash-consed forest: structurally equal subtrees are interned once, so a
+/// tree whose unfolding is exponential (like the paper's `t_vast` witness in
+/// Section 5, which doubles children under every `+`) is stored as a DAG of
+/// polynomially many distinct nodes. Algorithms over shared trees memoize
+/// per node id. This also serves as the "description of a tree" that
+/// Proposition 4(3) and Corollary 38 output.
+class SharedForest {
+ public:
+  /// Interns a node; returns its id. Equal (label, children) pairs share one
+  /// id.
+  int Make(int label, std::span<const int> children);
+
+  int Leaf(int label) { return Make(label, {}); }
+
+  int label(int id) const { return nodes_[id].label; }
+  const std::vector<int>& children(int id) const { return nodes_[id].children; }
+
+  /// Number of distinct (shared) nodes.
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+  /// Node count of the full unfolding, saturating at kSaturated.
+  static constexpr uint64_t kSaturated = ~uint64_t{0};
+  uint64_t UnfoldedSize(int id) const;
+
+  /// Depth of the unfolding.
+  int UnfoldedDepth(int id) const;
+
+  /// Expands to a real tree. Fails with kResourceExhausted if the unfolding
+  /// exceeds `max_nodes`.
+  StatusOr<Node*> Materialize(int id, TreeBuilder* builder,
+                              uint64_t max_nodes) const;
+
+  /// Interns an existing tree.
+  int Intern(const Node* tree);
+
+ private:
+  struct Entry {
+    int label;
+    std::vector<int> children;
+  };
+
+  std::vector<Entry> nodes_;
+  std::map<std::pair<int, std::vector<int>>, int> index_;
+  mutable std::vector<uint64_t> size_memo_;
+  mutable std::vector<int> depth_memo_;
+};
+
+}  // namespace xtc
+
+#endif  // XTC_TREE_HASHCONS_H_

@@ -1,0 +1,81 @@
+#include "src/tree/tree.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+
+namespace xtc {
+
+Node* TreeBuilder::Make(int label, std::span<Node* const> children) {
+  Node* n = arena_->New<Node>();
+  n->label = label;
+  n->child_count = static_cast<uint32_t>(children.size());
+  if (children.empty()) {
+    n->children = nullptr;
+  } else {
+    n->children = arena_->NewArray<Node*>(children.size());
+    std::copy(children.begin(), children.end(), n->children);
+  }
+  return n;
+}
+
+Node* TreeBuilder::Clone(const Node* node) {
+  XTC_CHECK(node != nullptr);
+  std::vector<Node*> kids;
+  kids.reserve(node->child_count);
+  for (Node* c : node->Children()) kids.push_back(Clone(c));
+  return Make(node->label, kids);
+}
+
+int Depth(const Node* tree) {
+  if (tree == nullptr) return 0;
+  int best = 0;
+  for (Node* c : tree->Children()) best = std::max(best, Depth(c));
+  return best + 1;
+}
+
+int HedgeDepth(const Hedge& hedge) {
+  int best = 0;
+  for (const Node* t : hedge) best = std::max(best, Depth(t));
+  return best;
+}
+
+std::size_t NodeCount(const Node* tree) {
+  if (tree == nullptr) return 0;
+  std::size_t n = 1;
+  for (Node* c : tree->Children()) n += NodeCount(c);
+  return n;
+}
+
+std::size_t HedgeNodeCount(const Hedge& hedge) {
+  std::size_t n = 0;
+  for (const Node* t : hedge) n += NodeCount(t);
+  return n;
+}
+
+std::vector<int> TopString(const Hedge& hedge) {
+  std::vector<int> out;
+  out.reserve(hedge.size());
+  for (const Node* t : hedge) out.push_back(t->label);
+  return out;
+}
+
+bool TreeEqual(const Node* a, const Node* b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->label != b->label || a->child_count != b->child_count) return false;
+  for (uint32_t i = 0; i < a->child_count; ++i) {
+    if (!TreeEqual(a->children[i], b->children[i])) return false;
+  }
+  return true;
+}
+
+bool HedgeEqual(const Hedge& a, const Hedge& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!TreeEqual(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace xtc

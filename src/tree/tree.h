@@ -1,0 +1,67 @@
+#ifndef XTC_TREE_TREE_H_
+#define XTC_TREE_TREE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/base/arena.h"
+
+namespace xtc {
+
+/// A node of an unranked Sigma-tree (Section 2.1). Nodes are plain data
+/// owned by an Arena; child arrays live in the same arena. There is no
+/// a-priori bound on the number of children.
+struct Node {
+  int32_t label;
+  uint32_t child_count;
+  Node** children;
+
+  std::span<Node* const> Children() const { return {children, child_count}; }
+};
+
+/// A hedge is a finite sequence of trees (Section 2.1).
+using Hedge = std::vector<Node*>;
+
+/// Allocates nodes in an arena. The builder does not own the arena.
+class TreeBuilder {
+ public:
+  explicit TreeBuilder(Arena* arena) : arena_(arena) {}
+
+  /// A leaf node labelled `label`.
+  Node* Leaf(int label) { return Make(label, {}); }
+
+  /// A node labelled `label` with the given children (copied into the
+  /// arena's child array).
+  Node* Make(int label, std::span<Node* const> children);
+
+  /// Deep-copies `node` (which may live in another arena).
+  Node* Clone(const Node* node);
+
+  Arena* arena() const { return arena_; }
+
+ private:
+  Arena* arena_;
+};
+
+/// depth(t): a single root has depth 1; depth(ε)=0 is represented by the
+/// null tree.
+int Depth(const Node* tree);
+
+/// Max depth over the trees of a hedge.
+int HedgeDepth(const Hedge& hedge);
+
+/// Number of nodes in the tree.
+std::size_t NodeCount(const Node* tree);
+std::size_t HedgeNodeCount(const Hedge& hedge);
+
+/// top(h): the string of root labels of the hedge (Section 2.1).
+std::vector<int> TopString(const Hedge& hedge);
+
+/// Structural equality.
+bool TreeEqual(const Node* a, const Node* b);
+bool HedgeEqual(const Hedge& a, const Hedge& b);
+
+}  // namespace xtc
+
+#endif  // XTC_TREE_TREE_H_

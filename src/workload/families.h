@@ -1,0 +1,44 @@
+#ifndef XTC_WORKLOAD_FAMILIES_H_
+#define XTC_WORKLOAD_FAMILIES_H_
+
+#include "src/core/paper_examples.h"
+
+namespace xtc {
+
+/// Scaling families driving the benchmark harness (EXPERIMENTS.md).
+/// All families typecheck positively unless noted, so benches measure the
+/// full (no-early-exit) cost.
+
+/// Filtering with recursive deletion and no copying (the Example 10 shape):
+/// a section hierarchy of `n` distinct levels; the transducer extracts all
+/// titles by deleting interior nodes. C = 1, K = 1; |d_in| grows with n.
+PaperExample FilterFamily(int n);
+
+/// Copying width `c`, deletion path width `k` (k >= 1, via a chain of
+/// non-recursively deleting states): exercises the C·K exponent of
+/// Lemma 14.
+PaperExample WidthFamily(int c, int k);
+
+/// Relabeling transducer over DTDs with rule DFAs of ~n states each
+/// (Theorem 20 / T_del-relab scaling).
+PaperExample RelabFamily(int n);
+
+/// Unbounded copying (width n) over DTD(RE+) schemas (Theorem 37 scaling):
+/// the trac engine is exponential in n here, the Section 5 engine is not.
+PaperExample RePlusCopyFamily(int n);
+
+/// Child-only XPath pattern of length n (Theorem 23 scaling).
+PaperExample XPathChainFamily(int n);
+
+/// DTD(NFA) schemas with n-state NFAs whose determinization is exponential
+/// (the classic "n-th letter from the end" language): the PSPACE row of
+/// Table 1.
+PaperExample NfaSchemaFamily(int n);
+
+/// A failing variant of FilterFamily (d_out misses one required title):
+/// counterexample-generation workloads (Corollary 38).
+PaperExample FailingFilterFamily(int n);
+
+}  // namespace xtc
+
+#endif  // XTC_WORKLOAD_FAMILIES_H_

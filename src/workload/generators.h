@@ -1,0 +1,49 @@
+#ifndef XTC_WORKLOAD_GENERATORS_H_
+#define XTC_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <random>
+
+#include "src/core/paper_examples.h"
+#include "src/tree/tree.h"
+
+namespace xtc {
+
+/// Knobs for seeded random instances (property tests sweep seeds).
+struct RandomOptions {
+  int num_symbols = 3;
+  int num_states = 3;
+  int dfa_states_per_rule = 3;
+  int max_top_width = 3;   ///< max rhs top-level width
+  int max_rhs_depth = 2;   ///< max template depth
+  bool allow_deletion = true;
+  bool allow_copying = true;
+  double rule_density = 0.8;  ///< probability that a (state, symbol) rule exists
+};
+
+/// A random DTD(DFA) (explicit small random DFAs per rule) over symbols
+/// a0..a_{n-1}; the start symbol is a0.
+Dtd RandomDfaDtd(std::mt19937* rng, Alphabet* alphabet,
+                 const RandomOptions& options);
+
+/// A random DTD(RE+) over the same symbols.
+Dtd RandomRePlusDtd(std::mt19937* rng, Alphabet* alphabet,
+                    const RandomOptions& options);
+
+/// A random deterministic top-down transducer (selector-free).
+Transducer RandomTransducer(std::mt19937* rng, Alphabet* alphabet,
+                            const RandomOptions& options);
+
+/// A complete random instance sharing one alphabet. `re_plus` selects
+/// DTD(RE+) schemas instead of DTD(DFA).
+PaperExample RandomInstance(std::uint32_t seed, const RandomOptions& options,
+                            bool re_plus);
+
+/// A uniform random (not necessarily valid) tree, for transducer-semantics
+/// tests.
+Node* RandomTree(std::mt19937* rng, int num_symbols, int depth, int max_width,
+                 TreeBuilder* builder);
+
+}  // namespace xtc
+
+#endif  // XTC_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,166 @@
+#include "src/xpath/ast.h"
+
+#include "src/base/logging.h"
+
+namespace xtc {
+
+namespace {
+
+XPathExpr MakeExpr(XPathExpr::Kind kind) {
+  XPathExpr e;
+  e.kind = kind;
+  return e;
+}
+
+}  // namespace
+
+XPathExprPtr XPathExpr::Disj(XPathExprPtr l, XPathExprPtr r) {
+  XPathExpr e = MakeExpr(Kind::kDisj);
+  e.left = std::move(l);
+  e.right = std::move(r);
+  return std::make_shared<XPathExpr>(std::move(e));
+}
+XPathExprPtr XPathExpr::Child(XPathExprPtr l, XPathExprPtr r) {
+  XPathExpr e = MakeExpr(Kind::kChild);
+  e.left = std::move(l);
+  e.right = std::move(r);
+  return std::make_shared<XPathExpr>(std::move(e));
+}
+XPathExprPtr XPathExpr::Descendant(XPathExprPtr l, XPathExprPtr r) {
+  XPathExpr e = MakeExpr(Kind::kDescendant);
+  e.left = std::move(l);
+  e.right = std::move(r);
+  return std::make_shared<XPathExpr>(std::move(e));
+}
+XPathExprPtr XPathExpr::Filter(XPathExprPtr l, XPathPatternPtr p) {
+  XPathExpr e = MakeExpr(Kind::kFilter);
+  e.left = std::move(l);
+  e.filter = std::move(p);
+  return std::make_shared<XPathExpr>(std::move(e));
+}
+XPathExprPtr XPathExpr::Test(int symbol) {
+  XPathExpr e = MakeExpr(Kind::kTest);
+  e.symbol = symbol;
+  return std::make_shared<XPathExpr>(std::move(e));
+}
+XPathExprPtr XPathExpr::Wildcard() {
+  return std::make_shared<XPathExpr>(MakeExpr(Kind::kWildcard));
+}
+
+XPathPatternPtr XPathPattern::Make(bool descendant, XPathExprPtr body) {
+  XPathPattern p;
+  p.descendant = descendant;
+  p.body = std::move(body);
+  return std::make_shared<XPathPattern>(std::move(p));
+}
+
+namespace {
+
+void CollectFeatures(const XPathExpr& e, XPathFeatures* f) {
+  switch (e.kind) {
+    case XPathExpr::Kind::kDisj:
+      f->disjunction = true;
+      CollectFeatures(*e.left, f);
+      CollectFeatures(*e.right, f);
+      break;
+    case XPathExpr::Kind::kChild:
+      f->child = true;
+      CollectFeatures(*e.left, f);
+      CollectFeatures(*e.right, f);
+      break;
+    case XPathExpr::Kind::kDescendant:
+      f->descendant = true;
+      CollectFeatures(*e.left, f);
+      CollectFeatures(*e.right, f);
+      break;
+    case XPathExpr::Kind::kFilter: {
+      f->filter = true;
+      CollectFeatures(*e.left, f);
+      XPathFeatures inner = FeaturesOf(*e.filter);
+      f->child |= inner.child;
+      f->descendant |= inner.descendant;
+      f->filter |= inner.filter;
+      f->disjunction |= inner.disjunction;
+      f->wildcard |= inner.wildcard;
+      break;
+    }
+    case XPathExpr::Kind::kTest:
+      break;
+    case XPathExpr::Kind::kWildcard:
+      f->wildcard = true;
+      break;
+  }
+}
+
+int ExprSize(const XPathExpr& e) {
+  int n = 1;
+  if (e.left != nullptr) n += ExprSize(*e.left);
+  if (e.right != nullptr) n += ExprSize(*e.right);
+  if (e.filter != nullptr) n += PatternSize(*e.filter);
+  return n;
+}
+
+void ExprToString(const XPathExpr& e, const Alphabet& alphabet,
+                  int parent_prec, std::string* out) {
+  // Precedence: disj(0) < path steps(1) < atoms.
+  switch (e.kind) {
+    case XPathExpr::Kind::kDisj: {
+      bool paren = parent_prec > 0;
+      if (paren) out->push_back('(');
+      ExprToString(*e.left, alphabet, 0, out);
+      out->push_back('|');
+      ExprToString(*e.right, alphabet, 0, out);
+      if (paren) out->push_back(')');
+      break;
+    }
+    case XPathExpr::Kind::kChild:
+      ExprToString(*e.left, alphabet, 1, out);
+      out->push_back('/');
+      ExprToString(*e.right, alphabet, 2, out);
+      break;
+    case XPathExpr::Kind::kDescendant:
+      ExprToString(*e.left, alphabet, 1, out);
+      out->append("//");
+      ExprToString(*e.right, alphabet, 2, out);
+      break;
+    case XPathExpr::Kind::kFilter:
+      ExprToString(*e.left, alphabet, 2, out);
+      out->push_back('[');
+      out->append(PatternToString(*e.filter, alphabet));
+      out->push_back(']');
+      break;
+    case XPathExpr::Kind::kTest:
+      out->append(alphabet.Name(e.symbol));
+      break;
+    case XPathExpr::Kind::kWildcard:
+      out->push_back('*');
+      break;
+  }
+}
+
+}  // namespace
+
+XPathFeatures FeaturesOf(const XPathPattern& pattern) {
+  XPathFeatures f;
+  if (pattern.descendant) f.descendant = true;
+  CollectFeatures(*pattern.body, &f);
+  return f;
+}
+
+bool IsChildOnlyPattern(const XPathPattern& pattern) {
+  XPathFeatures f = FeaturesOf(pattern);
+  return !f.descendant && !f.filter && !f.disjunction;
+}
+
+int PatternSize(const XPathPattern& pattern) {
+  return 1 + ExprSize(*pattern.body);
+}
+
+std::string PatternToString(const XPathPattern& pattern,
+                            const Alphabet& alphabet) {
+  std::string out = pattern.descendant ? ".//" : "./";
+  ExprToString(*pattern.body, alphabet, 2, &out);
+  return out;
+}
+
+}  // namespace xtc

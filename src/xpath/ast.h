@@ -1,0 +1,74 @@
+#ifndef XTC_XPATH_AST_H_
+#define XTC_XPATH_AST_H_
+
+#include <memory>
+#include <string>
+
+#include "src/fa/alphabet.h"
+
+namespace xtc {
+
+struct XPathExpr;
+using XPathExprPtr = std::shared_ptr<const XPathExpr>;
+struct XPathPattern;
+using XPathPatternPtr = std::shared_ptr<const XPathPattern>;
+
+/// A φ of the XPath{/, //, [], |, *} grammar (Definition 21).
+struct XPathExpr {
+  enum class Kind {
+    kDisj,        ///< φ1 | φ2
+    kChild,       ///< φ1 / φ2
+    kDescendant,  ///< φ1 // φ2
+    kFilter,      ///< φ1 [P]
+    kTest,        ///< element test a
+    kWildcard,    ///< *
+  };
+
+  Kind kind = Kind::kTest;
+  int symbol = -1;           ///< kTest
+  XPathExprPtr left, right;  ///< kDisj/kChild/kDescendant; kFilter uses left
+  XPathPatternPtr filter;    ///< kFilter's [P]
+
+  static XPathExprPtr Disj(XPathExprPtr l, XPathExprPtr r);
+  static XPathExprPtr Child(XPathExprPtr l, XPathExprPtr r);
+  static XPathExprPtr Descendant(XPathExprPtr l, XPathExprPtr r);
+  static XPathExprPtr Filter(XPathExprPtr l, XPathPatternPtr p);
+  static XPathExprPtr Test(int symbol);
+  static XPathExprPtr Wildcard();
+};
+
+/// A pattern P: ·/φ or ·//φ. Patterns always start at the context node, so
+/// the context node itself is never selected (Section 4).
+struct XPathPattern {
+  bool descendant = false;  ///< true for ·//φ
+  XPathExprPtr body;
+
+  static XPathPatternPtr Make(bool descendant, XPathExprPtr body);
+};
+
+/// Which fragment features a pattern uses; fragments XPath{X} of the paper
+/// are described by subsets of these bits.
+struct XPathFeatures {
+  bool child = false;
+  bool descendant = false;
+  bool filter = false;
+  bool disjunction = false;
+  bool wildcard = false;
+};
+
+XPathFeatures FeaturesOf(const XPathPattern& pattern);
+
+/// Whether the pattern lies in XPath{/, *} (Theorem 23's tractable
+/// fragment).
+bool IsChildOnlyPattern(const XPathPattern& pattern);
+
+/// Number of AST nodes (pattern size measure).
+int PatternSize(const XPathPattern& pattern);
+
+/// Renders a pattern, e.g. "./(a|b)//c[.//e]/*".
+std::string PatternToString(const XPathPattern& pattern,
+                            const Alphabet& alphabet);
+
+}  // namespace xtc
+
+#endif  // XTC_XPATH_AST_H_

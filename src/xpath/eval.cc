@@ -1,0 +1,130 @@
+#include "src/xpath/eval.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "src/base/logging.h"
+#include "src/fa/dfa.h"
+
+namespace xtc {
+namespace {
+
+using NodeSet = std::set<const Node*>;
+
+void EvalExprAt(const XPathExpr& e, const Node* v, NodeSet* out);
+
+// Union of EvalExprAt over all children of w.
+void EvalAtChildren(const XPathExpr& e, const Node* w, NodeSet* out) {
+  for (const Node* z : w->Children()) EvalExprAt(e, z, out);
+}
+
+// Union of EvalExprAt over all proper descendants of w.
+void EvalAtDescendants(const XPathExpr& e, const Node* w, NodeSet* out) {
+  for (const Node* z : w->Children()) {
+    EvalExprAt(e, z, out);
+    EvalAtDescendants(e, z, out);
+  }
+}
+
+bool PatternNonEmptyAt(const XPathPattern& p, const Node* v) {
+  NodeSet out;
+  if (p.descendant) {
+    EvalAtDescendants(*p.body, v, &out);
+  } else {
+    EvalAtChildren(*p.body, v, &out);
+  }
+  return !out.empty();
+}
+
+void EvalExprAt(const XPathExpr& e, const Node* v, NodeSet* out) {
+  switch (e.kind) {
+    case XPathExpr::Kind::kTest:
+      if (v->label == e.symbol) out->insert(v);
+      break;
+    case XPathExpr::Kind::kWildcard:
+      out->insert(v);
+      break;
+    case XPathExpr::Kind::kDisj:
+      EvalExprAt(*e.left, v, out);
+      EvalExprAt(*e.right, v, out);
+      break;
+    case XPathExpr::Kind::kChild: {
+      NodeSet mid;
+      EvalExprAt(*e.left, v, &mid);
+      for (const Node* w : mid) EvalAtChildren(*e.right, w, out);
+      break;
+    }
+    case XPathExpr::Kind::kDescendant: {
+      NodeSet mid;
+      EvalExprAt(*e.left, v, &mid);
+      for (const Node* w : mid) EvalAtDescendants(*e.right, w, out);
+      break;
+    }
+    case XPathExpr::Kind::kFilter: {
+      NodeSet mid;
+      EvalExprAt(*e.left, v, &mid);
+      for (const Node* w : mid) {
+        if (PatternNonEmptyAt(*e.filter, w)) out->insert(w);
+      }
+      break;
+    }
+  }
+}
+
+void AssignPreorder(const Node* n, int* counter,
+                    std::unordered_map<const Node*, int>* index) {
+  (*index)[n] = (*counter)++;
+  for (const Node* c : n->Children()) AssignPreorder(c, counter, index);
+}
+
+std::vector<const Node*> InDocumentOrder(const NodeSet& set,
+                                         const Node* context) {
+  std::unordered_map<const Node*, int> index;
+  int counter = 0;
+  AssignPreorder(context, &counter, &index);
+  std::vector<const Node*> out(set.begin(), set.end());
+  std::sort(out.begin(), out.end(), [&](const Node* a, const Node* b) {
+    return index.at(a) < index.at(b);
+  });
+  return out;
+}
+
+}  // namespace
+
+std::vector<const Node*> EvalXPath(const XPathPattern& pattern,
+                                   const Node* context) {
+  XTC_CHECK(context != nullptr);
+  NodeSet set;
+  if (pattern.descendant) {
+    EvalAtDescendants(*pattern.body, context, &set);
+  } else {
+    EvalAtChildren(*pattern.body, context, &set);
+  }
+  return InDocumentOrder(set, context);
+}
+
+namespace {
+
+void DfaSelectRec(const Dfa& dfa, int state, const Node* n,
+                  std::vector<const Node*>* out) {
+  for (const Node* c : n->Children()) {
+    if (c->label < 0 || c->label >= dfa.num_symbols()) continue;
+    int next = dfa.Step(state, c->label);
+    if (next == Dfa::kDead) continue;
+    if (dfa.final(next)) out->push_back(c);
+    DfaSelectRec(dfa, next, c, out);
+  }
+}
+
+}  // namespace
+
+std::vector<const Node*> EvalDfaSelector(const Dfa& dfa, const Node* context) {
+  XTC_CHECK(context != nullptr);
+  std::vector<const Node*> out;
+  if (dfa.initial() == Dfa::kDead) return out;
+  DfaSelectRec(dfa, dfa.initial(), context, &out);
+  return out;
+}
+
+}  // namespace xtc

@@ -1,0 +1,27 @@
+#ifndef XTC_XPATH_EVAL_H_
+#define XTC_XPATH_EVAL_H_
+
+#include <vector>
+
+#include "src/fa/dfa.h"
+#include "src/tree/tree.h"
+#include "src/xpath/ast.h"
+
+namespace xtc {
+
+/// Evaluates f_P(t, ε) where t is the subtree rooted at `context`
+/// (Definition 21's semantics): the nodes of the subtree selected by the
+/// pattern, in document order (depth-first, left-to-right). The context node
+/// itself is never selected (patterns start with ./ or .//).
+std::vector<const Node*> EvalXPath(const XPathPattern& pattern,
+                                   const Node* context);
+
+/// Selection by a DFA (Section 4, T^DFA transducers): a proper descendant v
+/// of `context` is selected iff the DFA accepts the label string of the path
+/// from the first level below `context` down to and including v (matching
+/// the encoding of Theorem 23's A_P automata). Returned in document order.
+std::vector<const Node*> EvalDfaSelector(const Dfa& dfa, const Node* context);
+
+}  // namespace xtc
+
+#endif  // XTC_XPATH_EVAL_H_

@@ -1,0 +1,137 @@
+#include "src/xpath/parser.h"
+
+#include <cctype>
+
+namespace xtc {
+namespace {
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '#' ||
+         c == '$' || c == ':' || c == '-';
+}
+
+class Parser {
+ public:
+  Parser(std::string_view text, Alphabet* alphabet)
+      : text_(text), alphabet_(alphabet) {}
+
+  StatusOr<XPathPatternPtr> Parse() {
+    StatusOr<XPathPatternPtr> p = ParsePattern();
+    if (!p.ok()) return p;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return InvalidArgumentError("trailing characters in XPath pattern");
+    }
+    return p;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    SkipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool Eat(char c) {
+    if (Peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<XPathPatternPtr> ParsePattern() {
+    if (!Eat('.')) {
+      return InvalidArgumentError("pattern must start with '.'");
+    }
+    if (!Eat('/')) {
+      return InvalidArgumentError("pattern must start with './' or './/'");
+    }
+    bool descendant = Eat('/');
+    StatusOr<XPathExprPtr> body = ParseDisj();
+    if (!body.ok()) return body.status();
+    return XPathPattern::Make(descendant, *body);
+  }
+
+  StatusOr<XPathExprPtr> ParseDisj() {
+    StatusOr<XPathExprPtr> left = ParsePath();
+    if (!left.ok()) return left;
+    XPathExprPtr e = *left;
+    while (Eat('|')) {
+      StatusOr<XPathExprPtr> right = ParsePath();
+      if (!right.ok()) return right;
+      e = XPathExpr::Disj(e, *right);
+    }
+    return e;
+  }
+
+  StatusOr<XPathExprPtr> ParsePath() {
+    StatusOr<XPathExprPtr> left = ParseAtom();
+    if (!left.ok()) return left;
+    XPathExprPtr e = *left;
+    while (Peek() == '/') {
+      ++pos_;
+      bool descendant = Eat('/');
+      StatusOr<XPathExprPtr> right = ParseAtom();
+      if (!right.ok()) return right;
+      e = descendant ? XPathExpr::Descendant(e, *right)
+                     : XPathExpr::Child(e, *right);
+    }
+    return e;
+  }
+
+  StatusOr<XPathExprPtr> ParseAtom() {
+    StatusOr<XPathExprPtr> prim = ParsePrimary();
+    if (!prim.ok()) return prim;
+    XPathExprPtr e = *prim;
+    while (Peek() == '[') {
+      ++pos_;
+      StatusOr<XPathPatternPtr> filter = ParsePattern();
+      if (!filter.ok()) return filter.status();
+      if (!Eat(']')) return InvalidArgumentError("expected ']'");
+      e = XPathExpr::Filter(e, *filter);
+    }
+    return e;
+  }
+
+  StatusOr<XPathExprPtr> ParsePrimary() {
+    char c = Peek();
+    if (c == '*') {
+      ++pos_;
+      return XPathExpr::Wildcard();
+    }
+    if (c == '(') {
+      ++pos_;
+      StatusOr<XPathExprPtr> inner = ParseDisj();
+      if (!inner.ok()) return inner;
+      if (!Eat(')')) return InvalidArgumentError("expected ')'");
+      return inner;
+    }
+    if (IsNameChar(c) && c != '\0') {
+      std::size_t start = pos_;
+      while (pos_ < text_.size() && IsNameChar(text_[pos_])) ++pos_;
+      return XPathExpr::Test(
+          alphabet_->Intern(text_.substr(start, pos_ - start)));
+    }
+    return InvalidArgumentError("unexpected character in XPath pattern");
+  }
+
+  std::string_view text_;
+  Alphabet* alphabet_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<XPathPatternPtr> ParseXPath(std::string_view text,
+                                     Alphabet* alphabet) {
+  return Parser(text, alphabet).Parse();
+}
+
+}  // namespace xtc

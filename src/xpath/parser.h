@@ -1,0 +1,20 @@
+#ifndef XTC_XPATH_PARSER_H_
+#define XTC_XPATH_PARSER_H_
+
+#include <string_view>
+
+#include "src/base/status.h"
+#include "src/fa/alphabet.h"
+#include "src/xpath/ast.h"
+
+namespace xtc {
+
+/// Parses an XPath{/, //, [], |, *} pattern such as "./(a|b)//c[.//e]/*".
+/// Patterns must begin with "./" or ".//" (all patterns start at the
+/// context node, Definition 21). Element names are interned into `alphabet`.
+StatusOr<XPathPatternPtr> ParseXPath(std::string_view text,
+                                     Alphabet* alphabet);
+
+}  // namespace xtc
+
+#endif  // XTC_XPATH_PARSER_H_

@@ -1,0 +1,72 @@
+#include "src/xpath/to_dfa.h"
+
+#include <vector>
+
+#include "src/fa/regex.h"
+
+namespace xtc {
+namespace {
+
+RegexPtr AnySymbol(int num_symbols) {
+  std::vector<RegexPtr> alts;
+  alts.reserve(static_cast<std::size_t>(num_symbols));
+  for (int s = 0; s < num_symbols; ++s) alts.push_back(Regex::Sym(s));
+  return Regex::Alt(std::move(alts));
+}
+
+/// Path-language regex of φ: the label strings read from the node where φ
+/// is evaluated down to a selected node (both inclusive).
+StatusOr<RegexPtr> ExprPathRegex(const XPathExpr& e, int num_symbols) {
+  switch (e.kind) {
+    case XPathExpr::Kind::kTest:
+      return Regex::Sym(e.symbol);
+    case XPathExpr::Kind::kWildcard:
+      return AnySymbol(num_symbols);
+    case XPathExpr::Kind::kDisj: {
+      StatusOr<RegexPtr> l = ExprPathRegex(*e.left, num_symbols);
+      if (!l.ok()) return l;
+      StatusOr<RegexPtr> r = ExprPathRegex(*e.right, num_symbols);
+      if (!r.ok()) return r;
+      return Regex::Alt({*l, *r});
+    }
+    case XPathExpr::Kind::kChild: {
+      StatusOr<RegexPtr> l = ExprPathRegex(*e.left, num_symbols);
+      if (!l.ok()) return l;
+      StatusOr<RegexPtr> r = ExprPathRegex(*e.right, num_symbols);
+      if (!r.ok()) return r;
+      return Regex::Concat({*l, *r});
+    }
+    case XPathExpr::Kind::kDescendant: {
+      StatusOr<RegexPtr> l = ExprPathRegex(*e.left, num_symbols);
+      if (!l.ok()) return l;
+      StatusOr<RegexPtr> r = ExprPathRegex(*e.right, num_symbols);
+      if (!r.ok()) return r;
+      return Regex::Concat({*l, Regex::Star(AnySymbol(num_symbols)), *r});
+    }
+    case XPathExpr::Kind::kFilter:
+      return UnimplementedError(
+          "filters have no path-language translation; only vertical "
+          "XPath{/, //, |, *} patterns compile to selector automata");
+  }
+  return InvalidArgumentError("unknown XPath node");
+}
+
+}  // namespace
+
+StatusOr<Nfa> XPathToPathNfa(const XPathPattern& pattern, int num_symbols) {
+  StatusOr<RegexPtr> body = ExprPathRegex(*pattern.body, num_symbols);
+  if (!body.ok()) return body.status();
+  RegexPtr full =
+      pattern.descendant
+          ? Regex::Concat({Regex::Star(AnySymbol(num_symbols)), *body})
+          : *body;
+  return RegexToNfa(*full, num_symbols);
+}
+
+StatusOr<Dfa> XPathToDfa(const XPathPattern& pattern, int num_symbols) {
+  StatusOr<Nfa> nfa = XPathToPathNfa(pattern, num_symbols);
+  if (!nfa.ok()) return nfa.status();
+  return Dfa::FromNfa(*nfa);
+}
+
+}  // namespace xtc

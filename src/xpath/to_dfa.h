@@ -1,0 +1,26 @@
+#ifndef XTC_XPATH_TO_DFA_H_
+#define XTC_XPATH_TO_DFA_H_
+
+#include "src/base/status.h"
+#include "src/fa/dfa.h"
+#include "src/fa/nfa.h"
+#include "src/xpath/ast.h"
+
+namespace xtc {
+
+/// Compiles a filter-free pattern (XPath{/, //, |, *}) into an NFA over
+/// label paths: the NFA accepts a1...an iff the pattern selects the
+/// an-labelled node of the tree r(a1(...(an))) evaluated from the root —
+/// the A_P encoding of Theorem 23. Fails on filters.
+StatusOr<Nfa> XPathToPathNfa(const XPathPattern& pattern, int num_symbols);
+
+/// Determinization of XPathToPathNfa. For XPath{/, *} the result is acyclic
+/// with linearly many states (Theorem 23); for patterns with descendant axes
+/// the subset construction can blow up by O(n^c) in the number of wildcards
+/// between descendant axes (Green et al.), and is exponential only beyond
+/// that fragment.
+StatusOr<Dfa> XPathToDfa(const XPathPattern& pattern, int num_symbols);
+
+}  // namespace xtc
+
+#endif  // XTC_XPATH_TO_DFA_H_

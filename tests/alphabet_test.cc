@@ -1,0 +1,49 @@
+#include "src/fa/alphabet.h"
+
+#include <gtest/gtest.h>
+
+namespace xtc {
+namespace {
+
+TEST(AlphabetTest, InternIsIdempotent) {
+  Alphabet a;
+  int x = a.Intern("book");
+  int y = a.Intern("book");
+  EXPECT_EQ(x, y);
+  EXPECT_EQ(a.size(), 1);
+}
+
+TEST(AlphabetTest, IdsAreDense) {
+  Alphabet a;
+  EXPECT_EQ(a.Intern("x"), 0);
+  EXPECT_EQ(a.Intern("y"), 1);
+  EXPECT_EQ(a.Intern("z"), 2);
+  EXPECT_EQ(a.size(), 3);
+}
+
+TEST(AlphabetTest, FindWithoutIntern) {
+  Alphabet a;
+  a.Intern("known");
+  EXPECT_TRUE(a.Find("known").has_value());
+  EXPECT_FALSE(a.Find("unknown").has_value());
+}
+
+TEST(AlphabetTest, NameRoundTrip) {
+  Alphabet a;
+  for (const char* s : {"title", "author", "#", "$", "x-1"}) a.Intern(s);
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(*a.Find(a.Name(i)), i);
+  }
+}
+
+TEST(AlphabetTest, ManySymbols) {
+  Alphabet a;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Intern("sym" + std::to_string(i)), i);
+  }
+  EXPECT_EQ(a.size(), 1000);
+  EXPECT_EQ(a.Name(999), "sym999");
+}
+
+}  // namespace
+}  // namespace xtc

@@ -1,0 +1,82 @@
+#include "src/base/arena.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace xtc {
+namespace {
+
+TEST(ArenaTest, AllocatesAlignedMemory) {
+  Arena arena;
+  for (std::size_t align : {1u, 2u, 4u, 8u, 16u, 64u}) {
+    void* p = arena.Allocate(13, align);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u);
+  }
+}
+
+TEST(ArenaTest, NewConstructsObjects) {
+  Arena arena;
+  struct Point {
+    int x;
+    int y;
+  };
+  Point* p = arena.New<Point>();
+  p->x = 3;
+  p->y = 4;
+  EXPECT_EQ(p->x, 3);
+  EXPECT_EQ(p->y, 4);
+}
+
+TEST(ArenaTest, NewArrayIsWritable) {
+  Arena arena;
+  int* xs = arena.NewArray<int>(1000);
+  for (int i = 0; i < 1000; ++i) xs[i] = i;
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(xs[i], i);
+}
+
+TEST(ArenaTest, LargeAllocationsSpanBlocks) {
+  Arena arena;
+  // Larger than one 64 KiB block.
+  char* big = arena.NewArray<char>(200 * 1024);
+  big[0] = 'x';
+  big[200 * 1024 - 1] = 'y';
+  char* small = arena.NewArray<char>(16);
+  small[0] = 'z';
+  EXPECT_EQ(big[0], 'x');
+  EXPECT_EQ(big[200 * 1024 - 1], 'y');
+  EXPECT_EQ(small[0], 'z');
+}
+
+TEST(ArenaTest, TracksBytesAllocated) {
+  Arena arena;
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  arena.Allocate(100, 1);
+  EXPECT_GE(arena.bytes_allocated(), 100u);
+}
+
+TEST(ArenaTest, ManySmallAllocationsSurvive) {
+  Arena arena;
+  std::vector<int*> ptrs;
+  for (int i = 0; i < 100000; ++i) {
+    int* p = arena.New<int>();
+    *p = i;
+    ptrs.push_back(p);
+  }
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_EQ(*ptrs[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(ArenaTest, MoveTransfersOwnership) {
+  Arena a;
+  int* p = a.New<int>();
+  *p = 42;
+  Arena b = std::move(a);
+  EXPECT_EQ(*p, 42);
+}
+
+}  // namespace
+}  // namespace xtc

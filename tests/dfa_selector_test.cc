@@ -1,0 +1,147 @@
+// Theorem 29: transducers with DFA selectors (T^DFA). Selection semantics,
+// equivalence with XPath patterns via the Theorem 23 A_P encoding, and the
+// compilation of DFA selectors into deleting states on non-deleting
+// transducers.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/core/typecheck.h"
+#include "src/td/compile_selectors.h"
+#include "src/td/exec.h"
+#include "src/tree/codec.h"
+#include "src/workload/generators.h"
+#include "src/xpath/eval.h"
+#include "src/xpath/parser.h"
+#include "src/xpath/to_dfa.h"
+
+namespace xtc {
+namespace {
+
+class DfaSelectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* s : {"a", "b", "c"}) alphabet_.Intern(s);
+  }
+
+  Node* Tree(const char* term) {
+    StatusOr<Node*> t = ParseTerm(term, &alphabet_, &builder_);
+    EXPECT_TRUE(t.ok());
+    return *t;
+  }
+
+  // The path DFA of an XPath pattern (the A_P encoding of Theorem 23).
+  Dfa PatternDfa(const char* pattern) {
+    StatusOr<XPathPatternPtr> p = ParseXPath(pattern, &alphabet_);
+    EXPECT_TRUE(p.ok());
+    StatusOr<Dfa> dfa = XPathToDfa(**p, alphabet_.size());
+    EXPECT_TRUE(dfa.ok());
+    return *dfa;
+  }
+
+  Alphabet alphabet_;
+  Arena arena_;
+  TreeBuilder builder_{&arena_};
+};
+
+TEST_F(DfaSelectorTest, SelectionMatchesPathSemantics) {
+  // DFA for "child a then child b" == ./a/b.
+  Dfa d = PatternDfa("./a/b");
+  Node* t = Tree("c(a(b b(c)) b a(a(b)))");
+  std::vector<const Node*> selected = EvalDfaSelector(d, t);
+  ASSERT_EQ(selected.size(), 2u);
+  EXPECT_EQ(ToTermString(selected[0], alphabet_), "b");
+  EXPECT_EQ(ToTermString(selected[1], alphabet_), "b(c)");
+}
+
+TEST_F(DfaSelectorTest, TransducerWithDfaSelectorRuns) {
+  Transducer t(&alphabet_);
+  t.AddState("q0");
+  t.AddState("q");
+  t.SetInitial(0);
+  int sel = t.AddSelector(Selector{nullptr, PatternDfa(".//b")});
+  t.SetRule(0, *alphabet_.Find("c"),
+            {RhsNode::Label(*alphabet_.Find("c"), {RhsNode::Select(1, sel)})});
+  ASSERT_TRUE(t.SetRuleFromString("q", "b", "b").ok());
+  Node* input = Tree("c(a(b) b(b))");
+  Node* out = Apply(t, input, &builder_);
+  ASSERT_NE(out, nullptr);
+  // Three b's in document order.
+  EXPECT_EQ(ToTermString(out, alphabet_), "c(b b b)");
+}
+
+// The Theorem 29 construction: compiled DFA-selector transducers behave
+// identically on random trees.
+class DfaSelectorCompileTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DfaSelectorCompileTest, CompilationPreservesSemantics) {
+  Alphabet alphabet;
+  for (const char* s : {"a", "b", "c"}) alphabet.Intern(s);
+  StatusOr<XPathPatternPtr> p = ParseXPath(GetParam(), &alphabet);
+  ASSERT_TRUE(p.ok());
+  StatusOr<Dfa> dfa = XPathToDfa(**p, alphabet.size());
+  ASSERT_TRUE(dfa.ok());
+
+  // A non-deleting transducer (Theorem 29's precondition) using the DFA
+  // selector inside a label.
+  Transducer t(&alphabet);
+  t.AddState("q0");
+  t.AddState("q");
+  t.SetInitial(0);
+  int sel = t.AddSelector(Selector{nullptr, *dfa});
+  t.SetRule(0, *alphabet.Find("a"),
+            {RhsNode::Label(*alphabet.Find("c"), {RhsNode::Select(1, sel)})});
+  ASSERT_TRUE(t.SetRuleFromString("q", "a", "a").ok());
+  ASSERT_TRUE(t.SetRuleFromString("q", "b", "b(q)").ok());
+  ASSERT_TRUE(t.SetRuleFromString("q", "c", "c").ok());
+
+  StatusOr<Transducer> compiled = CompileSelectors(t);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_FALSE(compiled->HasSelectors());
+  std::mt19937 rng(41);
+  Arena arena;
+  TreeBuilder builder(&arena);
+  for (int trial = 0; trial < 40; ++trial) {
+    Node* body = RandomTree(&rng, alphabet.size(), 4, 3, &builder);
+    Node* input = builder.Make(*alphabet.Find("a"), body->Children());
+    Node* out1 = Apply(t, input, &builder);
+    Node* out2 = Apply(*compiled, input, &builder);
+    ASSERT_NE(out1, nullptr);
+    EXPECT_TRUE(TreeEqual(out1, out2))
+        << GetParam() << " on " << ToTermString(input, alphabet);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DfaSelectorCompileTest,
+                         ::testing::Values("./a", ".//b", "./b/a", ".//b/c",
+                                           ".//*", "./*/b"));
+
+TEST_F(DfaSelectorTest, DispatcherHandlesDfaSelectors) {
+  // A filtering transformation with a DFA selector, end to end.
+  Alphabet alphabet;
+  for (const char* s : {"root", "item", "title"}) alphabet.Intern(s);
+  Dtd din(&alphabet, *alphabet.Find("root"));
+  ASSERT_TRUE(din.SetRule("root", "item+").ok());
+  ASSERT_TRUE(din.SetRule("item", "title").ok());
+  Dtd dout(&alphabet, *alphabet.Find("root"));
+  ASSERT_TRUE(dout.SetRule("root", "title+").ok());
+  Transducer t(&alphabet);
+  t.AddState("q0");
+  t.AddState("q");
+  t.SetInitial(0);
+  StatusOr<XPathPatternPtr> p = ParseXPath(".//title", &alphabet);
+  ASSERT_TRUE(p.ok());
+  StatusOr<Dfa> dfa = XPathToDfa(**p, alphabet.size());
+  ASSERT_TRUE(dfa.ok());
+  int sel = t.AddSelector(Selector{nullptr, *dfa});
+  t.SetRule(0, *alphabet.Find("root"),
+            {RhsNode::Label(*alphabet.Find("root"), {RhsNode::Select(1, sel)})});
+  ASSERT_TRUE(t.SetRuleFromString("q", "title", "title").ok());
+  StatusOr<TypecheckResult> r = Typecheck(t, din, dout);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->typechecks);
+}
+
+}  // namespace
+}  // namespace xtc

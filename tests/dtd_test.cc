@@ -1,0 +1,175 @@
+#include "src/schema/dtd.h"
+
+#include <gtest/gtest.h>
+
+#include "src/schema/witness.h"
+#include "src/tree/codec.h"
+
+namespace xtc {
+namespace {
+
+class DtdTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* s : {"book", "title", "author", "chapter", "intro",
+                          "section", "paragraph"}) {
+      alphabet_.Intern(s);
+    }
+    dtd_ = std::make_unique<Dtd>(&alphabet_, *alphabet_.Find("book"));
+    ASSERT_TRUE(dtd_->SetRule("book", "title author+ chapter+").ok());
+    ASSERT_TRUE(dtd_->SetRule("chapter", "title intro section+").ok());
+    ASSERT_TRUE(dtd_->SetRule("section", "title paragraph+ section*").ok());
+  }
+
+  Node* Tree(const char* term) {
+    StatusOr<Node*> t = ParseTerm(term, &alphabet_, &builder_);
+    EXPECT_TRUE(t.ok()) << t.status().ToString();
+    return *t;
+  }
+
+  Alphabet alphabet_;
+  Arena arena_;
+  TreeBuilder builder_{&arena_};
+  std::unique_ptr<Dtd> dtd_;
+};
+
+TEST_F(DtdTest, ValidatesThePaperDocument) {
+  // Fig. 3's document (slightly reduced).
+  Node* doc = Tree(
+      "book(title author chapter(title intro section(title paragraph)) "
+      "chapter(title intro section(title paragraph section(title "
+      "paragraph))))");
+  EXPECT_TRUE(dtd_->Valid(doc));
+}
+
+TEST_F(DtdTest, RejectsInvalidDocuments) {
+  EXPECT_FALSE(dtd_->Valid(Tree("book(title chapter(title intro "
+                                "section(title paragraph)))")));  // no author
+  EXPECT_FALSE(dtd_->Valid(Tree("title")));                       // wrong root
+  EXPECT_FALSE(
+      dtd_->Valid(Tree("book(title author chapter(title intro))")));  // no sec
+  // Undeclared symbols default to leaves.
+  EXPECT_FALSE(dtd_->Valid(Tree(
+      "book(title(intro) author chapter(title intro section(title "
+      "paragraph)))")));
+}
+
+TEST_F(DtdTest, LocallyValidIgnoresStartSymbol) {
+  Node* chapter = Tree("chapter(title intro section(title paragraph))");
+  EXPECT_FALSE(dtd_->Valid(chapter));
+  EXPECT_TRUE(dtd_->LocallyValid(chapter));
+}
+
+TEST_F(DtdTest, PartlySatisfiesHedges) {
+  Hedge h{Tree("chapter(title intro section(title paragraph))"),
+          Tree("author")};
+  EXPECT_TRUE(dtd_->PartlySatisfies(h));
+  Hedge bad{Tree("chapter(intro)")};
+  EXPECT_FALSE(dtd_->PartlySatisfies(bad));
+}
+
+TEST_F(DtdTest, RuleKindsAndClassPredicates) {
+  EXPECT_EQ(dtd_->rule_kind(*alphabet_.Find("book")), Dtd::RuleKind::kRePlus);
+  EXPECT_EQ(dtd_->rule_kind(*alphabet_.Find("title")),
+            Dtd::RuleKind::kEpsilonDefault);
+  // The section rule uses section*, so the book DTD is deterministic but
+  // not a DTD(RE+).
+  EXPECT_EQ(dtd_->rule_kind(*alphabet_.Find("section")),
+            Dtd::RuleKind::kDetRegex);
+  EXPECT_FALSE(dtd_->IsRePlusDtd());
+  EXPECT_TRUE(dtd_->IsDfaDtd());
+  ASSERT_TRUE(dtd_->SetRule("section", "title paragraph+").ok());
+  EXPECT_TRUE(dtd_->IsRePlusDtd());
+  ASSERT_TRUE(dtd_->SetRule("book", "(title | author)* title").ok());
+  EXPECT_FALSE(dtd_->IsRePlusDtd());
+  EXPECT_FALSE(dtd_->IsDfaDtd());  // not one-unambiguous
+}
+
+TEST_F(DtdTest, InhabitedSymbolsAndEmptiness) {
+  const std::vector<bool>& inhabited = dtd_->InhabitedSymbols();
+  for (int s = 0; s < dtd_->num_symbols(); ++s) {
+    EXPECT_TRUE(inhabited[static_cast<std::size_t>(s)]);
+  }
+  EXPECT_FALSE(dtd_->LanguageEmpty());
+  // A recursive mandatory rule empties its symbol.
+  Alphabet a2;
+  a2.Intern("x");
+  a2.Intern("y");
+  Dtd rec(&a2, *a2.Find("x"));
+  ASSERT_TRUE(rec.SetRule("x", "x").ok());
+  EXPECT_FALSE(rec.InhabitedSymbols()[0]);
+  EXPECT_TRUE(rec.InhabitedSymbols()[1]);
+  EXPECT_TRUE(rec.LanguageEmpty());
+}
+
+TEST_F(DtdTest, UsableChildrenAndWords) {
+  std::vector<bool> children = dtd_->UsableChildren(*alphabet_.Find("book"));
+  EXPECT_TRUE(children[static_cast<std::size_t>(*alphabet_.Find("title"))]);
+  EXPECT_TRUE(children[static_cast<std::size_t>(*alphabet_.Find("chapter"))]);
+  EXPECT_FALSE(children[static_cast<std::size_t>(*alphabet_.Find("section"))]);
+
+  auto word = dtd_->ShortestUsableWord(*alphabet_.Find("book"));
+  ASSERT_TRUE(word.has_value());
+  EXPECT_EQ(word->size(), 3u);  // title author chapter
+
+  auto with = dtd_->UsableWordContaining(*alphabet_.Find("section"),
+                                         *alphabet_.Find("section"));
+  ASSERT_TRUE(with.has_value());
+  // title paragraph section is the shortest section word with a section.
+  EXPECT_EQ(with->size(), 3u);
+  EXPECT_EQ((*with)[2], *alphabet_.Find("section"));
+}
+
+TEST_F(DtdTest, MinimalTreeCostsAndWitness) {
+  std::vector<uint64_t> costs = MinimalTreeCosts(*dtd_);
+  EXPECT_EQ(costs[static_cast<std::size_t>(*alphabet_.Find("title"))], 1u);
+  // section: section(title paragraph) = 3 nodes.
+  EXPECT_EQ(costs[static_cast<std::size_t>(*alphabet_.Find("section"))], 3u);
+  // chapter: chapter(title intro section(title paragraph)) = 6.
+  EXPECT_EQ(costs[static_cast<std::size_t>(*alphabet_.Find("chapter"))], 6u);
+  Node* witness = MinimalValidTree(*dtd_, dtd_->start(), &builder_);
+  EXPECT_TRUE(dtd_->Valid(witness));
+  EXPECT_EQ(NodeCount(witness),
+            costs[static_cast<std::size_t>(dtd_->start())]);
+}
+
+TEST_F(DtdTest, RePlusWitnessesAreValidExtremes) {
+  // Make the DTD a pure DTD(RE+) first (drop the section* recursion).
+  ASSERT_TRUE(dtd_->SetRule("section", "title paragraph+").ok());
+  StatusOr<RePlusWitnesses> w = BuildRePlusWitnesses(*dtd_);
+  ASSERT_TRUE(w.ok());
+  int start = dtd_->start();
+  int t_min = w->t_min[static_cast<std::size_t>(start)];
+  int t_vast = w->t_vast[static_cast<std::size_t>(start)];
+  ASSERT_GE(t_min, 0);
+  ASSERT_GE(t_vast, 0);
+  StatusOr<Node*> min_tree = w->forest.Materialize(t_min, &builder_, 1 << 16);
+  StatusOr<Node*> vast_tree =
+      w->forest.Materialize(t_vast, &builder_, 1 << 16);
+  ASSERT_TRUE(min_tree.ok());
+  ASSERT_TRUE(vast_tree.ok());
+  EXPECT_TRUE(dtd_->Valid(*min_tree));
+  EXPECT_TRUE(dtd_->Valid(*vast_tree));
+  EXPECT_LT(NodeCount(*min_tree), NodeCount(*vast_tree));
+}
+
+TEST_F(DtdTest, RecursiveRePlusWitnessesAreMarkedUninhabited) {
+  Alphabet a2;
+  a2.Intern("x");
+  a2.Intern("y");
+  Dtd rec(&a2, *a2.Find("x"));
+  ASSERT_TRUE(rec.SetRule("x", "y x").ok());
+  StatusOr<RePlusWitnesses> w = BuildRePlusWitnesses(rec);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->t_min[0], -1);
+  EXPECT_GE(w->t_min[1], 0);
+}
+
+TEST_F(DtdTest, SetRuleErrors) {
+  EXPECT_FALSE(dtd_->SetRule("book", "title (").ok());
+  EXPECT_FALSE(dtd_->SetRule("unknown_symbol", "title").ok());
+  EXPECT_FALSE(dtd_->SetRule("book", "brand_new_symbol").ok());
+}
+
+}  // namespace
+}  // namespace xtc

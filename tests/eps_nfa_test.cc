@@ -1,0 +1,80 @@
+#include "src/fa/eps_nfa.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace xtc {
+namespace {
+
+std::vector<int> W(std::initializer_list<int> xs) { return xs; }
+
+TEST(EpsNfaTest, PureEpsilonPathAccepts) {
+  EpsNfa e(2);
+  int s0 = e.AddState(/*initial=*/true);
+  int s1 = e.AddState();
+  int s2 = e.AddState(false, /*final=*/true);
+  e.AddEdge(s0, -1, s1);
+  e.AddEdge(s1, -1, s2);
+  Nfa n = e.Build();
+  EXPECT_TRUE(n.Accepts(W({})));
+  EXPECT_FALSE(n.Accepts(W({0})));
+}
+
+TEST(EpsNfaTest, MixedEdges) {
+  // epsilon, symbol, epsilon: accepts exactly {0}.
+  EpsNfa e(2);
+  int s0 = e.AddState(true);
+  int s1 = e.AddState();
+  int s2 = e.AddState();
+  int s3 = e.AddState(false, true);
+  e.AddEdge(s0, -1, s1);
+  e.AddEdge(s1, 0, s2);
+  e.AddEdge(s2, -1, s3);
+  Nfa n = e.Build();
+  EXPECT_TRUE(n.Accepts(W({0})));
+  EXPECT_FALSE(n.Accepts(W({})));
+  EXPECT_FALSE(n.Accepts(W({1})));
+  EXPECT_FALSE(n.Accepts(W({0, 0})));
+}
+
+TEST(EpsNfaTest, EpsilonCyclesTerminate) {
+  EpsNfa e(1);
+  int s0 = e.AddState(true);
+  int s1 = e.AddState();
+  e.AddEdge(s0, -1, s1);
+  e.AddEdge(s1, -1, s0);
+  e.AddEdge(s1, 0, s1);
+  e.SetFinal(s1);
+  Nfa n = e.Build();
+  EXPECT_TRUE(n.Accepts(W({})));
+  EXPECT_TRUE(n.Accepts(W({0, 0, 0})));
+}
+
+TEST(EpsNfaTest, BuildPortSelectsSubLanguage) {
+  // A shared automaton with two chains: a-chain (s0 -> s1) and b-chain
+  // (s2 -> s3), plus a trailing epsilon hop s3 -> s4.
+  EpsNfa e(2);
+  int s0 = e.AddState();
+  int s1 = e.AddState();
+  int s2 = e.AddState();
+  int s3 = e.AddState();
+  int s4 = e.AddState();
+  e.AddEdge(s0, 0, s1);
+  e.AddEdge(s2, 1, s3);
+  e.AddEdge(s3, -1, s4);
+  Nfa a_lang = e.BuildPort(s0, s1);
+  EXPECT_TRUE(a_lang.Accepts(W({0})));
+  EXPECT_FALSE(a_lang.Accepts(W({1})));
+  // Acceptance via the trailing epsilon hop (the regression the
+  // approximate engine hit): s2 -> s4 must accept {1}.
+  Nfa b_lang = e.BuildPort(s2, s4);
+  EXPECT_TRUE(b_lang.Accepts(W({1})));
+  EXPECT_FALSE(b_lang.Accepts(W({})));
+  // Same-state port accepts epsilon.
+  Nfa eps = e.BuildPort(s0, s0);
+  EXPECT_TRUE(eps.Accepts(W({})));
+}
+
+}  // namespace
+}  // namespace xtc

@@ -1,0 +1,129 @@
+#include "src/core/explicit_nta.h"
+
+#include "src/core/brute_force.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/paper_examples.h"
+#include "src/core/trac.h"
+#include "src/nta/analysis.h"
+#include "src/td/widths.h"
+#include "src/tree/codec.h"
+#include "src/tree/hashcons.h"
+#include "src/workload/families.h"
+#include "src/workload/generators.h"
+
+namespace xtc {
+namespace {
+
+TEST(ExplicitNtaTest, EmptyForTypecheckingInstances) {
+  PaperExample ex = MakeBookExample(true);
+  StatusOr<Nta> b =
+      BuildCounterexampleNta(*ex.transducer, *ex.din, *ex.dout, 100000);
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_TRUE(IsEmptyLanguage(*b));
+}
+
+TEST(ExplicitNtaTest, WitnessOfFailingInstanceVerifies) {
+  PaperExample ex = FailingFilterFamily(2);
+  StatusOr<Nta> b =
+      BuildCounterexampleNta(*ex.transducer, *ex.din, *ex.dout, 100000);
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(IsEmptyLanguage(*b));
+  SharedForest forest;
+  std::optional<int> id = WitnessTree(*b, &forest);
+  ASSERT_TRUE(id.has_value());
+  Arena arena;
+  TreeBuilder builder(&arena);
+  StatusOr<Node*> tree = forest.Materialize(*id, &builder, 1 << 16);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(VerifyCounterexample(*ex.transducer, *ex.din, *ex.dout, *tree))
+      << ToTermString(*tree, *ex.alphabet);
+}
+
+TEST(ExplicitNtaTest, RootMismatchAcceptsAllValidTrees) {
+  PaperExample ex = MakeBookExample(false);
+  Transducer t(ex.alphabet.get());
+  t.AddState("q0");
+  t.SetInitial(0);
+  ASSERT_TRUE(t.SetRuleFromString("q0", "book", "title").ok());
+  StatusOr<Nta> b = BuildCounterexampleNta(t, *ex.din, *ex.dout, 100000);
+  ASSERT_TRUE(b.ok());
+  // Every valid input is a counterexample: B recognizes L(d_in).
+  Arena arena;
+  TreeBuilder builder(&arena);
+  StatusOr<Node*> doc = ParseTerm(
+      "book(title author chapter(title intro section(title paragraph)))",
+      ex.alphabet.get(), &builder);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(b->Accepts(*doc));
+  StatusOr<Node*> invalid =
+      ParseTerm("book(title)", ex.alphabet.get(), &builder);
+  ASSERT_TRUE(invalid.ok());
+  EXPECT_FALSE(b->Accepts(*invalid));
+}
+
+// The central faithfulness property: the explicit Lemma 14 construction and
+// the lazy engine decide the same instances.
+class ExplicitVsLazyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExplicitVsLazyTest, EmptinessAgreesWithLazyEngine) {
+  RandomOptions opts;
+  opts.num_symbols = 3;
+  opts.num_states = 3;
+  PaperExample ex =
+      RandomInstance(static_cast<std::uint32_t>(GetParam()), opts, false);
+  WidthAnalysis w = AnalyzeWidths(*ex.transducer);
+  if (!w.dpw_bounded || w.copying_width * w.deletion_path_width > 4) {
+    GTEST_SKIP() << "outside the explicit construction's comfortable range";
+  }
+  StatusOr<Nta> b =
+      BuildCounterexampleNta(*ex.transducer, *ex.din, *ex.dout, 60000);
+  if (!b.ok()) GTEST_SKIP() << "construction over budget";
+  TypecheckOptions topts;
+  topts.want_counterexample = false;
+  StatusOr<TypecheckResult> lazy =
+      TypecheckTrac(*ex.transducer, *ex.din, *ex.dout, topts);
+  ASSERT_TRUE(lazy.ok());
+  EXPECT_EQ(IsEmptyLanguage(*b), lazy->typechecks) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExplicitVsLazyTest, ::testing::Range(0, 40));
+
+// Counterexample trees drawn from B are genuine counterexamples, and B
+// accepts exactly the L(d_in) members that violate, on enumerated trees.
+class ExplicitLanguageTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExplicitLanguageTest, MatchesDefinitionOnEnumeratedTrees) {
+  RandomOptions opts;
+  opts.num_symbols = 2;
+  opts.num_states = 2;
+  PaperExample ex =
+      RandomInstance(static_cast<std::uint32_t>(GetParam()) + 1000, opts,
+                     false);
+  WidthAnalysis w = AnalyzeWidths(*ex.transducer);
+  if (!w.dpw_bounded || w.copying_width * w.deletion_path_width > 4) {
+    GTEST_SKIP();
+  }
+  StatusOr<Nta> b =
+      BuildCounterexampleNta(*ex.transducer, *ex.din, *ex.dout, 60000);
+  if (!b.ok()) GTEST_SKIP();
+  Arena arena;
+  TreeBuilder builder(&arena);
+  BruteForceOptions bf;
+  bf.max_depth = 3;
+  bf.max_width = 2;
+  bf.max_trees = 300;
+  std::vector<Node*> trees =
+      EnumerateValidTrees(*ex.din, ex.din->start(), bf, &builder);
+  for (Node* t : trees) {
+    bool is_cex = VerifyCounterexample(*ex.transducer, *ex.din, *ex.dout, t);
+    EXPECT_EQ(b->Accepts(t), is_cex)
+        << ToTermString(t, *ex.alphabet) << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExplicitLanguageTest, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace xtc

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "src/core/nfa_dtd.h"
+#include "src/core/paper_examples.h"
+#include "src/core/typecheck.h"
+#include "src/td/exec.h"
+#include "src/tree/codec.h"
+#include "src/workload/families.h"
+
+namespace xtc {
+namespace {
+
+TEST(IntegrationTest, DispatcherHandlesTheBookScenario) {
+  PaperExample ex = MakeBookExample(true);
+  StatusOr<TypecheckResult> r = Typecheck(*ex.transducer, *ex.din, *ex.dout);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->typechecks);
+}
+
+TEST(IntegrationTest, DispatcherCompilesXPathSelectors) {
+  // Example 22 (XPath ToC) against the tight ToC schema: Theorem 23's
+  // compilation followed by the Lemma 14 engine.
+  PaperExample ex = MakeExample22();
+  StatusOr<TypecheckResult> r = Typecheck(*ex.transducer, *ex.din, *ex.dout);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->typechecks);
+}
+
+TEST(IntegrationTest, DispatcherPicksRePlusEngineForUnboundedCopying) {
+  PaperExample ex = RePlusCopyFamily(10);
+  StatusOr<TypecheckResult> r = Typecheck(*ex.transducer, *ex.din, *ex.dout);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->typechecks);
+}
+
+TEST(IntegrationTest, DispatcherDeterminizesNfaSchemas) {
+  PaperExample ex = NfaSchemaFamily(4);
+  EXPECT_FALSE(ex.din->IsDfaDtd());
+  StatusOr<TypecheckResult> r = Typecheck(*ex.transducer, *ex.din, *ex.dout);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->typechecks);
+}
+
+TEST(IntegrationTest, DeterminizationBudgetIsEnforced) {
+  PaperExample ex = NfaSchemaFamily(14);
+  StatusOr<TypecheckResult> r = TypecheckViaDeterminization(
+      *ex.transducer, *ex.din, *ex.dout, {}, /*max_dfa_states=*/256);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(IntegrationTest, EndToEndXmlPipeline) {
+  // Parse documents from XML, transform, serialize, and typecheck.
+  PaperExample ex = MakeBookExample(false);
+  Arena arena;
+  TreeBuilder builder(&arena);
+  StatusOr<Node*> doc = ParseXml(
+      "<book><title/><author/><chapter><title/><intro/>"
+      "<section><title/><paragraph/></section></chapter></book>",
+      ex.alphabet.get(), &builder);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_TRUE(ex.din->Valid(*doc));
+  Node* out = Apply(*ex.transducer, *doc, &builder);
+  ASSERT_NE(out, nullptr);
+  EXPECT_TRUE(ex.dout->Valid(out));
+  EXPECT_EQ(ToXml(out, *ex.alphabet),
+            "<book><title/><chapter/><title/><title/></book>");
+  StatusOr<TypecheckResult> r = Typecheck(*ex.transducer, *ex.din, *ex.dout);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->typechecks);
+}
+
+TEST(IntegrationTest, IntractableFragmentIsReported) {
+  // A transducer that copies while recursively deleting over non-RE+
+  // schemas: the dispatcher refuses with a precise diagnosis.
+  Alphabet alphabet;
+  alphabet.Intern("r");
+  alphabet.Intern("a");
+  alphabet.Intern("b");
+  Dtd din(&alphabet, 0);
+  ASSERT_TRUE(din.SetRule("r", "a | b").ok());
+  ASSERT_TRUE(din.SetRule("a", "a | b | %").ok());
+  Dtd dout(&alphabet, 0);
+  ASSERT_TRUE(dout.SetRule("r", "(a | b)*").ok());
+  Transducer t(&alphabet);
+  t.AddState("q0");
+  t.AddState("q");
+  t.SetInitial(0);
+  ASSERT_TRUE(t.SetRuleFromString("q0", "r", "r(q)").ok());
+  ASSERT_TRUE(t.SetRuleFromString("q", "a", "q q").ok());
+  ASSERT_TRUE(t.SetRuleFromString("q", "b", "b").ok());
+  StatusOr<TypecheckResult> r = Typecheck(t, din, dout);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(IntegrationTest, CounterexamplePipelineProducesXml) {
+  PaperExample ex = FailingFilterFamily(2);
+  StatusOr<TypecheckResult> r = Typecheck(*ex.transducer, *ex.din, *ex.dout);
+  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(r->typechecks);
+  ASSERT_NE(r->counterexample, nullptr);
+  std::string xml = ToXml(r->counterexample, *ex.alphabet);
+  EXPECT_FALSE(xml.empty());
+  // Round-trip the counterexample and re-verify.
+  Arena arena;
+  TreeBuilder builder(&arena);
+  StatusOr<Node*> back = ParseXml(xml, ex.alphabet.get(), &builder);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(VerifyCounterexample(*ex.transducer, *ex.din, *ex.dout, *back));
+}
+
+}  // namespace
+}  // namespace xtc

@@ -1,0 +1,158 @@
+#include "src/fa/nfa.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace xtc {
+namespace {
+
+// (ab)* over {a=0, b=1}.
+Nfa AbStar() {
+  Nfa n(2);
+  int s0 = n.AddState(/*initial=*/true, /*final=*/true);
+  int s1 = n.AddState();
+  n.AddTransition(s0, 0, s1);
+  n.AddTransition(s1, 1, s0);
+  return n;
+}
+
+TEST(NfaTest, AcceptsBasicWords) {
+  Nfa n = AbStar();
+  EXPECT_TRUE(n.Accepts(std::vector<int>{}));
+  EXPECT_TRUE(n.Accepts(std::vector<int>{0, 1}));
+  EXPECT_TRUE(n.Accepts(std::vector<int>{0, 1, 0, 1}));
+  EXPECT_FALSE(n.Accepts(std::vector<int>{0}));
+  EXPECT_FALSE(n.Accepts(std::vector<int>{1, 0}));
+}
+
+TEST(NfaTest, AcceptsEpsilon) {
+  EXPECT_TRUE(AbStar().AcceptsEpsilon());
+  Nfa strict(1);
+  int s0 = strict.AddState(true, false);
+  int s1 = strict.AddState(false, true);
+  strict.AddTransition(s0, 0, s1);
+  EXPECT_FALSE(strict.AcceptsEpsilon());
+}
+
+TEST(NfaTest, EmptinessAndShortestWord) {
+  Nfa n(2);
+  int s0 = n.AddState(true, false);
+  int s1 = n.AddState(false, false);
+  int s2 = n.AddState(false, true);
+  n.AddTransition(s0, 0, s1);
+  n.AddTransition(s1, 1, s2);
+  EXPECT_FALSE(n.IsEmpty());
+  auto word = n.ShortestAcceptedOver(nullptr);
+  ASSERT_TRUE(word.has_value());
+  EXPECT_EQ(*word, (std::vector<int>{0, 1}));
+
+  Nfa empty(2);
+  empty.AddState(true, false);
+  EXPECT_TRUE(empty.IsEmpty());
+  EXPECT_FALSE(empty.ShortestAcceptedOver(nullptr).has_value());
+}
+
+TEST(NfaTest, RestrictedAlphabetEmptiness) {
+  Nfa n = AbStar();
+  std::vector<bool> only_a{true, false};
+  // Without b only the empty word remains.
+  EXPECT_TRUE(n.AcceptsSomeOver(&only_a));
+  auto w = n.ShortestAcceptedOver(&only_a);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_TRUE(w->empty());
+}
+
+TEST(NfaTest, SymbolsOnAcceptingPaths) {
+  Nfa n(3);
+  int s0 = n.AddState(true, false);
+  int s1 = n.AddState(false, true);
+  int s2 = n.AddState(false, false);  // dead end
+  n.AddTransition(s0, 0, s1);
+  n.AddTransition(s0, 2, s2);  // symbol 2 leads nowhere useful
+  std::vector<bool> used = n.SymbolsOnAcceptingPaths(nullptr);
+  EXPECT_TRUE(used[0]);
+  EXPECT_FALSE(used[1]);
+  EXPECT_FALSE(used[2]);
+}
+
+TEST(NfaTest, FinitenessDetection) {
+  EXPECT_TRUE(AbStar().AcceptsInfinitelyManyOver(nullptr));
+  Nfa finite(1);
+  int s0 = finite.AddState(true, false);
+  int s1 = finite.AddState(false, true);
+  finite.AddTransition(s0, 0, s1);
+  EXPECT_FALSE(finite.AcceptsInfinitelyManyOver(nullptr));
+  // A loop that is not on an accepting path does not count.
+  Nfa off_path(1);
+  int t0 = off_path.AddState(true, true);
+  int t1 = off_path.AddState(false, false);
+  off_path.AddTransition(t0, 0, t1);
+  off_path.AddTransition(t1, 0, t1);
+  EXPECT_FALSE(off_path.AcceptsInfinitelyManyOver(nullptr));
+}
+
+TEST(NfaTest, FinitenessRespectsAllowedSymbols) {
+  Nfa n = AbStar();
+  std::vector<bool> only_a{true, false};
+  EXPECT_FALSE(n.AcceptsInfinitelyManyOver(&only_a));
+}
+
+TEST(NfaTest, IntersectionMatchesBothLanguages) {
+  // (ab)* ∩ strings of length 2 = {ab}.
+  Nfa len2(2);
+  int u0 = len2.AddState(true, false);
+  int u1 = len2.AddState(false, false);
+  int u2 = len2.AddState(false, true);
+  for (int sym = 0; sym < 2; ++sym) {
+    len2.AddTransition(u0, sym, u1);
+    len2.AddTransition(u1, sym, u2);
+  }
+  Nfa prod = Nfa::Intersection(AbStar(), len2);
+  EXPECT_TRUE(prod.Accepts(std::vector<int>{0, 1}));
+  EXPECT_FALSE(prod.Accepts(std::vector<int>{0, 0}));
+  EXPECT_FALSE(prod.Accepts(std::vector<int>{}));
+  EXPECT_FALSE(prod.Accepts(std::vector<int>{0, 1, 0, 1}));
+}
+
+TEST(NfaTest, UnionAcceptsEitherLanguage) {
+  Nfa only_a(2);
+  int a0 = only_a.AddState(true, false);
+  int a1 = only_a.AddState(false, true);
+  only_a.AddTransition(a0, 0, a1);
+  Nfa only_b(2);
+  int b0 = only_b.AddState(true, false);
+  int b1 = only_b.AddState(false, true);
+  only_b.AddTransition(b0, 1, b1);
+  Nfa u = Nfa::Union(only_a, only_b);
+  EXPECT_TRUE(u.Accepts(std::vector<int>{0}));
+  EXPECT_TRUE(u.Accepts(std::vector<int>{1}));
+  EXPECT_FALSE(u.Accepts(std::vector<int>{0, 1}));
+}
+
+TEST(NfaTest, SingleWord) {
+  std::vector<int> word{2, 0, 1};
+  Nfa n = Nfa::SingleWord(3, word);
+  EXPECT_TRUE(n.Accepts(word));
+  EXPECT_FALSE(n.Accepts(std::vector<int>{2, 0}));
+  EXPECT_FALSE(n.Accepts(std::vector<int>{2, 0, 1, 1}));
+  Nfa eps = Nfa::SingleWord(3, std::vector<int>{});
+  EXPECT_TRUE(eps.Accepts(std::vector<int>{}));
+  EXPECT_FALSE(eps.Accepts(std::vector<int>{0}));
+}
+
+TEST(NfaTest, ShiftedSymbols) {
+  Nfa n = Nfa::SingleWord(2, std::vector<int>{0, 1});
+  Nfa shifted = n.ShiftedSymbols(3, 5);
+  EXPECT_TRUE(shifted.Accepts(std::vector<int>{3, 4}));
+  EXPECT_FALSE(shifted.Accepts(std::vector<int>{0, 1}));
+}
+
+TEST(NfaTest, SizeMeasure) {
+  Nfa n = AbStar();
+  // 2 states + 2 symbols + 2 transitions.
+  EXPECT_EQ(n.Size(), 6u);
+}
+
+}  // namespace
+}  // namespace xtc

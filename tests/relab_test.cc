@@ -1,0 +1,223 @@
+#include "src/core/relab.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/brute_force.h"
+#include "src/core/paper_examples.h"
+#include "src/core/trac.h"
+#include "src/nta/analysis.h"
+#include "src/td/classes.h"
+#include "src/td/exec.h"
+#include "src/tree/codec.h"
+#include "src/workload/families.h"
+#include "src/workload/generators.h"
+
+namespace xtc {
+namespace {
+
+// Reference implementation of the #-marked totalized transducer T':
+// top-level states are wrapped as #(...), missing rules yield the leaf #.
+Hedge ApplyMarked(const Transducer& t, int state, const Node* input, int hash,
+                  TreeBuilder* b);
+
+void ExpandMarked(const Transducer& t, const RhsNode& n, const Node* input,
+                  int hash, TreeBuilder* b, Hedge* out, bool top_level) {
+  if (n.kind == RhsNode::Kind::kState) {
+    Hedge sub;
+    for (const Node* c : input->Children()) {
+      Hedge h = ApplyMarked(t, n.state, c, hash, b);
+      sub.insert(sub.end(), h.begin(), h.end());
+    }
+    if (top_level) {
+      out->push_back(b->Make(hash, sub));
+    } else {
+      out->insert(out->end(), sub.begin(), sub.end());
+    }
+    return;
+  }
+  Hedge kids;
+  for (const RhsNode& c : n.children) {
+    ExpandMarked(t, c, input, hash, b, &kids, /*top_level=*/false);
+  }
+  out->push_back(b->Make(n.label, kids));
+}
+
+Hedge ApplyMarked(const Transducer& t, int state, const Node* input, int hash,
+                  TreeBuilder* b) {
+  const RhsHedge* rhs = t.rule(state, input->label);
+  Hedge out;
+  if (rhs == nullptr || rhs->empty()) {
+    out.push_back(b->Leaf(hash));
+    return out;
+  }
+  for (const RhsNode& n : *rhs) {
+    ExpandMarked(t, n, input, hash, b, &out, /*top_level=*/true);
+  }
+  return out;
+}
+
+TEST(Lemma19Test, OutputLanguageMatchesDirectTransformation) {
+  // ToC transducer (del-relab) over the book DTD: B_in must accept exactly
+  // the #-marked translations of valid inputs.
+  PaperExample ex = MakeBookExample(false);
+  ASSERT_TRUE(IsDelRelab(*ex.transducer));
+  Nta ain = Nta::FromDtd(*ex.din);
+  const int hash = ex.alphabet->size();
+  StatusOr<Nta> bin = OutputLanguageNta(*ex.transducer, ain, hash);
+  ASSERT_TRUE(bin.ok()) << bin.status().ToString();
+  EXPECT_FALSE(IsEmptyLanguage(*bin));
+  EXPECT_EQ(bin->num_symbols(), hash + 1);
+
+  Arena arena;
+  TreeBuilder builder(&arena);
+  BruteForceOptions opts;
+  opts.max_depth = 5;
+  opts.max_width = 3;
+  opts.max_trees = 40;
+  std::vector<Node*> inputs =
+      EnumerateValidTrees(*ex.din, ex.din->start(), opts, &builder);
+  ASSERT_FALSE(inputs.empty());
+  for (Node* input : inputs) {
+    Hedge marked =
+        ApplyMarked(*ex.transducer, ex.transducer->initial(), input, hash,
+                    &builder);
+    ASSERT_EQ(marked.size(), 1u);
+    EXPECT_TRUE(bin->Accepts(marked[0]))
+        << "T'(t) rejected for t = " << ToTermString(input, *ex.alphabet);
+    // A perturbed output (extra trailing # child at the root) must be
+    // rejected: B_in captures the exact image.
+    std::vector<Node*> kids(marked[0]->Children().begin(),
+                            marked[0]->Children().end());
+    kids.push_back(builder.Leaf(hash));
+    Node* perturbed = builder.Make(marked[0]->label, kids);
+    EXPECT_FALSE(bin->Accepts(perturbed));
+  }
+}
+
+TEST(HashEliminationTest, AcceptsIffSplicedTreeAccepted) {
+  // A small DTAc over {r, x}: r(x*) with even number of x's.
+  Alphabet alphabet;
+  alphabet.Intern("r");
+  alphabet.Intern("x");
+  Dtd d(&alphabet, 0);
+  ASSERT_TRUE(d.SetRule("r", "(x x)*").ok());
+  Nta aout = CompletedDeterministic(Nta::FromDtd(d));
+  const int hash = alphabet.size();
+  Nta bout = HashEliminationNta(aout, hash);
+
+  Arena arena;
+  TreeBuilder builder(&arena);
+  int r = 0;
+  int x = 1;
+  auto leaf = [&](int label) { return builder.Leaf(label); };
+  // r(x #(x)) — gamma = r(x x): accepted.
+  Node* t1 = builder.Make(
+      r, std::vector<Node*>{
+             leaf(x), builder.Make(hash, std::vector<Node*>{leaf(x)})});
+  EXPECT_TRUE(bout.Accepts(t1));
+  // r(x #(x x)) — gamma = r(x x x): rejected.
+  Node* t2 = builder.Make(
+      r, std::vector<Node*>{
+             leaf(x),
+             builder.Make(hash, std::vector<Node*>{leaf(x), leaf(x)})});
+  EXPECT_FALSE(bout.Accepts(t2));
+  // Nested hashes: r(#(#(x x))) — gamma = r(x x): accepted.
+  Node* t3 = builder.Make(
+      r, std::vector<Node*>{builder.Make(
+             hash, std::vector<Node*>{builder.Make(
+                       hash, std::vector<Node*>{leaf(x), leaf(x)})})});
+  EXPECT_TRUE(bout.Accepts(t3));
+  // r(#()) — gamma = r(): accepted (zero x's is even).
+  Node* t4 = builder.Make(
+      r, std::vector<Node*>{builder.Make(hash, std::vector<Node*>{})});
+  EXPECT_TRUE(bout.Accepts(t4));
+}
+
+TEST(RelabTest, RelabFamilyTypechecks) {
+  for (int n = 1; n <= 4; ++n) {
+    PaperExample ex = RelabFamily(n);
+    StatusOr<TypecheckResult> r =
+        TypecheckDelRelab(*ex.transducer, *ex.din, *ex.dout);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_TRUE(r->typechecks) << n;
+  }
+}
+
+TEST(RelabTest, DetectsArityMismatch) {
+  PaperExample ex = RelabFamily(3);
+  // Output schema expects only two b's: fails.
+  ASSERT_TRUE(ex.dout->SetRule("r", "b b").ok());
+  StatusOr<TypecheckResult> r =
+      TypecheckDelRelab(*ex.transducer, *ex.din, *ex.dout);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->typechecks);
+  ASSERT_NE(r->counterexample, nullptr);
+  EXPECT_TRUE(VerifyCounterexample(*ex.transducer, *ex.din, *ex.dout,
+                                   r->counterexample));
+}
+
+TEST(RelabTest, TocTransducerAgainstExampleSchema) {
+  // The ToC transducer is del-relab; Theorem 20 must agree with Lemma 14.
+  PaperExample ex = MakeBookExample(false);
+  StatusOr<TypecheckResult> relab =
+      TypecheckDelRelab(*ex.transducer, *ex.din, *ex.dout);
+  ASSERT_TRUE(relab.ok()) << relab.status().ToString();
+  EXPECT_TRUE(relab->typechecks);
+  // And on the failing variant.
+  ASSERT_TRUE(ex.dout->SetRule("book", "title (chapter title)+").ok());
+  StatusOr<TypecheckResult> relab2 =
+      TypecheckDelRelab(*ex.transducer, *ex.din, *ex.dout);
+  ASSERT_TRUE(relab2.ok());
+  EXPECT_FALSE(relab2->typechecks);
+}
+
+TEST(RelabTest, RejectsCopyingTransducers) {
+  PaperExample ex = MakeBookExample(true);  // book(q p): two states
+  StatusOr<TypecheckResult> r =
+      TypecheckDelRelab(*ex.transducer, *ex.din, *ex.dout);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RelabTest, MissingInitialRuleFails) {
+  PaperExample ex = RelabFamily(2);
+  Transducer empty(ex.alphabet.get());
+  empty.AddState("q0");
+  empty.SetInitial(0);
+  StatusOr<TypecheckResult> r = TypecheckDelRelab(empty, *ex.din, *ex.dout);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->typechecks);
+  EXPECT_TRUE(VerifyCounterexample(empty, *ex.din, *ex.dout,
+                                   r->counterexample));
+}
+
+// Property: Theorem 20 agrees with the Lemma 14 engine on random del-relab
+// instances.
+class RelabRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RelabRandomTest, AgreesWithTracEngine) {
+  RandomOptions opts;
+  opts.num_symbols = 3;
+  opts.num_states = 3;
+  opts.max_top_width = 2;
+  opts.allow_copying = false;  // one state per template at most
+  PaperExample ex =
+      RandomInstance(static_cast<std::uint32_t>(GetParam()), opts, false);
+  if (!IsDelRelab(*ex.transducer)) {
+    GTEST_SKIP() << "generator produced a non-del-relab transducer";
+  }
+  TypecheckOptions topts;
+  topts.want_counterexample = false;
+  StatusOr<TypecheckResult> relab =
+      TypecheckDelRelab(*ex.transducer, *ex.din, *ex.dout, topts);
+  ASSERT_TRUE(relab.ok()) << relab.status().ToString();
+  StatusOr<TypecheckResult> trac =
+      TypecheckTrac(*ex.transducer, *ex.din, *ex.dout, topts);
+  ASSERT_TRUE(trac.ok()) << trac.status().ToString();
+  EXPECT_EQ(relab->typechecks, trac->typechecks);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelabRandomTest, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace xtc

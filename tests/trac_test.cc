@@ -1,0 +1,179 @@
+#include "src/core/trac.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/brute_force.h"
+#include "src/core/paper_examples.h"
+#include "src/td/widths.h"
+#include "src/tree/codec.h"
+#include "src/workload/families.h"
+#include "src/workload/generators.h"
+
+namespace xtc {
+namespace {
+
+TEST(TracTest, Example11Typechecks) {
+  // The book summary transducer typechecks against Example 11's DTD.
+  PaperExample ex = MakeBookExample(/*with_summary=*/true);
+  StatusOr<TypecheckResult> r = TypecheckTrac(*ex.transducer, *ex.din,
+                                              *ex.dout);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->typechecks);
+}
+
+TEST(TracTest, TocTransducerTypechecks) {
+  PaperExample ex = MakeBookExample(/*with_summary=*/false);
+  StatusOr<TypecheckResult> r = TypecheckTrac(*ex.transducer, *ex.din,
+                                              *ex.dout);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->typechecks);
+}
+
+TEST(TracTest, TightenedOutputSchemaFailsWithCounterexample) {
+  PaperExample ex = MakeBookExample(/*with_summary=*/false);
+  // Demand exactly one title after each chapter: deeper sections violate it.
+  ASSERT_TRUE(ex.dout->SetRule("book", "title (chapter title)+").ok());
+  StatusOr<TypecheckResult> r = TypecheckTrac(*ex.transducer, *ex.din,
+                                              *ex.dout);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->typechecks);
+  ASSERT_NE(r->counterexample, nullptr);
+  EXPECT_TRUE(VerifyCounterexample(*ex.transducer, *ex.din, *ex.dout,
+                                   r->counterexample));
+}
+
+TEST(TracTest, MissingInitialRuleFails) {
+  PaperExample ex = MakeBookExample(false);
+  Transducer empty(ex.alphabet.get());
+  empty.AddState("q0");
+  empty.SetInitial(0);
+  StatusOr<TypecheckResult> r = TypecheckTrac(empty, *ex.din, *ex.dout);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->typechecks);
+  ASSERT_NE(r->counterexample, nullptr);
+  EXPECT_TRUE(VerifyCounterexample(empty, *ex.din, *ex.dout,
+                                   r->counterexample));
+}
+
+TEST(TracTest, WrongRootLabelFails) {
+  PaperExample ex = MakeBookExample(false);
+  Transducer t(ex.alphabet.get());
+  t.AddState("q0");
+  t.SetInitial(0);
+  ASSERT_TRUE(t.SetRuleFromString("q0", "book", "title").ok());
+  StatusOr<TypecheckResult> r = TypecheckTrac(t, *ex.din, *ex.dout);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->typechecks);
+  EXPECT_TRUE(VerifyCounterexample(t, *ex.din, *ex.dout, r->counterexample));
+}
+
+TEST(TracTest, EmptyInputLanguageTypechecksVacuously) {
+  Alphabet alphabet;
+  alphabet.Intern("r");
+  Dtd din(&alphabet, 0);
+  ASSERT_TRUE(din.SetRule("r", "r").ok());  // recursive: empty language
+  Dtd dout(&alphabet, 0);
+  Transducer t(&alphabet);
+  t.AddState("q0");
+  t.SetInitial(0);
+  StatusOr<TypecheckResult> r = TypecheckTrac(t, din, dout);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->typechecks);
+}
+
+TEST(TracTest, FilterFamilyTypechecksAndFailingVariantDoesNot) {
+  for (int n = 1; n <= 4; ++n) {
+    PaperExample good = FilterFamily(n);
+    StatusOr<TypecheckResult> r1 =
+        TypecheckTrac(*good.transducer, *good.din, *good.dout);
+    ASSERT_TRUE(r1.ok());
+    EXPECT_TRUE(r1->typechecks) << n;
+
+    PaperExample bad = FailingFilterFamily(n);
+    StatusOr<TypecheckResult> r2 =
+        TypecheckTrac(*bad.transducer, *bad.din, *bad.dout);
+    ASSERT_TRUE(r2.ok());
+    EXPECT_FALSE(r2->typechecks) << n;
+    ASSERT_NE(r2->counterexample, nullptr);
+    EXPECT_TRUE(VerifyCounterexample(*bad.transducer, *bad.din, *bad.dout,
+                                     r2->counterexample))
+        << ToTermString(r2->counterexample, *bad.alphabet);
+  }
+}
+
+TEST(TracTest, WidthFamilies) {
+  for (int c = 1; c <= 3; ++c) {
+    for (int k = 0; k <= 2; ++k) {
+      PaperExample ex = WidthFamily(c, k);
+      StatusOr<TypecheckResult> r =
+          TypecheckTrac(*ex.transducer, *ex.din, *ex.dout);
+      ASSERT_TRUE(r.ok()) << c << "," << k << ": " << r.status().ToString();
+      EXPECT_TRUE(r->typechecks) << c << "," << k;
+    }
+  }
+}
+
+TEST(TracTest, DeepCounterexampleThroughDeletion) {
+  // Require at least 4 titles: only documents with nested sections comply;
+  // the typechecker must find a counterexample with few sections.
+  PaperExample ex = FilterFamily(1);
+  Status s = ex.dout->SetRule("root", "title title title title title*");
+  ASSERT_TRUE(s.ok());
+  StatusOr<TypecheckResult> r =
+      TypecheckTrac(*ex.transducer, *ex.din, *ex.dout);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->typechecks);
+  EXPECT_TRUE(VerifyCounterexample(*ex.transducer, *ex.din, *ex.dout,
+                                   r->counterexample));
+}
+
+// Property sweep: on random small instances, whenever the engine reports a
+// counterexample it must verify, and whenever it reports success the
+// bounded-exhaustive oracle must find no counterexample.
+class TracRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TracRandomTest, AgreesWithBruteForceOracle) {
+  RandomOptions opts;
+  opts.num_symbols = 3;
+  opts.num_states = 3;
+  PaperExample ex =
+      RandomInstance(static_cast<std::uint32_t>(GetParam()), opts, false);
+  WidthAnalysis w = AnalyzeWidths(*ex.transducer);
+  if (!w.dpw_bounded || w.copying_width * w.deletion_path_width > 6) {
+    GTEST_SKIP() << "instance outside the tractable sweep";
+  }
+  TypecheckOptions topts;
+  StatusOr<TypecheckResult> r =
+      TypecheckTrac(*ex.transducer, *ex.din, *ex.dout, topts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  if (!r->typechecks) {
+    ASSERT_NE(r->counterexample, nullptr);
+    EXPECT_TRUE(VerifyCounterexample(*ex.transducer, *ex.din, *ex.dout,
+                                     r->counterexample))
+        << ToTermString(r->counterexample, *ex.alphabet);
+  } else {
+    BruteForceOptions bf;
+    bf.max_depth = 4;
+    bf.max_width = 3;
+    bf.max_trees = 30000;
+    TypecheckResult brute =
+        TypecheckBruteForce(*ex.transducer, *ex.din, *ex.dout, bf);
+    EXPECT_TRUE(brute.typechecks)
+        << "missed counterexample "
+        << ToTermString(brute.counterexample, *ex.alphabet);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TracRandomTest, ::testing::Range(0, 60));
+
+TEST(TracTest, StatsAreReported) {
+  PaperExample ex = MakeBookExample(true);
+  StatusOr<TypecheckResult> r =
+      TypecheckTrac(*ex.transducer, *ex.din, *ex.dout);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->stats.configs, 0u);
+  EXPECT_GT(r->stats.evaluations, 0u);
+}
+
+}  // namespace
+}  // namespace xtc

@@ -1,0 +1,160 @@
+#include "src/td/transducer.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/core/paper_examples.h"
+#include "src/td/exec.h"
+#include "src/td/xslt_export.h"
+#include "src/tree/codec.h"
+
+namespace xtc {
+namespace {
+
+TEST(TransducerTest, Example7TranslationMatchesFig2) {
+  // Fig. 2: T(b(b(a b) a)) for the Example 6 transducer.
+  PaperExample ex = MakeExample6();
+  Arena arena;
+  TreeBuilder builder(&arena);
+  Node* input = MakeExample7Tree(ex.alphabet.get(), &builder);
+  Node* output = Apply(*ex.transducer, input, &builder);
+  ASSERT_NE(output, nullptr);
+  // T(t) = T^p(b(b(a b) a)) = d(T^q(b(a b)) T^q(a))
+  //      = d( c(T^p(a) T^p(b) T^q(a) T^q(b))  c )
+  //      = d( c(d(e) d c c) c ).
+  EXPECT_EQ(ToTermString(output, *ex.alphabet), "d(c(d(e) d c c) c)");
+}
+
+TEST(TransducerTest, MissingRuleYieldsEmptyHedge) {
+  PaperExample ex = MakeExample6();
+  Arena arena;
+  TreeBuilder builder(&arena);
+  // No rule for (p, c): the translation is the empty tree.
+  StatusOr<Node*> input = ParseTerm("c(a)", ex.alphabet.get(), &builder);
+  ASSERT_TRUE(input.ok());
+  EXPECT_EQ(Apply(*ex.transducer, *input, &builder), nullptr);
+}
+
+TEST(TransducerTest, DeletionExampleFromSection25) {
+  // T^q(a(b)) = c d for the Example 6 transducer (Section 2.5): the b child
+  // is processed by the deleting state p at top level.
+  PaperExample ex = MakeExample6();
+  Arena arena;
+  TreeBuilder builder(&arena);
+  StatusOr<Node*> input = ParseTerm("a(b)", ex.alphabet.get(), &builder);
+  ASSERT_TRUE(input.ok());
+  int q = *ex.transducer->FindState("q");
+  Hedge out = ApplyState(*ex.transducer, q, *input, &builder);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(ToTermString(out[0], *ex.alphabet), "c");
+  EXPECT_EQ(ToTermString(out[1], *ex.alphabet), "d");
+}
+
+TEST(TransducerTest, BookToCTransformation) {
+  PaperExample ex = MakeBookExample(/*with_summary=*/false);
+  Arena arena;
+  TreeBuilder builder(&arena);
+  StatusOr<Node*> doc = ParseTerm(
+      "book(title author chapter(title intro section(title paragraph "
+      "section(title paragraph))) chapter(title intro section(title "
+      "paragraph)))",
+      ex.alphabet.get(), &builder);
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE(ex.din->Valid(*doc));
+  Node* out = Apply(*ex.transducer, *doc, &builder);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(ToTermString(out, *ex.alphabet),
+            "book(title chapter title title title chapter title title)");
+  EXPECT_TRUE(ex.dout->Valid(out));
+}
+
+TEST(TransducerTest, BookSummaryTransformationTypeValidates) {
+  PaperExample ex = MakeBookExample(/*with_summary=*/true);
+  Arena arena;
+  TreeBuilder builder(&arena);
+  StatusOr<Node*> doc = ParseTerm(
+      "book(title author chapter(title intro section(title paragraph)))",
+      ex.alphabet.get(), &builder);
+  ASSERT_TRUE(doc.ok());
+  Node* out = Apply(*ex.transducer, *doc, &builder);
+  ASSERT_NE(out, nullptr);
+  // ToC part then summary part (Example 10's second transducer).
+  EXPECT_EQ(ToTermString(out, *ex.alphabet),
+            "book(title chapter title title chapter(title intro))");
+  EXPECT_TRUE(ex.dout->Valid(out));
+}
+
+TEST(TransducerTest, RuleParsingResolvesStatesVsLabels) {
+  Alphabet alphabet;
+  alphabet.Intern("a");
+  Transducer t(&alphabet);
+  t.AddState("q");
+  t.SetInitial(0);
+  ASSERT_TRUE(t.SetRuleFromString("q", "a", "a(q b q)").ok());
+  const RhsHedge* rhs = t.rule(0, *alphabet.Find("a"));
+  ASSERT_NE(rhs, nullptr);
+  ASSERT_EQ(rhs->size(), 1u);
+  const RhsNode& root = (*rhs)[0];
+  ASSERT_EQ(root.children.size(), 3u);
+  EXPECT_EQ(root.children[0].kind, RhsNode::Kind::kState);
+  EXPECT_EQ(root.children[1].kind, RhsNode::Kind::kLabel);
+  EXPECT_EQ(root.children[2].kind, RhsNode::Kind::kState);
+}
+
+TEST(TransducerTest, RuleParsingErrors) {
+  Alphabet alphabet;
+  Transducer t(&alphabet);
+  t.AddState("q");
+  t.SetInitial(0);
+  EXPECT_FALSE(t.SetRuleFromString("nosuch", "a", "b").ok());
+  EXPECT_FALSE(t.SetRuleFromString("q", "a", "b(").ok());
+  EXPECT_FALSE(t.SetRuleFromString("q", "a", "<q2, ./x>").ok());
+}
+
+TEST(TransducerTest, RhsToStringRoundTrips) {
+  PaperExample ex = MakeExample6();
+  int q = *ex.transducer->FindState("q");
+  int b = *ex.alphabet->Find("b");
+  const RhsHedge* rhs = ex.transducer->rule(q, b);
+  ASSERT_NE(rhs, nullptr);
+  EXPECT_EQ(ex.transducer->RhsToString(*rhs), "c(p q)");
+}
+
+TEST(TransducerTest, SizeMeasure) {
+  PaperExample ex = MakeExample6();
+  // |Q|=2, |Sigma|=5, rhs nodes: d(e)=2, d(q)=2, c p=2, c(p q)=3 -> 16.
+  EXPECT_EQ(ex.transducer->Size(), 16u);
+}
+
+TEST(TransducerTest, XsltExportMatchesFig1Shape) {
+  PaperExample ex = MakeExample6();
+  std::string xslt = ExportXslt(*ex.transducer);
+  EXPECT_NE(xslt.find("<xsl:template match=\"a\" mode=\"p\">"),
+            std::string::npos);
+  EXPECT_NE(xslt.find("<xsl:template match=\"b\" mode=\"q\">"),
+            std::string::npos);
+  EXPECT_NE(xslt.find("<xsl:apply-templates mode=\"q\"/>"),
+            std::string::npos);
+  EXPECT_NE(xslt.find("<d>"), std::string::npos);
+  EXPECT_NE(xslt.find("<e/>"), std::string::npos);
+}
+
+TEST(TransducerTest, SelectorSemanticsFollowDocumentOrder) {
+  PaperExample ex = MakeExample22();
+  Arena arena;
+  TreeBuilder builder(&arena);
+  StatusOr<Node*> doc = ParseTerm(
+      "book(title author chapter(title intro section(title paragraph "
+      "section(title paragraph)) section(title paragraph)))",
+      ex.alphabet.get(), &builder);
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE(ex.din->Valid(*doc));
+  Node* out = Apply(*ex.transducer, *doc, &builder);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(ToTermString(out, *ex.alphabet),
+            "book(title chapter title title title title)");
+}
+
+}  // namespace
+}  // namespace xtc

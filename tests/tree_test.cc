@@ -1,0 +1,146 @@
+#include "src/tree/tree.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/tree/codec.h"
+#include "src/tree/hashcons.h"
+
+namespace xtc {
+namespace {
+
+class TreeTest : public ::testing::Test {
+ protected:
+  Arena arena_;
+  TreeBuilder builder_{&arena_};
+  Alphabet alphabet_;
+};
+
+TEST_F(TreeTest, BuildAndInspect) {
+  int a = alphabet_.Intern("a");
+  int b = alphabet_.Intern("b");
+  Node* leaf1 = builder_.Leaf(b);
+  Node* leaf2 = builder_.Leaf(b);
+  Node* root = builder_.Make(a, std::vector<Node*>{leaf1, leaf2});
+  EXPECT_EQ(root->label, a);
+  EXPECT_EQ(root->child_count, 2u);
+  EXPECT_EQ(Depth(root), 2);
+  EXPECT_EQ(NodeCount(root), 3u);
+}
+
+TEST_F(TreeTest, DepthConventions) {
+  // A single root has depth one (Section 2.1); the null tree is epsilon.
+  EXPECT_EQ(Depth(nullptr), 0);
+  EXPECT_EQ(Depth(builder_.Leaf(0)), 1);
+}
+
+TEST_F(TreeTest, TermRoundTrip) {
+  StatusOr<Node*> t =
+      ParseTerm("book(title author chapter(title intro section(title "
+                "paragraph)))",
+                &alphabet_, &builder_);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  std::string printed = ToTermString(*t, alphabet_);
+  StatusOr<Node*> t2 = ParseTerm(printed, &alphabet_, &builder_);
+  ASSERT_TRUE(t2.ok());
+  EXPECT_TRUE(TreeEqual(*t, *t2));
+  EXPECT_EQ(printed,
+            "book(title author chapter(title intro section(title "
+            "paragraph)))");
+}
+
+TEST_F(TreeTest, TermParseErrors) {
+  EXPECT_FALSE(ParseTerm("a(b", &alphabet_, &builder_).ok());
+  EXPECT_FALSE(ParseTerm("a)b", &alphabet_, &builder_).ok());
+  EXPECT_FALSE(ParseTerm("", &alphabet_, &builder_).ok());
+}
+
+TEST_F(TreeTest, XmlRoundTrip) {
+  StatusOr<Node*> t = ParseTerm("a(b c(d) b)", &alphabet_, &builder_);
+  ASSERT_TRUE(t.ok());
+  std::string xml = ToXml(*t, alphabet_);
+  EXPECT_EQ(xml, "<a><b/><c><d/></c><b/></a>");
+  StatusOr<Node*> back = ParseXml(xml, &alphabet_, &builder_);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(TreeEqual(*t, *back));
+}
+
+TEST_F(TreeTest, XmlPrettyPrintParses) {
+  StatusOr<Node*> t = ParseTerm("a(b c(d))", &alphabet_, &builder_);
+  ASSERT_TRUE(t.ok());
+  std::string xml = ToXml(*t, alphabet_, /*indent=*/true);
+  StatusOr<Node*> back = ParseXml(xml, &alphabet_, &builder_);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(TreeEqual(*t, *back));
+}
+
+TEST_F(TreeTest, XmlParseErrors) {
+  EXPECT_FALSE(ParseXml("<a><b/></c>", &alphabet_, &builder_).ok());
+  EXPECT_FALSE(ParseXml("<a attr=\"x\"/>", &alphabet_, &builder_).ok());
+  EXPECT_FALSE(ParseXml("<a>text</a>", &alphabet_, &builder_).ok());
+  EXPECT_FALSE(ParseXml("", &alphabet_, &builder_).ok());
+}
+
+TEST_F(TreeTest, HedgeHelpers) {
+  StatusOr<Node*> t1 = ParseTerm("a(b)", &alphabet_, &builder_);
+  StatusOr<Node*> t2 = ParseTerm("c", &alphabet_, &builder_);
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  Hedge h{*t1, *t2};
+  EXPECT_EQ(HedgeDepth(h), 2);
+  EXPECT_EQ(HedgeNodeCount(h), 3u);
+  std::vector<int> top = TopString(h);
+  EXPECT_EQ(top.size(), 2u);
+  EXPECT_EQ(alphabet_.Name(top[0]), "a");
+  EXPECT_EQ(alphabet_.Name(top[1]), "c");
+}
+
+TEST_F(TreeTest, CloneIsDeepAndEqual) {
+  StatusOr<Node*> t = ParseTerm("a(b(c) d)", &alphabet_, &builder_);
+  ASSERT_TRUE(t.ok());
+  Arena other;
+  TreeBuilder other_builder(&other);
+  Node* copy = other_builder.Clone(*t);
+  EXPECT_TRUE(TreeEqual(*t, copy));
+  EXPECT_NE(*t, copy);
+}
+
+TEST_F(TreeTest, SharedForestInternsEqualSubtrees) {
+  SharedForest forest;
+  int leaf = forest.Leaf(1);
+  int leaf2 = forest.Leaf(1);
+  EXPECT_EQ(leaf, leaf2);
+  int n1 = forest.Make(0, std::vector<int>{leaf, leaf});
+  int n2 = forest.Make(0, std::vector<int>{leaf, leaf});
+  EXPECT_EQ(n1, n2);
+  EXPECT_EQ(forest.size(), 2);
+}
+
+TEST_F(TreeTest, SharedForestUnfoldedSizeIsExponentialSafe) {
+  SharedForest forest;
+  // A doubling tower: node i has two copies of node i-1.
+  int cur = forest.Leaf(0);
+  for (int i = 0; i < 80; ++i) {
+    cur = forest.Make(0, std::vector<int>{cur, cur});
+  }
+  EXPECT_EQ(forest.UnfoldedSize(cur), SharedForest::kSaturated);
+  EXPECT_EQ(forest.UnfoldedDepth(cur), 81);
+  EXPECT_EQ(forest.size(), 81);
+  // Materialization fails gracefully.
+  EXPECT_FALSE(forest.Materialize(cur, &builder_, 1 << 20).ok());
+}
+
+TEST_F(TreeTest, SharedForestMaterializeAndIntern) {
+  StatusOr<Node*> t = ParseTerm("a(b(c) b(c))", &alphabet_, &builder_);
+  ASSERT_TRUE(t.ok());
+  SharedForest forest;
+  int id = forest.Intern(*t);
+  EXPECT_EQ(forest.size(), 3);  // c, b(c), a(...) shared
+  EXPECT_EQ(forest.UnfoldedSize(id), 5u);
+  StatusOr<Node*> back = forest.Materialize(id, &builder_, 100);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(TreeEqual(*t, *back));
+}
+
+}  // namespace
+}  // namespace xtc

@@ -1,0 +1,129 @@
+#include "src/td/widths.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/paper_examples.h"
+#include "src/td/classes.h"
+#include "src/workload/families.h"
+
+namespace xtc {
+namespace {
+
+TEST(WidthsTest, Example12HasC3K6) {
+  // Example 17: C = 3 and K = 6 via the path (q1,a)(q2,a)(q3,a)(q4,a).
+  PaperExample ex = MakeExample12();
+  WidthAnalysis w = AnalyzeWidths(*ex.transducer);
+  EXPECT_EQ(w.copying_width, 3);
+  ASSERT_TRUE(w.dpw_bounded);
+  EXPECT_EQ(w.deletion_path_width, 6u);
+}
+
+TEST(WidthsTest, Example12DeletionWidthsMatchPaperTable) {
+  PaperExample ex = MakeExample12();
+  WidthAnalysis w = AnalyzeWidths(*ex.transducer);
+  auto dw = [&](const char* name) {
+    return w.deletion_width[static_cast<std::size_t>(
+        *ex.transducer->FindState(name))];
+  };
+  EXPECT_EQ(dw("q1"), 2);
+  EXPECT_EQ(dw("q2"), 3);
+  EXPECT_EQ(dw("q3"), 1);
+  EXPECT_EQ(dw("q4"), 0);
+  EXPECT_EQ(dw("q5"), 2);
+  EXPECT_EQ(dw("q6"), 2);
+  EXPECT_EQ(dw("q7"), 1);
+  EXPECT_EQ(dw("q8"), 1);
+}
+
+TEST(WidthsTest, Example12RecursivelyDeletingStates) {
+  // q7 and q8 form the only deletion cycle.
+  PaperExample ex = MakeExample12();
+  WidthAnalysis w = AnalyzeWidths(*ex.transducer);
+  auto rec = [&](const char* name) {
+    return w.recursively_deleting[static_cast<std::size_t>(
+        *ex.transducer->FindState(name))];
+  };
+  EXPECT_FALSE(rec("q1"));
+  EXPECT_FALSE(rec("q2"));
+  EXPECT_FALSE(rec("q3"));
+  EXPECT_TRUE(rec("q7"));
+  EXPECT_TRUE(rec("q8"));
+}
+
+TEST(WidthsTest, CopyOnCycleIsUnbounded) {
+  // "Would there be a rule (q7, b) → q8 q8 then paths of arbitrary large
+  // deletion width could be constructed" (Example 12's remark).
+  PaperExample ex = MakeExample12();
+  ex.alphabet->Intern("b");
+  ASSERT_TRUE(ex.transducer->SetRuleFromString("q7", "b", "q8 q8").ok());
+  // q8's rule mentions q7 on symbol a, closing a copying cycle.
+  WidthAnalysis w = AnalyzeWidths(*ex.transducer);
+  EXPECT_FALSE(w.dpw_bounded);
+}
+
+TEST(WidthsTest, BookTransducersMatchExample13) {
+  // The first Example 10 transducer is in T^{1,1}, the second in T^{2,1}.
+  PaperExample toc = MakeBookExample(false);
+  WidthAnalysis w1 = AnalyzeWidths(*toc.transducer);
+  EXPECT_EQ(w1.copying_width, 1);
+  EXPECT_TRUE(w1.dpw_bounded);
+  EXPECT_EQ(w1.deletion_path_width, 1u);
+  EXPECT_TRUE(IsTrac(w1, 1, 1));
+
+  PaperExample sum = MakeBookExample(true);
+  WidthAnalysis w2 = AnalyzeWidths(*sum.transducer);
+  EXPECT_EQ(w2.copying_width, 2);
+  EXPECT_TRUE(w2.dpw_bounded);
+  EXPECT_EQ(w2.deletion_path_width, 1u);
+  EXPECT_TRUE(IsTrac(w2, 2, 1));
+  EXPECT_FALSE(IsTrac(w2, 1, 1));
+}
+
+TEST(WidthsTest, RecursiveDeletionWithoutCopyingStaysWidthOne) {
+  PaperExample ex = FilterFamily(3);
+  WidthAnalysis w = AnalyzeWidths(*ex.transducer);
+  EXPECT_TRUE(w.dpw_bounded);
+  EXPECT_EQ(w.deletion_path_width, 1u);
+  int q = *ex.transducer->FindState("q");
+  EXPECT_TRUE(w.recursively_deleting[static_cast<std::size_t>(q)]);
+}
+
+TEST(WidthsTest, WidthFamilyScalesAsDocumented) {
+  for (int k = 0; k <= 3; ++k) {
+    PaperExample ex = WidthFamily(2, k);
+    WidthAnalysis w = AnalyzeWidths(*ex.transducer);
+    ASSERT_TRUE(w.dpw_bounded);
+    EXPECT_EQ(w.deletion_path_width, static_cast<uint64_t>(1) << k) << k;
+  }
+  PaperExample wide = WidthFamily(5, 0);
+  EXPECT_EQ(AnalyzeWidths(*wide.transducer).copying_width, 5);
+}
+
+TEST(WidthsTest, ClassPredicates) {
+  PaperExample toc = MakeBookExample(false);
+  EXPECT_FALSE(IsNonDeleting(*toc.transducer));
+  // Every ToC rule has at most one state: a deleting relabeling.
+  EXPECT_TRUE(IsDelRelab(*toc.transducer));
+  // The summary transducer copies (book(q p)): not del-relab.
+  PaperExample sum = MakeBookExample(true);
+  EXPECT_FALSE(IsDelRelab(*sum.transducer));
+  PaperExample relab = RelabFamily(2);
+  EXPECT_TRUE(IsDelRelab(*relab.transducer));
+  ClassReport report = ClassifyTransducer(*relab.transducer);
+  EXPECT_TRUE(report.del_relab);
+  EXPECT_FALSE(report.has_selectors);
+  std::string line = ClassReportToString(report);
+  EXPECT_NE(line.find("del-relab"), std::string::npos);
+}
+
+TEST(WidthsTest, NonDeletingDetection) {
+  PaperExample ex6 = MakeExample6();
+  // (q, a) -> c p has the state p at top level: deleting.
+  EXPECT_FALSE(IsNonDeleting(*ex6.transducer));
+  PaperExample relab = RelabFamily(2);
+  // b(q) keeps the state below the top level... except the q0 rule r(q).
+  EXPECT_TRUE(IsNonDeleting(*relab.transducer));
+}
+
+}  // namespace
+}  // namespace xtc

@@ -1,0 +1,95 @@
+#include "src/workload/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "src/td/widths.h"
+#include "src/workload/families.h"
+
+namespace xtc {
+namespace {
+
+TEST(GeneratorsTest, RandomInstancesAreWellFormed) {
+  RandomOptions opts;
+  for (std::uint32_t seed = 0; seed < 20; ++seed) {
+    PaperExample ex = RandomInstance(seed, opts, /*re_plus=*/false);
+    ASSERT_NE(ex.transducer, nullptr);
+    EXPECT_GE(ex.transducer->initial(), 0);
+    EXPECT_EQ(ex.transducer->alphabet(), ex.alphabet.get());
+    EXPECT_EQ(ex.din->alphabet(), ex.alphabet.get());
+    // The initial rule for every symbol, if present, is a single tree.
+    EXPECT_FALSE(ex.transducer->HasSelectors());
+  }
+}
+
+TEST(GeneratorsTest, RandomRePlusDtdsAreRePlusAndInhabited) {
+  RandomOptions opts;
+  for (std::uint32_t seed = 0; seed < 20; ++seed) {
+    PaperExample ex = RandomInstance(seed, opts, /*re_plus=*/true);
+    EXPECT_TRUE(ex.din->IsRePlusDtd());
+    EXPECT_TRUE(ex.dout->IsRePlusDtd());
+    EXPECT_FALSE(ex.din->LanguageEmpty());
+  }
+}
+
+TEST(GeneratorsTest, SeedsAreDeterministic) {
+  RandomOptions opts;
+  PaperExample a = RandomInstance(7, opts, false);
+  PaperExample b = RandomInstance(7, opts, false);
+  EXPECT_EQ(a.transducer->Size(), b.transducer->Size());
+  EXPECT_EQ(a.din->Size(), b.din->Size());
+  PaperExample c = RandomInstance(8, opts, false);
+  // Different seeds virtually always differ somewhere.
+  EXPECT_TRUE(a.transducer->Size() != c.transducer->Size() ||
+              a.din->Size() != c.din->Size() ||
+              a.dout->Size() != c.dout->Size());
+}
+
+TEST(GeneratorsTest, RandomTreesRespectBounds) {
+  std::mt19937 rng(3);
+  Arena arena;
+  TreeBuilder builder(&arena);
+  for (int i = 0; i < 50; ++i) {
+    Node* t = RandomTree(&rng, 3, 4, 3, &builder);
+    EXPECT_LE(Depth(t), 4);
+    EXPECT_LT(t->label, 3);
+  }
+}
+
+TEST(FamiliesTest, AllFamiliesProduceConsistentAlphabets) {
+  for (PaperExample ex :
+       {FilterFamily(3), FailingFilterFamily(3), WidthFamily(2, 2),
+        RelabFamily(3), RePlusCopyFamily(3), XPathChainFamily(3),
+        NfaSchemaFamily(3)}) {
+    ASSERT_NE(ex.alphabet, nullptr);
+    ASSERT_NE(ex.transducer, nullptr);
+    ASSERT_NE(ex.din, nullptr);
+    ASSERT_NE(ex.dout, nullptr);
+    EXPECT_EQ(ex.transducer->alphabet(), ex.alphabet.get());
+    EXPECT_EQ(ex.din->alphabet(), ex.alphabet.get());
+    EXPECT_EQ(ex.dout->alphabet(), ex.alphabet.get());
+    EXPECT_FALSE(ex.din->LanguageEmpty());
+  }
+}
+
+TEST(FamiliesTest, WidthFamilyWidthsMatchParameters) {
+  for (int c : {1, 3}) {
+    for (int k : {0, 2}) {
+      PaperExample ex = WidthFamily(c, k);
+      WidthAnalysis w = AnalyzeWidths(*ex.transducer);
+      EXPECT_TRUE(w.dpw_bounded);
+      EXPECT_EQ(w.deletion_path_width, static_cast<uint64_t>(1) << k);
+      EXPECT_GE(w.copying_width, c);
+    }
+  }
+}
+
+TEST(FamiliesTest, NfaSchemaFamilyIsNondeterministic) {
+  PaperExample ex = NfaSchemaFamily(5);
+  EXPECT_FALSE(ex.din->IsDfaDtd());
+  // The subset construction for "5th letter from the end" needs 2^5 states.
+  const Dfa& det = ex.din->RuleDfa(*ex.alphabet->Find("r"));
+  EXPECT_GE(det.num_states(), 32);
+}
+
+}  // namespace
+}  // namespace xtc

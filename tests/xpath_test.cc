@@ -1,0 +1,218 @@
+#include "src/xpath/parser.h"
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/paper_examples.h"
+#include "src/td/compile_selectors.h"
+#include "src/td/exec.h"
+#include "src/tree/codec.h"
+#include "src/workload/generators.h"
+#include "src/xpath/eval.h"
+#include "src/xpath/to_dfa.h"
+
+namespace xtc {
+namespace {
+
+class XPathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* s : {"a", "b", "c", "d", "e"}) alphabet_.Intern(s);
+  }
+
+  XPathPatternPtr Pattern(const char* text) {
+    StatusOr<XPathPatternPtr> p = ParseXPath(text, &alphabet_);
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    return *p;
+  }
+
+  Node* Tree(const char* term) {
+    StatusOr<Node*> t = ParseTerm(term, &alphabet_, &builder_);
+    EXPECT_TRUE(t.ok());
+    return *t;
+  }
+
+  std::vector<std::string> Select(const char* pattern, const char* term) {
+    Node* t = Tree(term);
+    std::vector<std::string> out;
+    for (const Node* n : EvalXPath(*Pattern(pattern), t)) {
+      out.push_back(ToTermString(n, alphabet_));
+    }
+    return out;
+  }
+
+  Alphabet alphabet_;
+  Arena arena_;
+  TreeBuilder builder_{&arena_};
+};
+
+TEST_F(XPathTest, ParserAcceptsThePaperExample) {
+  // Definition 21's example pattern.
+  XPathPatternPtr p = Pattern("./(a|b)//c[.//e]/*");
+  XPathFeatures f = FeaturesOf(*p);
+  EXPECT_TRUE(f.descendant);
+  EXPECT_TRUE(f.disjunction);
+  EXPECT_TRUE(f.filter);
+  EXPECT_TRUE(f.wildcard);
+  std::string printed = PatternToString(*p, alphabet_);
+  StatusOr<XPathPatternPtr> p2 = ParseXPath(printed, &alphabet_);
+  EXPECT_TRUE(p2.ok()) << printed;
+}
+
+TEST_F(XPathTest, ParserErrors) {
+  EXPECT_FALSE(ParseXPath("a/b", &alphabet_).ok());     // must start with .
+  EXPECT_FALSE(ParseXPath("./a[", &alphabet_).ok());
+  EXPECT_FALSE(ParseXPath("./a[b]", &alphabet_).ok());  // filter is a pattern
+  EXPECT_FALSE(ParseXPath("./(a", &alphabet_).ok());
+}
+
+TEST_F(XPathTest, ChildAxisSelectsChildrenOnly) {
+  EXPECT_EQ(Select("./a", "c(a(a) b a)"),
+            (std::vector<std::string>{"a(a)", "a"}));
+  EXPECT_EQ(Select("./a/a", "c(a(a) b a)"),
+            (std::vector<std::string>{"a"}));
+  EXPECT_TRUE(Select("./d", "c(a b)").empty());
+}
+
+TEST_F(XPathTest, DescendantAxisSelectsAllDepths) {
+  EXPECT_EQ(Select(".//a", "c(a(a) b(a))"),
+            (std::vector<std::string>{"a(a)", "a", "a"}));
+  // The context node itself is never selected.
+  EXPECT_EQ(Select(".//c", "c(c)"), (std::vector<std::string>{"c"}));
+}
+
+TEST_F(XPathTest, WildcardAndDisjunction) {
+  EXPECT_EQ(Select("./*", "c(a b)"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(Select("./(a|b)", "c(a b d)"),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST_F(XPathTest, FiltersCheckSubtreeExistence) {
+  EXPECT_EQ(Select("./a[./b]", "c(a(b) a(d))"),
+            (std::vector<std::string>{"a(b)"}));
+  EXPECT_EQ(Select("./a[.//e]", "c(a(b(e)) a(e) a(d))"),
+            (std::vector<std::string>{"a(b(e))", "a(e)"}));
+}
+
+TEST_F(XPathTest, MixedStepsMatchExpectedNodes) {
+  // .//b/a: a-children of any b descendant.
+  EXPECT_EQ(Select(".//b/a", "c(b(a) d(b(a(e))))"),
+            (std::vector<std::string>{"a", "a(e)"}));
+}
+
+TEST_F(XPathTest, DocumentOrderIsPreorder) {
+  EXPECT_EQ(Select(".//a", "c(b(a) a(a))"),
+            (std::vector<std::string>{"a", "a(a)", "a"}));
+}
+
+TEST_F(XPathTest, ToDfaRejectsFilters) {
+  EXPECT_FALSE(XPathToDfa(*Pattern("./a[./b]"), alphabet_.size()).ok());
+}
+
+TEST_F(XPathTest, ChildOnlyPatternClassification) {
+  EXPECT_TRUE(IsChildOnlyPattern(*Pattern("./a/*/b")));
+  EXPECT_FALSE(IsChildOnlyPattern(*Pattern(".//a")));
+  EXPECT_FALSE(IsChildOnlyPattern(*Pattern("./(a|b)")));
+  EXPECT_FALSE(IsChildOnlyPattern(*Pattern("./a[./b]")));
+}
+
+// Property: the compiled path DFA selects exactly the nodes the direct
+// semantics selects, on random trees, for filter-free patterns.
+class XPathDfaEquivalenceTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(XPathDfaEquivalenceTest, DfaSelectionMatchesEval) {
+  Alphabet alphabet;
+  for (const char* s : {"a", "b", "c"}) alphabet.Intern(s);
+  StatusOr<XPathPatternPtr> p = ParseXPath(GetParam(), &alphabet);
+  ASSERT_TRUE(p.ok());
+  StatusOr<Dfa> dfa = XPathToDfa(**p, alphabet.size());
+  ASSERT_TRUE(dfa.ok()) << dfa.status().ToString();
+  std::mt19937 rng(12345);
+  Arena arena;
+  TreeBuilder builder(&arena);
+  for (int trial = 0; trial < 40; ++trial) {
+    Node* t = RandomTree(&rng, alphabet.size(), 4, 3, &builder);
+    std::vector<const Node*> direct = EvalXPath(**p, t);
+    std::vector<const Node*> via_dfa = EvalDfaSelector(*dfa, t);
+    EXPECT_EQ(direct, via_dfa)
+        << GetParam() << " on " << ToTermString(t, alphabet);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, XPathDfaEquivalenceTest,
+                         ::testing::Values("./a", "./a/b", "./*/a", ".//a",
+                                           ".//a/b", "./a//b", ".//*",
+                                           "./(a|b)", ".//(a|b)/c",
+                                           "./a/*//b"));
+
+// Property: compiling selectors away preserves the transformation.
+class CompileSelectorsTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CompileSelectorsTest, CompiledTransducerIsEquivalent) {
+  Alphabet alphabet;
+  for (const char* s : {"a", "b", "c"}) alphabet.Intern(s);
+  Transducer t(&alphabet);
+  t.AddState("q0");
+  t.AddState("q");
+  t.SetInitial(0);
+  std::string rhs = std::string("c(<q, ") + GetParam() + ">)";
+  ASSERT_TRUE(t.SetRuleFromString("q0", "a", rhs).ok());
+  ASSERT_TRUE(t.SetRuleFromString("q0", "b", "b").ok());
+  ASSERT_TRUE(t.SetRuleFromString("q", "a", "a").ok());
+  ASSERT_TRUE(t.SetRuleFromString("q", "b", "b(q)").ok());
+  StatusOr<Transducer> compiled = CompileSelectors(t);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  EXPECT_FALSE(compiled->HasSelectors());
+  std::mt19937 rng(99);
+  Arena arena;
+  TreeBuilder builder(&arena);
+  for (int trial = 0; trial < 40; ++trial) {
+    Node* input = RandomTree(&rng, alphabet.size(), 4, 3, &builder);
+    // Force the root to 'a' so the initial rule fires.
+    Node* root = builder.Make(*alphabet.Find("a"), input->Children());
+    Node* out1 = Apply(t, root, &builder);
+    Node* out2 = Apply(*compiled, root, &builder);
+    ASSERT_NE(out1, nullptr);
+    ASSERT_NE(out2, nullptr);
+    EXPECT_TRUE(TreeEqual(out1, out2)) << GetParam() << " on "
+                                       << ToTermString(root, alphabet);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CompileSelectorsTest,
+                         ::testing::Values("./a", "./b/a", ".//a", ".//b/a",
+                                           "./*/a", ".//*", "./(a|b)",
+                                           ".//(a|b)"));
+
+TEST_F(XPathTest, Example22CompilesToExample10Behaviour) {
+  PaperExample with_xpath = MakeExample22();
+  PaperExample with_deletion = MakeBookExample(false);
+  StatusOr<Transducer> compiled = CompileSelectors(*with_xpath.transducer);
+  ASSERT_TRUE(compiled.ok());
+  Arena arena;
+  TreeBuilder builder(&arena);
+  StatusOr<Node*> doc = ParseTerm(
+      "book(title author chapter(title intro section(title paragraph "
+      "section(title paragraph)) section(title paragraph)))",
+      with_xpath.alphabet.get(), &builder);
+  ASSERT_TRUE(doc.ok());
+  Node* out_compiled = Apply(*compiled, *doc, &builder);
+  Node* out_direct = Apply(*with_xpath.transducer, *doc, &builder);
+  ASSERT_NE(out_compiled, nullptr);
+  EXPECT_TRUE(TreeEqual(out_compiled, out_direct));
+  // And it behaves exactly like Example 10's deleting ToC transducer.
+  StatusOr<Node*> doc2 =
+      ParseTerm(ToTermString(*doc, *with_xpath.alphabet),
+                with_deletion.alphabet.get(), &builder);
+  ASSERT_TRUE(doc2.ok());
+  Node* out_deleting = Apply(*with_deletion.transducer, *doc2, &builder);
+  EXPECT_EQ(ToTermString(out_deleting, *with_deletion.alphabet),
+            ToTermString(out_direct, *with_xpath.alphabet));
+}
+
+}  // namespace
+}  // namespace xtc
