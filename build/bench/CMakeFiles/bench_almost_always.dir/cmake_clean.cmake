@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_almost_always.dir/bench_almost_always.cc.o"
+  "CMakeFiles/bench_almost_always.dir/bench_almost_always.cc.o.d"
+  "bench_almost_always"
+  "bench_almost_always.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_almost_always.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

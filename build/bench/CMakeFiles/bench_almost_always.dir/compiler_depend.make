@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_almost_always.
+# This may be replaced when dependencies are built.

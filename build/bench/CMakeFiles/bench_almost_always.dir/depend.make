@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_almost_always.
+# This may be replaced when dependencies are built.

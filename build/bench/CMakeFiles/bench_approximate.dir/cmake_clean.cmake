@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_approximate.dir/bench_approximate.cc.o"
+  "CMakeFiles/bench_approximate.dir/bench_approximate.cc.o.d"
+  "bench_approximate"
+  "bench_approximate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_approximate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

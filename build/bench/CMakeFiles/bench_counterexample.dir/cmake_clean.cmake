@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_counterexample.dir/bench_counterexample.cc.o"
+  "CMakeFiles/bench_counterexample.dir/bench_counterexample.cc.o.d"
+  "bench_counterexample"
+  "bench_counterexample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_counterexample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

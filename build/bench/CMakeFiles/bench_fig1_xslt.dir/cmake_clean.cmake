@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_xslt.dir/bench_fig1_xslt.cc.o"
+  "CMakeFiles/bench_fig1_xslt.dir/bench_fig1_xslt.cc.o.d"
+  "bench_fig1_xslt"
+  "bench_fig1_xslt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_xslt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_widths.dir/bench_fig4_widths.cc.o"
+  "CMakeFiles/bench_fig4_widths.dir/bench_fig4_widths.cc.o.d"
+  "bench_fig4_widths"
+  "bench_fig4_widths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_widths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

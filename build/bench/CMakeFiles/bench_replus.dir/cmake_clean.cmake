@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_replus.dir/bench_replus.cc.o"
+  "CMakeFiles/bench_replus.dir/bench_replus.cc.o.d"
+  "bench_replus"
+  "bench_replus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_replus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_frontier.dir/bench_table1_frontier.cc.o"
+  "CMakeFiles/bench_table1_frontier.dir/bench_table1_frontier.cc.o.d"
+  "bench_table1_frontier"
+  "bench_table1_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm18_hardness.dir/bench_thm18_hardness.cc.o"
+  "CMakeFiles/bench_thm18_hardness.dir/bench_thm18_hardness.cc.o.d"
+  "bench_thm18_hardness"
+  "bench_thm18_hardness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm18_hardness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm20_relab.dir/bench_thm20_relab.cc.o"
+  "CMakeFiles/bench_thm20_relab.dir/bench_thm20_relab.cc.o.d"
+  "bench_thm20_relab"
+  "bench_thm20_relab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm20_relab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

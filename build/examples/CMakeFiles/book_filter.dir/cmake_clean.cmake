@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/book_filter.dir/book_filter.cpp.o"
+  "CMakeFiles/book_filter.dir/book_filter.cpp.o.d"
+  "book_filter"
+  "book_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/book_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

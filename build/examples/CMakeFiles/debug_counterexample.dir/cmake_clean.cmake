@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_counterexample.dir/debug_counterexample.cpp.o"
+  "CMakeFiles/debug_counterexample.dir/debug_counterexample.cpp.o.d"
+  "debug_counterexample"
+  "debug_counterexample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_counterexample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

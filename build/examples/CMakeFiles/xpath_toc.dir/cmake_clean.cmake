@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpath_toc.dir/xpath_toc.cpp.o"
+  "CMakeFiles/xpath_toc.dir/xpath_toc.cpp.o.d"
+  "xpath_toc"
+  "xpath_toc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpath_toc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xslt_export.dir/xslt_export.cpp.o"
+  "CMakeFiles/xslt_export.dir/xslt_export.cpp.o.d"
+  "xslt_export"
+  "xslt_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xslt_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

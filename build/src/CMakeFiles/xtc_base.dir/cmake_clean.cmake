@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtc_base.dir/base/arena.cc.o"
+  "CMakeFiles/xtc_base.dir/base/arena.cc.o.d"
+  "CMakeFiles/xtc_base.dir/base/status.cc.o"
+  "CMakeFiles/xtc_base.dir/base/status.cc.o.d"
+  "libxtc_base.a"
+  "libxtc_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtc_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/almost_always.cc" "src/CMakeFiles/xtc_core.dir/core/almost_always.cc.o" "gcc" "src/CMakeFiles/xtc_core.dir/core/almost_always.cc.o.d"
+  "/root/repo/src/core/approximate.cc" "src/CMakeFiles/xtc_core.dir/core/approximate.cc.o" "gcc" "src/CMakeFiles/xtc_core.dir/core/approximate.cc.o.d"
+  "/root/repo/src/core/brute_force.cc" "src/CMakeFiles/xtc_core.dir/core/brute_force.cc.o" "gcc" "src/CMakeFiles/xtc_core.dir/core/brute_force.cc.o.d"
+  "/root/repo/src/core/explicit_nta.cc" "src/CMakeFiles/xtc_core.dir/core/explicit_nta.cc.o" "gcc" "src/CMakeFiles/xtc_core.dir/core/explicit_nta.cc.o.d"
+  "/root/repo/src/core/hardness.cc" "src/CMakeFiles/xtc_core.dir/core/hardness.cc.o" "gcc" "src/CMakeFiles/xtc_core.dir/core/hardness.cc.o.d"
+  "/root/repo/src/core/minvast.cc" "src/CMakeFiles/xtc_core.dir/core/minvast.cc.o" "gcc" "src/CMakeFiles/xtc_core.dir/core/minvast.cc.o.d"
+  "/root/repo/src/core/nfa_dtd.cc" "src/CMakeFiles/xtc_core.dir/core/nfa_dtd.cc.o" "gcc" "src/CMakeFiles/xtc_core.dir/core/nfa_dtd.cc.o.d"
+  "/root/repo/src/core/paper_examples.cc" "src/CMakeFiles/xtc_core.dir/core/paper_examples.cc.o" "gcc" "src/CMakeFiles/xtc_core.dir/core/paper_examples.cc.o.d"
+  "/root/repo/src/core/reachable.cc" "src/CMakeFiles/xtc_core.dir/core/reachable.cc.o" "gcc" "src/CMakeFiles/xtc_core.dir/core/reachable.cc.o.d"
+  "/root/repo/src/core/relab.cc" "src/CMakeFiles/xtc_core.dir/core/relab.cc.o" "gcc" "src/CMakeFiles/xtc_core.dir/core/relab.cc.o.d"
+  "/root/repo/src/core/replus.cc" "src/CMakeFiles/xtc_core.dir/core/replus.cc.o" "gcc" "src/CMakeFiles/xtc_core.dir/core/replus.cc.o.d"
+  "/root/repo/src/core/trac.cc" "src/CMakeFiles/xtc_core.dir/core/trac.cc.o" "gcc" "src/CMakeFiles/xtc_core.dir/core/trac.cc.o.d"
+  "/root/repo/src/core/typecheck.cc" "src/CMakeFiles/xtc_core.dir/core/typecheck.cc.o" "gcc" "src/CMakeFiles/xtc_core.dir/core/typecheck.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xtc_fa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_nta.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_td.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtc_core.dir/core/almost_always.cc.o"
+  "CMakeFiles/xtc_core.dir/core/almost_always.cc.o.d"
+  "CMakeFiles/xtc_core.dir/core/approximate.cc.o"
+  "CMakeFiles/xtc_core.dir/core/approximate.cc.o.d"
+  "CMakeFiles/xtc_core.dir/core/brute_force.cc.o"
+  "CMakeFiles/xtc_core.dir/core/brute_force.cc.o.d"
+  "CMakeFiles/xtc_core.dir/core/explicit_nta.cc.o"
+  "CMakeFiles/xtc_core.dir/core/explicit_nta.cc.o.d"
+  "CMakeFiles/xtc_core.dir/core/hardness.cc.o"
+  "CMakeFiles/xtc_core.dir/core/hardness.cc.o.d"
+  "CMakeFiles/xtc_core.dir/core/minvast.cc.o"
+  "CMakeFiles/xtc_core.dir/core/minvast.cc.o.d"
+  "CMakeFiles/xtc_core.dir/core/nfa_dtd.cc.o"
+  "CMakeFiles/xtc_core.dir/core/nfa_dtd.cc.o.d"
+  "CMakeFiles/xtc_core.dir/core/paper_examples.cc.o"
+  "CMakeFiles/xtc_core.dir/core/paper_examples.cc.o.d"
+  "CMakeFiles/xtc_core.dir/core/reachable.cc.o"
+  "CMakeFiles/xtc_core.dir/core/reachable.cc.o.d"
+  "CMakeFiles/xtc_core.dir/core/relab.cc.o"
+  "CMakeFiles/xtc_core.dir/core/relab.cc.o.d"
+  "CMakeFiles/xtc_core.dir/core/replus.cc.o"
+  "CMakeFiles/xtc_core.dir/core/replus.cc.o.d"
+  "CMakeFiles/xtc_core.dir/core/trac.cc.o"
+  "CMakeFiles/xtc_core.dir/core/trac.cc.o.d"
+  "CMakeFiles/xtc_core.dir/core/typecheck.cc.o"
+  "CMakeFiles/xtc_core.dir/core/typecheck.cc.o.d"
+  "libxtc_core.a"
+  "libxtc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fa/dfa.cc" "src/CMakeFiles/xtc_fa.dir/fa/dfa.cc.o" "gcc" "src/CMakeFiles/xtc_fa.dir/fa/dfa.cc.o.d"
+  "/root/repo/src/fa/eps_nfa.cc" "src/CMakeFiles/xtc_fa.dir/fa/eps_nfa.cc.o" "gcc" "src/CMakeFiles/xtc_fa.dir/fa/eps_nfa.cc.o.d"
+  "/root/repo/src/fa/nfa.cc" "src/CMakeFiles/xtc_fa.dir/fa/nfa.cc.o" "gcc" "src/CMakeFiles/xtc_fa.dir/fa/nfa.cc.o.d"
+  "/root/repo/src/fa/regex.cc" "src/CMakeFiles/xtc_fa.dir/fa/regex.cc.o" "gcc" "src/CMakeFiles/xtc_fa.dir/fa/regex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xtc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtc_fa.dir/fa/dfa.cc.o"
+  "CMakeFiles/xtc_fa.dir/fa/dfa.cc.o.d"
+  "CMakeFiles/xtc_fa.dir/fa/eps_nfa.cc.o"
+  "CMakeFiles/xtc_fa.dir/fa/eps_nfa.cc.o.d"
+  "CMakeFiles/xtc_fa.dir/fa/nfa.cc.o"
+  "CMakeFiles/xtc_fa.dir/fa/nfa.cc.o.d"
+  "CMakeFiles/xtc_fa.dir/fa/regex.cc.o"
+  "CMakeFiles/xtc_fa.dir/fa/regex.cc.o.d"
+  "libxtc_fa.a"
+  "libxtc_fa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtc_fa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

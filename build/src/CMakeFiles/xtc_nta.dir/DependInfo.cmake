@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nta/analysis.cc" "src/CMakeFiles/xtc_nta.dir/nta/analysis.cc.o" "gcc" "src/CMakeFiles/xtc_nta.dir/nta/analysis.cc.o.d"
+  "/root/repo/src/nta/determinize.cc" "src/CMakeFiles/xtc_nta.dir/nta/determinize.cc.o" "gcc" "src/CMakeFiles/xtc_nta.dir/nta/determinize.cc.o.d"
+  "/root/repo/src/nta/nta.cc" "src/CMakeFiles/xtc_nta.dir/nta/nta.cc.o" "gcc" "src/CMakeFiles/xtc_nta.dir/nta/nta.cc.o.d"
+  "/root/repo/src/nta/product.cc" "src/CMakeFiles/xtc_nta.dir/nta/product.cc.o" "gcc" "src/CMakeFiles/xtc_nta.dir/nta/product.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xtc_fa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtc_nta.dir/nta/analysis.cc.o"
+  "CMakeFiles/xtc_nta.dir/nta/analysis.cc.o.d"
+  "CMakeFiles/xtc_nta.dir/nta/determinize.cc.o"
+  "CMakeFiles/xtc_nta.dir/nta/determinize.cc.o.d"
+  "CMakeFiles/xtc_nta.dir/nta/nta.cc.o"
+  "CMakeFiles/xtc_nta.dir/nta/nta.cc.o.d"
+  "CMakeFiles/xtc_nta.dir/nta/product.cc.o"
+  "CMakeFiles/xtc_nta.dir/nta/product.cc.o.d"
+  "libxtc_nta.a"
+  "libxtc_nta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtc_nta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

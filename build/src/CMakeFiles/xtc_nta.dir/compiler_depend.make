@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for xtc_nta.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for xtc_nta.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schema/dtd.cc" "src/CMakeFiles/xtc_schema.dir/schema/dtd.cc.o" "gcc" "src/CMakeFiles/xtc_schema.dir/schema/dtd.cc.o.d"
+  "/root/repo/src/schema/re_plus.cc" "src/CMakeFiles/xtc_schema.dir/schema/re_plus.cc.o" "gcc" "src/CMakeFiles/xtc_schema.dir/schema/re_plus.cc.o.d"
+  "/root/repo/src/schema/witness.cc" "src/CMakeFiles/xtc_schema.dir/schema/witness.cc.o" "gcc" "src/CMakeFiles/xtc_schema.dir/schema/witness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xtc_fa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

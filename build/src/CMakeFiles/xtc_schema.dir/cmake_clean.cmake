@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtc_schema.dir/schema/dtd.cc.o"
+  "CMakeFiles/xtc_schema.dir/schema/dtd.cc.o.d"
+  "CMakeFiles/xtc_schema.dir/schema/re_plus.cc.o"
+  "CMakeFiles/xtc_schema.dir/schema/re_plus.cc.o.d"
+  "CMakeFiles/xtc_schema.dir/schema/witness.cc.o"
+  "CMakeFiles/xtc_schema.dir/schema/witness.cc.o.d"
+  "libxtc_schema.a"
+  "libxtc_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtc_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/td/classes.cc" "src/CMakeFiles/xtc_td.dir/td/classes.cc.o" "gcc" "src/CMakeFiles/xtc_td.dir/td/classes.cc.o.d"
+  "/root/repo/src/td/compile_selectors.cc" "src/CMakeFiles/xtc_td.dir/td/compile_selectors.cc.o" "gcc" "src/CMakeFiles/xtc_td.dir/td/compile_selectors.cc.o.d"
+  "/root/repo/src/td/exec.cc" "src/CMakeFiles/xtc_td.dir/td/exec.cc.o" "gcc" "src/CMakeFiles/xtc_td.dir/td/exec.cc.o.d"
+  "/root/repo/src/td/transducer.cc" "src/CMakeFiles/xtc_td.dir/td/transducer.cc.o" "gcc" "src/CMakeFiles/xtc_td.dir/td/transducer.cc.o.d"
+  "/root/repo/src/td/widths.cc" "src/CMakeFiles/xtc_td.dir/td/widths.cc.o" "gcc" "src/CMakeFiles/xtc_td.dir/td/widths.cc.o.d"
+  "/root/repo/src/td/xslt_export.cc" "src/CMakeFiles/xtc_td.dir/td/xslt_export.cc.o" "gcc" "src/CMakeFiles/xtc_td.dir/td/xslt_export.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xtc_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_fa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

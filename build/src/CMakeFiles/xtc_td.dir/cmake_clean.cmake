@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtc_td.dir/td/classes.cc.o"
+  "CMakeFiles/xtc_td.dir/td/classes.cc.o.d"
+  "CMakeFiles/xtc_td.dir/td/compile_selectors.cc.o"
+  "CMakeFiles/xtc_td.dir/td/compile_selectors.cc.o.d"
+  "CMakeFiles/xtc_td.dir/td/exec.cc.o"
+  "CMakeFiles/xtc_td.dir/td/exec.cc.o.d"
+  "CMakeFiles/xtc_td.dir/td/transducer.cc.o"
+  "CMakeFiles/xtc_td.dir/td/transducer.cc.o.d"
+  "CMakeFiles/xtc_td.dir/td/widths.cc.o"
+  "CMakeFiles/xtc_td.dir/td/widths.cc.o.d"
+  "CMakeFiles/xtc_td.dir/td/xslt_export.cc.o"
+  "CMakeFiles/xtc_td.dir/td/xslt_export.cc.o.d"
+  "libxtc_td.a"
+  "libxtc_td.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtc_td.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tree/codec.cc" "src/CMakeFiles/xtc_tree.dir/tree/codec.cc.o" "gcc" "src/CMakeFiles/xtc_tree.dir/tree/codec.cc.o.d"
+  "/root/repo/src/tree/hashcons.cc" "src/CMakeFiles/xtc_tree.dir/tree/hashcons.cc.o" "gcc" "src/CMakeFiles/xtc_tree.dir/tree/hashcons.cc.o.d"
+  "/root/repo/src/tree/tree.cc" "src/CMakeFiles/xtc_tree.dir/tree/tree.cc.o" "gcc" "src/CMakeFiles/xtc_tree.dir/tree/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xtc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtc_tree.dir/tree/codec.cc.o"
+  "CMakeFiles/xtc_tree.dir/tree/codec.cc.o.d"
+  "CMakeFiles/xtc_tree.dir/tree/hashcons.cc.o"
+  "CMakeFiles/xtc_tree.dir/tree/hashcons.cc.o.d"
+  "CMakeFiles/xtc_tree.dir/tree/tree.cc.o"
+  "CMakeFiles/xtc_tree.dir/tree/tree.cc.o.d"
+  "libxtc_tree.a"
+  "libxtc_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtc_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

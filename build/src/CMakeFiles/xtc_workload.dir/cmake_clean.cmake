@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtc_workload.dir/workload/families.cc.o"
+  "CMakeFiles/xtc_workload.dir/workload/families.cc.o.d"
+  "CMakeFiles/xtc_workload.dir/workload/generators.cc.o"
+  "CMakeFiles/xtc_workload.dir/workload/generators.cc.o.d"
+  "libxtc_workload.a"
+  "libxtc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

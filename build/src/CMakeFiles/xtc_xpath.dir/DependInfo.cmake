@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xpath/ast.cc" "src/CMakeFiles/xtc_xpath.dir/xpath/ast.cc.o" "gcc" "src/CMakeFiles/xtc_xpath.dir/xpath/ast.cc.o.d"
+  "/root/repo/src/xpath/eval.cc" "src/CMakeFiles/xtc_xpath.dir/xpath/eval.cc.o" "gcc" "src/CMakeFiles/xtc_xpath.dir/xpath/eval.cc.o.d"
+  "/root/repo/src/xpath/parser.cc" "src/CMakeFiles/xtc_xpath.dir/xpath/parser.cc.o" "gcc" "src/CMakeFiles/xtc_xpath.dir/xpath/parser.cc.o.d"
+  "/root/repo/src/xpath/to_dfa.cc" "src/CMakeFiles/xtc_xpath.dir/xpath/to_dfa.cc.o" "gcc" "src/CMakeFiles/xtc_xpath.dir/xpath/to_dfa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xtc_fa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

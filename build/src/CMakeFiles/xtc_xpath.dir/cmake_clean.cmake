@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtc_xpath.dir/xpath/ast.cc.o"
+  "CMakeFiles/xtc_xpath.dir/xpath/ast.cc.o.d"
+  "CMakeFiles/xtc_xpath.dir/xpath/eval.cc.o"
+  "CMakeFiles/xtc_xpath.dir/xpath/eval.cc.o.d"
+  "CMakeFiles/xtc_xpath.dir/xpath/parser.cc.o"
+  "CMakeFiles/xtc_xpath.dir/xpath/parser.cc.o.d"
+  "CMakeFiles/xtc_xpath.dir/xpath/to_dfa.cc.o"
+  "CMakeFiles/xtc_xpath.dir/xpath/to_dfa.cc.o.d"
+  "libxtc_xpath.a"
+  "libxtc_xpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtc_xpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

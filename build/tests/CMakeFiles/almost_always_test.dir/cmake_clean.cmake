@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/almost_always_test.dir/almost_always_test.cc.o"
+  "CMakeFiles/almost_always_test.dir/almost_always_test.cc.o.d"
+  "almost_always_test"
+  "almost_always_test.pdb"
+  "almost_always_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/almost_always_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfa_selector_test.dir/dfa_selector_test.cc.o"
+  "CMakeFiles/dfa_selector_test.dir/dfa_selector_test.cc.o.d"
+  "dfa_selector_test"
+  "dfa_selector_test.pdb"
+  "dfa_selector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfa_selector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eps_nfa_test.dir/eps_nfa_test.cc.o"
+  "CMakeFiles/eps_nfa_test.dir/eps_nfa_test.cc.o.d"
+  "eps_nfa_test"
+  "eps_nfa_test.pdb"
+  "eps_nfa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eps_nfa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for eps_nfa_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explicit_nta_test.dir/explicit_nta_test.cc.o"
+  "CMakeFiles/explicit_nta_test.dir/explicit_nta_test.cc.o.d"
+  "explicit_nta_test"
+  "explicit_nta_test.pdb"
+  "explicit_nta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explicit_nta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fa_property_test.dir/fa_property_test.cc.o"
+  "CMakeFiles/fa_property_test.dir/fa_property_test.cc.o.d"
+  "fa_property_test"
+  "fa_property_test.pdb"
+  "fa_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fa_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

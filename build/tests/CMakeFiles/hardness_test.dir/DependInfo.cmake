@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hardness_test.cc" "tests/CMakeFiles/hardness_test.dir/hardness_test.cc.o" "gcc" "tests/CMakeFiles/hardness_test.dir/hardness_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xtc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_nta.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_td.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_fa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardness_test.dir/hardness_test.cc.o"
+  "CMakeFiles/hardness_test.dir/hardness_test.cc.o.d"
+  "hardness_test"
+  "hardness_test.pdb"
+  "hardness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nta_test.dir/nta_test.cc.o"
+  "CMakeFiles/nta_test.dir/nta_test.cc.o.d"
+  "nta_test"
+  "nta_test.pdb"
+  "nta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

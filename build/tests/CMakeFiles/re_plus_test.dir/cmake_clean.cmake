@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/re_plus_test.dir/re_plus_test.cc.o"
+  "CMakeFiles/re_plus_test.dir/re_plus_test.cc.o.d"
+  "re_plus_test"
+  "re_plus_test.pdb"
+  "re_plus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/re_plus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

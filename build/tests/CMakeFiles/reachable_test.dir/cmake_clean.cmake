@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reachable_test.dir/reachable_test.cc.o"
+  "CMakeFiles/reachable_test.dir/reachable_test.cc.o.d"
+  "reachable_test"
+  "reachable_test.pdb"
+  "reachable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reachable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relab_nta_test.dir/relab_nta_test.cc.o"
+  "CMakeFiles/relab_nta_test.dir/relab_nta_test.cc.o.d"
+  "relab_nta_test"
+  "relab_nta_test.pdb"
+  "relab_nta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relab_nta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for relab_nta_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relab_test.dir/relab_test.cc.o"
+  "CMakeFiles/relab_test.dir/relab_test.cc.o.d"
+  "relab_test"
+  "relab_test.pdb"
+  "relab_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relab_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replus_test.dir/replus_test.cc.o"
+  "CMakeFiles/replus_test.dir/replus_test.cc.o.d"
+  "replus_test"
+  "replus_test.pdb"
+  "replus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

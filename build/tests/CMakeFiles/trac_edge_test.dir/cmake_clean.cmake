@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trac_edge_test.dir/trac_edge_test.cc.o"
+  "CMakeFiles/trac_edge_test.dir/trac_edge_test.cc.o.d"
+  "trac_edge_test"
+  "trac_edge_test.pdb"
+  "trac_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trac_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trac_test.dir/trac_test.cc.o"
+  "CMakeFiles/trac_test.dir/trac_test.cc.o.d"
+  "trac_test"
+  "trac_test.pdb"
+  "trac_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/widths_test.dir/widths_test.cc.o"
+  "CMakeFiles/widths_test.dir/widths_test.cc.o.d"
+  "widths_test"
+  "widths_test.pdb"
+  "widths_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/widths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/arena_test[1]_include.cmake")
+include("/root/repo/build/tests/status_test[1]_include.cmake")
+include("/root/repo/build/tests/nfa_test[1]_include.cmake")
+include("/root/repo/build/tests/dfa_test[1]_include.cmake")
+include("/root/repo/build/tests/regex_test[1]_include.cmake")
+include("/root/repo/build/tests/tree_test[1]_include.cmake")
+include("/root/repo/build/tests/re_plus_test[1]_include.cmake")
+include("/root/repo/build/tests/dtd_test[1]_include.cmake")
+include("/root/repo/build/tests/nta_test[1]_include.cmake")
+include("/root/repo/build/tests/transducer_test[1]_include.cmake")
+include("/root/repo/build/tests/widths_test[1]_include.cmake")
+include("/root/repo/build/tests/xpath_test[1]_include.cmake")
+include("/root/repo/build/tests/trac_test[1]_include.cmake")
+include("/root/repo/build/tests/replus_test[1]_include.cmake")
+include("/root/repo/build/tests/relab_test[1]_include.cmake")
+include("/root/repo/build/tests/explicit_nta_test[1]_include.cmake")
+include("/root/repo/build/tests/almost_always_test[1]_include.cmake")
+include("/root/repo/build/tests/hardness_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/approximate_test[1]_include.cmake")
+include("/root/repo/build/tests/eps_nfa_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/dfa_selector_test[1]_include.cmake")
+include("/root/repo/build/tests/alphabet_test[1]_include.cmake")
+include("/root/repo/build/tests/trac_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/reachable_test[1]_include.cmake")
+include("/root/repo/build/tests/fa_property_test[1]_include.cmake")
+include("/root/repo/build/tests/relab_nta_test[1]_include.cmake")
