@@ -7,6 +7,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "src/base/budget.h"
 #include "src/base/logging.h"
 #include "src/core/hardness.h"
 #include "src/core/trac.h"
@@ -71,6 +74,58 @@ void BM_Thm18_NonEmptyIntersection(benchmark::State& state) {
   state.counters["n_dfas"] = n;
 }
 BENCHMARK(BM_Thm18_NonEmptyIntersection)->DenseRange(2, 3, 1)
+    ->Unit(benchmark::kMillisecond);
+
+// Governor overhead: the same easy instance with and without a (generous)
+// Budget attached. The delta is the cost of the checkpoints plus arena
+// byte accounting; the acceptance bar for the governance layer is <= 5%.
+PaperExample OverheadInstance(int n) {
+  std::vector<Dfa> dfas;
+  dfas.push_back(LengthModDfa(1, 2, 0));
+  dfas.push_back(LengthModDfa(1, 2, 1));
+  for (int i = 2; i < n; ++i) dfas.push_back(LengthModDfa(1, 2, i % 2));
+  return MakeTheorem18Instance(dfas, {"x"});
+}
+
+void BM_Thm18_Ungoverned(benchmark::State& state) {
+  PaperExample ex = OverheadInstance(static_cast<int>(state.range(0)));
+  TypecheckOptions opts;
+  opts.want_counterexample = false;
+  opts.max_configs = 1u << 24;
+  for (auto _ : state) {
+    StatusOr<TypecheckResult> r =
+        TypecheckTrac(*ex.transducer, *ex.din, *ex.dout, opts);
+    XTC_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+    XTC_CHECK(r->typechecks);
+  }
+}
+BENCHMARK(BM_Thm18_Ungoverned)->DenseRange(2, 4, 1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Thm18_Governed(benchmark::State& state) {
+  PaperExample ex = OverheadInstance(static_cast<int>(state.range(0)));
+  std::uint64_t checkpoints = 0;
+  for (auto _ : state) {
+    // Generous limits: nothing trips, so the loop measures pure checkpoint
+    // and byte-accounting cost.
+    Budget budget;
+    budget.set_deadline(std::chrono::minutes(10));
+    budget.set_max_steps(std::uint64_t{1} << 40);
+    budget.set_max_bytes(std::uint64_t{1} << 40);
+    TypecheckOptions opts;
+    opts.want_counterexample = false;
+    opts.max_configs = 1u << 24;
+    opts.budget = &budget;
+    StatusOr<TypecheckResult> r =
+        TypecheckTrac(*ex.transducer, *ex.din, *ex.dout, opts);
+    XTC_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+    XTC_CHECK(r->typechecks);
+    checkpoints = budget.checkpoints();
+  }
+  state.counters["checkpoints"] =
+      static_cast<double>(checkpoints);
+}
+BENCHMARK(BM_Thm18_Governed)->DenseRange(2, 4, 1)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -82,8 +82,10 @@ void BM_Thm28_ReducedInstanceBoundedCheck(benchmark::State& state) {
   bf.max_trees = 30000;
   bool found = false;
   for (auto _ : state) {
-    TypecheckResult r = TypecheckBruteForce(*compiled, *ex.din, *ex.dout, bf);
-    found = !r.typechecks;
+    StatusOr<TypecheckResult> r =
+        TypecheckBruteForce(*compiled, *ex.din, *ex.dout, bf);
+    XTC_CHECK(r.ok());
+    found = !r->typechecks;
     benchmark::DoNotOptimize(r);
   }
   state.counters["found_cex"] = found ? 1 : 0;

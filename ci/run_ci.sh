@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# CI gate: builds the tier-1 suite twice — a plain RelWithDebInfo build and
+# an ASan+UBSan build — and runs ctest in both, plus an explicit pass over
+# the resource-governance tests (fault-injection sweep, budget semantics,
+# malformed-input hardening) under the sanitizers. Any sanitizer report
+# aborts the run (abort_on_error=1), so a green exit means zero leaks and
+# zero UB across every injected failure point.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-2}"
+
+echo "=== configure + build (RelWithDebInfo) ==="
+cmake --preset default >/dev/null
+cmake --build --preset default -j "${JOBS}"
+
+echo "=== tier-1 tests (RelWithDebInfo) ==="
+ctest --preset default
+
+echo "=== configure + build (ASan + UBSan) ==="
+cmake --preset asan >/dev/null
+cmake --build --preset asan -j "${JOBS}"
+
+echo "=== tier-1 tests (sanitized) ==="
+ctest --preset asan
+
+echo "=== fault-injection sweep (sanitized, verbose) ==="
+ctest --preset asan -R "FaultInjection|Budget|Malformed" --output-on-failure
+
+echo "CI: all green"

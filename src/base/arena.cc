@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/base/budget.h"
 #include "src/base/logging.h"
 
 namespace xtc {
@@ -9,6 +10,7 @@ namespace xtc {
 void* Arena::Allocate(std::size_t bytes, std::size_t align) {
   XTC_CHECK(align != 0 && (align & (align - 1)) == 0);
   if (bytes == 0) bytes = 1;
+  if (budget_ != nullptr) budget_->ChargeBytes(bytes);
   if (!blocks_.empty()) {
     Block& b = blocks_.back();
     // Align the absolute address, not the block offset: the block base has

@@ -8,6 +8,8 @@
 
 namespace xtc {
 
+class Budget;
+
 /// A bump allocator. Unranked trees (Section 2.1 of the paper) are built
 /// out of many small nodes with child arrays; owning them individually is
 /// slow and error-prone, so a tree's nodes live in an Arena and are freed
@@ -46,6 +48,14 @@ class Arena {
   /// Total bytes handed out (diagnostics).
   std::size_t bytes_allocated() const { return bytes_allocated_; }
 
+  /// Attaches a resource governor: every allocation is charged against it
+  /// (the budget reports exhaustion at its next checkpoint — allocation
+  /// itself never fails). Non-owning; pass nullptr to detach. The budget
+  /// must outlive all allocations made while attached, so scope the
+  /// attachment with ArenaBudgetScope.
+  void set_budget(Budget* budget) { budget_ = budget; }
+  Budget* budget() const { return budget_; }
+
  private:
   static constexpr std::size_t kBlockSize = 64 * 1024;
 
@@ -57,6 +67,36 @@ class Arena {
 
   std::vector<Block> blocks_;
   std::size_t bytes_allocated_ = 0;
+  Budget* budget_ = nullptr;
+};
+
+/// RAII attachment of a Budget to an Arena. Engines attach their caller's
+/// budget to the result arena only for the duration of the run: the arena
+/// routinely outlives the budget (it is handed to the caller inside
+/// TypecheckResult), so a persistent pointer would dangle.
+///
+/// Prefer the shared_ptr constructor when the arena is shared-owned: it
+/// pins the arena for the scope's lifetime, so the scope stays valid even
+/// if the owner's pointer is swapped mid-run (e.g. an engine adopting a
+/// sub-engine's counterexample arena).
+class ArenaBudgetScope {
+ public:
+  ArenaBudgetScope(Arena* arena, Budget* budget) : arena_(arena) {
+    if (arena_ != nullptr) arena_->set_budget(budget);
+  }
+  ArenaBudgetScope(std::shared_ptr<Arena> arena, Budget* budget)
+      : arena_(arena.get()), pinned_(std::move(arena)) {
+    if (arena_ != nullptr) arena_->set_budget(budget);
+  }
+  ~ArenaBudgetScope() {
+    if (arena_ != nullptr) arena_->set_budget(nullptr);
+  }
+  ArenaBudgetScope(const ArenaBudgetScope&) = delete;
+  ArenaBudgetScope& operator=(const ArenaBudgetScope&) = delete;
+
+ private:
+  Arena* arena_;
+  std::shared_ptr<Arena> pinned_;
 };
 
 }  // namespace xtc

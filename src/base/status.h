@@ -78,6 +78,7 @@ class StatusOr {
 
   const T& operator*() const& { return value(); }
   T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
   const T* operator->() const { return &value(); }
   T* operator->() { return &value(); }
 
@@ -85,6 +86,35 @@ class StatusOr {
   Status status_;
   std::optional<T> value_;
 };
+
+// Evaluates an expression returning Status and propagates any error to the
+// caller. Replaces hand-rolled `Status s = ...; if (!s.ok()) return s;`
+// chains.
+#define XTC_RETURN_IF_ERROR(expr)                        \
+  do {                                                   \
+    ::xtc::Status xtc_status_macro_tmp_ = (expr);        \
+    if (!xtc_status_macro_tmp_.ok()) {                   \
+      return xtc_status_macro_tmp_;                      \
+    }                                                    \
+  } while (0)
+
+// Evaluates an expression returning StatusOr<T>; on success moves the value
+// into `lhs` (a declaration or an existing lvalue), on error propagates the
+// Status. Usage: XTC_ASSIGN_OR_RETURN(Dfa det, Dfa::FromNfa(nfa, budget));
+#define XTC_STATUS_MACROS_CONCAT_INNER_(x, y) x##y
+#define XTC_STATUS_MACROS_CONCAT_(x, y) \
+  XTC_STATUS_MACROS_CONCAT_INNER_(x, y)
+
+#define XTC_ASSIGN_OR_RETURN(lhs, rexpr)                                     \
+  XTC_ASSIGN_OR_RETURN_IMPL_(                                                \
+      XTC_STATUS_MACROS_CONCAT_(xtc_status_or_tmp_, __LINE__), lhs, rexpr)
+
+#define XTC_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                               \
+  if (!statusor.ok()) {                                  \
+    return statusor.status();                            \
+  }                                                      \
+  lhs = *std::move(statusor)
 
 }  // namespace xtc
 

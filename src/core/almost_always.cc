@@ -6,10 +6,11 @@
 namespace xtc {
 
 StatusOr<bool> TypechecksAlmostAlways(const Transducer& t, const Dtd& din,
-                                      const Dtd& dout, int max_states) {
-  StatusOr<Nta> b = BuildCounterexampleNta(t, din, dout, max_states);
+                                      const Dtd& dout, int max_states,
+                                      Budget* budget) {
+  StatusOr<Nta> b = BuildCounterexampleNta(t, din, dout, max_states, budget);
   if (!b.ok()) return b.status();
-  return IsFiniteLanguage(*b);
+  return IsFiniteLanguage(*b, budget);
 }
 
 }  // namespace xtc

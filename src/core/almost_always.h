@@ -10,9 +10,11 @@ namespace xtc {
 /// whether {t ∈ L(d_in) | T(t) ∉ L(d_out)} is finite. Decided by building
 /// the explicit counterexample NTA of Lemma 14 and running the finiteness
 /// test of Proposition 4(1). PTIME for T_trac with DTD(DFA) schemas.
+/// A non-null `budget` governs both the construction and the finiteness
+/// analysis (kResourceExhausted on a tripped deadline/step/byte limit).
 StatusOr<bool> TypechecksAlmostAlways(const Transducer& t, const Dtd& din,
-                                      const Dtd& dout,
-                                      int max_states = 200000);
+                                      const Dtd& dout, int max_states = 200000,
+                                      Budget* budget = nullptr);
 
 }  // namespace xtc
 

@@ -21,7 +21,7 @@ class Approximator {
       : t_(t), din_(din), dout_(dout), reach_(t, din),
         enfa_(din.num_symbols()) {}
 
-  StatusOr<ApproximateResult> Run(int max_dfa_states);
+  StatusOr<ApproximateResult> Run(int max_dfa_states, Budget* budget);
 
  private:
   // The entry/exit of the (p, b) sub-automaton, built on demand (cycles in
@@ -88,7 +88,8 @@ class Approximator {
   std::vector<std::pair<int, int>> pending_;
 };
 
-StatusOr<ApproximateResult> Approximator::Run(int max_dfa_states) {
+StatusOr<ApproximateResult> Approximator::Run(int max_dfa_states,
+                                              Budget* budget) {
   ApproximateResult result;
   result.verdict = ApproximateVerdict::kTypechecks;
   if (din_.LanguageEmpty()) return result;
@@ -130,6 +131,7 @@ StatusOr<ApproximateResult> Approximator::Run(int max_dfa_states) {
   }
   // Emit all referenced pair sub-automata (discovering more as we go).
   while (!pending_.empty()) {
+    XTC_RETURN_IF_ERROR(BudgetCheck(budget, "TypecheckApproximate"));
     auto [p, b] = pending_.back();
     pending_.pop_back();
     EmitPair(p, b);
@@ -137,17 +139,21 @@ StatusOr<ApproximateResult> Approximator::Run(int max_dfa_states) {
   }
 
   for (const Check& check : checks) {
+    XTC_RETURN_IF_ERROR(BudgetCheck(budget, "TypecheckApproximate"));
     ++result.stats.evaluations;
     // The shared automaton re-ported to this check's start/end (epsilon
     // closure decides acceptance, so trailing epsilon paths count).
     Nfa local = enfa_.BuildPort(check.start, check.end);
-    Dfa det = Dfa::FromNfa(local);
+    XTC_ASSIGN_OR_RETURN(Dfa det, Dfa::FromNfa(local, budget));
     if (det.num_states() > max_dfa_states) {
       return ResourceExhaustedError(
           "approximate typechecker exceeded the DFA budget");
     }
     result.stats.product_states += static_cast<std::uint64_t>(det.num_states());
-    if (!det.IncludedIn(dout_.RuleDfa(check.sigma))) {
+    XTC_ASSIGN_OR_RETURN(
+        Dfa diff, Dfa::Product(det, dout_.RuleDfa(check.sigma),
+                               Dfa::BoolOp::kDiff, budget));
+    if (!diff.IsEmpty()) {
       result.verdict = ApproximateVerdict::kUnknown;
       return result;
     }
@@ -160,13 +166,14 @@ StatusOr<ApproximateResult> Approximator::Run(int max_dfa_states) {
 StatusOr<ApproximateResult> TypecheckApproximate(const Transducer& t,
                                                  const Dtd& din,
                                                  const Dtd& dout,
-                                                 int max_dfa_states) {
+                                                 int max_dfa_states,
+                                                 Budget* budget) {
   if (t.HasSelectors()) {
     return FailedPreconditionError("compile selectors before typechecking");
   }
   XTC_CHECK(t.alphabet() == din.alphabet() && t.alphabet() == dout.alphabet());
   Approximator approx(t, din, dout);
-  return approx.Run(max_dfa_states);
+  return approx.Run(max_dfa_states, budget);
 }
 
 }  // namespace xtc

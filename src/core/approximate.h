@@ -32,11 +32,14 @@ struct ApproximateResult {
 /// bench_approximate measures it).
 ///
 /// Works for ANY selector-free transducer and any DTD schemas whose rules
-/// determinize within `max_dfa_states`.
+/// determinize within `max_dfa_states`. A non-null `budget` governs the
+/// determinization and inclusion checks; this engine is the degraded-mode
+/// fallback of Typecheck(), so it must itself respect deadlines.
 StatusOr<ApproximateResult> TypecheckApproximate(const Transducer& t,
                                                  const Dtd& din,
                                                  const Dtd& dout,
-                                                 int max_dfa_states = 1 << 14);
+                                                 int max_dfa_states = 1 << 14,
+                                                 Budget* budget = nullptr);
 
 }  // namespace xtc
 

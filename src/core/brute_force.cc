@@ -9,8 +9,9 @@ namespace xtc {
 namespace {
 
 // Enumerates words of the rule language of `symbol` with length <= max_width.
-std::vector<std::vector<int>> RuleWords(const Dtd& dtd, int symbol,
-                                        int max_width) {
+StatusOr<std::vector<std::vector<int>>> RuleWords(const Dtd& dtd, int symbol,
+                                                  int max_width,
+                                                  Budget* budget) {
   const Nfa& nfa = dtd.RuleNfa(symbol);
   std::vector<std::vector<int>> out;
   // DFS over (state-set, word) pairs.
@@ -25,6 +26,7 @@ std::vector<std::vector<int>> RuleWords(const Dtd& dtd, int symbol,
   std::vector<Item> stack;
   stack.push_back({init, {}});
   while (!stack.empty()) {
+    XTC_RETURN_IF_ERROR(BudgetCheck(budget, "BruteForce/RuleWords"));
     Item item = std::move(stack.back());
     stack.pop_back();
     bool accepting = false;
@@ -64,15 +66,23 @@ class Enumerator {
              TreeBuilder* builder)
       : dtd_(dtd), options_(options), builder_(builder) {}
 
-  // All trees of L(d, symbol) with depth <= depth, up to the budget.
+  // All trees of L(d, symbol) with depth <= depth, up to the budget. The
+  // memoized recursion returns references, so governor failures latch into
+  // status_ (checked by EnumerateValidTrees) and unwind with empty sets.
   const std::vector<Node*>& Trees(int symbol, int depth) {
+    if (!status_.ok()) return empty_;
     auto key = std::make_pair(symbol, depth);
     auto it = memo_.find(key);
     if (it != memo_.end()) return it->second;
     std::vector<Node*> result;
     if (depth >= 1) {
-      for (const std::vector<int>& word :
-           RuleWords(dtd_, symbol, options_.max_width)) {
+      StatusOr<std::vector<std::vector<int>>> words =
+          RuleWords(dtd_, symbol, options_.max_width, options_.budget);
+      if (!words.ok()) {
+        status_ = words.status();
+        return empty_;
+      }
+      for (const std::vector<int>& word : *words) {
         if (word.empty()) {
           result.push_back(builder_->Leaf(symbol));
           continue;
@@ -88,9 +98,11 @@ class Enumerator {
             break;
           }
         }
-        if (empty) continue;
+        if (empty || !status_.ok()) continue;
         std::vector<std::size_t> idx(word.size(), 0);
         while (true) {
+          status_ = BudgetCheck(options_.budget, "BruteForce/Trees");
+          if (!status_.ok()) break;
           std::vector<Node*> kids;
           kids.reserve(word.size());
           for (std::size_t i = 0; i < word.size(); ++i) {
@@ -106,39 +118,49 @@ class Enumerator {
           }
           if (pos == idx.size()) break;
         }
-        if (produced_ >= options_.max_trees) break;
+        if (produced_ >= options_.max_trees || !status_.ok()) break;
       }
     }
+    if (!status_.ok()) return empty_;
     return memo_.emplace(key, std::move(result)).first->second;
   }
+
+  const Status& status() const { return status_; }
 
  private:
   const Dtd& dtd_;
   BruteForceOptions options_;
   TreeBuilder* builder_;
+  Status status_;
   std::map<std::pair<int, int>, std::vector<Node*>> memo_;
+  std::vector<Node*> empty_;
   std::uint64_t produced_ = 0;
 };
 
 }  // namespace
 
-std::vector<Node*> EnumerateValidTrees(const Dtd& dtd, int symbol,
-                                       const BruteForceOptions& options,
-                                       TreeBuilder* builder) {
+StatusOr<std::vector<Node*>> EnumerateValidTrees(
+    const Dtd& dtd, int symbol, const BruteForceOptions& options,
+    TreeBuilder* builder) {
   Enumerator e(dtd, options, builder);
-  return e.Trees(symbol, options.max_depth);
+  std::vector<Node*> trees = e.Trees(symbol, options.max_depth);
+  XTC_RETURN_IF_ERROR(e.status());
+  return trees;
 }
 
-TypecheckResult TypecheckBruteForce(const Transducer& t, const Dtd& din,
-                                    const Dtd& dout,
-                                    const BruteForceOptions& options) {
+StatusOr<TypecheckResult> TypecheckBruteForce(const Transducer& t,
+                                              const Dtd& din, const Dtd& dout,
+                                              const BruteForceOptions& options) {
   TypecheckResult result;
   result.arena = std::make_shared<Arena>();
   TreeBuilder builder(result.arena.get());
-  std::vector<Node*> trees =
-      EnumerateValidTrees(din, din.start(), options, &builder);
+  ArenaBudgetScope arena_scope(result.arena, options.budget);
+  XTC_ASSIGN_OR_RETURN(
+      std::vector<Node*> trees,
+      EnumerateValidTrees(din, din.start(), options, &builder));
   result.typechecks = true;
   for (Node* input : trees) {
+    XTC_RETURN_IF_ERROR(BudgetCheck(options.budget, "TypecheckBruteForce"));
     Arena scratch;
     TreeBuilder out_builder(&scratch);
     Node* output = Apply(t, input, &out_builder);
@@ -148,6 +170,12 @@ TypecheckResult TypecheckBruteForce(const Transducer& t, const Dtd& din,
       result.counterexample = input;
       break;
     }
+  }
+  if (options.budget != nullptr) {
+    result.stats.budget_checkpoints = options.budget->checkpoints();
+    result.stats.budget_bytes = options.budget->bytes_charged();
+    result.stats.elapsed_ms = options.budget->elapsed_ms();
+    result.stats.exhaustion = options.budget->cause();
   }
   return result;
 }

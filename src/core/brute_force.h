@@ -8,28 +8,32 @@
 
 namespace xtc {
 
-/// Bounds for exhaustive enumeration.
+/// Bounds for exhaustive enumeration. `budget`, when non-null, governs the
+/// enumeration in addition to the structural bounds (borrowed, not owned).
 struct BruteForceOptions {
   int max_depth = 4;    ///< max tree depth
   int max_width = 3;    ///< max children per node
   std::uint64_t max_trees = 200000;  ///< total enumeration budget
+  Budget* budget = nullptr;
 };
 
 /// Enumerates every tree of L(d, symbol) within the bounds (up to the
 /// budget), in increasing depth. Used as the testing oracle and as the
-/// naive baseline in benches.
-std::vector<Node*> EnumerateValidTrees(const Dtd& dtd, int symbol,
-                                       const BruteForceOptions& options,
-                                       TreeBuilder* builder);
+/// naive baseline in benches. Fails with kResourceExhausted only under a
+/// tripped options.budget; the structural bounds themselves truncate
+/// silently as before.
+StatusOr<std::vector<Node*>> EnumerateValidTrees(
+    const Dtd& dtd, int symbol, const BruteForceOptions& options,
+    TreeBuilder* builder);
 
 /// Baseline typechecker: transforms every enumerated input tree and
 /// validates the output. Complete only up to the enumeration bounds — a
 /// result with typechecks == true means "no counterexample within bounds".
 /// Sound for counterexamples: when typechecks == false the returned tree is
 /// a genuine counterexample.
-TypecheckResult TypecheckBruteForce(const Transducer& t, const Dtd& din,
-                                    const Dtd& dout,
-                                    const BruteForceOptions& options = {});
+StatusOr<TypecheckResult> TypecheckBruteForce(
+    const Transducer& t, const Dtd& din, const Dtd& dout,
+    const BruteForceOptions& options = {});
 
 }  // namespace xtc
 

@@ -75,9 +75,9 @@ void LabelNodes(const RhsHedge& rhs, std::vector<const RhsNode*>* out) {
 class Builder {
  public:
   Builder(const Transducer& t, const Dtd& din, const Dtd& dout,
-          int max_states)
+          int max_states, Budget* budget)
       : t_(t), din_(din), dout_(dout), max_states_(max_states),
-        reach_(t, din) {}
+        budget_(budget), reach_(t, din) {}
 
   StatusOr<Nta> Build();
 
@@ -109,6 +109,7 @@ class Builder {
   const Dtd& din_;
   const Dtd& dout_;
   int max_states_;
+  Budget* budget_;
   ReachablePairs reach_;
 
   std::map<StateKey, int> ids_;
@@ -289,6 +290,8 @@ Status Builder::EmitProduct(
   };
 
   while (!queue.empty()) {
+    XTC_RETURN_IF_ERROR(
+        BudgetCheck(budget_, "BuildCounterexampleNta/EmitProduct"));
     int lid = queue.front();
     queue.pop_front();
     Local local = locals[static_cast<std::size_t>(lid)];
@@ -456,6 +459,7 @@ StatusOr<Nta> Builder::Build() {
   }
 
   while (!worklist_.empty()) {
+    XTC_RETURN_IF_ERROR(BudgetCheck(budget_, "BuildCounterexampleNta/Build"));
     int id = worklist_.front();
     worklist_.pop_front();
     if (static_cast<int>(keys_.size()) > max_states_) {
@@ -487,8 +491,9 @@ StatusOr<Nta> Builder::Build() {
 }  // namespace
 
 StatusOr<Nta> BuildCounterexampleNta(const Transducer& t, const Dtd& din,
-                                     const Dtd& dout, int max_states) {
-  Builder builder(t, din, dout, max_states);
+                                     const Dtd& dout, int max_states,
+                                     Budget* budget) {
+  Builder builder(t, din, dout, max_states, budget);
   return builder.Build();
 }
 

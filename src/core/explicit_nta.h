@@ -18,9 +18,11 @@ namespace xtc {
 /// This is the faithful construction — exponential in C·K — used to
 /// cross-validate the lazy engine, to measure the Lemma 14 size bound, and
 /// for almost-always typechecking (Corollary 39) via NTA finiteness.
-/// `max_states` bounds the construction.
+/// `max_states` bounds the construction; a non-null `budget` checkpoints
+/// the worklist and product loops (deadline/step/byte governance).
 StatusOr<Nta> BuildCounterexampleNta(const Transducer& t, const Dtd& din,
-                                     const Dtd& dout, int max_states);
+                                     const Dtd& dout, int max_states,
+                                     Budget* budget = nullptr);
 
 }  // namespace xtc
 

@@ -325,9 +325,10 @@ bool XPathContainedBounded(const XPathPattern& p1, const XPathPattern& p2,
                            const Dtd& d, const BruteForceOptions& bounds) {
   Arena arena;
   TreeBuilder builder(&arena);
-  std::vector<Node*> trees =
+  StatusOr<std::vector<Node*>> trees =
       EnumerateValidTrees(d, d.start(), bounds, &builder);
-  for (Node* t : trees) {
+  XTC_CHECK_MSG(trees.ok(), trees.status().ToString().c_str());
+  for (Node* t : *trees) {
     std::vector<const Node*> sel1 = EvalXPath(p1, t);
     std::vector<const Node*> sel2 = EvalXPath(p2, t);
     for (const Node* n : sel1) {

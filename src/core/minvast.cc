@@ -15,8 +15,8 @@ namespace {
 class SymbolicChecker {
  public:
   SymbolicChecker(const Transducer& t, const Dtd& dout,
-                  const SharedForest& forest)
-      : t_(t), dout_(dout), forest_(forest) {}
+                  const SharedForest& forest, Budget* budget)
+      : t_(t), dout_(dout), forest_(forest), budget_(budget) {}
 
   // Whether T(t_root) is a tree satisfying d_out.
   bool OutputConforms(int root) {
@@ -31,6 +31,12 @@ class SymbolicChecker {
     return TemplateValid(*rhs, root);
   }
 
+  // Latched budget failure: the recursive memoization returns references
+  // into memo tables and cannot propagate a Status, so exhaustion latches
+  // here and every later call early-outs with a neutral answer. Verdicts
+  // are meaningless while status() is non-OK.
+  const Status& status() const { return status_; }
+
  private:
   // delta* of the complete DFA for d_out(sigma) over the string
   // top(T^{p}(t_node)), as a function table Q_sigma -> Q_sigma.
@@ -38,11 +44,12 @@ class SymbolicChecker {
     auto key = std::make_tuple(p, node, sigma);
     auto it = eff_memo_.find(key);
     if (it != eff_memo_.end()) return it->second;
+    if (status_.ok()) status_ = BudgetCheck(budget_, "TypecheckMinVast/Eff");
     const Dfa& d = dout_.RuleDfaComplete(sigma);
     std::vector<int> f(static_cast<std::size_t>(d.num_states()));
     for (int x = 0; x < d.num_states(); ++x) f[static_cast<std::size_t>(x)] = x;
     const RhsHedge* rhs = t_.rule(p, forest_.label(node));
-    if (rhs != nullptr) {
+    if (rhs != nullptr && status_.ok()) {
       for (int x = 0; x < d.num_states(); ++x) {
         int cur = x;
         for (const RhsNode& n : *rhs) {
@@ -63,9 +70,12 @@ class SymbolicChecker {
 
   // Whether T^{p}(t_node) partly satisfies d_out.
   bool Valid(int p, int node) {
+    if (!status_.ok()) return true;  // unwinding; verdict discarded
     auto key = std::make_pair(p, node);
     auto it = valid_memo_.find(key);
     if (it != valid_memo_.end()) return it->second;
+    if (status_.ok()) status_ = BudgetCheck(budget_, "TypecheckMinVast/Valid");
+    if (!status_.ok()) return true;
     valid_memo_.emplace(key, true);  // harmless on DAGs (no real cycles)
     const RhsHedge* rhs = t_.rule(p, forest_.label(node));
     bool ok = rhs == nullptr || TemplateValid(*rhs, node);
@@ -76,6 +86,7 @@ class SymbolicChecker {
   // Checks all output nodes produced by this template instantiated at
   // `node`, including everything produced below its states.
   bool TemplateValid(const RhsHedge& rhs, int node) {
+    if (!status_.ok()) return true;  // unwinding; verdict discarded
     for (const RhsNode& n : rhs) {
       if (n.kind == RhsNode::Kind::kState) {
         for (int c : forest_.children(node)) {
@@ -105,6 +116,8 @@ class SymbolicChecker {
   const Transducer& t_;
   const Dtd& dout_;
   const SharedForest& forest_;
+  Budget* budget_;
+  Status status_;
   std::map<std::pair<int, int>, bool> valid_memo_;
   std::map<std::tuple<int, int, int>, std::vector<int>> eff_memo_;
 };
@@ -124,9 +137,19 @@ StatusOr<TypecheckResult> TypecheckMinVast(const Transducer& t, const Dtd& din,
   TypecheckResult result;
   result.arena = std::make_shared<Arena>();
   TreeBuilder builder(result.arena.get());
+  ArenaBudgetScope arena_scope(result.arena, options.budget);
+  auto finalize = [&] {
+    if (options.budget != nullptr) {
+      result.stats.budget_checkpoints = options.budget->checkpoints();
+      result.stats.budget_bytes = options.budget->bytes_charged();
+      result.stats.elapsed_ms = options.budget->elapsed_ms();
+      result.stats.exhaustion = options.budget->cause();
+    }
+  };
 
   if (din.LanguageEmpty()) {
     result.typechecks = true;
+    finalize();
     return result;
   }
   StatusOr<RePlusWitnesses> witnesses = BuildRePlusWitnesses(din);
@@ -135,16 +158,19 @@ StatusOr<TypecheckResult> TypecheckMinVast(const Transducer& t, const Dtd& din,
   int t_vast = witnesses->t_vast[static_cast<std::size_t>(din.start())];
   XTC_CHECK_GE(t_min, 0);  // start symbol inhabited
 
-  SymbolicChecker checker(t, dout, witnesses->forest);
+  SymbolicChecker checker(t, dout, witnesses->forest, options.budget);
   int bad = -1;
   if (!checker.OutputConforms(t_min)) {
     bad = t_min;
   } else if (!checker.OutputConforms(t_vast)) {
     bad = t_vast;
   }
+  // A latched budget failure invalidates both verdicts above.
+  XTC_RETURN_IF_ERROR(checker.status());
   result.stats.configs = static_cast<std::uint64_t>(witnesses->forest.size());
   if (bad == -1) {
     result.typechecks = true;
+    finalize();
     return result;
   }
   result.typechecks = false;
@@ -153,6 +179,7 @@ StatusOr<TypecheckResult> TypecheckMinVast(const Transducer& t, const Dtd& din,
         witnesses->forest.Materialize(bad, &builder, std::uint64_t{1} << 20);
     if (tree.ok()) result.counterexample = *tree;
   }
+  finalize();
   return result;
 }
 

@@ -4,11 +4,12 @@
 
 namespace xtc {
 
-StatusOr<Dtd> DeterminizeDtd(const Dtd& dtd, int max_dfa_states) {
+StatusOr<Dtd> DeterminizeDtd(const Dtd& dtd, int max_dfa_states,
+                             Budget* budget) {
   Dtd out(dtd.alphabet(), dtd.start());
   for (int s = 0; s < dtd.num_symbols(); ++s) {
     if (!dtd.HasRule(s)) continue;
-    Dfa dfa = Dfa::FromNfa(dtd.RuleNfa(s));
+    XTC_ASSIGN_OR_RETURN(Dfa dfa, Dfa::FromNfa(dtd.RuleNfa(s), budget));
     if (dfa.num_states() > max_dfa_states) {
       return ResourceExhaustedError(
           "subset construction exceeded the DFA state budget for rule '" +
@@ -22,11 +23,11 @@ StatusOr<Dtd> DeterminizeDtd(const Dtd& dtd, int max_dfa_states) {
 StatusOr<TypecheckResult> TypecheckViaDeterminization(
     const Transducer& t, const Dtd& din, const Dtd& dout,
     const TypecheckOptions& options, int max_dfa_states) {
-  StatusOr<Dtd> din_det = DeterminizeDtd(din, max_dfa_states);
-  if (!din_det.ok()) return din_det.status();
-  StatusOr<Dtd> dout_det = DeterminizeDtd(dout, max_dfa_states);
-  if (!dout_det.ok()) return dout_det.status();
-  return TypecheckTrac(t, *din_det, *dout_det, options);
+  XTC_ASSIGN_OR_RETURN(Dtd din_det,
+                       DeterminizeDtd(din, max_dfa_states, options.budget));
+  XTC_ASSIGN_OR_RETURN(Dtd dout_det,
+                       DeterminizeDtd(dout, max_dfa_states, options.budget));
+  return TypecheckTrac(t, din_det, dout_det, options);
 }
 
 }  // namespace xtc

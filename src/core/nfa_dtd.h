@@ -9,7 +9,9 @@ namespace xtc {
 /// Converts every rule of a DTD(NFA) to a DFA by subset construction.
 /// `max_dfa_states` caps each rule's DFA — the exponential blowup here is
 /// exactly the PSPACE price of DTD(NFA) schemas (Table 1, nd/bc column).
-StatusOr<Dtd> DeterminizeDtd(const Dtd& dtd, int max_dfa_states);
+/// A non-null `budget` additionally checkpoints the subset construction.
+StatusOr<Dtd> DeterminizeDtd(const Dtd& dtd, int max_dfa_states,
+                             Budget* budget = nullptr);
 
 /// Complete typechecker for DTD(NFA) schemas: determinize both schemas,
 /// then run the Lemma 14 engine. Worst-case exponential in the schema

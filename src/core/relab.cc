@@ -98,7 +98,7 @@ MarkedRule MarkRule(const Transducer& t, int state, int symbol,
 }  // namespace
 
 StatusOr<Nta> OutputLanguageNta(const Transducer& t, const Nta& ain,
-                                int hash_symbol) {
+                                int hash_symbol, Budget* budget) {
   if (!IsDelRelab(t)) {
     return FailedPreconditionError(
         "Lemma 19 requires templates with at most one state (T_del-relab)");
@@ -111,7 +111,7 @@ StatusOr<Nta> OutputLanguageNta(const Transducer& t, const Nta& ain,
   // produce fixed output without traversing the input subtree, so B_in must
   // separately certify that an input subtree with root c and run state q_A
   // exists at all (otherwise the image picks up spurious trees).
-  std::vector<bool> reach = ReachableStates(ain);
+  XTC_ASSIGN_OR_RETURN(std::vector<bool> reach, ReachableStates(ain, budget));
   auto rootable = [&](int c, int qa) {
     const Nfa* h = ain.Horizontal(qa, c);
     return h != nullptr && h->AcceptsSomeOver(&reach);
@@ -159,6 +159,7 @@ StatusOr<Nta> OutputLanguageNta(const Transducer& t, const Nta& ain,
   }
 
   for (const auto& [key, id] : ids) {
+    XTC_RETURN_IF_ERROR(BudgetCheck(budget, "OutputLanguageNta"));
     auto [r, qa, u] = key;
     const MarkedRule& rule = rules[static_cast<std::size_t>(r)];
     const MarkedNode& node = rule.nodes[static_cast<std::size_t>(u)];
@@ -308,17 +309,17 @@ Nta HashEliminationNta(const Nta& aout, int hash_symbol) {
 namespace {
 
 StatusOr<bool> DelRelabEmptiness(const Transducer& t, const Nta& ain,
-                                 const Nta& aout_dtac,
-                                 TypecheckStats* stats) {
+                                 const Nta& aout_dtac, TypecheckStats* stats,
+                                 Budget* budget) {
   const int base = ain.num_symbols();
   Nta aout_complement = ComplementedDtac(aout_dtac);
-  StatusOr<Nta> bin = OutputLanguageNta(t, ain, base);
+  StatusOr<Nta> bin = OutputLanguageNta(t, ain, base, budget);
   if (!bin.ok()) return bin.status();
   Nta bout = HashEliminationNta(aout_complement, base);
-  Nta product = Intersect(*bin, bout);
+  XTC_ASSIGN_OR_RETURN(Nta product, Intersect(*bin, bout, budget));
   stats->nta_states = static_cast<std::uint64_t>(product.num_states());
   stats->nta_size = product.Size();
-  return IsEmptyLanguage(product);
+  return IsEmptyLanguage(product, budget);
 }
 
 }  // namespace
@@ -327,12 +328,19 @@ StatusOr<TypecheckResult> TypecheckDelRelabNta(const Transducer& t,
                                                const Nta& ain,
                                                const Nta& aout_dtac,
                                                const TypecheckOptions& options) {
-  (void)options;
   TypecheckResult result;
   result.arena = std::make_shared<Arena>();
-  StatusOr<bool> empty = DelRelabEmptiness(t, ain, aout_dtac, &result.stats);
+  ArenaBudgetScope arena_scope(result.arena, options.budget);
+  StatusOr<bool> empty =
+      DelRelabEmptiness(t, ain, aout_dtac, &result.stats, options.budget);
   if (!empty.ok()) return empty.status();
   result.typechecks = *empty;
+  if (options.budget != nullptr) {
+    result.stats.budget_checkpoints = options.budget->checkpoints();
+    result.stats.budget_bytes = options.budget->bytes_charged();
+    result.stats.elapsed_ms = options.budget->elapsed_ms();
+    result.stats.exhaustion = options.budget->cause();
+  }
   return result;
 }
 
@@ -343,8 +351,20 @@ StatusOr<TypecheckResult> TypecheckDelRelab(const Transducer& t,
   TypecheckResult result;
   result.arena = std::make_shared<Arena>();
   TreeBuilder builder(result.arena.get());
+  // The scope pins the arena: result.arena may be swapped for the
+  // brute-force engine's arena on the counterexample path below.
+  ArenaBudgetScope arena_scope(result.arena, options.budget);
+  auto finalize = [&] {
+    if (options.budget != nullptr) {
+      result.stats.budget_checkpoints = options.budget->checkpoints();
+      result.stats.budget_bytes = options.budget->bytes_charged();
+      result.stats.elapsed_ms = options.budget->elapsed_ms();
+      result.stats.exhaustion = options.budget->cause();
+    }
+  };
   if (din.LanguageEmpty()) {
     result.typechecks = true;
+    finalize();
     return result;
   }
   // Root pre-check: the translation must be a single tree (Definition 5).
@@ -353,13 +373,18 @@ StatusOr<TypecheckResult> TypecheckDelRelab(const Transducer& t,
       (*root_rhs)[0].kind != RhsNode::Kind::kLabel) {
     result.typechecks = false;
     if (options.want_counterexample) {
-      result.counterexample = MinimalValidTree(din, din.start(), &builder);
+      // Best effort: a tripped budget only drops the counterexample.
+      StatusOr<Node*> tree =
+          MinimalValidTree(din, din.start(), &builder, options.budget);
+      if (tree.ok()) result.counterexample = *tree;
     }
+    finalize();
     return result;
   }
   Nta ain = Nta::FromDtd(din);
   Nta aout = CompletedDeterministic(Nta::FromDtd(dout));
-  StatusOr<bool> empty = DelRelabEmptiness(t, ain, aout, &result.stats);
+  StatusOr<bool> empty =
+      DelRelabEmptiness(t, ain, aout, &result.stats, options.budget);
   if (!empty.ok()) return empty.status();
   result.typechecks = *empty;
   if (!result.typechecks && options.want_counterexample) {
@@ -370,13 +395,16 @@ StatusOr<TypecheckResult> TypecheckDelRelab(const Transducer& t,
       BruteForceOptions bf;
       bf.max_depth = depth;
       bf.max_width = 4;
-      TypecheckResult brute = TypecheckBruteForce(t, din, dout, bf);
-      if (!brute.typechecks) {
-        result.arena = brute.arena;
-        result.counterexample = brute.counterexample;
+      bf.budget = options.budget;
+      StatusOr<TypecheckResult> brute = TypecheckBruteForce(t, din, dout, bf);
+      if (!brute.ok()) break;  // budget tripped: keep the verdict, no tree
+      if (!brute->typechecks) {
+        result.arena = brute->arena;
+        result.counterexample = brute->counterexample;
       }
     }
   }
+  finalize();
   return result;
 }
 

@@ -13,8 +13,9 @@ namespace xtc {
 /// the single leaf #, so T' is non-deleting and total with at most one
 /// state per template; `hash_symbol` is the id used for # (typically the
 /// base alphabet size; the result runs over hash_symbol + 1 symbols).
+/// A non-null `budget` checkpoints the per-state construction loop.
 StatusOr<Nta> OutputLanguageNta(const Transducer& t, const Nta& ain,
-                                int hash_symbol);
+                                int hash_symbol, Budget* budget = nullptr);
 
 /// The #-eliminating automaton of Theorem 20: accepts a tree t over
 /// Σ ∪ {#} iff γ(t) ∈ L(aout), where γ splices out #-labelled nodes.

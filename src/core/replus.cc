@@ -78,19 +78,38 @@ Rel StepSymbol(const Rel& r, const Dfa& d, int symbol) {
 
 class GrammarEngine {
  public:
-  GrammarEngine(const Transducer& t, const Dtd& din, const Dtd& dout)
-      : t_(t), din_(din), dout_(dout) {}
+  GrammarEngine(const Transducer& t, const Dtd& din, const Dtd& dout,
+                Budget* budget)
+      : t_(t), din_(din), dout_(dout), budget_(budget) {}
 
   // The relation of nonterminal <p, b> against d_out(sigma)'s DFA:
   // pairs (x, y) with delta*(x, w) = y for some w in L(<p, b>).
+  //
+  // The recursive memoization cannot thread a Status through its return
+  // type (references into memo_), so failures latch into status_: once it
+  // is non-OK every call short-circuits with a well-formed placeholder
+  // relation and the caller must discard the run. This turns both budget
+  // exhaustion and recursive DTD(RE+) rules (formerly a hard abort) into
+  // soft errors.
   const Rel& NontermRel(int p, int b, int sigma) {
     auto key = std::make_tuple(p, b, sigma);
     auto it = memo_.find(key);
     if (it != memo_.end()) return it->second;
-    XTC_CHECK_MSG(visiting_.count(key) == 0,
-                  "recursive DTD(RE+) rule reached from a reachable pair");
-    visiting_.insert(key);
     const Dfa& d = dout_.RuleDfaComplete(sigma);
+    if (status_.ok()) {
+      status_ = BudgetCheck(budget_, "TypecheckRePlus/NontermRel");
+    }
+    if (status_.ok() && visiting_.count(key) != 0) {
+      status_ = FailedPreconditionError(
+          "recursive DTD(RE+) rule reached from a reachable pair");
+    }
+    if (!status_.ok()) {
+      // Park an identity relation so unwinding callers still index a table
+      // of the right dimensions; the memo is poisoned but the engine is
+      // single-run and the caller checks status().
+      return memo_.emplace(key, IdentityRel(d.num_states())).first->second;
+    }
+    visiting_.insert(key);
     Rel rel = IdentityRel(d.num_states());
     const RhsHedge* rhs = t_.rule(p, b);
     if (rhs != nullptr) {
@@ -99,11 +118,13 @@ class GrammarEngine {
       const RePlus* factors = din_.RuleRePlus(b);
       XTC_CHECK(factors != nullptr);
       for (const RhsNode& n : *rhs) {
+        if (!status_.ok()) break;
         if (n.kind == RhsNode::Kind::kLabel) {
           rel = StepSymbol(rel, d, n.label);
         } else {
           for (const RePlus::Factor& f : factors->factors()) {
-            Rel child = NontermRel(n.state, f.symbol, sigma);
+            const Rel& child = NontermRel(n.state, f.symbol, sigma);
+            if (!status_.ok()) break;
             rel = Compose(rel, f.plus ? TransitiveClosure(child) : child);
           }
         }
@@ -121,11 +142,16 @@ class GrammarEngine {
     const RePlus* factors = din_.RuleRePlus(a);
     XTC_CHECK(factors != nullptr);
     for (const RhsNode& n : children) {
+      if (status_.ok()) {
+        status_ = BudgetCheck(budget_, "TypecheckRePlus/StartRel");
+      }
+      if (!status_.ok()) break;
       if (n.kind == RhsNode::Kind::kLabel) {
         rel = StepSymbol(rel, d, n.label);
       } else {
         for (const RePlus::Factor& f : factors->factors()) {
-          Rel child = NontermRel(n.state, f.symbol, sigma);
+          const Rel& child = NontermRel(n.state, f.symbol, sigma);
+          if (!status_.ok()) break;
           rel = Compose(rel, f.plus ? TransitiveClosure(child) : child);
         }
       }
@@ -135,10 +161,15 @@ class GrammarEngine {
 
   std::uint64_t num_nonterminals() const { return memo_.size(); }
 
+  // Latched failure of this engine run; non-OK verdicts are meaningless.
+  const Status& status() const { return status_; }
+
  private:
   const Transducer& t_;
   const Dtd& din_;
   const Dtd& dout_;
+  Budget* budget_;
+  Status status_;
   std::map<std::tuple<int, int, int>, Rel> memo_;
   std::set<std::tuple<int, int, int>> visiting_;
 };
@@ -160,9 +191,21 @@ StatusOr<TypecheckResult> TypecheckRePlus(const Transducer& t, const Dtd& din,
   TypecheckResult result;
   result.arena = std::make_shared<Arena>();
   TreeBuilder builder(result.arena.get());
+  // The scope pins the arena: result.arena is swapped for the minvast
+  // engine's arena on the counterexample path below.
+  ArenaBudgetScope arena_scope(result.arena, options.budget);
+  auto finalize = [&] {
+    if (options.budget != nullptr) {
+      result.stats.budget_checkpoints = options.budget->checkpoints();
+      result.stats.budget_bytes = options.budget->bytes_charged();
+      result.stats.elapsed_ms = options.budget->elapsed_ms();
+      result.stats.exhaustion = options.budget->cause();
+    }
+  };
 
   if (din.LanguageEmpty()) {
     result.typechecks = true;
+    finalize();
     return result;
   }
   const RhsHedge* root_rhs = t.rule(t.initial(), din.start());
@@ -174,7 +217,7 @@ StatusOr<TypecheckResult> TypecheckRePlus(const Transducer& t, const Dtd& din,
   }
 
   if (!violated) {
-    GrammarEngine engine(t, din, dout);
+    GrammarEngine engine(t, din, dout, options.budget);
     ReachablePairs reach(t, din);
     for (const auto& [q, a] : reach.pairs()) {
       const RhsHedge* rhs = t.rule(q, a);
@@ -187,6 +230,7 @@ StatusOr<TypecheckResult> TypecheckRePlus(const Transducer& t, const Dtd& din,
         if (u->kind != RhsNode::Kind::kLabel) continue;
         for (const RhsNode& c : u->children) stack.push_back(&c);
         Rel rel = engine.StartRel(a, u->children, u->label);
+        XTC_RETURN_IF_ERROR(engine.status());
         const Dfa& d = dout.RuleDfaComplete(u->label);
         ++result.stats.evaluations;
         for (int y = 0; y < d.num_states() && !violated; ++y) {
@@ -213,6 +257,7 @@ StatusOr<TypecheckResult> TypecheckRePlus(const Transducer& t, const Dtd& din,
     result.arena = mv->arena;
     result.counterexample = mv->counterexample;
   }
+  finalize();
   return result;
 }
 

@@ -244,6 +244,8 @@ StatusOr<bool> Engine::HedgeSearch(int id, int b, int sigma,
 
   if (d_in.initial() == Dfa::kDead) return false;
 
+  Budget* budget = options_.budget;
+
   // Iterate over all guess vectors.
   std::vector<int> guesses(guess_pos.size(), 0);
   while (true) {
@@ -282,6 +284,7 @@ StatusOr<bool> Engine::HedgeSearch(int id, int b, int sigma,
     intern(d_in.initial(), y0, Parent{-1, -1, -1});
     int accept_id = -1;
     while (!queue.empty() && accept_id == -1) {
+      XTC_RETURN_IF_ERROR(BudgetCheck(budget, "TypecheckTrac/HedgeSearch"));
       int pid = queue.front();
       queue.pop_front();
       auto [d, y] = states[static_cast<std::size_t>(pid)];
@@ -329,6 +332,7 @@ StatusOr<bool> Engine::HedgeSearch(int id, int b, int sigma,
         // Joint enumeration over the candidate product.
         std::vector<std::size_t> idx(static_cast<std::size_t>(k), 0);
         while (true) {
+          XTC_RETURN_IF_ERROR(BudgetCheck(budget, "TypecheckTrac/odometer"));
           std::vector<int> z(static_cast<std::size_t>(k));
           std::vector<Obl> child;
           child.reserve(static_cast<std::size_t>(k));
@@ -432,6 +436,7 @@ StatusOr<bool> Engine::Eval(int id) {
 
 Status Engine::Solve() {
   while (!worklist_.empty()) {
+    XTC_RETURN_IF_ERROR(BudgetCheck(options_.budget, "TypecheckTrac/Solve"));
     int id = worklist_.front();
     worklist_.pop_front();
     queued_[static_cast<std::size_t>(id)] = false;
@@ -454,17 +459,21 @@ Status Engine::Solve() {
 }
 
 Node* Engine::BuildConfigWitness(int id, TreeBuilder* builder,
-                                 std::size_t* budget) const {
-  if (*budget == 0) return nullptr;
-  --*budget;
+                                 std::size_t* node_budget) const {
+  if (*node_budget == 0) return nullptr;
+  --*node_budget;
   const Entry& e = entries_[static_cast<std::size_t>(id)];
   XTC_CHECK(e.status);
   if (!e.has_witness) {
-    return MinimalValidTree(din_, e.b, builder);
+    // Witness construction is best-effort under a governor: exhaustion here
+    // degrades to "no counterexample", not to a failed run.
+    StatusOr<Node*> leaf =
+        MinimalValidTree(din_, e.b, builder, options_.budget);
+    return leaf.ok() ? *leaf : nullptr;
   }
   std::vector<Node*> kids;
   for (const auto& [symbol, child_cfg] : e.witness) {
-    Node* child = BuildConfigWitness(child_cfg, builder, budget);
+    Node* child = BuildConfigWitness(child_cfg, builder, node_budget);
     if (child == nullptr) return nullptr;
     kids.push_back(child);
   }
@@ -479,11 +488,23 @@ StatusOr<TypecheckResult> Engine::Run() {
   TypecheckResult result;
   result.arena = std::make_shared<Arena>();
   TreeBuilder builder(result.arena.get());
+  // Charge witness-tree allocations against the caller's budget for the
+  // duration of the run only — the arena escapes inside the result.
+  ArenaBudgetScope arena_scope(result.arena, options_.budget);
+  auto finalize = [&] {
+    result.stats = stats_;
+    if (options_.budget != nullptr) {
+      result.stats.budget_checkpoints = options_.budget->checkpoints();
+      result.stats.budget_bytes = options_.budget->bytes_charged();
+      result.stats.elapsed_ms = options_.budget->elapsed_ms();
+      result.stats.exhaustion = options_.budget->cause();
+    }
+  };
 
   // Vacuous: empty input language.
   if (din_.LanguageEmpty()) {
     result.typechecks = true;
-    result.stats = stats_;
+    finalize();
     return result;
   }
 
@@ -495,9 +516,11 @@ StatusOr<TypecheckResult> Engine::Run() {
       (*root_rhs)[0].label != dout_.start()) {
     result.typechecks = false;
     if (options_.want_counterexample) {
-      result.counterexample = MinimalValidTree(din_, din_.start(), &builder);
+      StatusOr<Node*> tree =
+          MinimalValidTree(din_, din_.start(), &builder, options_.budget);
+      if (tree.ok()) result.counterexample = *tree;
     }
-    result.stats = stats_;
+    finalize();
     return result;
   }
 
@@ -563,7 +586,13 @@ StatusOr<TypecheckResult> Engine::Run() {
       std::optional<std::vector<int>> word = din_.ShortestUsableWord(top.a);
       XTC_CHECK(word.has_value());
       for (int b : *word) {
-        kids.push_back(MinimalValidTree(din_, b, &builder));
+        StatusOr<Node*> kid =
+            MinimalValidTree(din_, b, &builder, options_.budget);
+        if (!kid.ok()) {
+          ok = false;
+          break;
+        }
+        kids.push_back(*kid);
       }
     }
     if (!ok) break;
@@ -572,7 +601,7 @@ StatusOr<TypecheckResult> Engine::Run() {
         reach_.EmbedWitness(top.q, top.a, subtree, &builder);
     break;
   }
-  result.stats = stats_;
+  finalize();
   return result;
 }
 

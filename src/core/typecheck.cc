@@ -2,6 +2,8 @@
 
 #include <optional>
 
+#include "src/base/budget.h"
+#include "src/core/approximate.h"
 #include "src/core/nfa_dtd.h"
 #include "src/core/replus.h"
 #include "src/core/trac.h"
@@ -11,6 +13,33 @@
 #include "src/td/widths.h"
 
 namespace xtc {
+namespace {
+
+// The exact-engine dispatch (selectors already compiled away).
+StatusOr<TypecheckResult> TypecheckExact(const Transducer& t, const Dtd& din,
+                                         const Dtd& dout,
+                                         const TypecheckOptions& options) {
+  // DTD(NFA) schemas: determinize (the PSPACE price), then re-dispatch.
+  if (!din.IsDfaDtd() || !dout.IsDfaDtd()) {
+    return TypecheckViaDeterminization(t, din, dout, options);
+  }
+
+  WidthAnalysis widths = AnalyzeWidths(t);
+  if (widths.dpw_bounded) {
+    // T_trac: the Lemma 14 engine (Theorem 15), PTIME for fixed C, K.
+    return TypecheckTrac(t, din, dout, options);
+  }
+  if (din.IsRePlusDtd() && dout.IsRePlusDtd()) {
+    // Unbounded copying/deletion but RE+ schemas: Theorem 37.
+    return TypecheckRePlus(t, din, dout, options);
+  }
+  return UnimplementedError(
+      "instance is outside the paper's tractable fragments (unbounded "
+      "deletion path width with non-RE+ schemas is PSPACE/coNP-hard; "
+      "Theorems 18 and 28) — use TypecheckBruteForce for bounded checking");
+}
+
+}  // namespace
 
 bool VerifyCounterexample(const Transducer& t, const Dtd& din, const Dtd& dout,
                           const Node* tree) {
@@ -34,24 +63,45 @@ StatusOr<TypecheckResult> Typecheck(const Transducer& t, const Dtd& din,
     effective = &*compiled;
   }
 
-  // DTD(NFA) schemas: determinize (the PSPACE price), then re-dispatch.
-  if (!din.IsDfaDtd() || !dout.IsDfaDtd()) {
-    return TypecheckViaDeterminization(*effective, din, dout, options);
+  StatusOr<TypecheckResult> exact =
+      TypecheckExact(*effective, din, dout, options);
+  if (exact.ok() || !options.approximate_fallback ||
+      exact.status().code() != StatusCode::kResourceExhausted) {
+    return exact;
   }
 
-  WidthAnalysis widths = AnalyzeWidths(*effective);
-  if (widths.dpw_bounded) {
-    // T_trac: the Lemma 14 engine (Theorem 15), PTIME for fixed C, K.
-    return TypecheckTrac(*effective, din, dout, options);
+  // Graceful degradation: the exact engine ran out of budget, so re-run the
+  // sound-but-incomplete approximate engine under a fresh budget derived
+  // from the original deadline (step/byte limits are not carried over — the
+  // exact engine already spent them). The whole call is thus bounded by
+  // roughly twice the configured deadline.
+  Budget fallback;
+  Budget* fallback_budget = nullptr;
+  if (options.budget != nullptr) {
+    if (std::optional<std::chrono::milliseconds> deadline =
+            options.budget->deadline()) {
+      fallback.set_deadline(*deadline);
+    }
+    fallback_budget = &fallback;
   }
-  if (din.IsRePlusDtd() && dout.IsRePlusDtd()) {
-    // Unbounded copying/deletion but RE+ schemas: Theorem 37.
-    return TypecheckRePlus(*effective, din, dout, options);
+  StatusOr<ApproximateResult> approx =
+      TypecheckApproximate(*effective, din, dout, /*max_dfa_states=*/1 << 14,
+                           fallback_budget);
+  if (!approx.ok()) return exact.status();  // degraded mode also exhausted
+
+  TypecheckResult result;
+  result.arena = std::make_shared<Arena>();
+  result.typechecks = approx->verdict == ApproximateVerdict::kTypechecks;
+  result.approximate = true;
+  result.exact_status = exact.status();
+  result.stats = approx->stats;
+  if (fallback_budget != nullptr) {
+    result.stats.budget_checkpoints = fallback_budget->checkpoints();
+    result.stats.budget_bytes = fallback_budget->bytes_charged();
+    result.stats.elapsed_ms = fallback_budget->elapsed_ms();
+    result.stats.exhaustion = fallback_budget->cause();
   }
-  return UnimplementedError(
-      "instance is outside the paper's tractable fragments (unbounded "
-      "deletion path width with non-RE+ schemas is PSPACE/coNP-hard; "
-      "Theorems 18 and 28) — use TypecheckBruteForce for bounded checking");
+  return result;
 }
 
 }  // namespace xtc

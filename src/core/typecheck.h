@@ -6,6 +6,7 @@
 #include <string>
 
 #include "src/base/arena.h"
+#include "src/base/budget.h"
 #include "src/base/status.h"
 #include "src/schema/dtd.h"
 #include "src/td/transducer.h"
@@ -22,25 +23,51 @@ struct TypecheckStats {
   std::uint64_t product_states = 0;   ///< product states explored
   std::uint64_t nta_states = 0;       ///< states of constructed NTAs
   std::uint64_t nta_size = 0;         ///< total size of constructed NTAs
+
+  // Resource-governor telemetry (zero when the run was ungoverned).
+  std::uint64_t budget_checkpoints = 0;  ///< checkpoints passed
+  std::uint64_t budget_bytes = 0;        ///< arena bytes charged
+  double elapsed_ms = 0;                 ///< wall-clock of the governed run
+  ExhaustionCause exhaustion = ExhaustionCause::kNone;  ///< why it stopped
 };
 
 /// Outcome of a typechecking run (Definition 9). When the instance does not
 /// typecheck, `counterexample` is a tree t in L(d_in) with T(t) not in
 /// L(d_out) (Corollary 38), owned by `arena`.
+///
+/// `approximate` is set when the exact engine exhausted its budget and the
+/// answer comes from the degraded path (core/approximate): a `typechecks ==
+/// true` verdict is then still sound, but `typechecks == false` may be a
+/// false alarm and carries no counterexample. `exact_status` preserves the
+/// exact engine's kResourceExhausted error in that case.
 struct TypecheckResult {
   bool typechecks = false;
   std::shared_ptr<Arena> arena;
   Node* counterexample = nullptr;
+  bool approximate = false;
+  Status exact_status;
   TypecheckStats stats;
 };
 
 /// Resource limits for the engines; decision procedures fail softly with
 /// kResourceExhausted instead of thrashing (the hard instances of Sections
 /// 3.2 and 4 are exponential by design).
+///
+/// `budget`, when non-null, governs the run: every super-linear loop
+/// checkpoints it and the engines unwind with kResourceExhausted as soon as
+/// its deadline/step/byte limit trips. The budget is borrowed, not owned,
+/// and must outlive the Typecheck call (not the result).
+///
+/// `approximate_fallback` turns exhaustion of the *exact* engine into a
+/// degraded answer instead of an error: Typecheck() re-runs the sound
+/// over-approximation (core/approximate) under a fresh budget of the same
+/// deadline and marks the result `approximate`.
 struct TypecheckOptions {
   std::uint64_t max_configs = 1u << 22;
   std::uint64_t max_product_states_per_eval = 1u << 22;
   bool want_counterexample = true;
+  Budget* budget = nullptr;
+  bool approximate_fallback = false;
 };
 
 /// Checks a claimed counterexample against the definition: t must satisfy

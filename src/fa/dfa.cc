@@ -100,6 +100,12 @@ Dfa Dfa::Complemented() const {
 }
 
 Dfa Dfa::Product(const Dfa& a_in, const Dfa& b_in, BoolOp op) {
+  // Ungoverned: with a null budget the governed construction cannot fail.
+  return *Product(a_in, b_in, op, nullptr);
+}
+
+StatusOr<Dfa> Dfa::Product(const Dfa& a_in, const Dfa& b_in, BoolOp op,
+                           Budget* budget) {
   // Complete operands so the pairing never loses track of one side.
   Dfa a = a_in.Completed();
   Dfa b = b_in.Completed();
@@ -131,6 +137,7 @@ Dfa Dfa::Product(const Dfa& a_in, const Dfa& b_in, BoolOp op) {
   };
   out.SetInitial(get(a.initial(), b.initial()));
   while (!queue.empty()) {
+    XTC_RETURN_IF_ERROR(BudgetCheck(budget, "Dfa::Product"));
     auto [sa, sb] = queue.front();
     queue.pop_front();
     int from = ids.at({sa, sb});
@@ -182,7 +189,9 @@ bool Dfa::EquivalentTo(const Dfa& other) const {
   return IncludedIn(other) && other.IncludedIn(*this);
 }
 
-Dfa Dfa::Minimized() const {
+Dfa Dfa::Minimized() const { return *Minimized(nullptr); }
+
+StatusOr<Dfa> Dfa::Minimized(Budget* budget) const {
   Dfa c = Completed();
   // Restrict to states reachable from the initial state.
   std::vector<int> order;
@@ -209,6 +218,7 @@ Dfa Dfa::Minimized() const {
     std::map<std::vector<int>, int> sig_to_cls;
     std::vector<int> next_cls(n);
     for (int i = 0; i < n; ++i) {
+      XTC_RETURN_IF_ERROR(BudgetCheck(budget, "Dfa::Minimized"));
       std::vector<int> sig;
       sig.reserve(c.num_symbols() + 1);
       sig.push_back(cls[i]);
@@ -265,7 +275,9 @@ Nfa Dfa::Reverse(const Dfa& d) {
   return out;
 }
 
-Dfa Dfa::FromNfa(const Nfa& n) {
+Dfa Dfa::FromNfa(const Nfa& n) { return *FromNfa(n, nullptr); }
+
+StatusOr<Dfa> Dfa::FromNfa(const Nfa& n, Budget* budget) {
   Dfa out(n.num_symbols());
   std::map<std::vector<int>, int> ids;
   std::deque<std::vector<int>> queue;
@@ -287,6 +299,7 @@ Dfa Dfa::FromNfa(const Nfa& n) {
   }
   out.SetInitial(intern(std::move(init)));
   while (!queue.empty()) {
+    XTC_RETURN_IF_ERROR(BudgetCheck(budget, "Dfa::FromNfa"));
     std::vector<int> set = queue.front();
     queue.pop_front();
     int from = ids.at(set);

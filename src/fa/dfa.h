@@ -6,6 +6,8 @@
 #include <span>
 #include <vector>
 
+#include "src/base/budget.h"
+#include "src/base/status.h"
 #include "src/fa/nfa.h"
 
 namespace xtc {
@@ -54,8 +56,12 @@ class Dfa {
   enum class BoolOp { kAnd, kOr, kDiff };
 
   /// Product construction. For kDiff, accepts L(a) \ L(b); b is completed
-  /// internally as needed.
+  /// internally as needed. The governed overload checkpoints the budget
+  /// once per discovered pair state and fails with kResourceExhausted
+  /// instead of building an oversized product.
   static Dfa Product(const Dfa& a, const Dfa& b, BoolOp op);
+  static StatusOr<Dfa> Product(const Dfa& a, const Dfa& b, BoolOp op,
+                               Budget* budget);
 
   bool IsEmpty() const;
   std::optional<std::vector<int>> ShortestAccepted() const;
@@ -65,14 +71,19 @@ class Dfa {
   bool EquivalentTo(const Dfa& other) const;
 
   /// Moore partition-refinement minimization (complete result DFA over the
-  /// reachable part).
+  /// reachable part). The governed overload checkpoints per refinement
+  /// signature computed.
   Dfa Minimized() const;
+  StatusOr<Dfa> Minimized(Budget* budget) const;
 
   Nfa ToNfa() const;
 
-  /// Subset construction.
+  /// Subset construction. The governed overload checkpoints per subset
+  /// state interned — the construction is worst-case exponential, so this
+  /// is a primary exhaustion site.
   static Nfa Reverse(const Dfa& d);
   static Dfa FromNfa(const Nfa& n);
+  static StatusOr<Dfa> FromNfa(const Nfa& n, Budget* budget);
 
  private:
   int num_symbols_;

@@ -96,6 +96,13 @@ class Parser {
   }
 
   StatusOr<RegexPtr> ParseAlt() {
+    // Recursion fuel: deeply nested '(' would otherwise overflow the stack
+    // on adversarial input (ParseAlt -> ... -> ParsePrimary -> ParseAlt).
+    if (++depth_ > kMaxDepth) {
+      return InvalidArgumentError("regex nesting exceeds depth limit " +
+                                  std::to_string(kMaxDepth));
+    }
+    DepthGuard guard(this);
     std::vector<RegexPtr> alts;
     StatusOr<RegexPtr> first = ParseConcat();
     if (!first.ok()) return first;
@@ -167,9 +174,18 @@ class Parser {
                                 "' in regex");
   }
 
+  static constexpr int kMaxDepth = 256;
+
+  struct DepthGuard {
+    explicit DepthGuard(Parser* p) : p_(p) {}
+    ~DepthGuard() { --p_->depth_; }
+    Parser* p_;
+  };
+
   std::string_view text_;
   Alphabet* alphabet_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 void ToStringRec(const Regex& re, const Alphabet& alphabet, int parent_prec,

@@ -8,6 +8,10 @@
 namespace xtc {
 
 std::vector<bool> ReachableStates(const Nta& nta) {
+  return *ReachableStates(nta, nullptr);
+}
+
+StatusOr<std::vector<bool>> ReachableStates(const Nta& nta, Budget* budget) {
   // Fig. A.1: R_1 = {q | epsilon in delta(q, a)}; R_i adds q whenever
   // delta(q, a) meets R_{i-1}^*. We iterate to the fixpoint directly.
   std::vector<bool> reached(static_cast<std::size_t>(nta.num_states()), false);
@@ -15,6 +19,7 @@ std::vector<bool> ReachableStates(const Nta& nta) {
   while (changed) {
     changed = false;
     for (const auto& [key, h] : nta.transitions()) {
+      XTC_RETURN_IF_ERROR(BudgetCheck(budget, "ReachableStates"));
       int q = key.first;
       if (reached[static_cast<std::size_t>(q)]) continue;
       if (h.AcceptsSomeOver(&reached)) {
@@ -26,8 +31,11 @@ std::vector<bool> ReachableStates(const Nta& nta) {
   return reached;
 }
 
-bool IsEmptyLanguage(const Nta& nta) {
-  std::vector<bool> reached = ReachableStates(nta);
+bool IsEmptyLanguage(const Nta& nta) { return *IsEmptyLanguage(nta, nullptr); }
+
+StatusOr<bool> IsEmptyLanguage(const Nta& nta, Budget* budget) {
+  XTC_ASSIGN_OR_RETURN(std::vector<bool> reached,
+                       ReachableStates(nta, budget));
   for (int q = 0; q < nta.num_states(); ++q) {
     if (reached[static_cast<std::size_t>(q)] && nta.final(q)) return false;
   }
@@ -36,6 +44,12 @@ bool IsEmptyLanguage(const Nta& nta) {
 
 std::optional<int> WitnessTree(const Nta& nta, SharedForest* forest,
                                std::vector<int>* per_state_ids) {
+  return *WitnessTree(nta, forest, per_state_ids, nullptr);
+}
+
+StatusOr<std::optional<int>> WitnessTree(const Nta& nta, SharedForest* forest,
+                                         std::vector<int>* per_state_ids,
+                                         Budget* budget) {
   // Re-run the reachability fixpoint remembering, for each newly reached
   // state, the symbol and child-state word that witnessed it; build the
   // hash-consed witness trees bottom-up as states get settled.
@@ -45,6 +59,7 @@ std::optional<int> WitnessTree(const Nta& nta, SharedForest* forest,
   while (changed) {
     changed = false;
     for (const auto& [key, h] : nta.transitions()) {
+      XTC_RETURN_IF_ERROR(BudgetCheck(budget, "WitnessTree"));
       auto [q, a] = key;
       if (reached[static_cast<std::size_t>(q)]) continue;
       std::optional<std::vector<int>> word = h.ShortestAcceptedOver(&reached);
@@ -64,10 +79,10 @@ std::optional<int> WitnessTree(const Nta& nta, SharedForest* forest,
   if (per_state_ids != nullptr) *per_state_ids = ids;
   for (int q = 0; q < nta.num_states(); ++q) {
     if (reached[static_cast<std::size_t>(q)] && nta.final(q)) {
-      return ids[static_cast<std::size_t>(q)];
+      return std::optional<int>(ids[static_cast<std::size_t>(q)]);
     }
   }
-  return std::nullopt;
+  return std::optional<int>();
 }
 
 namespace {
@@ -112,12 +127,18 @@ std::vector<bool> UsefulStates(const Nta& nta,
 }  // namespace
 
 bool IsFiniteLanguage(const Nta& nta) {
-  std::vector<bool> reached = ReachableStates(nta);
+  return *IsFiniteLanguage(nta, nullptr);
+}
+
+StatusOr<bool> IsFiniteLanguage(const Nta& nta, Budget* budget) {
+  XTC_ASSIGN_OR_RETURN(std::vector<bool> reached,
+                       ReachableStates(nta, budget));
   std::vector<bool> useful = UsefulStates(nta, reached);
 
   // Horizontal pumping: a useful state with infinitely many usable child
   // strings.
   for (const auto& [key, h] : nta.transitions()) {
+    XTC_RETURN_IF_ERROR(BudgetCheck(budget, "IsFiniteLanguage"));
     int q = key.first;
     if (!useful[static_cast<std::size_t>(q)]) continue;
     if (h.AcceptsInfinitelyManyOver(&reached)) return false;
@@ -128,6 +149,7 @@ bool IsFiniteLanguage(const Nta& nta) {
   std::vector<std::vector<int>> adj(
       static_cast<std::size_t>(nta.num_states()));
   for (const auto& [key, h] : nta.transitions()) {
+    XTC_RETURN_IF_ERROR(BudgetCheck(budget, "IsFiniteLanguage"));
     int p = key.first;
     if (!useful[static_cast<std::size_t>(p)]) continue;
     std::vector<bool> used = h.SymbolsOnAcceptingPaths(&reached);

@@ -4,6 +4,8 @@
 #include <optional>
 #include <vector>
 
+#include "src/base/budget.h"
+#include "src/base/status.h"
 #include "src/nta/nta.h"
 #include "src/tree/hashcons.h"
 
@@ -11,10 +13,14 @@ namespace xtc {
 
 /// States q for which some tree has a run ending in q at its root — the set
 /// R computed by the emptiness algorithm of Fig. A.1 (Proposition 4(2)).
+/// The governed overloads below checkpoint the budget once per transition
+/// examined in the fixpoint loops and fail with kResourceExhausted.
 std::vector<bool> ReachableStates(const Nta& nta);
+StatusOr<std::vector<bool>> ReachableStates(const Nta& nta, Budget* budget);
 
 /// Emptiness of L(nta); PTIME (Proposition 4(2), Lemma 3 for DTAc).
 bool IsEmptyLanguage(const Nta& nta);
+StatusOr<bool> IsEmptyLanguage(const Nta& nta, Budget* budget);
 
 /// Generates (a description of) a tree in L(nta) into `forest`
 /// (Proposition 4(3)); nullopt when the language is empty. If
@@ -22,11 +28,15 @@ bool IsEmptyLanguage(const Nta& nta);
 /// tree reaching that state (-1 if the state is unreachable).
 std::optional<int> WitnessTree(const Nta& nta, SharedForest* forest,
                                std::vector<int>* per_state_ids = nullptr);
+StatusOr<std::optional<int>> WitnessTree(const Nta& nta, SharedForest* forest,
+                                         std::vector<int>* per_state_ids,
+                                         Budget* budget);
 
 /// Finiteness of L(nta); PTIME (Proposition 4(1)). Detects horizontal
 /// pumping (an infinite horizontal language on a useful state) and vertical
 /// pumping (a cycle in the occurs-in-derivation graph of useful states).
 bool IsFiniteLanguage(const Nta& nta);
+StatusOr<bool> IsFiniteLanguage(const Nta& nta, Budget* budget);
 
 /// Bottom-up determinism: delta(q, a) and delta(q', a) disjoint for q != q'.
 bool IsBottomUpDeterministic(const Nta& nta);

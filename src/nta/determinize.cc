@@ -85,7 +85,8 @@ std::vector<int> StepH(const Nta& nta, const SymbolSpace& sp,
 
 }  // namespace
 
-StatusOr<Nta> DeterminizeToDtac(const Nta& nta, int max_states) {
+StatusOr<Nta> DeterminizeToDtac(const Nta& nta, int max_states,
+                                Budget* budget) {
   const int num_symbols = nta.num_symbols();
   std::vector<SymbolSpace> spaces;
   spaces.reserve(static_cast<std::size_t>(num_symbols));
@@ -141,6 +142,7 @@ StatusOr<Nta> DeterminizeToDtac(const Nta& nta, int max_states) {
         g.trans[h].resize(det_states.size(), -1);
         for (std::size_t s = 0; s < det_states.size(); ++s) {
           if (g.trans[h][s] != -1) continue;
+          XTC_RETURN_IF_ERROR(BudgetCheck(budget, "DeterminizeToDtac"));
           std::vector<int> next =
               StepH(nta, spaces[static_cast<std::size_t>(a)], g.states[h],
                     det_states[s]);

@@ -1,6 +1,7 @@
 #ifndef XTC_NTA_DETERMINIZE_H_
 #define XTC_NTA_DETERMINIZE_H_
 
+#include "src/base/budget.h"
 #include "src/base/status.h"
 #include "src/nta/nta.h"
 
@@ -11,8 +12,10 @@ namespace xtc {
 /// the worst case — this is exactly the price the paper's EXPTIME cells
 /// charge; `max_states` bounds the determinized state count (and the
 /// per-symbol horizontal subset space) and the construction fails with
-/// kResourceExhausted beyond it.
-StatusOr<Nta> DeterminizeToDtac(const Nta& nta, int max_states);
+/// kResourceExhausted beyond it. A non-null `budget` is additionally
+/// checkpointed per h-state transition computed in the saturation loop.
+StatusOr<Nta> DeterminizeToDtac(const Nta& nta, int max_states,
+                                Budget* budget = nullptr);
 
 }  // namespace xtc
 

@@ -5,6 +5,10 @@
 namespace xtc {
 
 Nta Intersect(const Nta& a, const Nta& b) {
+  return *Intersect(a, b, nullptr);
+}
+
+StatusOr<Nta> Intersect(const Nta& a, const Nta& b, Budget* budget) {
   XTC_CHECK_EQ(a.num_symbols(), b.num_symbols());
   const int na = a.num_states();
   const int nb = b.num_states();
@@ -21,6 +25,7 @@ Nta Intersect(const Nta& a, const Nta& b) {
       for (int qb = 0; qb < nb; ++qb) {
         const Nfa* hb = b.Horizontal(qb, sym);
         if (hb == nullptr) continue;
+        XTC_RETURN_IF_ERROR(BudgetCheck(budget, "Intersect"));
         // Product of the horizontal NFAs reading paired child states.
         Nfa h(na * nb);
         const int mb = hb->num_states();

@@ -1,6 +1,8 @@
 #ifndef XTC_NTA_PRODUCT_H_
 #define XTC_NTA_PRODUCT_H_
 
+#include "src/base/budget.h"
+#include "src/base/status.h"
 #include "src/nta/nta.h"
 
 namespace xtc {
@@ -8,8 +10,11 @@ namespace xtc {
 /// Product automaton with L = L(a) ∩ L(b). States are pairs (encoded as
 /// qa * b.num_states() + qb); horizontal languages are products of the
 /// operand horizontals with paired child states. Used by Theorem 20
-/// (emptiness of B_in ∩ B_out).
+/// (emptiness of B_in ∩ B_out). The governed overload checkpoints per
+/// horizontal-product built — the state space is quadratic and each
+/// horizontal product can itself be large.
 Nta Intersect(const Nta& a, const Nta& b);
+StatusOr<Nta> Intersect(const Nta& a, const Nta& b, Budget* budget);
 
 /// Disjoint-union automaton with L = L(a) ∪ L(b): runs stay entirely within
 /// one operand's state space.

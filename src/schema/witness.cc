@@ -69,12 +69,18 @@ uint64_t CheapestWord(const Nfa& nfa, const std::vector<uint64_t>& costs,
 }  // namespace
 
 std::vector<uint64_t> MinimalTreeCosts(const Dtd& dtd) {
+  return *MinimalTreeCosts(dtd, nullptr);
+}
+
+StatusOr<std::vector<uint64_t>> MinimalTreeCosts(const Dtd& dtd,
+                                                 Budget* budget) {
   const int n = dtd.num_symbols();
   std::vector<uint64_t> costs(static_cast<std::size_t>(n), kInfiniteCost);
   bool changed = true;
   while (changed) {
     changed = false;
     for (int s = 0; s < n; ++s) {
+      XTC_RETURN_IF_ERROR(BudgetCheck(budget, "MinimalTreeCosts"));
       uint64_t w = CheapestWord(dtd.RuleNfa(s), costs, nullptr);
       uint64_t c = SatAdd(1, w);
       if (c < costs[static_cast<std::size_t>(s)]) {
@@ -88,24 +94,39 @@ std::vector<uint64_t> MinimalTreeCosts(const Dtd& dtd) {
 
 namespace {
 
-Node* MinimalTreeRec(const Dtd& dtd, int symbol,
-                     const std::vector<uint64_t>& costs, TreeBuilder* builder) {
+StatusOr<Node*> MinimalTreeRec(const Dtd& dtd, int symbol,
+                               const std::vector<uint64_t>& costs,
+                               TreeBuilder* builder, Budget* budget) {
+  XTC_RETURN_IF_ERROR(BudgetCheck(budget, "MinimalValidTree"));
   std::vector<int> word;
   uint64_t w = CheapestWord(dtd.RuleNfa(symbol), costs, &word);
   XTC_CHECK_MSG(w != kInfiniteCost, "symbol is not inhabited");
   std::vector<Node*> kids;
   kids.reserve(word.size());
-  for (int c : word) kids.push_back(MinimalTreeRec(dtd, c, costs, builder));
+  for (int c : word) {
+    XTC_ASSIGN_OR_RETURN(Node * kid,
+                         MinimalTreeRec(dtd, c, costs, builder, budget));
+    kids.push_back(kid);
+  }
   return builder->Make(symbol, kids);
 }
 
 }  // namespace
 
 Node* MinimalValidTree(const Dtd& dtd, int symbol, TreeBuilder* builder) {
-  std::vector<uint64_t> costs = MinimalTreeCosts(dtd);
-  XTC_CHECK_MSG(costs[static_cast<std::size_t>(symbol)] != kInfiniteCost,
-                "symbol is not inhabited");
-  return MinimalTreeRec(dtd, symbol, costs, builder);
+  StatusOr<Node*> tree = MinimalValidTree(dtd, symbol, builder, nullptr);
+  XTC_CHECK_MSG(tree.ok(), tree.status().ToString().c_str());
+  return *tree;
+}
+
+StatusOr<Node*> MinimalValidTree(const Dtd& dtd, int symbol,
+                                 TreeBuilder* builder, Budget* budget) {
+  XTC_ASSIGN_OR_RETURN(std::vector<uint64_t> costs,
+                       MinimalTreeCosts(dtd, budget));
+  if (costs[static_cast<std::size_t>(symbol)] == kInfiniteCost) {
+    return FailedPreconditionError("symbol is not inhabited");
+  }
+  return MinimalTreeRec(dtd, symbol, costs, builder, budget);
 }
 
 namespace {

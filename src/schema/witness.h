@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/base/budget.h"
 #include "src/base/status.h"
 #include "src/schema/dtd.h"
 #include "src/tree/hashcons.h"
@@ -15,11 +16,20 @@ namespace xtc {
 inline constexpr uint64_t kInfiniteCost = ~uint64_t{0};
 
 /// Node count of a smallest tree in L(d, a) per symbol a (kInfiniteCost for
-/// uninhabited symbols). Least fixpoint with weighted shortest words.
+/// uninhabited symbols). Least fixpoint with weighted shortest words. The
+/// governed overload checkpoints per fixpoint entry examined.
 std::vector<uint64_t> MinimalTreeCosts(const Dtd& dtd);
+StatusOr<std::vector<uint64_t>> MinimalTreeCosts(const Dtd& dtd,
+                                                 Budget* budget);
 
-/// A smallest tree of L(d, symbol); the symbol must be inhabited.
+/// A smallest tree of L(d, symbol); the symbol must be inhabited (the
+/// ungoverned form aborts otherwise). The governed overload instead
+/// returns kFailedPrecondition for uninhabited symbols and
+/// kResourceExhausted when the budget trips mid-build; it checkpoints per
+/// node of the tree under construction.
 Node* MinimalValidTree(const Dtd& dtd, int symbol, TreeBuilder* builder);
+StatusOr<Node*> MinimalValidTree(const Dtd& dtd, int symbol,
+                                 TreeBuilder* builder, Budget* budget);
 
 /// The Section 5 witness trees t_min and t_vast for a DTD(RE+), represented
 /// hash-consed (t_vast unfolds exponentially). Ids are per symbol; -1 marks

@@ -6,6 +6,11 @@
 namespace xtc {
 namespace {
 
+// Maximum nesting depth accepted by the recursive-descent parsers; beyond
+// this the input is rejected with InvalidArgument rather than risking a
+// native stack overflow.
+constexpr int kMaxParseDepth = 256;
+
 bool IsNameChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '#' ||
          c == '$' || c == '.' || c == ':' || c == '-';
@@ -47,6 +52,19 @@ class TermParser {
   }
 
   StatusOr<Node*> ParseTree() {
+    // Depth fuel: adversarially nested "a(a(a(..." must fail cleanly with a
+    // Status instead of overflowing the C++ stack.
+    if (depth_ >= kMaxParseDepth) {
+      return InvalidArgumentError("term nesting exceeds depth limit " +
+                                  std::to_string(kMaxParseDepth));
+    }
+    ++depth_;
+    StatusOr<Node*> t = ParseTreeInner();
+    --depth_;
+    return t;
+  }
+
+  StatusOr<Node*> ParseTreeInner() {
     SkipSpace();
     std::size_t start = pos_;
     while (pos_ < text_.size() && IsNameChar(text_[pos_])) ++pos_;
@@ -76,6 +94,7 @@ class TermParser {
   Alphabet* alphabet_;
   TreeBuilder* builder_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 void XmlRec(const Node* tree, const Alphabet& alphabet, bool indent, int depth,
@@ -122,6 +141,19 @@ class XmlParser {
   }
 
   StatusOr<Node*> ParseElement() {
+    // Same depth fuel as TermParser: "<a><a><a>..." is attacker-controlled
+    // recursion.
+    if (depth_ >= kMaxParseDepth) {
+      return InvalidArgumentError("element nesting exceeds depth limit " +
+                                  std::to_string(kMaxParseDepth));
+    }
+    ++depth_;
+    StatusOr<Node*> t = ParseElementInner();
+    --depth_;
+    return t;
+  }
+
+  StatusOr<Node*> ParseElementInner() {
     SkipSpace();
     if (pos_ >= text_.size() || text_[pos_] != '<') {
       return InvalidArgumentError("expected '<' at position " +
@@ -175,6 +207,7 @@ class XmlParser {
   Alphabet* alphabet_;
   TreeBuilder* builder_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -84,9 +84,10 @@ TEST_P(ApproximateSoundnessTest, NeverClaimsSafetyWrongly) {
     bf.max_depth = 4;
     bf.max_width = 3;
     bf.max_trees = 20000;
-    TypecheckResult brute =
+    StatusOr<TypecheckResult> brute =
         TypecheckBruteForce(*ex.transducer, *ex.din, *ex.dout, bf);
-    EXPECT_TRUE(brute.typechecks) << GetParam();
+    ASSERT_TRUE(brute.ok());
+    EXPECT_TRUE(brute->typechecks) << GetParam();
   }
 }
 

@@ -114,9 +114,10 @@ TEST_P(ExplicitLanguageTest, MatchesDefinitionOnEnumeratedTrees) {
   bf.max_depth = 3;
   bf.max_width = 2;
   bf.max_trees = 300;
-  std::vector<Node*> trees =
+  StatusOr<std::vector<Node*>> trees =
       EnumerateValidTrees(*ex.din, ex.din->start(), bf, &builder);
-  for (Node* t : trees) {
+  ASSERT_TRUE(trees.ok());
+  for (Node* t : *trees) {
     bool is_cex = VerifyCounterexample(*ex.transducer, *ex.din, *ex.dout, t);
     EXPECT_EQ(b->Accepts(t), is_cex)
         << ToTermString(t, *ex.alphabet) << " seed " << GetParam();

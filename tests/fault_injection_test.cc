@@ -1,0 +1,198 @@
+// Deterministic fault-injection sweep: every budget checkpoint in every
+// engine is a potential failure point. For each engine on a small instance
+// we re-run with set_fail_at_checkpoint(n) for n = 1, 2, ... until the run
+// completes without the fault firing (plus a geometric tail to hit deep
+// points without quadratic cost). Each injected failure must surface as a
+// clean kResourceExhausted — or be absorbed by a documented best-effort
+// path (dropped counterexamples, the approximate fallback) — and never
+// crash, abort, or leak (the sanitizer preset runs this test).
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "src/base/budget.h"
+#include "src/core/almost_always.h"
+#include "src/core/approximate.h"
+#include "src/core/brute_force.h"
+#include "src/core/minvast.h"
+#include "src/core/paper_examples.h"
+#include "src/core/relab.h"
+#include "src/core/replus.h"
+#include "src/core/trac.h"
+#include "src/core/typecheck.h"
+#include "src/fa/dfa.h"
+#include "src/nta/analysis.h"
+#include "src/nta/determinize.h"
+#include "src/nta/product.h"
+#include "src/schema/witness.h"
+#include "src/workload/families.h"
+
+namespace xtc {
+namespace {
+
+// Sweeps injection points of `run`. Returns the number of distinct points
+// exercised. Invariant checked at every point: the run either reports the
+// injected exhaustion as kResourceExhausted or absorbs it on a documented
+// best-effort path (Status OK) — nothing else, and no aborts.
+int SweepInjection(const char* name, const std::function<Status(Budget*)>& run,
+                   std::uint64_t dense_cap = 80) {
+  int points = 0;
+  for (std::uint64_t n = 1; n <= dense_cap; ++n) {
+    Budget b;
+    b.set_fail_at_checkpoint(n);
+    Status s = run(&b);
+    if (b.cause() != ExhaustionCause::kInjected) {
+      // The run finished before reaching checkpoint n: sweep complete.
+      EXPECT_TRUE(s.ok()) << name << " n=" << n << ": " << s.ToString();
+      return points;
+    }
+    EXPECT_TRUE(s.ok() || s.code() == StatusCode::kResourceExhausted)
+        << name << " n=" << n << ": " << s.ToString();
+    ++points;
+  }
+  // Geometric tail: deep failure points, sampled.
+  for (std::uint64_t n = dense_cap * 2; n < (std::uint64_t{1} << 22); n *= 2) {
+    Budget b;
+    b.set_fail_at_checkpoint(n);
+    Status s = run(&b);
+    if (b.cause() != ExhaustionCause::kInjected) {
+      EXPECT_TRUE(s.ok()) << name << " n=" << n << ": " << s.ToString();
+      break;
+    }
+    EXPECT_TRUE(s.ok() || s.code() == StatusCode::kResourceExhausted)
+        << name << " n=" << n << ": " << s.ToString();
+    ++points;
+  }
+  return points;
+}
+
+TEST(FaultInjectionTest, SweepAllEnginesCleanly) {
+  int total = 0;
+
+  {
+    PaperExample ex = MakeBookExample(/*with_summary=*/true);
+    total += SweepInjection("trac", [&](Budget* b) {
+      TypecheckOptions opts;
+      opts.budget = b;
+      return TypecheckTrac(*ex.transducer, *ex.din, *ex.dout, opts).status();
+    });
+  }
+  {
+    // Failing instance with counterexample construction: exercises the
+    // best-effort witness paths.
+    PaperExample ex = MakeBookExample(/*with_summary=*/false);
+    EXPECT_TRUE(ex.dout->SetRule("book", "title (chapter title)+").ok());
+    total += SweepInjection("trac-cex", [&](Budget* b) {
+      TypecheckOptions opts;
+      opts.budget = b;
+      return TypecheckTrac(*ex.transducer, *ex.din, *ex.dout, opts).status();
+    });
+  }
+  {
+    PaperExample ex = RePlusCopyFamily(4);
+    total += SweepInjection("replus", [&](Budget* b) {
+      TypecheckOptions opts;
+      opts.budget = b;
+      return TypecheckRePlus(*ex.transducer, *ex.din, *ex.dout, opts).status();
+    });
+    total += SweepInjection("minvast", [&](Budget* b) {
+      TypecheckOptions opts;
+      opts.budget = b;
+      return TypecheckMinVast(*ex.transducer, *ex.din, *ex.dout, opts)
+          .status();
+    });
+  }
+  {
+    PaperExample ex = RelabFamily(3);
+    total += SweepInjection("delrelab", [&](Budget* b) {
+      TypecheckOptions opts;
+      opts.budget = b;
+      return TypecheckDelRelab(*ex.transducer, *ex.din, *ex.dout, opts)
+          .status();
+    });
+  }
+  {
+    PaperExample ex = MakeBookExample(/*with_summary=*/false);
+    total += SweepInjection("brute-force", [&](Budget* b) {
+      BruteForceOptions bf;
+      bf.max_depth = 3;
+      bf.max_width = 3;
+      bf.max_trees = 5000;
+      bf.budget = b;
+      return TypecheckBruteForce(*ex.transducer, *ex.din, *ex.dout, bf)
+          .status();
+    });
+  }
+  {
+    PaperExample ex = FilterFamily(2);
+    total += SweepInjection("almost-always", [&](Budget* b) {
+      return TypechecksAlmostAlways(*ex.transducer, *ex.din, *ex.dout,
+                                    /*max_states=*/200000, b)
+          .status();
+    });
+  }
+  {
+    PaperExample ex = MakeBookExample(/*with_summary=*/true);
+    total += SweepInjection("approximate", [&](Budget* b) {
+      return TypecheckApproximate(*ex.transducer, *ex.din, *ex.dout,
+                                  /*max_dfa_states=*/1 << 14, b)
+          .status();
+    });
+    // Library-level governed primitives.
+    Nta ain = Nta::FromDtd(*ex.din);
+    total += SweepInjection("determinize", [&](Budget* b) {
+      return DeterminizeToDtac(ain, /*max_states=*/200000, b).status();
+    });
+    total += SweepInjection("nta-analysis", [&](Budget* b) {
+      XTC_ASSIGN_OR_RETURN(Nta product, Intersect(ain, ain, b));
+      XTC_ASSIGN_OR_RETURN(bool empty, IsEmptyLanguage(product, b));
+      (void)empty;
+      return IsFiniteLanguage(product, b).status();
+    });
+    total += SweepInjection("witness", [&](Budget* b) {
+      XTC_RETURN_IF_ERROR(MinimalTreeCosts(*ex.din, b).status());
+      Arena arena;
+      TreeBuilder builder(&arena);
+      return MinimalValidTree(*ex.din, ex.din->start(), &builder, b).status();
+    });
+  }
+
+  // The acceptance bar: the sweep must exercise at least 200 distinct
+  // checkpoint failure points across the engines.
+  EXPECT_GE(total, 200) << "fault-injection sweep coverage shrank";
+}
+
+// The front door with approximate_fallback enabled: an injected exhaustion
+// in the exact engine must be absorbed into a degraded (approximate) result
+// — the caller sees OK plus telemetry, never a crash.
+TEST(FaultInjectionTest, FrontDoorFallbackAbsorbsInjectedFaults) {
+  PaperExample ex = MakeBookExample(/*with_summary=*/true);
+  int degraded = 0;
+  for (std::uint64_t n = 1; n <= 60; ++n) {
+    Budget b;
+    b.set_fail_at_checkpoint(n);
+    TypecheckOptions opts;
+    opts.budget = &b;
+    opts.approximate_fallback = true;
+    StatusOr<TypecheckResult> r =
+        Typecheck(*ex.transducer, *ex.din, *ex.dout, opts);
+    if (b.cause() != ExhaustionCause::kInjected) {
+      ASSERT_TRUE(r.ok());
+      EXPECT_FALSE(r->approximate);
+      break;
+    }
+    ASSERT_TRUE(r.ok()) << "n=" << n << ": " << r.status().ToString();
+    if (r->approximate) {
+      ++degraded;
+      EXPECT_EQ(r->exact_status.code(), StatusCode::kResourceExhausted);
+      // Degraded runs never fabricate a counterexample: a false verdict may
+      // be a false alarm (the approximation loses copy correlation).
+      EXPECT_EQ(r->counterexample, nullptr);
+    }
+  }
+  EXPECT_GT(degraded, 0) << "no injection ever reached the fallback path";
+}
+
+}  // namespace
+}  // namespace xtc

@@ -100,14 +100,15 @@ TEST(HardnessTest, Theorem28ReductionAgreesWithBruteForce) {
     bf.max_depth = 5;
     bf.max_width = 7;
     bf.max_trees = 200000;
-    TypecheckResult r =
+    StatusOr<TypecheckResult> r =
         TypecheckBruteForce(*compiled, *ex.din, *ex.dout, bf);
+    ASSERT_TRUE(r.ok());
     // Intersection nonempty (the empty word): a counterexample exists with
     // two # levels and zero a's.
-    EXPECT_FALSE(r.typechecks);
+    EXPECT_FALSE(r->typechecks);
     EXPECT_TRUE(
         VerifyCounterexample(*ex.transducer, *ex.din, *ex.dout,
-                             r.counterexample));
+                             r->counterexample));
   }
   {
     std::vector<Dfa> dfas{LengthModDfa(1, 2, 0), LengthModDfa(1, 2, 1)};
@@ -119,9 +120,10 @@ TEST(HardnessTest, Theorem28ReductionAgreesWithBruteForce) {
     bf.max_depth = 5;
     bf.max_width = 6;
     bf.max_trees = 100000;
-    TypecheckResult r =
+    StatusOr<TypecheckResult> r =
         TypecheckBruteForce(*compiled, *ex.din, *ex.dout, bf);
-    EXPECT_TRUE(r.typechecks);  // no counterexample within bounds
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->typechecks);  // no counterexample within bounds
   }
 }
 
@@ -194,9 +196,10 @@ TEST_P(Theorem28aTest, ReductionAgreesWithContainmentOracle) {
   bf.max_depth = 5;
   bf.max_width = 6;
   bf.max_trees = 100000;
-  TypecheckResult r =
+  StatusOr<TypecheckResult> r =
       TypecheckBruteForce(*ex.transducer, *ex.din, *ex.dout, bf);
-  EXPECT_EQ(r.typechecks, GetParam().contained)
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->typechecks, GetParam().contained)
       << GetParam().p1 << " vs " << GetParam().p2;
 }
 

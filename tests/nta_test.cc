@@ -39,10 +39,11 @@ TEST_F(NtaTest, FromDtdMatchesValidation) {
   BruteForceOptions opts;
   opts.max_depth = 3;
   opts.max_width = 3;
-  std::vector<Node*> trees =
+  StatusOr<std::vector<Node*>> trees =
       EnumerateValidTrees(*dtd_, dtd_->start(), opts, &builder_);
-  ASSERT_FALSE(trees.empty());
-  for (Node* t : trees) {
+  ASSERT_TRUE(trees.ok());
+  ASSERT_FALSE(trees->empty());
+  for (Node* t : *trees) {
     EXPECT_TRUE(nta.Accepts(t));
   }
   EXPECT_FALSE(nta.Accepts(Tree("book(title)")));
@@ -99,9 +100,10 @@ TEST_F(NtaTest, DeterminismAndCompleteness) {
   BruteForceOptions opts;
   opts.max_depth = 3;
   opts.max_width = 3;
-  std::vector<Node*> trees =
+  StatusOr<std::vector<Node*>> trees =
       EnumerateValidTrees(*dtd_, dtd_->start(), opts, &builder_);
-  for (Node* t : trees) EXPECT_TRUE(complete.Accepts(t));
+  ASSERT_TRUE(trees.ok());
+  for (Node* t : *trees) EXPECT_TRUE(complete.Accepts(t));
   EXPECT_FALSE(complete.Accepts(Tree("book(title)")));
 }
 

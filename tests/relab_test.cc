@@ -74,10 +74,11 @@ TEST(Lemma19Test, OutputLanguageMatchesDirectTransformation) {
   opts.max_depth = 5;
   opts.max_width = 3;
   opts.max_trees = 40;
-  std::vector<Node*> inputs =
+  StatusOr<std::vector<Node*>> inputs =
       EnumerateValidTrees(*ex.din, ex.din->start(), opts, &builder);
-  ASSERT_FALSE(inputs.empty());
-  for (Node* input : inputs) {
+  ASSERT_TRUE(inputs.ok());
+  ASSERT_FALSE(inputs->empty());
+  for (Node* input : *inputs) {
     Hedge marked =
         ApplyMarked(*ex.transducer, ex.transducer->initial(), input, hash,
                     &builder);

@@ -50,5 +50,49 @@ TEST(StatusOrTest, WorksWithMoveOnlyLikeTypes) {
   EXPECT_EQ(s, "hello");
 }
 
+Status PassThrough(const Status& s, bool* reached_end) {
+  XTC_RETURN_IF_ERROR(s);
+  *reached_end = true;
+  return Status::Ok();
+}
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagatesAndPasses) {
+  bool reached = false;
+  EXPECT_TRUE(PassThrough(Status::Ok(), &reached).ok());
+  EXPECT_TRUE(reached);
+  reached = false;
+  Status s = PassThrough(NotFoundError("gone"), &reached);
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_FALSE(reached);
+}
+
+StatusOr<int> Doubled(StatusOr<int> in) {
+  XTC_ASSIGN_OR_RETURN(int v, std::move(in));
+  return 2 * v;
+}
+
+TEST(StatusMacrosTest, AssignOrReturnUnwrapsAndPropagates) {
+  StatusOr<int> ok = Doubled(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  StatusOr<int> err = Doubled(OutOfRangeError("nope"));
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kOutOfRange);
+}
+
+StatusOr<std::string> Concatenated() {
+  // Two macro expansions in one function: the __LINE__-based temp names
+  // must not collide.
+  XTC_ASSIGN_OR_RETURN(std::string a, StatusOr<std::string>("foo"));
+  XTC_ASSIGN_OR_RETURN(std::string b, StatusOr<std::string>("bar"));
+  return a + b;
+}
+
+TEST(StatusMacrosTest, MultipleAssignsInOneScope) {
+  StatusOr<std::string> r = Concatenated();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "foobar");
+}
+
 }  // namespace
 }  // namespace xtc

@@ -156,11 +156,12 @@ TEST_P(TracRandomTest, AgreesWithBruteForceOracle) {
     bf.max_depth = 4;
     bf.max_width = 3;
     bf.max_trees = 30000;
-    TypecheckResult brute =
+    StatusOr<TypecheckResult> brute =
         TypecheckBruteForce(*ex.transducer, *ex.din, *ex.dout, bf);
-    EXPECT_TRUE(brute.typechecks)
+    ASSERT_TRUE(brute.ok());
+    EXPECT_TRUE(brute->typechecks)
         << "missed counterexample "
-        << ToTermString(brute.counterexample, *ex.alphabet);
+        << ToTermString(brute->counterexample, *ex.alphabet);
   }
 }
 
