@@ -1,0 +1,117 @@
+// Shared main for every bench binary. Besides the stock Google Benchmark
+// behaviour, `--json` switches the output to a single machine-readable JSON
+// array on stdout — one object per benchmark run:
+//
+//     {"bench": "BM_Lemma14_SchemaSize", "params": [32],
+//      "ns_per_op": 431943.2, "peak_bytes": 14680064}
+//
+// `bench/run_benches.sh` aggregates these across binaries into BENCH_pr2.json
+// at the repo root, which EXPERIMENTS.md and the CI perf-smoke stage consume.
+// Peak memory is the process high-water mark (ru_maxrss), so it is an upper
+// bound shared by every run reported by the same binary invocation.
+
+#include <benchmark/benchmark.h>
+#include <sys/resource.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::uint64_t PeakBytes() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in kibibytes.
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+// Splits "BM_Name/3/17" into the bench name and its numeric params. Params
+// set via counters/args always appear as trailing /-separated integers.
+void SplitRunName(const std::string& run_name, std::string* bench,
+                  std::vector<long long>* params) {
+  std::size_t cut = run_name.size();
+  while (cut > 0) {
+    const std::size_t slash = run_name.rfind('/', cut - 1);
+    if (slash == std::string::npos) break;
+    const std::string piece = run_name.substr(slash + 1, cut - slash - 1);
+    if (piece.empty() ||
+        piece.find_first_not_of("0123456789-") != std::string::npos) {
+      break;
+    }
+    params->insert(params->begin(), std::stoll(piece));
+    cut = slash;
+  }
+  *bench = run_name.substr(0, cut);
+}
+
+class JsonLinesReporter : public benchmark::BenchmarkReporter {
+ public:
+  bool ReportContext(const Context& /*context*/) override { return true; }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      std::string bench;
+      std::vector<long long> params;
+      SplitRunName(run.benchmark_name(), &bench, &params);
+      const double ns_per_op =
+          run.iterations == 0
+              ? 0.0
+              : run.real_accumulated_time /
+                    static_cast<double>(run.iterations) * 1e9;
+      std::string params_json = "[";
+      for (std::size_t i = 0; i < params.size(); ++i) {
+        if (i > 0) params_json += ", ";
+        params_json += std::to_string(params[i]);
+      }
+      params_json += "]";
+      char line[512];
+      std::snprintf(line, sizeof(line),
+                    "{\"bench\": \"%s\", \"params\": %s, "
+                    "\"ns_per_op\": %.1f, \"peak_bytes\": %llu}",
+                    bench.c_str(), params_json.c_str(), ns_per_op,
+                    static_cast<unsigned long long>(PeakBytes()));
+      lines_.push_back(line);
+    }
+  }
+
+  void Finalize() override {
+    std::printf("[\n");
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+      std::printf("  %s%s\n", lines_[i].c_str(),
+                  i + 1 < lines_.size() ? "," : "");
+    }
+    std::printf("]\n");
+    std::fflush(stdout);
+  }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (json) {
+    JsonLinesReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  } else {
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  benchmark::Shutdown();
+  return 0;
+}

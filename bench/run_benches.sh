@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Runs the paper-experiment benchmarks in --json mode and aggregates their
+# output into a single machine-readable file (default: BENCH_pr2.json at the
+# repo root). EXPERIMENTS.md documents the format; ci/run_ci.sh compares a
+# fresh run against the checked-in snapshot in its perf-smoke stage.
+#
+# Usage: bench/run_benches.sh [build_dir] [out_json]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+OUT="${2:-$REPO_ROOT/BENCH_pr2.json}"
+
+BENCHES=(
+  bench_lemma14_scaling
+  bench_thm18_hardness
+  bench_table1_frontier
+  bench_thm20_relab
+)
+
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+for b in "${BENCHES[@]}"; do
+  bin="$BUILD_DIR/bench/$b"
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built (run cmake --build $BUILD_DIR first)" >&2
+    exit 1
+  fi
+  echo "running $b ..." >&2
+  "$bin" --json --benchmark_min_time=0.05 > "$TMP_DIR/$b.json"
+done
+
+python3 - "$OUT" "$TMP_DIR" "${BENCHES[@]}" <<'EOF'
+import json
+import sys
+
+out_path, tmp_dir, benches = sys.argv[1], sys.argv[2], sys.argv[3:]
+doc = {"format": "xtc-bench-v1", "suites": {}}
+for b in benches:
+    with open(f"{tmp_dir}/{b}.json") as f:
+        doc["suites"][b] = json.load(f)
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+n = sum(len(v) for v in doc["suites"].values())
+print(f"wrote {out_path} ({n} benchmark runs)", file=sys.stderr)
+EOF

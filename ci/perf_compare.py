@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Perf-smoke comparator: fails when a fresh bench run regresses >2x.
+
+Usage: perf_compare.py BASELINE.json FRESH.json [max_ratio]
+
+Both files are run_benches.sh aggregates ({"suites": {bin: [runs...]}}).
+Entries are matched on (suite, bench, params); entries present on only one
+side are reported but do not fail the gate (benchmarks may be added or
+retired). The ratio gate is deliberately loose (default 2x) so scheduler
+noise on shared CI machines does not flake the build; real regressions from
+algorithmic backsliding are well past it.
+"""
+import json
+import sys
+
+
+def index(doc):
+    out = {}
+    for suite, runs in doc.get("suites", {}).items():
+        for run in runs:
+            out[(suite, run["bench"], tuple(run["params"]))] = run["ns_per_op"]
+    return out
+
+
+def main():
+    if len(sys.argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        baseline = index(json.load(f))
+    with open(sys.argv[2]) as f:
+        fresh = index(json.load(f))
+    max_ratio = float(sys.argv[3]) if len(sys.argv) > 3 else 2.0
+
+    regressions = []
+    for key, base_ns in sorted(baseline.items()):
+        if key not in fresh:
+            print(f"note: {key} only in baseline (retired?)")
+            continue
+        new_ns = fresh[key]
+        if base_ns <= 0:
+            continue
+        ratio = new_ns / base_ns
+        marker = " <-- REGRESSION" if ratio > max_ratio else ""
+        suite, bench, params = key
+        print(f"{suite}:{bench}{list(params)}: "
+              f"{base_ns:.0f} -> {new_ns:.0f} ns/op ({ratio:.2f}x){marker}")
+        if ratio > max_ratio:
+            regressions.append(key)
+    for key in sorted(set(fresh) - set(baseline)):
+        print(f"note: {key} only in fresh run (new benchmark)")
+
+    if regressions:
+        print(f"\nperf-smoke FAILED: {len(regressions)} benchmark(s) "
+              f"regressed more than {max_ratio}x", file=sys.stderr)
+        return 1
+    print(f"\nperf-smoke OK: no regression beyond {max_ratio}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

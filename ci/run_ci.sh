@@ -28,4 +28,16 @@ ctest --preset asan
 echo "=== fault-injection sweep (sanitized, verbose) ==="
 ctest --preset asan -R "FaultInjection|Budget|Malformed" --output-on-failure
 
+echo "=== perf smoke (Release benches vs checked-in BENCH_pr2.json) ==="
+if [[ -f BENCH_pr2.json ]]; then
+  cmake --preset release >/dev/null
+  cmake --build --preset release -j "${JOBS}" --target \
+    bench_lemma14_scaling bench_thm18_hardness bench_table1_frontier \
+    bench_thm20_relab
+  bench/run_benches.sh build-release /tmp/bench_smoke.json
+  python3 ci/perf_compare.py BENCH_pr2.json /tmp/bench_smoke.json 2.0
+else
+  echo "no BENCH_pr2.json snapshot; skipping perf smoke"
+fi
+
 echo "CI: all green"

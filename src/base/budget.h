@@ -106,6 +106,37 @@ inline Status BudgetCheck(Budget* budget, const char* where) {
   return budget->Check(where);
 }
 
+/// Amortized checkpointing for the tightest inner loops. A full Check()
+/// per iteration would dominate the word-parallel kernels it governs, so a
+/// gate forwards only every `stride`-th Poll() to the Budget (one local
+/// countdown decrement otherwise) and answers from the latched status in
+/// between. Exhaustion is therefore detected at most `stride` iterations
+/// late — bounded staleness, same soft-unwind semantics. Note the step-fuel
+/// unit changes accordingly: one Budget checkpoint ≈ `stride` gated steps.
+class BudgetGate {
+ public:
+  static constexpr std::uint32_t kDefaultStride = 1024;
+
+  explicit BudgetGate(Budget* budget, std::uint32_t stride = kDefaultStride)
+      : budget_(budget), stride_(stride), countdown_(stride) {}
+
+  Status Poll(const char* where) {
+    if (budget_ == nullptr) return Status::Ok();
+    if (tripped_) return budget_->Check(where);  // sticky, repeats the cause
+    if (--countdown_ != 0) return Status::Ok();
+    countdown_ = stride_;
+    Status s = budget_->Check(where);
+    if (!s.ok()) tripped_ = true;
+    return s;
+  }
+
+ private:
+  Budget* budget_;
+  std::uint32_t stride_;
+  std::uint32_t countdown_;
+  bool tripped_ = false;
+};
+
 }  // namespace xtc
 
 #endif  // XTC_BASE_BUDGET_H_

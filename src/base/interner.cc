@@ -1,0 +1,101 @@
+#include "src/base/interner.h"
+
+#include <algorithm>
+
+namespace xtc {
+namespace {
+
+// splitmix64 finalizer: full-avalanche mixing of one 64-bit lane.
+inline std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr std::size_t kMinTableSize = 16;
+
+}  // namespace
+
+std::uint64_t SubsetInterner::HashKey(std::span<const int> key) {
+  // FNV-1a over avalanche-mixed elements: cheap per int, and the final mix
+  // keeps short keys (the common 1-3 int case) well distributed.
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ key.size();
+  for (int v : key) {
+    h = (h ^ Mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)))) *
+        0x100000001b3ULL;
+  }
+  return Mix(h);
+}
+
+void SubsetInterner::Rehash(std::size_t new_size) {
+  table_.assign(new_size, -1);
+  mask_ = new_size - 1;
+  for (std::size_t id = 0; id < hashes_.size(); ++id) {
+    std::size_t slot = hashes_[id] & mask_;
+    while (table_[slot] != -1) slot = (slot + 1) & mask_;
+    table_[slot] = static_cast<int>(id);
+  }
+}
+
+void SubsetInterner::Reserve(std::size_t keys, std::size_t ints_per_key) {
+  pool_.reserve(keys * ints_per_key);
+  offsets_.reserve(keys + 1);
+  hashes_.reserve(keys);
+  std::size_t table = kMinTableSize;
+  while (table < keys * 2) table *= 2;
+  if (table > table_.size()) Rehash(table);
+}
+
+void SubsetInterner::Clear() {
+  pool_.clear();
+  offsets_.assign(1, 0);
+  hashes_.clear();
+  std::fill(table_.begin(), table_.end(), -1);
+}
+
+int SubsetInterner::Find(std::span<const int> key) const {
+  if (table_.empty()) return -1;
+  const std::uint64_t h = HashKey(key);
+  std::size_t slot = h & mask_;
+  while (true) {
+    const int id = table_[slot];
+    if (id == -1) return -1;
+    if (hashes_[static_cast<std::size_t>(id)] == h) {
+      std::span<const int> k = Get(id);
+      if (k.size() == key.size() &&
+          std::equal(k.begin(), k.end(), key.begin())) {
+        return id;
+      }
+    }
+    slot = (slot + 1) & mask_;
+  }
+}
+
+int SubsetInterner::Intern(std::span<const int> key) {
+  if (table_.empty()) Rehash(kMinTableSize);
+  const std::uint64_t h = HashKey(key);
+  std::size_t slot = h & mask_;
+  while (true) {
+    const int id = table_[slot];
+    if (id == -1) break;
+    if (hashes_[static_cast<std::size_t>(id)] == h) {
+      std::span<const int> k = Get(id);
+      if (k.size() == key.size() &&
+          std::equal(k.begin(), k.end(), key.begin())) {
+        return id;
+      }
+    }
+    slot = (slot + 1) & mask_;
+  }
+  const int id = static_cast<int>(hashes_.size());
+  pool_.insert(pool_.end(), key.begin(), key.end());
+  offsets_.push_back(pool_.size());
+  hashes_.push_back(h);
+  table_[slot] = id;
+  // Keep the load factor under 2/3.
+  if (hashes_.size() * 3 >= table_.size() * 2) Rehash(table_.size() * 2);
+  return id;
+}
+
+}  // namespace xtc

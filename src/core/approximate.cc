@@ -3,6 +3,7 @@
 #include <map>
 
 #include "src/base/logging.h"
+#include "src/base/state_set.h"
 #include "src/core/reachable.h"
 #include "src/fa/eps_nfa.h"
 
@@ -41,13 +42,12 @@ class Approximator {
   int StateLoopNode(int s, int parent, int chain_from) {
     int node = enfa_.AddState();
     enfa_.AddEdge(chain_from, -1, node);
-    std::vector<bool> children = din_.UsableChildren(parent);
-    for (int c = 0; c < din_.num_symbols(); ++c) {
-      if (!children[static_cast<std::size_t>(c)]) continue;
+    const StateSet children = din_.UsableChildren(parent);
+    children.ForEach([&](int c) {
       auto [entry, exit] = PairPorts(s, c);
       enfa_.AddEdge(node, -1, entry);
       enfa_.AddEdge(exit, -1, node);
-    }
+    });
     return node;
   }
 

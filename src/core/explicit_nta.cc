@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <deque>
-#include <map>
 #include <tuple>
+#include <utility>
 #include <vector>
 
+#include "src/base/interner.h"
 #include "src/base/logging.h"
+#include "src/base/state_set.h"
 #include "src/core/reachable.h"
 
 namespace xtc {
@@ -83,11 +85,24 @@ class Builder {
 
  private:
   int Intern(StateKey key) {
-    auto it = ids_.find(key);
-    if (it != ids_.end()) return it->second;
-    int id = static_cast<int>(keys_.size());
-    ids_.emplace(key, id);
+    // Encoded as a flat int key; the interner id is dense and doubles as
+    // the B-state id (keys_ mirrors it for decoding in Emit).
+    key_buf_.clear();
+    key_buf_.reserve(5 + 3 * key.obls.size());
+    key_buf_.push_back(static_cast<int>(key.kind));
+    key_buf_.push_back(key.a);
+    key_buf_.push_back(key.q);
+    key_buf_.push_back(key.u);
+    key_buf_.push_back(key.sigma);
+    for (const Obl& obl : key.obls) {
+      key_buf_.push_back(obl.p);
+      key_buf_.push_back(obl.l);
+      key_buf_.push_back(obl.r);
+    }
+    int id = ids_.Intern(key_buf_);
+    if (id < static_cast<int>(keys_.size())) return id;
     keys_.push_back(std::move(key));
+    specs_.emplace_back();
     worklist_.push_back(id);
     return id;
   }
@@ -112,10 +127,11 @@ class Builder {
   Budget* budget_;
   ReachablePairs reach_;
 
-  std::map<StateKey, int> ids_;
+  SubsetInterner ids_;
+  std::vector<int> key_buf_;
   std::vector<StateKey> keys_;
   std::deque<int> worklist_;
-  std::map<int, std::vector<HSpec>> specs_;  // per B-state
+  std::vector<std::vector<HSpec>> specs_;  // per B-state, parallel to keys_
   std::vector<int> finals_;
 };
 
@@ -146,7 +162,7 @@ void Builder::EmitDinLifted(int id, int a) {
 void Builder::EmitFind(int id, int a, int q) {
   const RhsHedge* rhs = t_.rule(q, a);
   if (rhs == nullptr) return;  // no violation can originate below
-  std::vector<bool> states(static_cast<std::size_t>(t_.num_states()), false);
+  StateSet states(t_.num_states());
   StatesInRhs(*rhs, &states);
   const Dfa& d = din_.RuleDfa(a);
   if (d.initial() == Dfa::kDead) return;
@@ -168,7 +184,7 @@ void Builder::EmitFind(int id, int a, int q) {
       spec.edges.emplace_back(s * 2 + 1, vid, to * 2 + 1);
       // The single marked child: (c, p) "find" or (c, p, u) "check".
       for (int p = 0; p < t_.num_states(); ++p) {
-        if (!states[static_cast<std::size_t>(p)]) continue;
+        if (!states.Test(p)) continue;
         if (!reach_.IsReachable(p, c)) continue;
         StateKey fchild;
         fchild.kind = StateKey::Kind::kFind;
@@ -212,17 +228,19 @@ Status Builder::EmitProduct(
     if (copy_starts[static_cast<std::size_t>(c)] == -1) guess_pos.push_back(c);
   }
   using Local = std::pair<int, std::vector<int>>;  // (din state, y ++ guesses)
-  std::map<Local, int> local_ids;
+  // Locals interned by hashed key [ds, rest...]; ids are dense in discovery
+  // order, so an id cursor doubles as the BFS queue below.
+  SubsetInterner local_ids;
   std::vector<Local> locals;
-  std::deque<int> queue;
+  std::vector<int> local_key;
   auto intern_local = [&](int ds, std::vector<int> rest) {
-    Local key(ds, std::move(rest));
-    auto it = local_ids.find(key);
-    if (it != local_ids.end()) return it->second;
-    int lid = static_cast<int>(locals.size());
-    local_ids.emplace(key, lid);
-    locals.push_back(std::move(key));
-    queue.push_back(lid);
+    local_key.clear();
+    local_key.reserve(rest.size() + 1);
+    local_key.push_back(ds);
+    local_key.insert(local_key.end(), rest.begin(), rest.end());
+    int lid = local_ids.Intern(local_key);
+    if (lid < static_cast<int>(locals.size())) return lid;
+    locals.emplace_back(ds, std::move(rest));
     return lid;
   };
 
@@ -289,11 +307,12 @@ Status Builder::EmitProduct(
     return true;
   };
 
-  while (!queue.empty()) {
+  // The z-odometer below is the innermost loop; its polling is amortized.
+  BudgetGate gate(budget_);
+  for (int lid = 0; lid < static_cast<int>(locals.size()); ++lid) {
     XTC_RETURN_IF_ERROR(
         BudgetCheck(budget_, "BuildCounterexampleNta/EmitProduct"));
-    int lid = queue.front();
-    queue.pop_front();
+    // Copy: locals may reallocate as new configurations are minted below.
     Local local = locals[static_cast<std::size_t>(lid)];
     if (is_final(local)) spec.finals.push_back(lid);
     if (static_cast<int>(locals.size()) > max_states_ * 4) {
@@ -305,6 +324,7 @@ Status Builder::EmitProduct(
       if (ds2 == Dfa::kDead) continue;
       std::vector<int> z(static_cast<std::size_t>(k), 0);
       while (true) {
+        XTC_RETURN_IF_ERROR(gate.Poll("BuildCounterexampleNta/odometer"));
         std::vector<Obl> obls;
         obls.reserve(static_cast<std::size_t>(k));
         for (int i = 0; i < k; ++i) {
@@ -473,9 +493,10 @@ StatusOr<Nta> Builder::Build() {
   const int n = static_cast<int>(keys_.size());
   Nta out(din_.num_symbols(), n);
   for (int f : finals_) out.SetFinal(f);
-  for (const auto& [id, specs] : specs_) {
-    for (const HSpec& spec : specs) {
+  for (int id = 0; id < n; ++id) {
+    for (const HSpec& spec : specs_[static_cast<std::size_t>(id)]) {
       Nfa h(n);
+      h.ReserveStates(spec.num_local);
       for (int s = 0; s < spec.num_local; ++s) h.AddState();
       for (int s : spec.initials) h.SetInitial(s);
       for (int s : spec.finals) h.SetFinal(s);

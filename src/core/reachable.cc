@@ -1,13 +1,11 @@
 #include "src/core/reachable.h"
 
-#include <deque>
-
 #include "src/base/logging.h"
 #include "src/schema/witness.h"
 
 namespace xtc {
 
-void StatesInRhs(const RhsHedge& rhs, std::vector<bool>* states) {
+void StatesInRhs(const RhsHedge& rhs, StateSet* states) {
   for (const RhsNode& n : rhs) {
     switch (n.kind) {
       case RhsNode::Kind::kLabel:
@@ -15,7 +13,7 @@ void StatesInRhs(const RhsHedge& rhs, std::vector<bool>* states) {
         break;
       case RhsNode::Kind::kState:
       case RhsNode::Kind::kSelect:
-        (*states)[static_cast<std::size_t>(n.state)] = true;
+        states->Set(n.state);
         break;
     }
   }
@@ -29,42 +27,36 @@ ReachablePairs::ReachablePairs(const Transducer& t, const Dtd& din)
     : t_(t), din_(din) {
   XTC_CHECK_MSG(!t.HasSelectors(),
                 "compile selectors before reachability analysis");
-  const std::size_t total = static_cast<std::size_t>(t.num_states()) *
-                            static_cast<std::size_t>(din.num_symbols());
-  reachable_.assign(total, false);
-  origin_.assign(total, -1);
+  const int total = t.num_states() * din.num_symbols();
+  reachable_.Assign(total, false);
+  origin_.assign(static_cast<std::size_t>(total), -1);
   if (din.LanguageEmpty() || t.initial() < 0) return;
 
-  std::deque<int> queue;
+  // pairs_ doubles as the BFS queue: new pairs append, `head` walks forward.
   auto visit = [&](int state, int symbol, int origin_pair) {
     int idx = Index(state, symbol);
-    if (reachable_[static_cast<std::size_t>(idx)]) return;
-    reachable_[static_cast<std::size_t>(idx)] = true;
+    if (!reachable_.TestAndSet(idx)) return;
     origin_[static_cast<std::size_t>(idx)] = origin_pair;
     pairs_.emplace_back(state, symbol);
-    queue.push_back(static_cast<int>(pairs_.size()) - 1);
   };
   visit(t.initial(), din.start(), -1);
-  while (!queue.empty()) {
-    int pair_pos = queue.front();
-    queue.pop_front();
-    auto [q, a] = pairs_[static_cast<std::size_t>(pair_pos)];
+  StateSet states(t.num_states());
+  for (std::size_t head = 0; head < pairs_.size(); ++head) {
+    auto [q, a] = pairs_[head];
     const RhsHedge* rhs = t.rule(q, a);
     if (rhs == nullptr) continue;
-    std::vector<bool> states(static_cast<std::size_t>(t.num_states()), false);
+    states.Clear();
     StatesInRhs(*rhs, &states);
-    std::vector<bool> children = din.UsableChildren(a);
-    for (int p = 0; p < t.num_states(); ++p) {
-      if (!states[static_cast<std::size_t>(p)]) continue;
-      for (int b = 0; b < din.num_symbols(); ++b) {
-        if (children[static_cast<std::size_t>(b)]) visit(p, b, pair_pos);
-      }
-    }
+    const StateSet children = din.UsableChildren(a);
+    const int pair_pos = static_cast<int>(head);
+    states.ForEach([&](int p) {
+      children.ForEach([&](int b) { visit(p, b, pair_pos); });
+    });
   }
 }
 
 bool ReachablePairs::IsReachable(int state, int symbol) const {
-  return reachable_[static_cast<std::size_t>(Index(state, symbol))];
+  return reachable_.Test(Index(state, symbol));
 }
 
 Node* ReachablePairs::EmbedWitness(int state, int symbol, Node* subtree,

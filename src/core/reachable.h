@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/base/state_set.h"
 #include "src/schema/dtd.h"
 #include "src/td/transducer.h"
 #include "src/tree/tree.h"
@@ -37,13 +38,13 @@ class ReachablePairs {
 
   const Transducer& t_;
   const Dtd& din_;
-  std::vector<bool> reachable_;
+  StateSet reachable_;
   std::vector<int> origin_;  // index of parent pair, -1 for the root pair
   std::vector<std::pair<int, int>> pairs_;
 };
 
 /// Collects the states occurring anywhere in a template hedge.
-void StatesInRhs(const RhsHedge& rhs, std::vector<bool>* states);
+void StatesInRhs(const RhsHedge& rhs, StateSet* states);
 
 }  // namespace xtc
 

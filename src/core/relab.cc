@@ -1,9 +1,9 @@
 #include "src/core/relab.h"
 
-#include <map>
 #include <vector>
 
 #include "src/base/logging.h"
+#include "src/base/state_set.h"
 #include "src/core/brute_force.h"
 #include "src/fa/eps_nfa.h"
 #include "src/nta/analysis.h"
@@ -111,39 +111,53 @@ StatusOr<Nta> OutputLanguageNta(const Transducer& t, const Nta& ain,
   // produce fixed output without traversing the input subtree, so B_in must
   // separately certify that an input subtree with root c and run state q_A
   // exists at all (otherwise the image picks up spurious trees).
-  XTC_ASSIGN_OR_RETURN(std::vector<bool> reach, ReachableStates(ain, budget));
+  XTC_ASSIGN_OR_RETURN(StateSet reach, ReachableStates(ain, budget));
   auto rootable = [&](int c, int qa) {
     const Nfa* h = ain.Horizontal(qa, c);
     return h != nullptr && h->AcceptsSomeOver(&reach);
   };
 
-  // T''s rules for every (transducer state, base symbol).
+  // T''s rules for every (transducer state, base symbol), q-major, so the
+  // index is pure arithmetic.
   std::vector<MarkedRule> rules;
-  std::map<std::pair<int, int>, int> rule_index;
+  rules.reserve(static_cast<std::size_t>(t.num_states()) *
+                static_cast<std::size_t>(base));
   for (int q = 0; q < t.num_states(); ++q) {
     for (int a = 0; a < base; ++a) {
-      rule_index[{q, a}] = static_cast<int>(rules.size());
       rules.push_back(MarkRule(t, q, a, hash_symbol));
     }
   }
+  auto rule_index = [&](int q, int a) { return q * base + a; };
 
-  // B_in states: (rule, qA, non-state node of the template).
-  std::map<std::tuple<int, int, int>, int> ids;
+  // B_in states: (rule, qA, non-state node of the template). Non-state
+  // nodes get dense per-rule slots, so the id is offset arithmetic instead
+  // of a tuple-map lookup.
+  std::vector<std::vector<int>> node_slot(rules.size());
+  std::vector<int> rule_slots(rules.size(), 0);
+  std::vector<int> rule_base(rules.size(), 0);
   int num_states = 0;
   for (std::size_t r = 0; r < rules.size(); ++r) {
-    for (int qa = 0; qa < n_a; ++qa) {
-      for (std::size_t u = 0; u < rules[r].nodes.size(); ++u) {
-        if (rules[r].nodes[u].state != -1) continue;
-        ids[{static_cast<int>(r), qa, static_cast<int>(u)}] = num_states++;
-      }
+    node_slot[r].assign(rules[r].nodes.size(), -1);
+    int slot = 0;
+    for (std::size_t u = 0; u < rules[r].nodes.size(); ++u) {
+      if (rules[r].nodes[u].state != -1) continue;
+      node_slot[r][u] = slot++;
     }
+    rule_slots[r] = slot;
+    rule_base[r] = num_states;
+    num_states += n_a * slot;
   }
+  auto id_of = [&](int r, int qa, int u) {
+    const std::size_t ri = static_cast<std::size_t>(r);
+    return rule_base[ri] + qa * rule_slots[ri] +
+           node_slot[ri][static_cast<std::size_t>(u)];
+  };
 
   Nta out(hash_symbol + 1, num_states);
 
   // Finals: roots of initial-state rules paired with accepting a_in states.
   for (int a = 0; a < base; ++a) {
-    int r = rule_index.at({t.initial(), a});
+    int r = rule_index(t.initial(), a);
     // Hedge-shaped initial templates never produce trees; such roots are
     // handled by the Definition 5 pre-check at the Dtd-level entry point.
     if (rules[static_cast<std::size_t>(r)].roots.size() != 1) continue;
@@ -154,86 +168,95 @@ StatusOr<Nta> OutputLanguageNta(const Transducer& t, const Nta& ain,
       continue;
     }
     for (int qa = 0; qa < n_a; ++qa) {
-      if (ain.final(qa)) out.SetFinal(ids.at({r, qa, root}));
+      if (ain.final(qa)) out.SetFinal(id_of(r, qa, root));
     }
   }
 
-  for (const auto& [key, id] : ids) {
-    XTC_RETURN_IF_ERROR(BudgetCheck(budget, "OutputLanguageNta"));
-    auto [r, qa, u] = key;
-    const MarkedRule& rule = rules[static_cast<std::size_t>(r)];
-    const MarkedNode& node = rule.nodes[static_cast<std::size_t>(u)];
-    if (rule.state_node == -1 && !rootable(rule.symbol, qa)) {
-      // Stateless template whose input subtree cannot exist with this
-      // A_in state: the B_in state stays uninhabited.
-      continue;
-    }
-    if (u != rule.state_parent) {
-      // Fixed children word (possibly empty for leaves).
-      std::vector<int> word;
-      for (int c : node.children) word.push_back(ids.at({r, qa, c}));
-      out.SetTransition(id, node.label, Nfa::SingleWord(num_states, word));
-      continue;
-    }
-    // The state leaf sits at position state_pos among u's children: splice
-    // in the substituted language of delta_Ain(qa, a) (the D' of Lemma 19).
-    const Nfa* d = ain.Horizontal(qa, rule.symbol);
-    if (d == nullptr) continue;  // empty horizontal: no transition at all
-    EpsNfa enfa(num_states);
-    int cur = enfa.AddState(/*initial=*/true);
-    for (int j = 0; j < rule.state_pos; ++j) {
-      int next = enfa.AddState();
-      enfa.AddEdge(cur,
-                   ids.at({r, qa,
-                           node.children[static_cast<std::size_t>(j)]}),
-                   next);
-      cur = next;
-    }
-    // Embed D: reading child state q'_A becomes reading the chain of
-    // template roots of rhs'(q', c) for every input symbol c.
-    std::vector<int> dmap(static_cast<std::size_t>(d->num_states()));
-    for (int s = 0; s < d->num_states(); ++s) {
-      dmap[static_cast<std::size_t>(s)] = enfa.AddState();
-    }
-    for (int s = 0; s < d->num_states(); ++s) {
-      if (d->initial(s)) {
-        enfa.AddEdge(cur, -1, dmap[static_cast<std::size_t>(s)]);
-      }
-    }
-    int qprime = rule.nodes[static_cast<std::size_t>(rule.state_node)].state;
-    for (int s = 0; s < d->num_states(); ++s) {
-      for (const auto& [child_state, to] : d->Edges(s)) {
-        for (int c = 0; c < base; ++c) {
-          int r2 = rule_index.at({qprime, c});
-          const std::vector<int>& roots =
-              rules[static_cast<std::size_t>(r2)].roots;
-          int from = dmap[static_cast<std::size_t>(s)];
-          for (std::size_t k = 0; k < roots.size(); ++k) {
-            int target = (k + 1 == roots.size())
-                             ? dmap[static_cast<std::size_t>(to)]
-                             : enfa.AddState();
-            enfa.AddEdge(from, ids.at({r2, child_state, roots[k]}), target);
-            from = target;
+  for (std::size_t ri = 0; ri < rules.size(); ++ri) {
+    const int r = static_cast<int>(ri);
+    const MarkedRule& rule = rules[ri];
+    for (int qa = 0; qa < n_a; ++qa) {
+      for (std::size_t ui = 0; ui < rule.nodes.size(); ++ui) {
+        if (node_slot[ri][ui] == -1) continue;  // state leaf: no B_in state
+        XTC_RETURN_IF_ERROR(BudgetCheck(budget, "OutputLanguageNta"));
+        const int u = static_cast<int>(ui);
+        const int id = id_of(r, qa, u);
+        const MarkedNode& node = rule.nodes[ui];
+        if (rule.state_node == -1 && !rootable(rule.symbol, qa)) {
+          // Stateless template whose input subtree cannot exist with this
+          // A_in state: the B_in state stays uninhabited.
+          continue;
+        }
+        if (u != rule.state_parent) {
+          // Fixed children word (possibly empty for leaves).
+          std::vector<int> word;
+          word.reserve(node.children.size());
+          for (int c : node.children) word.push_back(id_of(r, qa, c));
+          out.SetTransition(id, node.label, Nfa::SingleWord(num_states, word));
+          continue;
+        }
+        // The state leaf sits at position state_pos among u's children:
+        // splice in the substituted language of delta_Ain(qa, a) (the D' of
+        // Lemma 19).
+        const Nfa* d = ain.Horizontal(qa, rule.symbol);
+        if (d == nullptr) continue;  // empty horizontal: no transition at all
+        EpsNfa enfa(num_states);
+        int cur = enfa.AddState(/*initial=*/true);
+        for (int j = 0; j < rule.state_pos; ++j) {
+          int next = enfa.AddState();
+          enfa.AddEdge(
+              cur, id_of(r, qa, node.children[static_cast<std::size_t>(j)]),
+              next);
+          cur = next;
+        }
+        // Embed D: reading child state q'_A becomes reading the chain of
+        // template roots of rhs'(q', c) for every input symbol c.
+        std::vector<int> dmap(static_cast<std::size_t>(d->num_states()));
+        for (int s = 0; s < d->num_states(); ++s) {
+          dmap[static_cast<std::size_t>(s)] = enfa.AddState();
+        }
+        for (int s = 0; s < d->num_states(); ++s) {
+          if (d->initial(s)) {
+            enfa.AddEdge(cur, -1, dmap[static_cast<std::size_t>(s)]);
           }
         }
+        int qprime =
+            rule.nodes[static_cast<std::size_t>(rule.state_node)].state;
+        for (int s = 0; s < d->num_states(); ++s) {
+          for (const auto& [child_state, to] : d->Edges(s)) {
+            for (int c = 0; c < base; ++c) {
+              int r2 = rule_index(qprime, c);
+              const std::vector<int>& roots =
+                  rules[static_cast<std::size_t>(r2)].roots;
+              int from = dmap[static_cast<std::size_t>(s)];
+              for (std::size_t k = 0; k < roots.size(); ++k) {
+                int target = (k + 1 == roots.size())
+                                 ? dmap[static_cast<std::size_t>(to)]
+                                 : enfa.AddState();
+                enfa.AddEdge(from, id_of(r2, child_state, roots[k]), target);
+                from = target;
+              }
+            }
+          }
+        }
+        // Suffix chain after the spliced language.
+        int tail = enfa.AddState();
+        for (int s = 0; s < d->num_states(); ++s) {
+          if (d->final(s)) {
+            enfa.AddEdge(dmap[static_cast<std::size_t>(s)], -1, tail);
+          }
+        }
+        cur = tail;
+        for (std::size_t j = static_cast<std::size_t>(rule.state_pos) + 1;
+             j < node.children.size(); ++j) {
+          int next = enfa.AddState();
+          enfa.AddEdge(cur, id_of(r, qa, node.children[j]), next);
+          cur = next;
+        }
+        enfa.SetFinal(cur);
+        out.SetTransition(id, node.label, enfa.Build());
       }
     }
-    // Suffix chain after the spliced language.
-    int tail = enfa.AddState();
-    for (int s = 0; s < d->num_states(); ++s) {
-      if (d->final(s)) {
-        enfa.AddEdge(dmap[static_cast<std::size_t>(s)], -1, tail);
-      }
-    }
-    cur = tail;
-    for (std::size_t j = static_cast<std::size_t>(rule.state_pos) + 1;
-         j < node.children.size(); ++j) {
-      int next = enfa.AddState();
-      enfa.AddEdge(cur, ids.at({r, qa, node.children[j]}), next);
-      cur = next;
-    }
-    enfa.SetFinal(cur);
-    out.SetTransition(id, node.label, enfa.Build());
   }
   return out;
 }
@@ -272,24 +295,26 @@ Nta HashEliminationNta(const Nta& aout, int hash_symbol) {
     auto pair_id = [&](int x, int y) { return info.pair_offset + x * m + y; };
 
     // The lifted automaton: original edges read normal child states; jump
-    // edges x --(h,x,y)--> y read #-children.
+    // edges x --(h,x,y)--> y read #-children. All m^2 + 1 lifted copies
+    // share the same edge lists and differ only in initial/final flags, so
+    // the edge structure is built once and bulk-copied per copy instead of
+    // re-inserted edge by edge (O(m^2) edges per copy, m^2 copies).
+    Nfa proto(num_states);
+    proto.ReserveStates(m);
+    for (int s = 0; s < m; ++s) proto.AddState(false, false);
+    for (int s = 0; s < m; ++s) {
+      auto& row = proto.MutableEdges(s);
+      row.reserve(h.Edges(s).size() + static_cast<std::size_t>(m));
+      row = h.Edges(s);
+      for (int y = 0; y < m; ++y) row.emplace_back(pair_id(s, y), y);
+    }
+
     auto lift = [&](int init, int fin) {
       // init/fin == -1 keep the original initials/finals.
-      Nfa lifted(num_states);
+      Nfa lifted = proto;
       for (int s = 0; s < m; ++s) {
-        bool is_init = init == -1 ? h.initial(s) : s == init;
-        bool is_fin = fin == -1 ? h.final(s) : s == fin;
-        lifted.AddState(is_init, is_fin);
-      }
-      for (int s = 0; s < m; ++s) {
-        for (const auto& [sym, to] : h.Edges(s)) {
-          lifted.AddTransition(s, sym, to);
-        }
-      }
-      for (int x = 0; x < m; ++x) {
-        for (int y = 0; y < m; ++y) {
-          lifted.AddTransition(x, pair_id(x, y), y);
-        }
+        lifted.SetInitial(s, init == -1 ? h.initial(s) : s == init);
+        lifted.SetFinal(s, fin == -1 ? h.final(s) : s == fin);
       }
       return lifted;
     };

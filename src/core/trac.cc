@@ -2,12 +2,11 @@
 
 #include <algorithm>
 #include <deque>
-#include <map>
-#include <set>
-#include <tuple>
 #include <vector>
 
+#include "src/base/interner.h"
 #include "src/base/logging.h"
+#include "src/base/state_set.h"
 #include "src/core/reachable.h"
 #include "src/schema/witness.h"
 #include "src/td/exec.h"
@@ -31,8 +30,7 @@ struct TopPattern {
   std::vector<std::vector<int>> seps;
 };
 
-TopPattern SplitTop(const Alphabet& alphabet, const RhsHedge& rhs) {
-  (void)alphabet;
+TopPattern SplitTop(const RhsHedge& rhs) {
   TopPattern out;
   out.seps.emplace_back();
   for (const RhsNode& n : rhs) {
@@ -88,13 +86,14 @@ class Engine {
     int q = -1;               // top only: the rule's state
 
     bool status = false;
-    std::set<int> dependents;
+    // Entries whose evaluation consulted this one while it was false; they
+    // are re-queued when it flips. Insertion sites dedup consecutive adds
+    // (the common repeat pattern); Solve's queued_ guard absorbs the rest.
+    std::vector<int> dependents;
     // Witness: per child position, (input symbol, child config id or -1).
     std::vector<std::pair<int, int>> witness;
     bool has_witness = false;
   };
-
-  using SatKey = std::tuple<int, int, std::vector<Obl>>;
 
   const Dfa& OutDfa(int sigma) const { return dout_.RuleDfaComplete(sigma); }
   // Partial DFA: dead steps prune the child-symbol enumeration.
@@ -102,7 +101,8 @@ class Engine {
 
   // Interns a Sat configuration; returns -1 when it is statically false
   // (contradictory obligations: one state, one start, two targets).
-  int GetSatConfig(int b, int sigma, std::vector<Obl> obls);
+  // Sorts and dedups *obls in place; the caller's buffer is scratch.
+  int GetSatConfig(int b, int sigma, std::vector<Obl>* obls);
 
   // Runs the worklist to the least fixpoint.
   Status Solve();
@@ -133,34 +133,69 @@ class Engine {
   ReachablePairs reach_;
   TypecheckStats stats_;
 
+  // Records `dep` as a dependent of entry `id`, skipping consecutive
+  // duplicates (the odometer re-consults the same child many times in a
+  // row).
+  void AddDependent(int id, int dep) {
+    std::vector<int>& deps = entries_[static_cast<std::size_t>(id)].dependents;
+    if (deps.empty() || deps.back() != dep) deps.push_back(dep);
+  }
+
   std::vector<Entry> entries_;
-  std::map<SatKey, int> sat_ids_;
+  // Sat configurations interned by hashed key [b, sigma, (p,l,r)*];
+  // sat_entry_ids_ maps the dense interner id to the entry id (top-check
+  // entries share entries_, so the two id spaces differ by an offset map).
+  SubsetInterner sat_ids_;
+  std::vector<int> sat_entry_ids_;
+  std::vector<int> sat_key_buf_;
   std::deque<int> worklist_;
   std::vector<bool> queued_;
+
+  // Scratch reused across HedgeSearch calls (it runs once per saturation
+  // entry evaluation; its inner loops must stay allocation-free). Safe
+  // because HedgeSearch never reenters itself.
+  SubsetInterner cfg_ids_;
+  std::vector<int> cfg_key_;
+  std::vector<std::vector<int>> cand_;
+  std::vector<int> z_buf_;
+  std::vector<Obl> single_obl_buf_;
+  std::vector<Obl> child_obl_buf_;
 };
 
-int Engine::GetSatConfig(int b, int sigma, std::vector<Obl> obls) {
-  std::sort(obls.begin(), obls.end());
-  obls.erase(std::unique(obls.begin(), obls.end()), obls.end());
+int Engine::GetSatConfig(int b, int sigma, std::vector<Obl>* obls) {
+  if (obls->size() > 1) {
+    std::sort(obls->begin(), obls->end());
+    obls->erase(std::unique(obls->begin(), obls->end()), obls->end());
+  }
   // Contradiction: same transducer state and start, different targets — the
   // output string is a function of t, so no tree can satisfy both.
-  for (std::size_t i = 1; i < obls.size(); ++i) {
-    if (obls[i].p == obls[i - 1].p && obls[i].l == obls[i - 1].l &&
-        obls[i].r != obls[i - 1].r) {
+  for (std::size_t i = 1; i < obls->size(); ++i) {
+    if ((*obls)[i].p == (*obls)[i - 1].p && (*obls)[i].l == (*obls)[i - 1].l &&
+        (*obls)[i].r != (*obls)[i - 1].r) {
       return -1;
     }
   }
-  SatKey key(b, sigma, obls);
-  auto it = sat_ids_.find(key);
-  if (it != sat_ids_.end()) return it->second;
+  sat_key_buf_.clear();
+  sat_key_buf_.reserve(2 + 3 * obls->size());
+  sat_key_buf_.push_back(b);
+  sat_key_buf_.push_back(sigma);
+  for (const Obl& obl : *obls) {
+    sat_key_buf_.push_back(obl.p);
+    sat_key_buf_.push_back(obl.l);
+    sat_key_buf_.push_back(obl.r);
+  }
+  int iid = sat_ids_.Intern(sat_key_buf_);
+  if (iid < static_cast<int>(sat_entry_ids_.size())) {
+    return sat_entry_ids_[static_cast<std::size_t>(iid)];
+  }
   int id = static_cast<int>(entries_.size());
+  sat_entry_ids_.push_back(id);
   Entry e;
   e.b = b;
   e.sigma = sigma;
-  e.obls = std::move(obls);
+  e.obls = *obls;
   entries_.push_back(std::move(e));
   queued_.push_back(true);
-  sat_ids_.emplace(std::move(key), id);
   worklist_.push_back(id);
   ++stats_.configs;
   return id;
@@ -176,7 +211,7 @@ bool Engine::ExpandSat(const Entry& e, std::vector<Copy>* copies,
       if (obl.l != obl.r) return false;
       continue;
     }
-    TopPattern pat = SplitTop(*t_.alphabet(), *rhs);
+    TopPattern pat = SplitTop(*rhs);
     if (pat.states.empty()) {
       // Constant top string: check it directly.
       if (a_sigma.Run(obl.l, pat.seps[0]) != obl.r) return false;
@@ -205,7 +240,7 @@ StatusOr<bool> Engine::HedgeSearch(int id, int b, int sigma,
   const Dfa& d_in = InDfa(b);
   const int k = static_cast<int>(copies.size());
   const int n_sigma = a_sigma.num_states();
-  const std::vector<bool>& inhabited = din_.InhabitedSymbols();
+  const StateSet& inhabited = din_.InhabitedSymbols();
 
   // Guessed starts: copies with start == -1.
   std::vector<int> guess_pos;
@@ -245,6 +280,9 @@ StatusOr<bool> Engine::HedgeSearch(int id, int b, int sigma,
   if (d_in.initial() == Dfa::kDead) return false;
 
   Budget* budget = options_.budget;
+  // The odometer is the innermost loop of the whole engine; a full Check()
+  // per tick would dominate it, so polling is amortized through a gate.
+  BudgetGate gate(budget);
 
   // Iterate over all guess vectors.
   std::vector<int> guesses(guess_pos.size(), 0);
@@ -266,28 +304,35 @@ StatusOr<bool> Engine::HedgeSearch(int id, int b, int sigma,
       int symbol;
       int child_cfg;
     };
-    std::map<std::pair<int, std::vector<int>>, int> ids;
-    std::vector<std::pair<int, std::vector<int>>> states;
+    // Product configurations (d, y) are interned by hash; ids are dense and
+    // assigned in discovery order, so an id cursor doubles as the BFS queue.
+    // The interner and key buffer are member scratch: cleared here, capacity
+    // kept across the ~#entries calls of a run.
+    SubsetInterner& cfg_ids = cfg_ids_;
+    cfg_ids.Clear();
     std::vector<Parent> parents;
-    std::deque<int> queue;
-    auto intern = [&](int d, std::vector<int> y, Parent par) {
-      auto it = ids.find({d, y});
-      if (it != ids.end()) return -1;
-      int id = static_cast<int>(states.size());
-      ids.emplace(std::make_pair(d, y), id);
-      states.emplace_back(d, std::move(y));
+    std::vector<int>& cfg_key = cfg_key_;
+    cfg_key.reserve(static_cast<std::size_t>(k) + 1);
+    auto intern = [&](int d, const std::vector<int>& y, Parent par) {
+      cfg_key.clear();
+      cfg_key.push_back(d);
+      cfg_key.insert(cfg_key.end(), y.begin(), y.end());
+      int id = cfg_ids.Intern(cfg_key);
+      if (id < static_cast<int>(parents.size())) return -1;  // seen before
       parents.push_back(par);
-      queue.push_back(id);
       ++stats_.product_states;
       return id;
     };
     intern(d_in.initial(), y0, Parent{-1, -1, -1});
     int accept_id = -1;
-    while (!queue.empty() && accept_id == -1) {
+    std::vector<int> y;
+    for (int pid = 0; pid < cfg_ids.size() && accept_id == -1; ++pid) {
       XTC_RETURN_IF_ERROR(BudgetCheck(budget, "TypecheckTrac/HedgeSearch"));
-      int pid = queue.front();
-      queue.pop_front();
-      auto [d, y] = states[static_cast<std::size_t>(pid)];
+      // Copy out: the interner pool may reallocate as new configurations
+      // are minted below.
+      const std::span<const int> stored = cfg_ids.Get(pid);
+      const int d = stored[0];
+      y.assign(stored.begin() + 1, stored.end());
       if (accepts(d, y, guesses)) {
         accept_id = pid;
         break;
@@ -298,7 +343,7 @@ StatusOr<bool> Engine::HedgeSearch(int id, int b, int sigma,
             "transducer outside T_trac?)");
       }
       for (int c = 0; c < din_.num_symbols(); ++c) {
-        if (!inhabited[static_cast<std::size_t>(c)]) continue;
+        if (!inhabited.Test(c)) continue;
         int d2 = d_in.Step(d, c);
         if (d2 == Dfa::kDead) continue;
         // Per-copy candidate end states via singleton configurations: a
@@ -306,14 +351,19 @@ StatusOr<bool> Engine::HedgeSearch(int id, int b, int sigma,
         // singleton, so currently-false singletons cannot contribute (and
         // re-evaluation is scheduled for when they flip). This replaces the
         // n_sigma^k enumeration by a product of (typically tiny) sets.
-        std::vector<std::vector<int>> cand(static_cast<std::size_t>(k));
+        // cand_ is member scratch: inner vectors keep their capacity.
+        if (cand_.size() < static_cast<std::size_t>(k)) {
+          cand_.resize(static_cast<std::size_t>(k));
+        }
+        std::vector<std::vector<int>>& cand = cand_;
+        for (int i = 0; i < k; ++i) cand[static_cast<std::size_t>(i)].clear();
         bool dead_copy = false;
         for (int i = 0; i < k && !dead_copy; ++i) {
           for (int zi = 0; zi < n_sigma; ++zi) {
-            int sid = GetSatConfig(
-                c, sigma,
-                {Obl{copies[static_cast<std::size_t>(i)].state,
-                     y[static_cast<std::size_t>(i)], zi}});
+            single_obl_buf_.assign(
+                1, Obl{copies[static_cast<std::size_t>(i)].state,
+                       y[static_cast<std::size_t>(i)], zi});
+            int sid = GetSatConfig(c, sigma, &single_obl_buf_);
             if (stats_.configs > options_.max_configs) {
               return ResourceExhaustedError(
                   "trac engine exceeded the configuration budget (is the "
@@ -323,7 +373,7 @@ StatusOr<bool> Engine::HedgeSearch(int id, int b, int sigma,
             if (entries_[static_cast<std::size_t>(sid)].status) {
               cand[static_cast<std::size_t>(i)].push_back(zi);
             } else {
-              entries_[static_cast<std::size_t>(sid)].dependents.insert(id);
+              AddDependent(sid, id);
             }
           }
           if (cand[static_cast<std::size_t>(i)].empty()) dead_copy = true;
@@ -332,9 +382,11 @@ StatusOr<bool> Engine::HedgeSearch(int id, int b, int sigma,
         // Joint enumeration over the candidate product.
         std::vector<std::size_t> idx(static_cast<std::size_t>(k), 0);
         while (true) {
-          XTC_RETURN_IF_ERROR(BudgetCheck(budget, "TypecheckTrac/odometer"));
-          std::vector<int> z(static_cast<std::size_t>(k));
-          std::vector<Obl> child;
+          XTC_RETURN_IF_ERROR(gate.Poll("TypecheckTrac/odometer"));
+          std::vector<int>& z = z_buf_;
+          z.assign(static_cast<std::size_t>(k), 0);
+          std::vector<Obl>& child = child_obl_buf_;
+          child.clear();
           child.reserve(static_cast<std::size_t>(k));
           for (int i = 0; i < k; ++i) {
             z[static_cast<std::size_t>(i)] =
@@ -344,7 +396,7 @@ StatusOr<bool> Engine::HedgeSearch(int id, int b, int sigma,
                                 y[static_cast<std::size_t>(i)],
                                 z[static_cast<std::size_t>(i)]});
           }
-          int cfg = GetSatConfig(c, sigma, std::move(child));
+          int cfg = GetSatConfig(c, sigma, &child);
           if (stats_.configs > options_.max_configs) {
             return ResourceExhaustedError(
                 "trac engine exceeded the configuration budget (is the "
@@ -355,7 +407,7 @@ StatusOr<bool> Engine::HedgeSearch(int id, int b, int sigma,
               intern(d2, z, Parent{pid, c, cfg});
             } else {
               // Re-evaluate this entry when the child flips.
-              entries_[static_cast<std::size_t>(cfg)].dependents.insert(id);
+              AddDependent(cfg, id);
             }
           }
           // Odometer over the candidate indices.
@@ -429,7 +481,7 @@ StatusOr<bool> Engine::Eval(int id) {
     return false;
   }
   if (copies.empty()) {
-    return din_.InhabitedSymbols()[static_cast<std::size_t>(b)];
+    return din_.InhabitedSymbols().Test(b);
   }
   return HedgeSearch(id, b, sigma, copies, std::move(groups));
 }
@@ -550,7 +602,7 @@ StatusOr<TypecheckResult> Engine::Run() {
       e.b = a;
       e.q = q;
       e.sigma = u->label;
-      e.pattern = SplitTop(*t_.alphabet(), u->children);
+      e.pattern = SplitTop(u->children);
       int id = static_cast<int>(entries_.size());
       entries_.push_back(std::move(e));
       queued_.push_back(true);

@@ -5,6 +5,7 @@
 #include <map>
 #include <numeric>
 
+#include "src/base/interner.h"
 #include "src/base/logging.h"
 
 namespace xtc {
@@ -111,11 +112,13 @@ StatusOr<Dfa> Dfa::Product(const Dfa& a_in, const Dfa& b_in, BoolOp op,
   Dfa b = b_in.Completed();
   Dfa out(a.num_symbols());
   XTC_CHECK_EQ(a.num_symbols(), b.num_symbols());
-  std::map<std::pair<int, int>, int> ids;
-  std::deque<std::pair<int, int>> queue;
+  // Pair states are interned by hash; interner ids coincide with DFA state
+  // ids, so the id sequence doubles as the BFS worklist.
+  SubsetInterner ids;
   auto get = [&](int sa, int sb) {
-    auto it = ids.find({sa, sb});
-    if (it != ids.end()) return it->second;
+    const int pair[2] = {sa, sb};
+    int id = ids.Intern(pair);
+    if (id < out.num_states()) return id;  // already materialized
     bool fa = a.final(sa);
     bool fb = b.final(sb);
     bool f = false;
@@ -130,17 +133,15 @@ StatusOr<Dfa> Dfa::Product(const Dfa& a_in, const Dfa& b_in, BoolOp op,
         f = fa && !fb;
         break;
     }
-    int id = out.AddState(f);
-    ids.emplace(std::make_pair(sa, sb), id);
-    queue.emplace_back(sa, sb);
-    return id;
+    return out.AddState(f);
   };
   out.SetInitial(get(a.initial(), b.initial()));
-  while (!queue.empty()) {
+  for (int from = 0; from < ids.size(); ++from) {
     XTC_RETURN_IF_ERROR(BudgetCheck(budget, "Dfa::Product"));
-    auto [sa, sb] = queue.front();
-    queue.pop_front();
-    int from = ids.at({sa, sb});
+    // Copy out: the interner pool may reallocate as new pairs are minted.
+    const std::span<const int> pair = ids.Get(from);
+    const int sa = pair[0];
+    const int sb = pair[1];
     for (int sym = 0; sym < a.num_symbols(); ++sym) {
       int ta = a.Step(sa, sym);
       int tb = b.Step(sb, sym);
@@ -213,22 +214,20 @@ StatusOr<Dfa> Dfa::Minimized(Budget* budget) const {
   std::vector<int> cls(n);
   for (int i = 0; i < n; ++i) cls[i] = c.final_[order[i]] ? 1 : 0;
   bool changed = true;
+  std::vector<int> sig;
   while (changed) {
     changed = false;
-    std::map<std::vector<int>, int> sig_to_cls;
+    SubsetInterner sig_to_cls;
     std::vector<int> next_cls(n);
     for (int i = 0; i < n; ++i) {
       XTC_RETURN_IF_ERROR(BudgetCheck(budget, "Dfa::Minimized"));
-      std::vector<int> sig;
-      sig.reserve(c.num_symbols() + 1);
+      sig.clear();
+      sig.reserve(static_cast<std::size_t>(c.num_symbols()) + 1);
       sig.push_back(cls[i]);
       for (int sym = 0; sym < c.num_symbols(); ++sym) {
         sig.push_back(cls[index[c.trans_[order[i]][sym]]]);
       }
-      auto [it, inserted] =
-          sig_to_cls.emplace(std::move(sig), static_cast<int>(sig_to_cls.size()));
-      next_cls[i] = it->second;
-      (void)inserted;
+      next_cls[i] = sig_to_cls.Intern(sig);
     }
     if (next_cls != cls) {
       changed = true;
@@ -279,30 +278,29 @@ Dfa Dfa::FromNfa(const Nfa& n) { return *FromNfa(n, nullptr); }
 
 StatusOr<Dfa> Dfa::FromNfa(const Nfa& n, Budget* budget) {
   Dfa out(n.num_symbols());
-  std::map<std::vector<int>, int> ids;
-  std::deque<std::vector<int>> queue;
-  auto intern = [&](std::vector<int> set) {
-    auto it = ids.find(set);
-    if (it != ids.end()) return it->second;
+  // Subsets are interned by hash; interner ids coincide with DFA state ids,
+  // so iterating ids in order doubles as the BFS worklist.
+  SubsetInterner ids;
+  auto intern = [&](std::span<const int> set) {
+    int id = ids.Intern(set);
+    if (id < out.num_states()) return id;  // seen before
     bool f = false;
     for (int s : set) {
       if (n.final(s)) f = true;
     }
-    int id = out.AddState(f);
-    ids.emplace(set, id);
-    queue.push_back(std::move(set));
-    return id;
+    return out.AddState(f);
   };
   std::vector<int> init;
   for (int s = 0; s < n.num_states(); ++s) {
     if (n.initial(s)) init.push_back(s);
   }
-  out.SetInitial(intern(std::move(init)));
-  while (!queue.empty()) {
+  out.SetInitial(intern(init));
+  std::vector<int> set;
+  for (int from = 0; from < ids.size(); ++from) {
     XTC_RETURN_IF_ERROR(BudgetCheck(budget, "Dfa::FromNfa"));
-    std::vector<int> set = queue.front();
-    queue.pop_front();
-    int from = ids.at(set);
+    // Copy out: the interner pool may reallocate as new subsets are minted.
+    const std::span<const int> stored = ids.Get(from);
+    set.assign(stored.begin(), stored.end());
     // Collect successors per symbol sparsely.
     std::map<int, std::vector<int>> succ;
     for (int s : set) {

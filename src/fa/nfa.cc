@@ -1,7 +1,8 @@
 #include "src/fa/nfa.h"
 
 #include <algorithm>
-#include <deque>
+#include <bit>
+#include <cstdint>
 
 #include "src/base/logging.h"
 
@@ -13,6 +14,17 @@ int Nfa::AddState(bool initial, bool final) {
   final_.push_back(final);
   trans_.emplace_back();
   return id;
+}
+
+void Nfa::ReserveStates(int num_states) {
+  const std::size_t n = static_cast<std::size_t>(num_states);
+  initial_.reserve(n);
+  final_.reserve(n);
+  trans_.reserve(n);
+}
+
+void Nfa::ReserveEdges(int state, std::size_t num_edges) {
+  trans_[static_cast<std::size_t>(state)].reserve(num_edges);
 }
 
 void Nfa::SetInitial(int state, bool initial) {
@@ -40,27 +52,28 @@ std::size_t Nfa::Size() const {
 }
 
 bool Nfa::Accepts(std::span<const int> word) const {
-  std::vector<bool> cur = initial_;
-  std::vector<bool> next(num_states());
+  StateSet cur(num_states());
+  StateSet next(num_states());
+  for (int s = 0; s < num_states(); ++s) {
+    if (initial_[s]) cur.Set(s);
+  }
   for (int sym : word) {
-    std::fill(next.begin(), next.end(), false);
+    next.Clear();
     bool any = false;
-    for (int s = 0; s < num_states(); ++s) {
-      if (!cur[s]) continue;
+    cur.ForEach([&](int s) {
       for (const auto& [a, t] : trans_[s]) {
         if (a == sym) {
-          next[t] = true;
+          next.Set(t);
           any = true;
         }
       }
-    }
+    });
     if (!any) return false;
-    cur.swap(next);
+    std::swap(cur, next);
   }
-  for (int s = 0; s < num_states(); ++s) {
-    if (cur[s] && final_[s]) return true;
-  }
-  return false;
+  bool accepted = false;
+  cur.ForEach([&](int s) { accepted = accepted || final_[s]; });
+  return accepted;
 }
 
 bool Nfa::AcceptsEpsilon() const {
@@ -70,90 +83,134 @@ bool Nfa::AcceptsEpsilon() const {
   return false;
 }
 
-std::vector<bool> Nfa::ForwardReachable(
-    const std::vector<bool>* allowed) const {
-  std::vector<bool> seen(num_states(), false);
-  std::deque<int> queue;
+StateSet Nfa::ForwardReachable(const StateSet* allowed) const {
+  StateSet seen(num_states());
+  std::vector<int> stack;
+  stack.reserve(static_cast<std::size_t>(num_states()));
+  for (int s = 0; s < num_states(); ++s) {
+    if (initial_[s] && seen.TestAndSet(s)) stack.push_back(s);
+  }
+  while (!stack.empty()) {
+    int s = stack.back();
+    stack.pop_back();
+    for (const auto& [a, t] : trans_[s]) {
+      if (allowed != nullptr && !allowed->Test(a)) continue;
+      if (seen.TestAndSet(t)) stack.push_back(t);
+    }
+  }
+  return seen;
+}
+
+StateSet Nfa::BackwardReachable(const StateSet* allowed) const {
+  // Reverse edges once (CSR layout: one flat array plus row offsets).
+  const std::size_t n = static_cast<std::size_t>(num_states());
+  std::vector<int> in_degree(n, 0);
+  for (int s = 0; s < num_states(); ++s) {
+    for (const auto& [a, t] : trans_[s]) {
+      if (allowed != nullptr && !allowed->Test(a)) continue;
+      ++in_degree[static_cast<std::size_t>(t)];
+    }
+  }
+  std::vector<int> row(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) row[i + 1] = row[i] + in_degree[i];
+  std::vector<int> rev(static_cast<std::size_t>(row[n]));
+  std::vector<int> fill = row;
+  for (int s = 0; s < num_states(); ++s) {
+    for (const auto& [a, t] : trans_[s]) {
+      if (allowed != nullptr && !allowed->Test(a)) continue;
+      rev[static_cast<std::size_t>(fill[static_cast<std::size_t>(t)]++)] = s;
+    }
+  }
+  StateSet seen(num_states());
+  std::vector<int> stack;
+  stack.reserve(n);
+  for (int s = 0; s < num_states(); ++s) {
+    if (final_[s] && seen.TestAndSet(s)) stack.push_back(s);
+  }
+  while (!stack.empty()) {
+    int s = stack.back();
+    stack.pop_back();
+    for (int i = row[static_cast<std::size_t>(s)];
+         i < row[static_cast<std::size_t>(s) + 1]; ++i) {
+      int p = rev[static_cast<std::size_t>(i)];
+      if (seen.TestAndSet(p)) stack.push_back(p);
+    }
+  }
+  return seen;
+}
+
+bool Nfa::AcceptsSomeOver(const StateSet* allowed) const {
+  // Heap-free fast path for up to 64 states: the horizontal NFAs of tree
+  // automata are tiny, and emptiness fixpoints probe them millions of
+  // times — one word of `seen` plus a frontier word beats two allocations.
+  if (num_states() <= 64) {
+    std::uint64_t seen = 0;
+    std::uint64_t frontier = 0;
+    for (int s = 0; s < num_states(); ++s) {
+      if (initial_[s]) {
+        if (final_[s]) return true;
+        seen |= std::uint64_t{1} << s;
+        frontier |= std::uint64_t{1} << s;
+      }
+    }
+    while (frontier != 0) {
+      const int s = std::countr_zero(frontier);
+      frontier &= frontier - 1;
+      for (const auto& [a, t] : trans_[s]) {
+        if (allowed != nullptr && !allowed->Test(a)) continue;
+        const std::uint64_t bit = std::uint64_t{1} << t;
+        if ((seen & bit) == 0) {
+          if (final_[t]) return true;
+          seen |= bit;
+          frontier |= bit;
+        }
+      }
+    }
+    return false;
+  }
+  StateSet seen(num_states());
+  std::vector<int> stack;
+  stack.reserve(static_cast<std::size_t>(num_states()));
   for (int s = 0; s < num_states(); ++s) {
     if (initial_[s]) {
-      seen[s] = true;
-      queue.push_back(s);
+      if (final_[s]) return true;
+      if (seen.TestAndSet(s)) stack.push_back(s);
     }
   }
-  while (!queue.empty()) {
-    int s = queue.front();
-    queue.pop_front();
+  while (!stack.empty()) {
+    int s = stack.back();
+    stack.pop_back();
     for (const auto& [a, t] : trans_[s]) {
-      if (allowed != nullptr && !(*allowed)[a]) continue;
-      if (!seen[t]) {
-        seen[t] = true;
-        queue.push_back(t);
+      if (allowed != nullptr && !allowed->Test(a)) continue;
+      if (seen.TestAndSet(t)) {
+        if (final_[t]) return true;
+        stack.push_back(t);
       }
     }
-  }
-  return seen;
-}
-
-std::vector<bool> Nfa::BackwardReachable(
-    const std::vector<bool>* allowed) const {
-  // Reverse edges once.
-  std::vector<std::vector<int>> rev(num_states());
-  for (int s = 0; s < num_states(); ++s) {
-    for (const auto& [a, t] : trans_[s]) {
-      if (allowed != nullptr && !(*allowed)[a]) continue;
-      rev[t].push_back(s);
-    }
-  }
-  std::vector<bool> seen(num_states(), false);
-  std::deque<int> queue;
-  for (int s = 0; s < num_states(); ++s) {
-    if (final_[s]) {
-      seen[s] = true;
-      queue.push_back(s);
-    }
-  }
-  while (!queue.empty()) {
-    int s = queue.front();
-    queue.pop_front();
-    for (int p : rev[s]) {
-      if (!seen[p]) {
-        seen[p] = true;
-        queue.push_back(p);
-      }
-    }
-  }
-  return seen;
-}
-
-bool Nfa::AcceptsSomeOver(const std::vector<bool>* allowed) const {
-  std::vector<bool> fwd = ForwardReachable(allowed);
-  for (int s = 0; s < num_states(); ++s) {
-    if (fwd[s] && final_[s]) return true;
   }
   return false;
 }
 
 std::optional<std::vector<int>> Nfa::ShortestAcceptedOver(
-    const std::vector<bool>* allowed) const {
+    const StateSet* allowed) const {
   // BFS from initial states, remembering the (symbol, predecessor) edge.
   std::vector<int> pred_state(num_states(), -1);
   std::vector<int> pred_sym(num_states(), -1);
-  std::vector<bool> seen(num_states(), false);
-  std::deque<int> queue;
+  StateSet seen(num_states());
+  std::vector<int> queue;  // FIFO via head cursor
+  queue.reserve(static_cast<std::size_t>(num_states()));
   for (int s = 0; s < num_states(); ++s) {
     if (initial_[s]) {
-      seen[s] = true;
+      seen.Set(s);
       queue.push_back(s);
       if (final_[s]) return std::vector<int>{};
     }
   }
-  while (!queue.empty()) {
-    int s = queue.front();
-    queue.pop_front();
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    int s = queue[head];
     for (const auto& [a, t] : trans_[s]) {
-      if (allowed != nullptr && !(*allowed)[a]) continue;
-      if (seen[t]) continue;
-      seen[t] = true;
+      if (allowed != nullptr && !allowed->Test(a)) continue;
+      if (!seen.TestAndSet(t)) continue;
       pred_state[t] = s;
       pred_sym[t] = a;
       if (final_[t]) {
@@ -171,43 +228,39 @@ std::optional<std::vector<int>> Nfa::ShortestAcceptedOver(
   return std::nullopt;
 }
 
-std::vector<bool> Nfa::SymbolsOnAcceptingPaths(
-    const std::vector<bool>* allowed) const {
-  std::vector<bool> fwd = ForwardReachable(allowed);
-  std::vector<bool> bwd = BackwardReachable(allowed);
-  std::vector<bool> used(num_symbols_, false);
-  for (int s = 0; s < num_states(); ++s) {
-    if (!fwd[s]) continue;
+StateSet Nfa::SymbolsOnAcceptingPaths(const StateSet* allowed) const {
+  StateSet fwd = ForwardReachable(allowed);
+  StateSet bwd = BackwardReachable(allowed);
+  StateSet used(num_symbols_);
+  fwd.ForEach([&](int s) {
     for (const auto& [a, t] : trans_[s]) {
-      if (allowed != nullptr && !(*allowed)[a]) continue;
-      if (bwd[t]) used[a] = true;
+      if (allowed != nullptr && !allowed->Test(a)) continue;
+      if (bwd.Test(t)) used.Set(a);
     }
-  }
+  });
   return used;
 }
 
-bool Nfa::AcceptsInfinitelyManyOver(const std::vector<bool>* allowed) const {
+bool Nfa::AcceptsInfinitelyManyOver(const StateSet* allowed) const {
   // Infinitely many strings iff a useful state (forward- and backward-
   // reachable) lies on a cycle of useful states. Detect a cycle in the
   // subgraph induced by useful states via iterative DFS colouring.
-  std::vector<bool> fwd = ForwardReachable(allowed);
-  std::vector<bool> bwd = BackwardReachable(allowed);
-  std::vector<bool> useful(num_states());
-  for (int s = 0; s < num_states(); ++s) useful[s] = fwd[s] && bwd[s];
+  StateSet useful = ForwardReachable(allowed);
+  useful.IntersectWith(BackwardReachable(allowed));
 
   enum : char { kWhite = 0, kGray = 1, kBlack = 2 };
   std::vector<char> color(num_states(), kWhite);
   std::vector<std::pair<int, std::size_t>> stack;
   for (int root = 0; root < num_states(); ++root) {
-    if (!useful[root] || color[root] != kWhite) continue;
+    if (!useful.Test(root) || color[root] != kWhite) continue;
     color[root] = kGray;
     stack.emplace_back(root, 0);
     while (!stack.empty()) {
       auto& [s, idx] = stack.back();
       if (idx < trans_[s].size()) {
         auto [a, t] = trans_[s][idx++];
-        if (allowed != nullptr && !(*allowed)[a]) continue;
-        if (!useful[t]) continue;
+        if (allowed != nullptr && !allowed->Test(a)) continue;
+        if (!useful.Test(t)) continue;
         if (color[t] == kGray) return true;
         if (color[t] == kWhite) {
           color[t] = kGray;
@@ -226,6 +279,7 @@ Nfa Nfa::Intersection(const Nfa& a, const Nfa& b) {
   XTC_CHECK_EQ(a.num_symbols(), b.num_symbols());
   Nfa out(a.num_symbols());
   const int nb = b.num_states();
+  out.ReserveStates(a.num_states() * nb);
   for (int sa = 0; sa < a.num_states(); ++sa) {
     for (int sb = 0; sb < nb; ++sb) {
       out.AddState(a.initial(sa) && b.initial(sb), a.final(sa) && b.final(sb));
@@ -248,6 +302,7 @@ Nfa Nfa::Intersection(const Nfa& a, const Nfa& b) {
 Nfa Nfa::Union(const Nfa& a, const Nfa& b) {
   XTC_CHECK_EQ(a.num_symbols(), b.num_symbols());
   Nfa out(a.num_symbols());
+  out.ReserveStates(a.num_states() + b.num_states());
   for (int s = 0; s < a.num_states(); ++s) {
     out.AddState(a.initial(s), a.final(s));
   }
@@ -256,9 +311,11 @@ Nfa Nfa::Union(const Nfa& a, const Nfa& b) {
     out.AddState(b.initial(s), b.final(s));
   }
   for (int s = 0; s < a.num_states(); ++s) {
+    out.ReserveEdges(s, a.Edges(s).size());
     for (const auto& [sym, t] : a.Edges(s)) out.AddTransition(s, sym, t);
   }
   for (int s = 0; s < b.num_states(); ++s) {
+    out.ReserveEdges(off + s, b.Edges(s).size());
     for (const auto& [sym, t] : b.Edges(s)) {
       out.AddTransition(off + s, sym, off + t);
     }
@@ -268,10 +325,12 @@ Nfa Nfa::Union(const Nfa& a, const Nfa& b) {
 
 Nfa Nfa::ShiftedSymbols(int offset, int new_num_symbols) const {
   Nfa out(new_num_symbols);
+  out.ReserveStates(num_states());
   for (int s = 0; s < num_states(); ++s) {
     out.AddState(initial_[s], final_[s]);
   }
   for (int s = 0; s < num_states(); ++s) {
+    out.ReserveEdges(s, trans_[s].size());
     for (const auto& [sym, t] : trans_[s]) {
       XTC_CHECK_LT(sym + offset, new_num_symbols);
       out.AddTransition(s, sym + offset, t);
@@ -282,6 +341,7 @@ Nfa Nfa::ShiftedSymbols(int offset, int new_num_symbols) const {
 
 Nfa Nfa::SingleWord(int num_symbols, std::span<const int> word) {
   Nfa out(num_symbols);
+  out.ReserveStates(static_cast<int>(word.size()) + 1);
   int prev = out.AddState(/*initial=*/true, /*final=*/word.empty());
   for (std::size_t i = 0; i < word.size(); ++i) {
     int next = out.AddState(false, i + 1 == word.size());

@@ -7,12 +7,16 @@
 #include <utility>
 #include <vector>
 
+#include "src/base/state_set.h"
+
 namespace xtc {
 
 /// A non-deterministic finite automaton over integer symbols 0..num_symbols-1
 /// (Section 2 of the paper). No epsilon transitions; multiple initial states
 /// are allowed. Transition storage is sparse, so very large alphabets (e.g.
-/// tree-automaton state ids used as string symbols) are cheap.
+/// tree-automaton state ids used as string symbols) are cheap. All set-of-
+/// states analyses run on the packed word-parallel StateSet kernel; the
+/// `allowed` masks are StateSets over the symbol universe.
 class Nfa {
  public:
   explicit Nfa(int num_symbols) : num_symbols_(num_symbols) {}
@@ -20,9 +24,23 @@ class Nfa {
   /// Adds a state and returns its id.
   int AddState(bool initial = false, bool final = false);
 
+  /// Pre-sizes the state tables for `num_states` AddState calls; the
+  /// product/embedding constructions know their state count up front.
+  void ReserveStates(int num_states);
+  /// Pre-sizes the edge list of `state` for `num_edges` AddTransition calls.
+  void ReserveEdges(int state, std::size_t num_edges);
+
   void SetInitial(int state, bool initial = true);
   void SetFinal(int state, bool final = true);
   void AddTransition(int from, int symbol, int to);
+
+  /// The mutable edge list of `state`, for bulk construction loops (NTA
+  /// products emit tens of millions of edges) whose indices are correct by
+  /// construction; callers must respect the AddTransition invariants
+  /// (0 <= symbol < num_symbols, targets in range).
+  std::vector<std::pair<int, int>>& MutableEdges(int state) {
+    return trans_[state];
+  }
 
   int num_states() const { return static_cast<int>(trans_.size()); }
   int num_symbols() const { return num_symbols_; }
@@ -46,22 +64,21 @@ class Nfa {
   bool IsEmpty() const { return !AcceptsSomeOver(nullptr); }
 
   /// Whether the automaton accepts some string all of whose symbols s have
-  /// allowed[s] (allowed == nullptr means every symbol is allowed).
-  bool AcceptsSomeOver(const std::vector<bool>* allowed) const;
+  /// allowed->Test(s) (allowed == nullptr means every symbol is allowed).
+  bool AcceptsSomeOver(const StateSet* allowed) const;
 
   /// A shortest accepted string over the allowed symbols, if any.
   std::optional<std::vector<int>> ShortestAcceptedOver(
-      const std::vector<bool>* allowed) const;
+      const StateSet* allowed) const;
 
   /// Symbols that occur on at least one accepting path using only allowed
   /// symbols. Used for DTD inhabitation and tree-automaton reachability.
-  std::vector<bool> SymbolsOnAcceptingPaths(
-      const std::vector<bool>* allowed) const;
+  StateSet SymbolsOnAcceptingPaths(const StateSet* allowed) const;
 
   /// Whether infinitely many strings over the allowed symbols are accepted
   /// (i.e. some accepting path goes through a cycle). Used for NTA
   /// finiteness (Proposition 4(1)).
-  bool AcceptsInfinitelyManyOver(const std::vector<bool>* allowed) const;
+  bool AcceptsInfinitelyManyOver(const StateSet* allowed) const;
 
   /// Product (intersection) automaton: L = L(a) ∩ L(b).
   static Nfa Intersection(const Nfa& a, const Nfa& b);
@@ -80,8 +97,8 @@ class Nfa {
  private:
   // States with an in-edge (or initial) from which a final state is reachable
   // restricted to allowed symbols; helpers below share BFS plumbing.
-  std::vector<bool> ForwardReachable(const std::vector<bool>* allowed) const;
-  std::vector<bool> BackwardReachable(const std::vector<bool>* allowed) const;
+  StateSet ForwardReachable(const StateSet* allowed) const;
+  StateSet BackwardReachable(const StateSet* allowed) const;
 
   int num_symbols_;
   std::vector<bool> initial_;

@@ -7,23 +7,23 @@
 
 namespace xtc {
 
-std::vector<bool> ReachableStates(const Nta& nta) {
+StateSet ReachableStates(const Nta& nta) {
   return *ReachableStates(nta, nullptr);
 }
 
-StatusOr<std::vector<bool>> ReachableStates(const Nta& nta, Budget* budget) {
+StatusOr<StateSet> ReachableStates(const Nta& nta, Budget* budget) {
   // Fig. A.1: R_1 = {q | epsilon in delta(q, a)}; R_i adds q whenever
   // delta(q, a) meets R_{i-1}^*. We iterate to the fixpoint directly.
-  std::vector<bool> reached(static_cast<std::size_t>(nta.num_states()), false);
+  StateSet reached(nta.num_states());
   bool changed = true;
   while (changed) {
     changed = false;
     for (const auto& [key, h] : nta.transitions()) {
       XTC_RETURN_IF_ERROR(BudgetCheck(budget, "ReachableStates"));
       int q = key.first;
-      if (reached[static_cast<std::size_t>(q)]) continue;
+      if (reached.Test(q)) continue;
       if (h.AcceptsSomeOver(&reached)) {
-        reached[static_cast<std::size_t>(q)] = true;
+        reached.Set(q);
         changed = true;
       }
     }
@@ -34,10 +34,9 @@ StatusOr<std::vector<bool>> ReachableStates(const Nta& nta, Budget* budget) {
 bool IsEmptyLanguage(const Nta& nta) { return *IsEmptyLanguage(nta, nullptr); }
 
 StatusOr<bool> IsEmptyLanguage(const Nta& nta, Budget* budget) {
-  XTC_ASSIGN_OR_RETURN(std::vector<bool> reached,
-                       ReachableStates(nta, budget));
+  XTC_ASSIGN_OR_RETURN(StateSet reached, ReachableStates(nta, budget));
   for (int q = 0; q < nta.num_states(); ++q) {
-    if (reached[static_cast<std::size_t>(q)] && nta.final(q)) return false;
+    if (reached.Test(q) && nta.final(q)) return false;
   }
   return true;
 }
@@ -54,14 +53,14 @@ StatusOr<std::optional<int>> WitnessTree(const Nta& nta, SharedForest* forest,
   // state, the symbol and child-state word that witnessed it; build the
   // hash-consed witness trees bottom-up as states get settled.
   std::vector<int> ids(static_cast<std::size_t>(nta.num_states()), -1);
-  std::vector<bool> reached(static_cast<std::size_t>(nta.num_states()), false);
+  StateSet reached(nta.num_states());
   bool changed = true;
   while (changed) {
     changed = false;
     for (const auto& [key, h] : nta.transitions()) {
       XTC_RETURN_IF_ERROR(BudgetCheck(budget, "WitnessTree"));
       auto [q, a] = key;
-      if (reached[static_cast<std::size_t>(q)]) continue;
+      if (reached.Test(q)) continue;
       std::optional<std::vector<int>> word = h.ShortestAcceptedOver(&reached);
       if (!word.has_value()) continue;
       std::vector<int> kids;
@@ -72,13 +71,13 @@ StatusOr<std::optional<int>> WitnessTree(const Nta& nta, SharedForest* forest,
         kids.push_back(cid);
       }
       ids[static_cast<std::size_t>(q)] = forest->Make(a, kids);
-      reached[static_cast<std::size_t>(q)] = true;
+      reached.Set(q);
       changed = true;
     }
   }
   if (per_state_ids != nullptr) *per_state_ids = ids;
   for (int q = 0; q < nta.num_states(); ++q) {
-    if (reached[static_cast<std::size_t>(q)] && nta.final(q)) {
+    if (reached.Test(q) && nta.final(q)) {
       return std::optional<int>(ids[static_cast<std::size_t>(q)]);
     }
   }
@@ -89,38 +88,24 @@ namespace {
 
 // States that can occur in an accepting run: reachable (inhabited below)
 // and co-reachable (extendable above to a final root).
-std::vector<bool> UsefulStates(const Nta& nta,
-                               const std::vector<bool>& reached) {
-  std::vector<bool> co(static_cast<std::size_t>(nta.num_states()), false);
+StateSet UsefulStates(const Nta& nta, const StateSet& reached) {
+  StateSet co(nta.num_states());
   for (int q = 0; q < nta.num_states(); ++q) {
-    if (nta.final(q) && reached[static_cast<std::size_t>(q)]) {
-      co[static_cast<std::size_t>(q)] = true;
-    }
+    if (nta.final(q) && reached.Test(q)) co.Set(q);
   }
   bool changed = true;
   while (changed) {
     changed = false;
     for (const auto& [key, h] : nta.transitions()) {
       int p = key.first;
-      if (!co[static_cast<std::size_t>(p)] ||
-          !reached[static_cast<std::size_t>(p)]) {
-        continue;
-      }
-      std::vector<bool> used = h.SymbolsOnAcceptingPaths(&reached);
-      for (int q = 0; q < nta.num_states(); ++q) {
-        if (used[static_cast<std::size_t>(q)] &&
-            !co[static_cast<std::size_t>(q)]) {
-          co[static_cast<std::size_t>(q)] = true;
-          changed = true;
-        }
-      }
+      if (!co.Test(p) || !reached.Test(p)) continue;
+      StateSet used = h.SymbolsOnAcceptingPaths(&reached);
+      // Word-parallel: fold the whole used-set in and detect growth.
+      if (co.UnionWith(used)) changed = true;
     }
   }
-  std::vector<bool> useful(static_cast<std::size_t>(nta.num_states()), false);
-  for (int q = 0; q < nta.num_states(); ++q) {
-    useful[static_cast<std::size_t>(q)] =
-        reached[static_cast<std::size_t>(q)] && co[static_cast<std::size_t>(q)];
-  }
+  StateSet useful = reached;
+  useful.IntersectWith(co);
   return useful;
 }
 
@@ -131,16 +116,15 @@ bool IsFiniteLanguage(const Nta& nta) {
 }
 
 StatusOr<bool> IsFiniteLanguage(const Nta& nta, Budget* budget) {
-  XTC_ASSIGN_OR_RETURN(std::vector<bool> reached,
-                       ReachableStates(nta, budget));
-  std::vector<bool> useful = UsefulStates(nta, reached);
+  XTC_ASSIGN_OR_RETURN(StateSet reached, ReachableStates(nta, budget));
+  StateSet useful = UsefulStates(nta, reached);
 
   // Horizontal pumping: a useful state with infinitely many usable child
   // strings.
   for (const auto& [key, h] : nta.transitions()) {
     XTC_RETURN_IF_ERROR(BudgetCheck(budget, "IsFiniteLanguage"));
     int q = key.first;
-    if (!useful[static_cast<std::size_t>(q)]) continue;
+    if (!useful.Test(q)) continue;
     if (h.AcceptsInfinitelyManyOver(&reached)) return false;
   }
 
@@ -151,20 +135,17 @@ StatusOr<bool> IsFiniteLanguage(const Nta& nta, Budget* budget) {
   for (const auto& [key, h] : nta.transitions()) {
     XTC_RETURN_IF_ERROR(BudgetCheck(budget, "IsFiniteLanguage"));
     int p = key.first;
-    if (!useful[static_cast<std::size_t>(p)]) continue;
-    std::vector<bool> used = h.SymbolsOnAcceptingPaths(&reached);
-    for (int q = 0; q < nta.num_states(); ++q) {
-      if (used[static_cast<std::size_t>(q)] &&
-          useful[static_cast<std::size_t>(q)]) {
-        adj[static_cast<std::size_t>(p)].push_back(q);
-      }
-    }
+    if (!useful.Test(p)) continue;
+    StateSet used = h.SymbolsOnAcceptingPaths(&reached);
+    used.IntersectWith(useful);
+    used.ForEach(
+        [&](int q) { adj[static_cast<std::size_t>(p)].push_back(q); });
   }
   enum : char { kWhite, kGray, kBlack };
   std::vector<char> color(static_cast<std::size_t>(nta.num_states()), kWhite);
   std::vector<std::pair<int, std::size_t>> stack;
   for (int root = 0; root < nta.num_states(); ++root) {
-    if (!useful[static_cast<std::size_t>(root)] ||
+    if (!useful.Test(root) ||
         color[static_cast<std::size_t>(root)] != kWhite) {
       continue;
     }

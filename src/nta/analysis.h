@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/base/budget.h"
+#include "src/base/state_set.h"
 #include "src/base/status.h"
 #include "src/nta/nta.h"
 #include "src/tree/hashcons.h"
@@ -15,8 +16,8 @@ namespace xtc {
 /// R computed by the emptiness algorithm of Fig. A.1 (Proposition 4(2)).
 /// The governed overloads below checkpoint the budget once per transition
 /// examined in the fixpoint loops and fail with kResourceExhausted.
-std::vector<bool> ReachableStates(const Nta& nta);
-StatusOr<std::vector<bool>> ReachableStates(const Nta& nta, Budget* budget);
+StateSet ReachableStates(const Nta& nta);
+StatusOr<StateSet> ReachableStates(const Nta& nta, Budget* budget);
 
 /// Emptiness of L(nta); PTIME (Proposition 4(2), Lemma 3 for DTAc).
 bool IsEmptyLanguage(const Nta& nta);

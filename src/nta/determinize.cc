@@ -1,10 +1,13 @@
 #include "src/nta/determinize.h"
 
 #include <algorithm>
-#include <map>
+#include <span>
+#include <utility>
 #include <vector>
 
+#include "src/base/interner.h"
 #include "src/base/logging.h"
+#include "src/base/state_set.h"
 
 namespace xtc {
 namespace {
@@ -17,6 +20,7 @@ struct SymbolSpace {
   // states; -1 when the transition is absent.
   std::vector<int> offset;
   std::vector<const Nfa*> nfa;
+  std::vector<int> owner;                    // global id -> q
   std::vector<int> initials;                 // global ids
   std::vector<std::pair<int, int>> finals;   // (global id, q)
   int total = 0;
@@ -26,12 +30,19 @@ SymbolSpace BuildSpace(const Nta& nta, int a) {
   SymbolSpace sp;
   sp.offset.assign(static_cast<std::size_t>(nta.num_states()), -1);
   sp.nfa.assign(static_cast<std::size_t>(nta.num_states()), nullptr);
+  std::size_t total_states = 0;
+  for (int q = 0; q < nta.num_states(); ++q) {
+    const Nfa* h = nta.Horizontal(q, a);
+    if (h != nullptr) total_states += static_cast<std::size_t>(h->num_states());
+  }
+  sp.owner.reserve(total_states);
   for (int q = 0; q < nta.num_states(); ++q) {
     const Nfa* h = nta.Horizontal(q, a);
     if (h == nullptr) continue;
     sp.offset[static_cast<std::size_t>(q)] = sp.total;
     sp.nfa[static_cast<std::size_t>(q)] = h;
     for (int s = 0; s < h->num_states(); ++s) {
+      sp.owner.push_back(q);
       if (h->initial(s)) sp.initials.push_back(sp.total + s);
       if (h->final(s)) sp.finals.emplace_back(sp.total + s, q);
     }
@@ -43,8 +54,7 @@ SymbolSpace BuildSpace(const Nta& nta, int a) {
 
 // The set of original states q whose horizontal language accepts at the
 // h-state (sorted global-id set) `h`.
-std::vector<int> TargetSubset(const SymbolSpace& sp,
-                              const std::vector<int>& h) {
+std::vector<int> TargetSubset(const SymbolSpace& sp, std::span<const int> h) {
   std::vector<int> subset;
   for (const auto& [g, q] : sp.finals) {
     if (std::binary_search(h.begin(), h.end(), g)) subset.push_back(q);
@@ -54,33 +64,20 @@ std::vector<int> TargetSubset(const SymbolSpace& sp,
   return subset;
 }
 
-// Advance the h-state by one child whose possible-state set is `subset`.
-std::vector<int> StepH(const Nta& nta, const SymbolSpace& sp,
-                       const std::vector<int>& h,
-                       const std::vector<int>& subset) {
-  std::vector<int> next;
+// Advance the h-state by one child whose possible-state set is `subset`
+// (a packed mask over the original Q).
+std::vector<int> StepH(const SymbolSpace& sp, std::span<const int> h,
+                       const StateSet& subset) {
+  StateSet next(sp.total);
   for (int g : h) {
-    // Locate which NFA g belongs to (offsets are increasing).
-    int q = -1;
-    for (int cand = nta.num_states() - 1; cand >= 0; --cand) {
-      int off = sp.offset[static_cast<std::size_t>(cand)];
-      if (off != -1 && off <= g) {
-        q = cand;
-        break;
-      }
-    }
-    XTC_CHECK_GE(q, 0);
-    int off = sp.offset[static_cast<std::size_t>(q)];
+    const int q = sp.owner[static_cast<std::size_t>(g)];
+    const int off = sp.offset[static_cast<std::size_t>(q)];
     const Nfa* nfa = sp.nfa[static_cast<std::size_t>(q)];
     for (const auto& [sym, t] : nfa->Edges(g - off)) {
-      if (std::binary_search(subset.begin(), subset.end(), sym)) {
-        next.push_back(off + t);
-      }
+      if (subset.Test(sym)) next.Set(off + t);
     }
   }
-  std::sort(next.begin(), next.end());
-  next.erase(std::unique(next.begin(), next.end()), next.end());
-  return next;
+  return next.ToVector();
 }
 
 }  // namespace
@@ -92,14 +89,18 @@ StatusOr<Nta> DeterminizeToDtac(const Nta& nta, int max_states,
   spaces.reserve(static_cast<std::size_t>(num_symbols));
   for (int a = 0; a < num_symbols; ++a) spaces.push_back(BuildSpace(nta, a));
 
-  // Interned determinized states (subsets of Q).
-  std::map<std::vector<int>, int> det_ids;
+  // Interned determinized states (subsets of Q), hashed; interner ids are
+  // dense so they double as DTA state ids. det_masks mirrors each subset as
+  // a packed mask for the O(1) membership tests in StepH.
+  SubsetInterner det_ids;
   std::vector<std::vector<int>> det_states;
+  std::vector<StateSet> det_masks;
   auto intern_det = [&](std::vector<int> subset) {
-    auto it = det_ids.find(subset);
-    if (it != det_ids.end()) return it->second;
-    int id = static_cast<int>(det_states.size());
-    det_ids.emplace(subset, id);
+    int id = det_ids.Intern(subset);
+    if (id < static_cast<int>(det_states.size())) return id;
+    StateSet mask(nta.num_states());
+    for (int q : subset) mask.Set(q);
+    det_masks.push_back(std::move(mask));
     det_states.push_back(std::move(subset));
     return id;
   };
@@ -107,7 +108,7 @@ StatusOr<Nta> DeterminizeToDtac(const Nta& nta, int max_states,
   // Per symbol: interned h-states and their transition rows (indexed by
   // det-state id; -1 means "not yet computed").
   struct HGraph {
-    std::map<std::vector<int>, int> ids;
+    SubsetInterner ids;
     std::vector<std::vector<int>> states;
     std::vector<std::vector<int>> trans;  // trans[h][det_id] = h'
     std::vector<int> target;              // det id of TargetSubset
@@ -116,10 +117,8 @@ StatusOr<Nta> DeterminizeToDtac(const Nta& nta, int max_states,
 
   auto intern_h = [&](int a, std::vector<int> h) {
     HGraph& g = graphs[static_cast<std::size_t>(a)];
-    auto it = g.ids.find(h);
-    if (it != g.ids.end()) return it->second;
-    int id = static_cast<int>(g.states.size());
-    g.ids.emplace(h, id);
+    int id = g.ids.Intern(h);
+    if (id < static_cast<int>(g.states.size())) return id;
     g.target.push_back(
         intern_det(TargetSubset(spaces[static_cast<std::size_t>(a)], h)));
     g.states.push_back(std::move(h));
@@ -143,9 +142,8 @@ StatusOr<Nta> DeterminizeToDtac(const Nta& nta, int max_states,
         for (std::size_t s = 0; s < det_states.size(); ++s) {
           if (g.trans[h][s] != -1) continue;
           XTC_RETURN_IF_ERROR(BudgetCheck(budget, "DeterminizeToDtac"));
-          std::vector<int> next =
-              StepH(nta, spaces[static_cast<std::size_t>(a)], g.states[h],
-                    det_states[s]);
+          std::vector<int> next = StepH(spaces[static_cast<std::size_t>(a)],
+                                        g.states[h], det_masks[s]);
           int hid = intern_h(a, std::move(next));
           g.trans[h].resize(det_states.size(), -1);  // intern may grow dets
           g.trans[h][s] = hid;
@@ -177,6 +175,7 @@ StatusOr<Nta> DeterminizeToDtac(const Nta& nta, int max_states,
     for (int s = 0; s < n_det; ++s) {
       bool any_final = false;
       Nfa h(n_det);
+      h.ReserveStates(static_cast<int>(g.states.size()));
       for (std::size_t hs = 0; hs < g.states.size(); ++hs) {
         bool is_final = g.target[hs] == s;
         any_final = any_final || is_final;
@@ -184,6 +183,7 @@ StatusOr<Nta> DeterminizeToDtac(const Nta& nta, int max_states,
       }
       if (!any_final) continue;  // empty horizontal language
       for (std::size_t hs = 0; hs < g.states.size(); ++hs) {
+        h.ReserveEdges(static_cast<int>(hs), static_cast<std::size_t>(n_det));
         for (int sym = 0; sym < n_det; ++sym) {
           int t = g.trans[hs][static_cast<std::size_t>(sym)];
           XTC_CHECK_GE(t, 0);

@@ -29,6 +29,7 @@ StatusOr<Nta> Intersect(const Nta& a, const Nta& b, Budget* budget) {
         // Product of the horizontal NFAs reading paired child states.
         Nfa h(na * nb);
         const int mb = hb->num_states();
+        h.ReserveStates(ha->num_states() * mb);
         for (int sa = 0; sa < ha->num_states(); ++sa) {
           for (int sb = 0; sb < mb; ++sb) {
             h.AddState(ha->initial(sa) && hb->initial(sb),
@@ -36,10 +37,18 @@ StatusOr<Nta> Intersect(const Nta& a, const Nta& b, Budget* budget) {
           }
         }
         for (int sa = 0; sa < ha->num_states(); ++sa) {
-          for (const auto& [ca, ta] : ha->Edges(sa)) {
-            for (int sb = 0; sb < mb; ++sb) {
-              for (const auto& [cb, tb] : hb->Edges(sb)) {
-                h.AddTransition(sa * mb + sb, ca * nb + cb, ta * mb + tb);
+          const auto& ea = ha->Edges(sa);
+          if (ea.empty()) continue;
+          for (int sb = 0; sb < mb; ++sb) {
+            const auto& eb = hb->Edges(sb);
+            if (eb.empty()) continue;
+            // Fill the whole product row at once; AddTransition's per-edge
+            // bounds checks would dominate the build otherwise.
+            auto& row = h.MutableEdges(sa * mb + sb);
+            row.reserve(ea.size() * eb.size());
+            for (const auto& [ca, ta] : ea) {
+              for (const auto& [cb, tb] : eb) {
+                row.emplace_back(ca * nb + cb, ta * mb + tb);
               }
             }
           }

@@ -212,16 +212,16 @@ bool Dtd::PartlySatisfies(const Hedge& hedge) const {
   return true;
 }
 
-const std::vector<bool>& Dtd::InhabitedSymbols() const {
+const StateSet& Dtd::InhabitedSymbols() const {
   if (inhabited_.has_value()) return *inhabited_;
-  std::vector<bool> inhabited(static_cast<std::size_t>(num_symbols_), false);
+  StateSet inhabited(num_symbols_);
   bool changed = true;
   while (changed) {
     changed = false;
     for (int s = 0; s < num_symbols_; ++s) {
-      if (inhabited[static_cast<std::size_t>(s)]) continue;
+      if (inhabited.Test(s)) continue;
       if (RuleNfa(s).AcceptsSomeOver(&inhabited)) {
-        inhabited[static_cast<std::size_t>(s)] = true;
+        inhabited.Set(s);
         changed = true;
       }
     }
@@ -230,11 +230,9 @@ const std::vector<bool>& Dtd::InhabitedSymbols() const {
   return *inhabited_;
 }
 
-bool Dtd::LanguageEmpty() const {
-  return !InhabitedSymbols()[static_cast<std::size_t>(start_)];
-}
+bool Dtd::LanguageEmpty() const { return !InhabitedSymbols().Test(start_); }
 
-std::vector<bool> Dtd::UsableChildren(int parent) const {
+StateSet Dtd::UsableChildren(int parent) const {
   return RuleNfa(parent).SymbolsOnAcceptingPaths(&InhabitedSymbols());
 }
 

@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/base/state_set.h"
 #include "src/base/status.h"
 #include "src/fa/alphabet.h"
 #include "src/fa/dfa.h"
@@ -102,7 +103,7 @@ class Dtd {
   // --- Analysis ---
 
   /// Symbols b with L(d, b) nonempty (least fixpoint).
-  const std::vector<bool>& InhabitedSymbols() const;
+  const StateSet& InhabitedSymbols() const;
 
   /// Whether L(d) = ∅.
   bool LanguageEmpty() const;
@@ -110,7 +111,7 @@ class Dtd {
   /// Symbols occurring in some word of L(d(parent)) all of whose letters are
   /// inhabited (i.e. labels that can actually appear below `parent` in a
   /// valid tree).
-  std::vector<bool> UsableChildren(int parent) const;
+  StateSet UsableChildren(int parent) const;
 
   /// A shortest word of L(d(parent)) over inhabited symbols.
   std::optional<std::vector<int>> ShortestUsableWord(int parent) const;
@@ -139,7 +140,7 @@ class Dtd {
   int start_;
   std::vector<Rule> rules_;
   Rule default_rule_;  // shared ε rule for undeclared symbols
-  mutable std::optional<std::vector<bool>> inhabited_;
+  mutable std::optional<StateSet> inhabited_;
 };
 
 }  // namespace xtc

@@ -86,7 +86,7 @@ TEST_F(DtdTest, RuleKindsAndClassPredicates) {
 }
 
 TEST_F(DtdTest, InhabitedSymbolsAndEmptiness) {
-  const std::vector<bool>& inhabited = dtd_->InhabitedSymbols();
+  const StateSet& inhabited = dtd_->InhabitedSymbols();
   for (int s = 0; s < dtd_->num_symbols(); ++s) {
     EXPECT_TRUE(inhabited[static_cast<std::size_t>(s)]);
   }
@@ -103,7 +103,7 @@ TEST_F(DtdTest, InhabitedSymbolsAndEmptiness) {
 }
 
 TEST_F(DtdTest, UsableChildrenAndWords) {
-  std::vector<bool> children = dtd_->UsableChildren(*alphabet_.Find("book"));
+  StateSet children = dtd_->UsableChildren(*alphabet_.Find("book"));
   EXPECT_TRUE(children[static_cast<std::size_t>(*alphabet_.Find("title"))]);
   EXPECT_TRUE(children[static_cast<std::size_t>(*alphabet_.Find("chapter"))]);
   EXPECT_FALSE(children[static_cast<std::size_t>(*alphabet_.Find("section"))]);

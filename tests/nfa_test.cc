@@ -55,7 +55,7 @@ TEST(NfaTest, EmptinessAndShortestWord) {
 
 TEST(NfaTest, RestrictedAlphabetEmptiness) {
   Nfa n = AbStar();
-  std::vector<bool> only_a{true, false};
+  StateSet only_a = StateSet::FromBools({true, false});
   // Without b only the empty word remains.
   EXPECT_TRUE(n.AcceptsSomeOver(&only_a));
   auto w = n.ShortestAcceptedOver(&only_a);
@@ -70,7 +70,7 @@ TEST(NfaTest, SymbolsOnAcceptingPaths) {
   int s2 = n.AddState(false, false);  // dead end
   n.AddTransition(s0, 0, s1);
   n.AddTransition(s0, 2, s2);  // symbol 2 leads nowhere useful
-  std::vector<bool> used = n.SymbolsOnAcceptingPaths(nullptr);
+  StateSet used = n.SymbolsOnAcceptingPaths(nullptr);
   EXPECT_TRUE(used[0]);
   EXPECT_FALSE(used[1]);
   EXPECT_FALSE(used[2]);
@@ -94,7 +94,7 @@ TEST(NfaTest, FinitenessDetection) {
 
 TEST(NfaTest, FinitenessRespectsAllowedSymbols) {
   Nfa n = AbStar();
-  std::vector<bool> only_a{true, false};
+  StateSet only_a = StateSet::FromBools({true, false});
   EXPECT_FALSE(n.AcceptsInfinitelyManyOver(&only_a));
 }
 

@@ -70,10 +70,9 @@ TEST(ReachableTest, StatesInRhsCollectsSelectorsToo) {
   const RhsHedge* rhs =
       ex.transducer->rule(q, *ex.alphabet->Find("chapter"));
   ASSERT_NE(rhs, nullptr);
-  std::vector<bool> states(
-      static_cast<std::size_t>(ex.transducer->num_states()), false);
+  StateSet states(ex.transducer->num_states());
   StatesInRhs(*rhs, &states);
-  EXPECT_TRUE(states[static_cast<std::size_t>(q)]);
+  EXPECT_TRUE(states.Test(q));
 }
 
 }  // namespace
