@@ -32,11 +32,23 @@ std::uint64_t PeakBytes() {
 // set via counters/args always appear as trailing /-separated integers.
 void SplitRunName(const std::string& run_name, std::string* bench,
                   std::vector<long long>* params) {
-  std::size_t cut = run_name.size();
+  std::string name = run_name;
+  // Benchmarks registered with UseRealTime()/MeasureProcessCPUTime() get a
+  // timing-mode suffix after the numeric params; strip it so the params
+  // still parse.
+  for (const char* suffix :
+       {"/real_time", "/process_time", "/manual_time"}) {
+    const std::size_t len = std::strlen(suffix);
+    if (name.size() > len && name.compare(name.size() - len, len, suffix) == 0) {
+      name.resize(name.size() - len);
+    }
+  }
+  const std::string& run = name;
+  std::size_t cut = run.size();
   while (cut > 0) {
-    const std::size_t slash = run_name.rfind('/', cut - 1);
+    const std::size_t slash = run.rfind('/', cut - 1);
     if (slash == std::string::npos) break;
-    const std::string piece = run_name.substr(slash + 1, cut - slash - 1);
+    const std::string piece = run.substr(slash + 1, cut - slash - 1);
     if (piece.empty() ||
         piece.find_first_not_of("0123456789-") != std::string::npos) {
       break;
@@ -44,7 +56,7 @@ void SplitRunName(const std::string& run_name, std::string* bench,
     params->insert(params->begin(), std::stoll(piece));
     cut = slash;
   }
-  *bench = run_name.substr(0, cut);
+  *bench = run.substr(0, cut);
 }
 
 class JsonLinesReporter : public benchmark::BenchmarkReporter {

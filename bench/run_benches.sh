@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs the paper-experiment benchmarks in --json mode and aggregates their
-# output into a single machine-readable file (default: BENCH_pr2.json at the
+# output into a single machine-readable file (default: BENCH_pr3.json at the
 # repo root). EXPERIMENTS.md documents the format; ci/run_ci.sh compares a
 # fresh run against the checked-in snapshot in its perf-smoke stage.
 #
@@ -9,13 +9,14 @@ set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build}"
-OUT="${2:-$REPO_ROOT/BENCH_pr2.json}"
+OUT="${2:-$REPO_ROOT/BENCH_pr3.json}"
 
 BENCHES=(
   bench_lemma14_scaling
   bench_thm18_hardness
   bench_table1_frontier
   bench_thm20_relab
+  bench_service
 )
 
 TMP_DIR="$(mktemp -d)"
@@ -33,10 +34,15 @@ done
 
 python3 - "$OUT" "$TMP_DIR" "${BENCHES[@]}" <<'EOF'
 import json
+import os
 import sys
 
 out_path, tmp_dir, benches = sys.argv[1], sys.argv[2], sys.argv[3:]
 doc = {"format": "xtc-bench-v1", "suites": {}}
+# Set XTC_TSAN_CLEAN=1 after a green `ctest --preset tsan` pass to record
+# that the service-layer concurrency tests ran race-free for this snapshot.
+if "XTC_TSAN_CLEAN" in os.environ:
+    doc["tsan_clean"] = os.environ["XTC_TSAN_CLEAN"] == "1"
 for b in benches:
     with open(f"{tmp_dir}/{b}.json") as f:
         doc["suites"][b] = json.load(f)

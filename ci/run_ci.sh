@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# CI gate: builds the tier-1 suite twice — a plain RelWithDebInfo build and
-# an ASan+UBSan build — and runs ctest in both, plus an explicit pass over
-# the resource-governance tests (fault-injection sweep, budget semantics,
+# CI gate: builds the tier-1 suite three times — a plain RelWithDebInfo
+# build, an ASan+UBSan build, and a TSan build of the concurrent service
+# layer — and runs ctest in each, plus an explicit pass over the
+# resource-governance tests (fault-injection sweep, budget semantics,
 # malformed-input hardening) under the sanitizers. Any sanitizer report
-# aborts the run (abort_on_error=1), so a green exit means zero leaks and
-# zero UB across every injected failure point.
+# aborts the run (abort_on_error=1 / halt_on_error=1), so a green exit
+# means zero leaks, zero UB across every injected failure point, and zero
+# data races in the multi-threaded typechecking service.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,16 +30,28 @@ ctest --preset asan
 echo "=== fault-injection sweep (sanitized, verbose) ==="
 ctest --preset asan -R "FaultInjection|Budget|Malformed" --output-on-failure
 
-echo "=== perf smoke (Release benches vs checked-in BENCH_pr2.json) ==="
-if [[ -f BENCH_pr2.json ]]; then
+echo "=== configure + build (TSan, service layer) ==="
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j "${JOBS}" --target \
+  service_test service_stress_test compile_cache_test
+
+echo "=== service concurrency tests (TSan) ==="
+ctest --preset tsan -R "Service|CompileCache" --output-on-failure
+
+echo "=== perf smoke (Release benches vs checked-in snapshot) ==="
+SNAPSHOT=""
+for candidate in BENCH_pr3.json BENCH_pr2.json; do
+  if [[ -f "$candidate" ]]; then SNAPSHOT="$candidate"; break; fi
+done
+if [[ -n "$SNAPSHOT" ]]; then
   cmake --preset release >/dev/null
   cmake --build --preset release -j "${JOBS}" --target \
     bench_lemma14_scaling bench_thm18_hardness bench_table1_frontier \
-    bench_thm20_relab
+    bench_thm20_relab bench_service
   bench/run_benches.sh build-release /tmp/bench_smoke.json
-  python3 ci/perf_compare.py BENCH_pr2.json /tmp/bench_smoke.json 2.0
+  python3 ci/perf_compare.py "$SNAPSHOT" /tmp/bench_smoke.json 2.0
 else
-  echo "no BENCH_pr2.json snapshot; skipping perf smoke"
+  echo "no bench snapshot; skipping perf smoke"
 fi
 
 echo "CI: all green"

@@ -15,6 +15,11 @@ class Budget;
 /// slow and error-prone, so a tree's nodes live in an Arena and are freed
 /// all at once when the arena dies. Allocations are never individually
 /// released. The arena is move-only.
+///
+/// Thread-compatibility: single-thread only while allocating. An Arena is
+/// owned by one run on one thread; once the run finishes, the trees inside
+/// it may be read concurrently, but no thread may call Allocate/New (or
+/// set_budget) after the arena is shared (see src/base/README.md).
 class Arena {
  public:
   Arena() = default;

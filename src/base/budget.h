@@ -40,7 +40,9 @@ const char* ExhaustionCauseName(ExhaustionCause cause);
 /// an injected kResourceExhausted, which lets tests sweep every failure
 /// point of an engine and assert each path is clean (fault_injection_test).
 ///
-/// Not thread-safe; one Budget governs one run on one thread.
+/// Thread-compatibility: single-thread only. One Budget governs one run on
+/// one thread; the service layer creates a fresh Budget per request on the
+/// worker thread that executes it (see src/base/README.md).
 class Budget {
  public:
   Budget() = default;
@@ -97,6 +99,23 @@ class Budget {
       std::chrono::steady_clock::now();
   ExhaustionCause cause_ = ExhaustionCause::kNone;
   Status exhausted_status_;
+};
+
+/// Wall-clock stopwatch for ungoverned runs: engines stamp
+/// TypecheckStats::elapsed_ms from the governing Budget when there is one
+/// and from a WallTimer started at entry otherwise, so latency telemetry
+/// (read by the service layer) is populated either way.
+class WallTimer {
+ public:
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
 };
 
 /// Null-tolerant checkpoint: ungoverned runs pass a nullptr budget and

@@ -1,0 +1,32 @@
+#ifndef XTC_BASE_HASH_H_
+#define XTC_BASE_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace xtc {
+
+/// FNV-1a over bytes with a splitmix64 finalizer — the same recipe as
+/// StateSet::Hash, lifted to strings. The compile cache addresses artifacts
+/// by the hash of their canonical text; the full text is kept alongside and
+/// compared on lookup, so a hash collision costs a probe, never a wrong
+/// artifact.
+inline std::uint64_t HashBytes(std::string_view bytes,
+                               std::uint64_t seed = 0xcbf29ce484222325ull) {
+  std::uint64_t h = seed;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  // splitmix64 finalizer: FNV alone is weak in the high bits.
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace xtc
+
+#endif  // XTC_BASE_HASH_H_

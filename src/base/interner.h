@@ -20,6 +20,10 @@ namespace xtc {
 ///
 /// Ids are dense and assigned in first-insertion order, so callers can use
 /// them directly as indices into side arrays (worklists, entry tables).
+///
+/// Thread-compatibility: single-thread only. Each engine run owns its
+/// interners; Intern rehashes and grows the pool, so concurrent readers of
+/// Get()/Find() would race with any writer (see src/base/README.md).
 class SubsetInterner {
  public:
   SubsetInterner() = default;

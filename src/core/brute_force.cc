@@ -151,6 +151,7 @@ StatusOr<std::vector<Node*>> EnumerateValidTrees(
 StatusOr<TypecheckResult> TypecheckBruteForce(const Transducer& t,
                                               const Dtd& din, const Dtd& dout,
                                               const BruteForceOptions& options) {
+  WallTimer timer;
   TypecheckResult result;
   result.arena = std::make_shared<Arena>();
   TreeBuilder builder(result.arena.get());
@@ -176,6 +177,8 @@ StatusOr<TypecheckResult> TypecheckBruteForce(const Transducer& t,
     result.stats.budget_bytes = options.budget->bytes_charged();
     result.stats.elapsed_ms = options.budget->elapsed_ms();
     result.stats.exhaustion = options.budget->cause();
+  } else {
+    result.stats.elapsed_ms = timer.elapsed_ms();
   }
   return result;
 }

@@ -134,6 +134,7 @@ StatusOr<TypecheckResult> TypecheckMinVast(const Transducer& t, const Dtd& din,
     return FailedPreconditionError(
         "the t_min/t_vast algorithm requires DTD(RE+) schemas");
   }
+  WallTimer timer;
   TypecheckResult result;
   result.arena = std::make_shared<Arena>();
   TreeBuilder builder(result.arena.get());
@@ -144,6 +145,8 @@ StatusOr<TypecheckResult> TypecheckMinVast(const Transducer& t, const Dtd& din,
       result.stats.budget_bytes = options.budget->bytes_charged();
       result.stats.elapsed_ms = options.budget->elapsed_ms();
       result.stats.exhaustion = options.budget->cause();
+    } else {
+      result.stats.elapsed_ms = timer.elapsed_ms();
     }
   };
 

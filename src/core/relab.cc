@@ -353,6 +353,7 @@ StatusOr<TypecheckResult> TypecheckDelRelabNta(const Transducer& t,
                                                const Nta& ain,
                                                const Nta& aout_dtac,
                                                const TypecheckOptions& options) {
+  WallTimer timer;
   TypecheckResult result;
   result.arena = std::make_shared<Arena>();
   ArenaBudgetScope arena_scope(result.arena, options.budget);
@@ -365,6 +366,8 @@ StatusOr<TypecheckResult> TypecheckDelRelabNta(const Transducer& t,
     result.stats.budget_bytes = options.budget->bytes_charged();
     result.stats.elapsed_ms = options.budget->elapsed_ms();
     result.stats.exhaustion = options.budget->cause();
+  } else {
+    result.stats.elapsed_ms = timer.elapsed_ms();
   }
   return result;
 }
@@ -373,6 +376,7 @@ StatusOr<TypecheckResult> TypecheckDelRelab(const Transducer& t,
                                             const Dtd& din, const Dtd& dout,
                                             const TypecheckOptions& options) {
   XTC_CHECK(t.alphabet() == din.alphabet() && t.alphabet() == dout.alphabet());
+  WallTimer timer;
   TypecheckResult result;
   result.arena = std::make_shared<Arena>();
   TreeBuilder builder(result.arena.get());
@@ -385,6 +389,8 @@ StatusOr<TypecheckResult> TypecheckDelRelab(const Transducer& t,
       result.stats.budget_bytes = options.budget->bytes_charged();
       result.stats.elapsed_ms = options.budget->elapsed_ms();
       result.stats.exhaustion = options.budget->cause();
+    } else {
+      result.stats.elapsed_ms = timer.elapsed_ms();
     }
   };
   if (din.LanguageEmpty()) {

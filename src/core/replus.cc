@@ -188,6 +188,7 @@ StatusOr<TypecheckResult> TypecheckRePlus(const Transducer& t, const Dtd& din,
   }
   XTC_CHECK(t.alphabet() == din.alphabet() && t.alphabet() == dout.alphabet());
 
+  WallTimer timer;
   TypecheckResult result;
   result.arena = std::make_shared<Arena>();
   TreeBuilder builder(result.arena.get());
@@ -200,6 +201,8 @@ StatusOr<TypecheckResult> TypecheckRePlus(const Transducer& t, const Dtd& din,
       result.stats.budget_bytes = options.budget->bytes_charged();
       result.stats.elapsed_ms = options.budget->elapsed_ms();
       result.stats.exhaustion = options.budget->cause();
+    } else {
+      result.stats.elapsed_ms = timer.elapsed_ms();
     }
   };
 

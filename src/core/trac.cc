@@ -537,6 +537,7 @@ StatusOr<TypecheckResult> Engine::Run() {
                 "compile selectors before typechecking (Theorems 23/29)");
   XTC_CHECK(t_.alphabet() == din_.alphabet() &&
             t_.alphabet() == dout_.alphabet());
+  WallTimer timer;
   TypecheckResult result;
   result.arena = std::make_shared<Arena>();
   TreeBuilder builder(result.arena.get());
@@ -550,6 +551,8 @@ StatusOr<TypecheckResult> Engine::Run() {
       result.stats.budget_bytes = options_.budget->bytes_charged();
       result.stats.elapsed_ms = options_.budget->elapsed_ms();
       result.stats.exhaustion = options_.budget->cause();
+    } else {
+      result.stats.elapsed_ms = timer.elapsed_ms();
     }
   };
 

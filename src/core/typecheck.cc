@@ -19,13 +19,30 @@ namespace {
 StatusOr<TypecheckResult> TypecheckExact(const Transducer& t, const Dtd& din,
                                          const Dtd& dout,
                                          const TypecheckOptions& options) {
-  // DTD(NFA) schemas: determinize (the PSPACE price), then re-dispatch.
+  // DTD(NFA) schemas: swap in a cached determinization when the caller has
+  // one, otherwise determinize here (the PSPACE price), then re-dispatch.
   if (!din.IsDfaDtd() || !dout.IsDfaDtd()) {
-    return TypecheckViaDeterminization(t, din, dout, options);
+    const Dtd* ein = &din;
+    const Dtd* eout = &dout;
+    if (!din.IsDfaDtd() && options.din_determinized != nullptr) {
+      ein = options.din_determinized;
+    }
+    if (!dout.IsDfaDtd() && options.dout_determinized != nullptr) {
+      eout = options.dout_determinized;
+    }
+    if (!ein->IsDfaDtd() || !eout->IsDfaDtd()) {
+      return TypecheckViaDeterminization(t, *ein, *eout, options);
+    }
+    return TypecheckExact(t, *ein, *eout, options);
   }
 
-  WidthAnalysis widths = AnalyzeWidths(t);
-  if (widths.dpw_bounded) {
+  WidthAnalysis local_widths;
+  const WidthAnalysis* widths = options.widths;
+  if (widths == nullptr) {
+    local_widths = AnalyzeWidths(t);
+    widths = &local_widths;
+  }
+  if (widths->dpw_bounded) {
     // T_trac: the Lemma 14 engine (Theorem 15), PTIME for fixed C, K.
     return TypecheckTrac(t, din, dout, options);
   }
@@ -53,18 +70,29 @@ bool VerifyCounterexample(const Transducer& t, const Dtd& din, const Dtd& dout,
 StatusOr<TypecheckResult> Typecheck(const Transducer& t, const Dtd& din,
                                     const Dtd& dout,
                                     const TypecheckOptions& options) {
+  WallTimer timer;
   // Selectors are compiled away first (Theorems 23/29).
   std::optional<Transducer> compiled;
   const Transducer* effective = &t;
+  TypecheckOptions effective_options = options;
   if (t.HasSelectors()) {
     StatusOr<Transducer> c = CompileSelectors(t);
     if (!c.ok()) return c.status();
     compiled = *std::move(c);
     effective = &*compiled;
+    // A caller-supplied width analysis describes the caller's selector-free
+    // transducer, not the one compiled here.
+    effective_options.widths = nullptr;
   }
 
   StatusOr<TypecheckResult> exact =
-      TypecheckExact(*effective, din, dout, options);
+      TypecheckExact(*effective, din, dout, effective_options);
+  if (exact.ok() && exact->stats.elapsed_ms == 0) {
+    // Engines stamp governed runs from their Budget; the front door covers
+    // whatever is left (including selector compilation) so service latency
+    // telemetry is never zero.
+    exact->stats.elapsed_ms = timer.elapsed_ms();
+  }
   if (exact.ok() || !options.approximate_fallback ||
       exact.status().code() != StatusCode::kResourceExhausted) {
     return exact;
@@ -98,9 +126,10 @@ StatusOr<TypecheckResult> Typecheck(const Transducer& t, const Dtd& din,
   if (fallback_budget != nullptr) {
     result.stats.budget_checkpoints = fallback_budget->checkpoints();
     result.stats.budget_bytes = fallback_budget->bytes_charged();
-    result.stats.elapsed_ms = fallback_budget->elapsed_ms();
     result.stats.exhaustion = fallback_budget->cause();
   }
+  // Degraded-path latency covers the exhausted exact attempt as well.
+  result.stats.elapsed_ms = timer.elapsed_ms();
   return result;
 }
 

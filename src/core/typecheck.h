@@ -10,6 +10,7 @@
 #include "src/base/status.h"
 #include "src/schema/dtd.h"
 #include "src/td/transducer.h"
+#include "src/td/widths.h"
 #include "src/tree/tree.h"
 
 namespace xtc {
@@ -68,6 +69,23 @@ struct TypecheckOptions {
   bool want_counterexample = true;
   Budget* budget = nullptr;
   bool approximate_fallback = false;
+
+  // --- Pre-compiled artifacts (the service compile cache) ---
+  //
+  // All three are borrowed and must outlive the call. They let repeated
+  // requests against cached schemas/transducers skip the per-call analysis
+  // and determinization work; correctness is the caller's contract — the
+  // artifacts must genuinely describe the `t`/`din`/`dout` being passed.
+
+  /// Width analysis of the (selector-free) transducer; when null the
+  /// dispatch runs AnalyzeWidths itself.
+  const WidthAnalysis* widths = nullptr;
+
+  /// DTD(DFA) determinizations of `din`/`dout`, used instead of re-running
+  /// the subset construction when a schema is not already DTD(DFA). Must
+  /// share the schema's Alphabet object.
+  const Dtd* din_determinized = nullptr;
+  const Dtd* dout_determinized = nullptr;
 };
 
 /// Checks a claimed counterexample against the definition: t must satisfy

@@ -1,0 +1,31 @@
+#ifndef XTC_SCHEMA_CANONICAL_H_
+#define XTC_SCHEMA_CANONICAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/schema/dtd.h"
+
+namespace xtc {
+
+/// A canonical, content-complete text rendering of a DTD, used as the
+/// content address of compiled schema artifacts (src/service). Two DTDs get
+/// the same text iff they are structurally identical: same alphabet id->name
+/// mapping, same start symbol, and per-symbol rules whose representations
+/// (regex AST, NFA, or DFA) are equal. Rules are listed in symbol-name
+/// order and regexes re-rendered from their ASTs, so serialization noise
+/// (rule order, whitespace, ',' vs ' ' concatenation) does not split cache
+/// entries, while structurally different rules ("a|b" vs "b|a") do.
+///
+/// The alphabet section pins the id space: a schema parsed under a
+/// different symbol universe compiles to different automata (rule NFAs are
+/// sized by the alphabet), so it must — and does — get a different address.
+std::string CanonicalDtdText(const Dtd& dtd);
+
+/// HashBytes(CanonicalDtdText(dtd)): the bucket key of the compile cache.
+/// Collisions are resolved by full-text comparison, never by trust.
+std::uint64_t StructuralDtdHash(const Dtd& dtd);
+
+}  // namespace xtc
+
+#endif  // XTC_SCHEMA_CANONICAL_H_

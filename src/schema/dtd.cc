@@ -135,6 +135,44 @@ const RePlus* Dtd::RuleRePlus(int symbol) const {
   return r.re_plus.has_value() ? &*r.re_plus : nullptr;
 }
 
+Status Dtd::Compile(Budget* budget) {
+  // The shared default-ε rule is forced too: RuleDfa on an undeclared
+  // symbol would otherwise write into default_rule_ on first use.
+  auto force = [&](const Rule& r) -> Status {
+    XTC_RETURN_IF_ERROR(BudgetCheck(budget, "Dtd::Compile"));
+    if (!r.dfa.has_value()) {
+      XTC_ASSIGN_OR_RETURN(r.dfa, Dfa::FromNfa(*r.nfa, budget));
+      if (budget != nullptr) budget->ChargeBytes(r.dfa->Size() * sizeof(int));
+    }
+    if (!r.dfa_complete.has_value()) {
+      r.dfa_complete = r.dfa->Completed();
+      if (budget != nullptr) {
+        budget->ChargeBytes(r.dfa_complete->Size() * sizeof(int));
+      }
+    }
+    return Status::Ok();
+  };
+  XTC_RETURN_IF_ERROR(force(default_rule_));
+  for (int s = 0; s < num_symbols_; ++s) {
+    const Rule& r = rules_[static_cast<std::size_t>(s)];
+    if (r.kind == RuleKind::kEpsilonDefault && !r.nfa.has_value()) continue;
+    XTC_RETURN_IF_ERROR(force(r));
+  }
+  (void)InhabitedSymbols();
+  return Status::Ok();
+}
+
+bool Dtd::IsCompiled() const {
+  if (!inhabited_.has_value()) return false;
+  if (!default_rule_.dfa_complete.has_value()) return false;
+  for (int s = 0; s < num_symbols_; ++s) {
+    const Rule& r = rules_[static_cast<std::size_t>(s)];
+    if (r.kind == RuleKind::kEpsilonDefault && !r.nfa.has_value()) continue;
+    if (!r.dfa.has_value() || !r.dfa_complete.has_value()) return false;
+  }
+  return true;
+}
+
 bool Dtd::IsRePlusDtd() const {
   for (int s = 0; s < num_symbols_; ++s) {
     const Rule& r = rule(s);

@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/base/budget.h"
 #include "src/base/state_set.h"
 #include "src/base/status.h"
 #include "src/fa/alphabet.h"
@@ -75,6 +76,20 @@ class Dtd {
 
   /// The rule's RE+ shape, if it has one.
   const RePlus* RuleRePlus(int symbol) const;
+
+  /// Forces every lazily computed member — each rule's (complete) DFA and
+  /// the inhabitation fixpoint — so that all later const access is a pure
+  /// read. A Dtd is thread-compatible only after Compile(): RuleDfa /
+  /// RuleDfaComplete / InhabitedSymbols populate `mutable` caches on first
+  /// use, which is a data race when a cached schema artifact is shared
+  /// across service workers (src/base/README.md). The subset constructions
+  /// are governed by `budget` — for DTD(NFA) rules they are worst-case
+  /// exponential (the PSPACE price of Table 1), and a compile cache must
+  /// degrade softly rather than thrash on a hostile schema.
+  Status Compile(Budget* budget = nullptr);
+
+  /// Whether Compile() has run (and no rule was reinstalled since).
+  bool IsCompiled() const;
 
   /// Whether every rule is RE+ (DTD(RE+), Section 5).
   bool IsRePlusDtd() const;

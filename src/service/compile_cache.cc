@@ -1,0 +1,256 @@
+#include "src/service/compile_cache.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/base/hash.h"
+#include "src/core/nfa_dtd.h"
+#include "src/schema/canonical.h"
+#include "src/td/canonical.h"
+#include "src/td/compile_selectors.h"
+
+namespace xtc {
+namespace {
+
+// Flat overhead charged per artifact on top of the measured automata bytes:
+// the canonical key strings, map nodes, and the artifact struct itself.
+constexpr std::size_t kEntryBaseBytes = 1024;
+
+}  // namespace
+
+CompileCache::CompileCache() : CompileCache(Options()) {}
+
+CompileCache::CompileCache(const Options& options) : options_(options) {}
+
+Budget CompileCache::MakeCompileBudget() const {
+  Budget budget;
+  if (options_.compile_max_bytes != 0) {
+    budget.set_max_bytes(options_.compile_max_bytes);
+  }
+  if (options_.compile_deadline_ms != 0) {
+    budget.set_deadline(
+        std::chrono::milliseconds(options_.compile_deadline_ms));
+  }
+  return budget;
+}
+
+std::string CompileCache::UniverseKeyOf(const Alphabet& alphabet) const {
+  // Names never contain '\n' (every parser in the repo shares the
+  // [A-Za-z0-9_#$.:-] name charset), so the join is injective.
+  std::string key;
+  for (int i = 0; i < alphabet.size(); ++i) {
+    key += alphabet.Name(i);
+    key += '\n';
+  }
+  return key;
+}
+
+std::shared_ptr<Alphabet> CompileCache::GetOrCreateAlphabet(
+    const std::vector<std::string>& universe) {
+  std::string key;
+  for (const std::string& name : universe) {
+    key += name;
+    key += '\n';
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = universes_.find(key);
+  if (it != universes_.end()) {
+    universe_lru_.splice(universe_lru_.begin(), universe_lru_,
+                         it->second.lru_it);
+    return it->second.alphabet;
+  }
+  auto alphabet = std::make_shared<Alphabet>();
+  for (const std::string& name : universe) alphabet->Intern(name);
+  universe_lru_.push_front(key);
+  universes_.emplace(std::move(key),
+                     Universe{alphabet, universe_lru_.begin()});
+  while (universes_.size() > options_.max_universes) {
+    // Cascade: artifacts of the evicted universe reference an Alphabet
+    // object that a later identical universe would NOT be (pointer
+    // identity), so they must go with it.
+    const std::string victim = universe_lru_.back();
+    universe_lru_.pop_back();
+    universes_.erase(victim);
+    std::vector<std::string> stale;
+    for (const auto& [entry_key, entry] : entries_) {
+      if (entry.universe_key == victim) stale.push_back(entry_key);
+    }
+    for (const std::string& entry_key : stale) EraseEntryLocked(entry_key);
+  }
+  return alphabet;
+}
+
+CompileCache::Entry* CompileCache::LookupLocked(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return &it->second;
+}
+
+void CompileCache::InsertLocked(std::string key, Entry entry) {
+  lru_.push_front(key);
+  entry.lru_it = lru_.begin();
+  bytes_ += entry.bytes;
+  entries_.emplace(std::move(key), std::move(entry));
+  EvictOverflowLocked();
+}
+
+void CompileCache::EvictOverflowLocked() {
+  // Evict from the cold end until under the ceiling; the just-touched front
+  // entry always survives (an artifact larger than the whole ceiling would
+  // otherwise never be usable at all).
+  while (bytes_ > options_.max_bytes && entries_.size() > 1) {
+    std::string victim = lru_.back();
+    EraseEntryLocked(victim);
+    ++counters_.evictions;
+  }
+}
+
+void CompileCache::EraseEntryLocked(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  bytes_ -= it->second.bytes;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+StatusOr<std::shared_ptr<const CompiledSchema>>
+CompileCache::GetOrCompileSchema(const SchemaSpec& spec,
+                                 const std::shared_ptr<Alphabet>& alphabet,
+                                 bool* cache_hit) {
+  if (cache_hit != nullptr) *cache_hit = false;
+  // The skeleton build (parse + Glushkov) is cheap and performs no
+  // interning: the universe alphabet already contains every name the spec
+  // can mention (CollectUniverse derived it from this very spec), so
+  // concurrent skeleton builds against the shared alphabet are pure reads.
+  XTC_ASSIGN_OR_RETURN(Dtd skeleton, BuildSchemaSkeleton(spec, alphabet.get()));
+  std::string key = CanonicalDtdText(skeleton);
+  std::uint64_t hash = HashBytes(key);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (Entry* entry = LookupLocked(key); entry != nullptr) {
+      if (entry->schema->alphabet == alphabet) {
+        ++counters_.hits;
+        if (cache_hit != nullptr) *cache_hit = true;
+        return entry->schema;
+      }
+      // Stale generation: the entry was compiled against a prior Alphabet
+      // instance of this universe (inserted by a worker that raced a
+      // cascade eviction). Engines assert alphabet pointer identity, so it
+      // is unusable with the caller's alphabet — drop it and recompile.
+      EraseEntryLocked(key);
+    }
+    ++counters_.misses;
+  }
+
+  // Compile outside the lock: subset construction + completion +
+  // inhabitation, and determinization for non-DFA schemas — the expensive,
+  // worst-case-exponential work the cache exists to amortize.
+  Budget budget = MakeCompileBudget();
+  auto artifact = std::make_shared<CompiledSchema>();
+  artifact->alphabet = alphabet;
+  artifact->key = key;
+  artifact->hash = hash;
+  auto dtd = std::make_shared<Dtd>(std::move(skeleton));
+  XTC_RETURN_IF_ERROR(dtd->Compile(&budget));
+  if (!dtd->IsDfaDtd()) {
+    XTC_ASSIGN_OR_RETURN(
+        Dtd det, DeterminizeDtd(*dtd, options_.max_dfa_states, &budget));
+    auto det_ptr = std::make_shared<Dtd>(std::move(det));
+    XTC_RETURN_IF_ERROR(det_ptr->Compile(&budget));
+    artifact->determinized = std::move(det_ptr);
+  }
+  artifact->dtd = std::move(dtd);
+  artifact->bytes = kEntryBaseBytes + 2 * key.size() +
+                    static_cast<std::size_t>(budget.bytes_charged()) +
+                    artifact->dtd->Size() * sizeof(int);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* entry = LookupLocked(key); entry != nullptr) {
+    if (entry->schema->alphabet == alphabet) {
+      // A concurrent worker compiled the same content first; adopt its
+      // artifact so equal content has one pointer identity cache-wide.
+      return entry->schema;
+    }
+    EraseEntryLocked(key);  // stale generation; replace with ours below
+  }
+  Entry entry;
+  entry.universe_key = UniverseKeyOf(*alphabet);
+  entry.schema = artifact;
+  entry.bytes = artifact->bytes;
+  InsertLocked(std::move(key), std::move(entry));
+  return std::shared_ptr<const CompiledSchema>(artifact);
+}
+
+StatusOr<std::shared_ptr<const CompiledTransducer>>
+CompileCache::GetOrCompileTransducer(const TransducerSpec& spec,
+                                     const std::shared_ptr<Alphabet>& alphabet,
+                                     bool* cache_hit) {
+  if (cache_hit != nullptr) *cache_hit = false;
+  XTC_ASSIGN_OR_RETURN(Transducer skeleton,
+                       BuildTransducerSkeleton(spec, alphabet.get()));
+  std::string key = CanonicalTransducerText(skeleton);
+  std::uint64_t hash = HashBytes(key);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (Entry* entry = LookupLocked(key); entry != nullptr) {
+      if (entry->transducer->alphabet == alphabet) {
+        ++counters_.hits;
+        if (cache_hit != nullptr) *cache_hit = true;
+        return entry->transducer;
+      }
+      EraseEntryLocked(key);  // stale generation (see GetOrCompileSchema)
+    }
+    ++counters_.misses;
+  }
+
+  auto artifact = std::make_shared<CompiledTransducer>();
+  artifact->alphabet = alphabet;
+  artifact->key = key;
+  artifact->hash = hash;
+  auto original = std::make_shared<Transducer>(std::move(skeleton));
+  if (original->HasSelectors()) {
+    XTC_ASSIGN_OR_RETURN(Transducer compiled, CompileSelectors(*original));
+    artifact->selector_free =
+        std::make_shared<const Transducer>(std::move(compiled));
+  } else {
+    artifact->selector_free = original;
+  }
+  artifact->original = std::move(original);
+  artifact->widths = AnalyzeWidths(*artifact->selector_free);
+  artifact->bytes =
+      kEntryBaseBytes + 2 * key.size() +
+      (artifact->original->Size() + artifact->selector_free->Size()) * 64;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* entry = LookupLocked(key); entry != nullptr) {
+    if (entry->transducer->alphabet == alphabet) return entry->transducer;
+    EraseEntryLocked(key);  // stale generation; replace with ours below
+  }
+  Entry entry;
+  entry.universe_key = UniverseKeyOf(*alphabet);
+  entry.transducer = artifact;
+  entry.bytes = artifact->bytes;
+  InsertLocked(std::move(key), std::move(entry));
+  return std::shared_ptr<const CompiledTransducer>(artifact);
+}
+
+CompileCache::Stats CompileCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats = counters_;
+  stats.bytes = bytes_;
+  stats.entries = entries_.size();
+  stats.universes = universes_.size();
+  return stats;
+}
+
+void CompileCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+  universes_.clear();
+  universe_lru_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace xtc

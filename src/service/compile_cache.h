@@ -1,0 +1,164 @@
+#ifndef XTC_SERVICE_COMPILE_CACHE_H_
+#define XTC_SERVICE_COMPILE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/budget.h"
+#include "src/base/status.h"
+#include "src/fa/alphabet.h"
+#include "src/schema/dtd.h"
+#include "src/service/request.h"
+#include "src/td/transducer.h"
+#include "src/td/widths.h"
+
+namespace xtc {
+
+/// An immutable, fully compiled schema artifact. `dtd` has been
+/// Dtd::Compile()d (every lazy cache forced) and `determinized` — present
+/// exactly when the schema is not DTD(DFA) — likewise, so concurrent reads
+/// from service workers are pure. Both share the universe `alphabet`
+/// object; the engines compare alphabets by pointer, so artifacts may only
+/// be combined with artifacts of the same universe (the cache guarantees
+/// this by keying every artifact on the universe's id->name section).
+struct CompiledSchema {
+  std::shared_ptr<Alphabet> alphabet;
+  std::shared_ptr<const Dtd> dtd;
+  std::shared_ptr<const Dtd> determinized;  ///< null when dtd->IsDfaDtd()
+  std::string key;                          ///< CanonicalDtdText(*dtd)
+  std::uint64_t hash = 0;                   ///< HashBytes(key)
+  std::size_t bytes = 0;                    ///< accounted size (LRU unit)
+};
+
+/// An immutable compiled transducer artifact: the transducer as parsed
+/// (selectors intact, for `transform`), its selector-free compilation
+/// (Theorems 23/29; identical pointer when already selector-free), and the
+/// width analysis of the selector-free form (Proposition 16) so typecheck
+/// requests skip re-deriving C and K.
+struct CompiledTransducer {
+  std::shared_ptr<Alphabet> alphabet;
+  std::shared_ptr<const Transducer> original;
+  std::shared_ptr<const Transducer> selector_free;
+  WidthAnalysis widths;  ///< of *selector_free
+  std::string key;       ///< CanonicalTransducerText(*original)
+  std::uint64_t hash = 0;
+  std::size_t bytes = 0;
+};
+
+/// A content-addressed cache of compiled schema/transducer artifacts plus
+/// the registry of universe alphabets they are bound to.
+///
+/// Content addressing: the key is the canonical text of the component
+/// (src/schema/canonical.h, src/td/canonical.h), which embeds the universe
+/// id->name section; the 64-bit structural hash only buckets, equality is
+/// always by full key comparison — hash collisions can cost a lookup, never
+/// alias artifacts.
+///
+/// Universes: one immutable Alphabet object per distinct sorted name set,
+/// interned in sorted order so ids are deterministic. Artifacts hold a
+/// shared_ptr to their universe's alphabet; evicting a universe cascades to
+/// its artifacts (a re-created universe is a *different* Alphabet object,
+/// and the engines' pointer comparison must never see a stale one).
+///
+/// Eviction: strict LRU over artifacts, triggered when accounted bytes
+/// exceed `max_bytes` (sizes are measured with the PR-1 Budget byte
+/// accounting during compilation). Universe registry is LRU-capped by
+/// count. Evicted artifacts stay alive while in-flight requests hold them.
+///
+/// Concurrency: lookups and inserts are mutex-guarded; compilation runs
+/// outside the lock. Two workers missing on the same key both compile;
+/// the first insert wins and the loser adopts it — slightly wasteful,
+/// never incorrect.
+///
+/// Thread-compatibility: thread-safe (all public methods).
+class CompileCache {
+ public:
+  struct Options {
+    /// Artifact byte ceiling before LRU eviction starts.
+    std::size_t max_bytes = std::size_t{64} << 20;
+    /// Max distinct universe alphabets kept.
+    std::size_t max_universes = 64;
+    /// Per-compile Budget byte ceiling: one hostile schema cannot blow up
+    /// the process during subset construction (kResourceExhausted instead).
+    std::size_t compile_max_bytes = std::size_t{64} << 20;
+    /// Per-compile deadline (0 = none).
+    std::uint64_t compile_deadline_ms = 0;
+    /// Per-rule DFA state cap for DTD(NFA) determinization.
+    int max_dfa_states = 1 << 16;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t bytes = 0;
+    std::size_t entries = 0;
+    std::size_t universes = 0;
+  };
+
+  CompileCache();  ///< default Options
+  explicit CompileCache(const Options& options);
+
+  /// The shared Alphabet for `universe` (sorted unique names, as returned
+  /// by CollectUniverse), creating and registering it on first use. The
+  /// returned object is frozen by contract: callers must never Intern into
+  /// it (src/base/README.md).
+  std::shared_ptr<Alphabet> GetOrCreateAlphabet(
+      const std::vector<std::string>& universe);
+
+  /// Returns the compiled artifact for `spec` under `alphabet`, compiling
+  /// on miss. `cache_hit` (optional) reports whether this call was served
+  /// from cache. Compile failures (budget exhaustion, bad rules) are not
+  /// cached; the next request retries.
+  StatusOr<std::shared_ptr<const CompiledSchema>> GetOrCompileSchema(
+      const SchemaSpec& spec, const std::shared_ptr<Alphabet>& alphabet,
+      bool* cache_hit = nullptr);
+
+  StatusOr<std::shared_ptr<const CompiledTransducer>> GetOrCompileTransducer(
+      const TransducerSpec& spec, const std::shared_ptr<Alphabet>& alphabet,
+      bool* cache_hit = nullptr);
+
+  Stats stats() const;
+
+  /// Drops all artifacts and universes (cumulative counters are kept).
+  void Clear();
+
+ private:
+  struct Entry {
+    std::string universe_key;
+    std::shared_ptr<const CompiledSchema> schema;  // exactly one of these
+    std::shared_ptr<const CompiledTransducer> transducer;  // two is set
+    std::size_t bytes = 0;
+    std::list<std::string>::iterator lru_it;
+  };
+  struct Universe {
+    std::shared_ptr<Alphabet> alphabet;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  Budget MakeCompileBudget() const;
+  std::string UniverseKeyOf(const Alphabet& alphabet) const;
+  // All *Locked helpers require mu_ held.
+  Entry* LookupLocked(const std::string& key);
+  void InsertLocked(std::string key, Entry entry);
+  void EvictOverflowLocked();
+  void EraseEntryLocked(const std::string& key);
+
+  const Options options_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  ///< front = most recently used artifact key
+  std::unordered_map<std::string, Universe> universes_;
+  std::list<std::string> universe_lru_;  ///< front = most recently used
+  std::size_t bytes_ = 0;
+  Stats counters_;  ///< hits/misses/evictions (sizes derived on read)
+};
+
+}  // namespace xtc
+
+#endif  // XTC_SERVICE_COMPILE_CACHE_H_

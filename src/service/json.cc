@@ -1,0 +1,429 @@
+#include "src/service/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/base/logging.h"
+
+namespace xtc {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::Str(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+bool JsonValue::AsBool() const {
+  XTC_CHECK(kind_ == Kind::kBool);
+  return bool_;
+}
+
+double JsonValue::AsNumber() const {
+  XTC_CHECK(kind_ == Kind::kNumber);
+  return number_;
+}
+
+const std::string& JsonValue::AsString() const {
+  XTC_CHECK(kind_ == Kind::kString);
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::AsArray() const {
+  XTC_CHECK(kind_ == Kind::kArray);
+  return array_;
+}
+
+std::vector<JsonValue>& JsonValue::MutableArray() {
+  XTC_CHECK(kind_ == Kind::kArray);
+  return array_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::AsObject()
+    const {
+  XTC_CHECK(kind_ == Kind::kObject);
+  return object_;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void JsonValue::Set(std::string key, JsonValue value) {
+  XTC_CHECK(kind_ == Kind::kObject);
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+void AppendJsonString(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void JsonValue::DumpTo(std::string* out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out->append("null");
+      break;
+    case Kind::kBool:
+      out->append(bool_ ? "true" : "false");
+      break;
+    case Kind::kNumber: {
+      // Integers (the common case: ids, deadlines, counts) print exactly.
+      if (std::floor(number_) == number_ && std::abs(number_) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(number_));
+        out->append(buf);
+      } else {
+        // Shortest representation that round-trips ("9.446", not
+        // "9.4459999999999997").
+        char buf[32];
+        auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), number_);
+        XTC_CHECK(ec == std::errc());
+        out->append(buf, end);
+      }
+      break;
+    }
+    case Kind::kString:
+      AppendJsonString(string_, out);
+      break;
+    case Kind::kArray: {
+      out->push_back('[');
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        array_[i].DumpTo(out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      out->push_back('{');
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        AppendJsonString(object_[i].first, out);
+        out->push_back(':');
+        object_[i].second.DumpTo(out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpTo(&out);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<JsonValue> Parse() {
+    StatusOr<JsonValue> v = ParseValue(/*depth=*/0);
+    if (!v.ok()) return v;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return InvalidArgumentError("trailing characters after JSON value at " +
+                                  Where());
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  std::string Where() const { return "offset " + std::to_string(pos_); }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view w) {
+    if (text_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) {
+      return InvalidArgumentError("JSON nesting exceeds depth fuel (64)");
+    }
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return InvalidArgumentError("unexpected end of JSON input");
+    }
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(depth);
+    if (c == '[') return ParseArray(depth);
+    if (c == '"') {
+      XTC_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return JsonValue::Str(std::move(s));
+    }
+    if (ConsumeWord("true")) return JsonValue::Bool(true);
+    if (ConsumeWord("false")) return JsonValue::Bool(false);
+    if (ConsumeWord("null")) return JsonValue::Null();
+    if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+    return InvalidArgumentError(std::string("unexpected character '") + c +
+                                "' at " + Where());
+  }
+
+  StatusOr<JsonValue> ParseNumber() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || token.empty()) {
+      return InvalidArgumentError("malformed number '" + token + "' at " +
+                                  Where());
+    }
+    return JsonValue::Number(d);
+  }
+
+  void AppendUtf8(unsigned code, std::string* out) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  StatusOr<unsigned> ParseHex4() {
+    if (pos_ + 4 > text_.size()) {
+      return InvalidArgumentError("truncated \\u escape at " + Where());
+    }
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_ + static_cast<std::size_t>(i)];
+      code <<= 4;
+      if (h >= '0' && h <= '9') {
+        code |= static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        code |= static_cast<unsigned>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        code |= static_cast<unsigned>(h - 'A' + 10);
+      } else {
+        return InvalidArgumentError("invalid \\u escape at " + Where());
+      }
+    }
+    pos_ += 4;
+    return code;
+  }
+
+  StatusOr<std::string> ParseString() {
+    if (!Consume('"')) {
+      return InvalidArgumentError("expected '\"' at " + Where());
+    }
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        return InvalidArgumentError("unterminated string");
+      }
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return InvalidArgumentError("raw control character in string at " +
+                                    Where());
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        return InvalidArgumentError("truncated escape at end of input");
+      }
+      c = text_[pos_++];
+      switch (c) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(c);
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          XTC_ASSIGN_OR_RETURN(unsigned code, ParseHex4());
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // Surrogate pair.
+            if (!ConsumeWord("\\u")) {
+              return InvalidArgumentError("lone high surrogate at " + Where());
+            }
+            XTC_ASSIGN_OR_RETURN(unsigned low, ParseHex4());
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return InvalidArgumentError("invalid low surrogate at " +
+                                          Where());
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          }
+          AppendUtf8(code, &out);
+          break;
+        }
+        default:
+          return InvalidArgumentError(std::string("invalid escape '\\") + c +
+                                      "' at " + Where());
+      }
+    }
+  }
+
+  StatusOr<JsonValue> ParseArray(int depth) {
+    Consume('[');
+    JsonValue out = JsonValue::Array();
+    SkipSpace();
+    if (Consume(']')) return out;
+    while (true) {
+      XTC_ASSIGN_OR_RETURN(JsonValue v, ParseValue(depth + 1));
+      out.MutableArray().push_back(std::move(v));
+      SkipSpace();
+      if (Consume(']')) return out;
+      if (!Consume(',')) {
+        return InvalidArgumentError("expected ',' or ']' at " + Where());
+      }
+    }
+  }
+
+  StatusOr<JsonValue> ParseObject(int depth) {
+    Consume('{');
+    JsonValue out = JsonValue::Object();
+    SkipSpace();
+    if (Consume('}')) return out;
+    while (true) {
+      SkipSpace();
+      XTC_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipSpace();
+      if (!Consume(':')) {
+        return InvalidArgumentError("expected ':' at " + Where());
+      }
+      XTC_ASSIGN_OR_RETURN(JsonValue v, ParseValue(depth + 1));
+      out.Set(std::move(key), std::move(v));
+      SkipSpace();
+      if (Consume('}')) return out;
+      if (!Consume(',')) {
+        return InvalidArgumentError("expected ',' or '}' at " + Where());
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace xtc

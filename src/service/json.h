@@ -1,0 +1,75 @@
+#ifndef XTC_SERVICE_JSON_H_
+#define XTC_SERVICE_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace xtc {
+
+/// A minimal JSON document model for the NDJSON request protocol (one
+/// request object per line, one response object per line). The container
+/// has no external dependencies by design; the service cannot pull in a
+/// JSON library. Objects preserve insertion order and allow duplicate-free
+/// lookup by key; numbers are stored as doubles (the protocol only carries
+/// small integers: deadlines, ids, counts).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double d);
+  static JsonValue Str(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  bool AsBool() const;      ///< requires kBool
+  double AsNumber() const;  ///< requires kNumber
+  const std::string& AsString() const;                      ///< kString
+  const std::vector<JsonValue>& AsArray() const;            ///< kArray
+  std::vector<JsonValue>& MutableArray();                   ///< kArray
+  const std::vector<std::pair<std::string, JsonValue>>& AsObject()
+      const;  ///< kObject
+
+  /// Object field lookup; nullptr when absent (or not an object).
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Appends/overwrites an object field (linear scan; objects are tiny).
+  void Set(std::string key, JsonValue value);
+
+  /// Serializes on one line (NDJSON-safe: no raw newlines, all control
+  /// characters escaped).
+  std::string Dump() const;
+  void DumpTo(std::string* out) const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Parses one JSON document. Rejects trailing garbage, depth beyond 64
+/// (malformed-input hardening: parser recursion is fuel-limited like the
+/// regex/term/XML parsers), and invalid escapes. \uXXXX escapes are decoded
+/// to UTF-8 (surrogate pairs included).
+StatusOr<JsonValue> ParseJson(std::string_view text);
+
+/// Escapes `s` as a JSON string literal including the quotes.
+void AppendJsonString(std::string_view s, std::string* out);
+
+}  // namespace xtc
+
+#endif  // XTC_SERVICE_JSON_H_

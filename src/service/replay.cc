@@ -1,0 +1,93 @@
+#include "src/service/replay.h"
+
+#include <utility>
+
+#include "src/fa/regex.h"
+#include "src/workload/families.h"
+
+namespace xtc {
+
+StatusOr<SchemaSpec> SerializeSchema(const Dtd& dtd) {
+  const Alphabet& alphabet = *dtd.alphabet();
+  SchemaSpec spec;
+  spec.start = alphabet.Name(dtd.start());
+  for (int s = 0; s < dtd.num_symbols(); ++s) {
+    if (!dtd.HasRule(s)) continue;
+    const RegexPtr& re = dtd.RuleRegex(s);
+    if (re == nullptr) {
+      return UnimplementedError(
+          "schema rule for '" + alphabet.Name(s) +
+          "' is an explicit NFA/DFA; only regex rules are wire-serializable");
+    }
+    spec.rules.emplace_back(alphabet.Name(s), RegexToString(*re, alphabet));
+  }
+  return spec;
+}
+
+StatusOr<TransducerSpec> SerializeTransducer(const Transducer& t) {
+  for (int i = 0; i < t.num_selectors(); ++i) {
+    if (t.selector(i).pattern == nullptr) {
+      return UnimplementedError(
+          "DFA selectors have no wire syntax; compile them away first");
+    }
+  }
+  TransducerSpec spec;
+  for (int q = 0; q < t.num_states(); ++q) spec.states.push_back(t.StateName(q));
+  spec.initial = t.StateName(t.initial());
+  for (const auto& [key, rhs] : t.rules()) {
+    spec.rules.push_back({t.StateName(key.first),
+                          t.alphabet()->Name(key.second),
+                          t.RhsToString(rhs)});
+  }
+  return spec;
+}
+
+StatusOr<ServiceRequest> TypecheckRequestFromExample(const PaperExample& ex) {
+  ServiceRequest request;
+  request.op = ServiceOp::kTypecheck;
+  XTC_ASSIGN_OR_RETURN(request.din, SerializeSchema(*ex.din));
+  XTC_ASSIGN_OR_RETURN(request.dout, SerializeSchema(*ex.dout));
+  XTC_ASSIGN_OR_RETURN(request.transducer,
+                       SerializeTransducer(*ex.transducer));
+  return request;
+}
+
+StatusOr<std::vector<ServiceRequest>> MakeFamilyBatch(const std::string& family,
+                                                      int n, int count,
+                                                      int distinct) {
+  if (count <= 0 || distinct <= 0 || n <= 0) {
+    return InvalidArgumentError("family batch needs n, count, distinct >= 1");
+  }
+  std::vector<ServiceRequest> batch;
+  batch.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    int size = n + i % distinct;
+    PaperExample ex;
+    if (family == "filter") {
+      ex = FilterFamily(size);
+    } else if (family == "failing") {
+      ex = FailingFilterFamily(size);
+    } else if (family == "width") {
+      ex = WidthFamily(/*c=*/size, /*k=*/size);
+    } else if (family == "relab") {
+      ex = RelabFamily(size);
+    } else if (family == "replus") {
+      ex = RePlusCopyFamily(size);
+    } else if (family == "xpath") {
+      ex = XPathChainFamily(size);
+    } else if (family == "nfa") {
+      ex = NfaSchemaFamily(size);
+    } else {
+      return InvalidArgumentError(
+          "unknown family '" + family +
+          "' (filter | failing | width | relab | replus | xpath | nfa)");
+    }
+    XTC_ASSIGN_OR_RETURN(ServiceRequest request,
+                         TypecheckRequestFromExample(ex));
+    request.id = i + 1;
+    batch.push_back(std::move(request));
+  }
+  return batch;
+}
+
+}  // namespace xtc

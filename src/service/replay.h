@@ -1,0 +1,37 @@
+#ifndef XTC_SERVICE_REPLAY_H_
+#define XTC_SERVICE_REPLAY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/core/paper_examples.h"
+#include "src/service/request.h"
+
+namespace xtc {
+
+/// Serializes an in-process Dtd to its wire SchemaSpec. Only regex rules
+/// travel over the wire; NFA/DFA rules fail with kUnimplemented.
+StatusOr<SchemaSpec> SerializeSchema(const Dtd& dtd);
+
+/// Serializes a transducer to its wire TransducerSpec. XPath selectors are
+/// re-rendered through RhsToString; DFA selectors have no wire syntax and
+/// fail with kUnimplemented.
+StatusOr<TransducerSpec> SerializeTransducer(const Transducer& t);
+
+/// Wraps a workload instance (src/workload/families.h) as a typecheck
+/// request, the unit of the replay client and the service bench.
+StatusOr<ServiceRequest> TypecheckRequestFromExample(const PaperExample& ex);
+
+/// A named batch of requests generated from the scaling families:
+/// `family` in {filter, failing, width, relab, replus, xpath, nfa}. The
+/// family's size parameter is swept over `distinct` consecutive values
+/// starting at `n` (cycled until `count` requests exist), so `distinct`
+/// controls how many different compile-cache keys the batch touches.
+StatusOr<std::vector<ServiceRequest>> MakeFamilyBatch(const std::string& family,
+                                                      int n, int count,
+                                                      int distinct);
+
+}  // namespace xtc
+
+#endif  // XTC_SERVICE_REPLAY_H_

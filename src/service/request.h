@@ -1,0 +1,114 @@
+#ifndef XTC_SERVICE_REQUEST_H_
+#define XTC_SERVICE_REQUEST_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/fa/alphabet.h"
+#include "src/schema/dtd.h"
+#include "src/td/transducer.h"
+
+namespace xtc {
+
+/// Textual form of a DTD as carried by the wire protocol: a start symbol
+/// and (symbol, regex) rules in the library's regex syntax. Only
+/// regex-representable schemas travel over the wire; explicit NFA/DFA rules
+/// are an in-process construction.
+struct SchemaSpec {
+  std::string start;
+  std::vector<std::pair<std::string, std::string>> rules;
+};
+
+/// Textual form of a transducer: state names (declaration order fixes ids),
+/// the initial state, and (state, symbol, rhs) rules in the paper's term
+/// syntax — including ⟨q, P⟩ selector leaves ("<q, .//title>").
+struct TransducerSpec {
+  std::vector<std::string> states;
+  std::string initial;
+  std::vector<std::array<std::string, 3>> rules;
+};
+
+enum class ServiceOp {
+  kTypecheck,  ///< din + dout + transducer
+  kValidate,   ///< schema + tree
+  kTransform,  ///< transducer + tree
+};
+
+const char* ServiceOpName(ServiceOp op);
+
+/// One NDJSON request line, parsed. `deadline_ms == 0` defers to the
+/// service default.
+struct ServiceRequest {
+  std::int64_t id = 0;
+  ServiceOp op = ServiceOp::kTypecheck;
+  SchemaSpec din;
+  SchemaSpec dout;
+  SchemaSpec schema;  ///< validate
+  TransducerSpec transducer;
+  std::string tree;  ///< term syntax (validate/transform input document)
+  std::uint64_t deadline_ms = 0;
+  bool want_counterexample = true;
+  bool approximate_fallback = false;
+};
+
+/// Parses one request line. Errors are protocol-shaped (missing fields,
+/// bad JSON); schema/transducer *content* errors surface later, from the
+/// worker that compiles the request.
+StatusOr<ServiceRequest> ParseServiceRequest(std::string_view json_line);
+
+/// Renders a request back to its NDJSON line (replay client, tests).
+std::string ServiceRequestToJson(const ServiceRequest& request);
+
+/// One NDJSON response line. `status` mirrors the library Status; every
+/// response echoes the request id so out-of-order transports can rejoin.
+struct ServiceResponse {
+  std::int64_t id = 0;
+  ServiceOp op = ServiceOp::kTypecheck;
+  Status status;
+  bool typechecks = false;
+  bool approximate = false;
+  bool valid = false;           ///< validate
+  std::string output;           ///< transform result (term syntax)
+  std::string counterexample;   ///< term syntax; empty when none/suppressed
+  double elapsed_ms = 0;        ///< wall clock incl. compile/cache work
+  double engine_ms = 0;         ///< the engine run alone (stats.elapsed_ms)
+  std::uint64_t cache_hits = 0;      ///< artifact lookups served from cache
+  std::uint64_t cache_misses = 0;    ///< artifact compiles this request paid
+  std::string ToJsonLine() const;
+};
+
+/// The request's symbol universe: every name that compiling or executing it
+/// can intern, in sorted order. Derived by actually parsing all components
+/// against a private probe alphabet — not by lexical scanning — so it is
+/// complete by construction. The universe is the alphabet-identity part of
+/// every artifact's content address: artifacts compiled under the same
+/// universe share one immutable Alphabet object (pointer-compared by the
+/// engines), and request processing never interns a new name into a shared
+/// alphabet (src/base/README.md).
+///
+/// The input document's labels are deliberately *excluded* (documents vary
+/// per request; schemas must stay cache-stable). Validate/transform parse
+/// the tree against a request-private alphabet seeded with the universe;
+/// unknown document labels get ids past the universe, which every schema
+/// check range-rejects.
+StatusOr<std::vector<std::string>> CollectUniverse(
+    const ServiceRequest& request);
+
+/// Builds the cheap, uncompiled form of a schema spec against `alphabet`
+/// (which must already contain the request universe): parses each rule and
+/// installs it (Glushkov NFA only — no subset construction, no analysis).
+StatusOr<Dtd> BuildSchemaSkeleton(const SchemaSpec& spec, Alphabet* alphabet);
+
+/// Builds the transducer skeleton: states, initial, parsed rules. No
+/// selector compilation, no width analysis.
+StatusOr<Transducer> BuildTransducerSkeleton(const TransducerSpec& spec,
+                                             Alphabet* alphabet);
+
+}  // namespace xtc
+
+#endif  // XTC_SERVICE_REQUEST_H_

@@ -1,0 +1,260 @@
+#include "src/service/service.h"
+
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "src/base/arena.h"
+#include "src/core/typecheck.h"
+#include "src/td/exec.h"
+#include "src/tree/codec.h"
+
+namespace xtc {
+
+void LatencyHistogram::Record(double ms) {
+  auto ns = static_cast<std::uint64_t>(ms * 1e6);
+  if (ns == 0) ns = 1;
+  int bucket = std::bit_width(ns) - 1;  // floor(log2(ns))
+  if (bucket >= kBuckets) bucket = kBuckets - 1;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t seen = max_ns_.load(std::memory_order_relaxed);
+  while (ns > seen &&
+         !max_ns_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  }
+}
+
+double LatencyHistogram::Percentile(double p) const {
+  std::uint64_t counts[kBuckets];
+  std::uint64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0;
+  auto rank = static_cast<std::uint64_t>(std::ceil(p / 100.0 * total));
+  if (rank < 1) rank = 1;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += counts[i];
+    if (seen >= rank) {
+      // Geometric midpoint of [2^i, 2^(i+1)) ns, reported in ms.
+      return std::exp2(i + 0.5) / 1e6;
+    }
+  }
+  return max_ms();
+}
+
+double LatencyHistogram::max_ms() const {
+  return max_ns_.load(std::memory_order_relaxed) / 1e6;
+}
+
+TypecheckService::TypecheckService(const Options& options)
+    : options_(options), cache_(options.cache) {
+  workers_.reserve(static_cast<std::size_t>(options_.num_threads));
+  for (int i = 0; i < options_.num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+TypecheckService::~TypecheckService() {
+  std::deque<Job> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    orphaned.swap(queue_);
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  for (Job& job : orphaned) {
+    ServiceResponse response;
+    response.id = job.request.id;
+    response.op = job.request.op;
+    response.status = ResourceExhaustedError("service shutting down");
+    job.promise.set_value(std::move(response));
+  }
+}
+
+std::future<ServiceResponse> TypecheckService::Submit(ServiceRequest request) {
+  Job job;
+  job.request = std::move(request);
+  std::future<ServiceResponse> future = job.promise.get_future();
+  bool was_stopping;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_ && queue_.size() < options_.queue_capacity) {
+      queue_.push_back(std::move(job));
+      submitted_.fetch_add(1, std::memory_order_relaxed);
+      queue_cv_.notify_one();
+      return future;
+    }
+    was_stopping = stopping_;
+  }
+  // Graceful shedding: the caller gets an immediate, well-formed
+  // kResourceExhausted response instead of unbounded queueing.
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  ServiceResponse response;
+  response.id = job.request.id;
+  response.op = job.request.op;
+  response.status = ResourceExhaustedError(
+      was_stopping ? "service shutting down" : "request queue is full");
+  job.promise.set_value(std::move(response));
+  return future;
+}
+
+ServiceResponse TypecheckService::Process(const ServiceRequest& request) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return Execute(request);
+}
+
+void TypecheckService::WorkerLoop() {
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_, nothing left to drain
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job.promise.set_value(Execute(job.request));
+  }
+}
+
+ServiceResponse TypecheckService::Execute(const ServiceRequest& request) {
+  WallTimer timer;
+  ServiceResponse response;
+  response.id = request.id;
+  response.op = request.op;
+
+  // The per-request governor lives and dies on this worker thread
+  // (src/base/README.md: budgets never cross threads).
+  Budget budget;
+  Budget* budget_ptr = nullptr;
+  std::uint64_t deadline_ms = request.deadline_ms != 0
+                                  ? request.deadline_ms
+                                  : options_.default_deadline_ms;
+  if (deadline_ms != 0) {
+    budget.set_deadline(std::chrono::milliseconds(deadline_ms));
+    budget_ptr = &budget;
+  }
+
+  auto finish = [&](Status status) -> ServiceResponse {
+    response.status = std::move(status);
+    response.elapsed_ms = timer.elapsed_ms();
+    latency_.Record(response.elapsed_ms);
+    (response.status.ok() ? completed_ : failed_)
+        .fetch_add(1, std::memory_order_relaxed);
+    return std::move(response);
+  };
+
+  StatusOr<std::vector<std::string>> universe = CollectUniverse(request);
+  if (!universe.ok()) return finish(universe.status());
+  std::shared_ptr<Alphabet> alphabet = cache_.GetOrCreateAlphabet(*universe);
+
+  auto count_lookup = [&response](bool hit) {
+    (hit ? response.cache_hits : response.cache_misses) += 1;
+  };
+
+  // Validate/transform parse the input document against a request-private
+  // alphabet seeded with the universe: document ids line up with artifact
+  // ids, labels outside the universe get ids past it (every schema check
+  // range-rejects those), and the shared alphabet is never interned into.
+  auto parse_tree = [&](Alphabet* local,
+                        TreeBuilder* builder) -> StatusOr<Node*> {
+    for (int i = 0; i < alphabet->size(); ++i) local->Intern(alphabet->Name(i));
+    return ParseTerm(request.tree, local, builder);
+  };
+
+  switch (request.op) {
+    case ServiceOp::kTypecheck: {
+      bool hit = false;
+      StatusOr<std::shared_ptr<const CompiledSchema>> din =
+          cache_.GetOrCompileSchema(request.din, alphabet, &hit);
+      if (!din.ok()) return finish(din.status());
+      count_lookup(hit);
+      StatusOr<std::shared_ptr<const CompiledSchema>> dout =
+          cache_.GetOrCompileSchema(request.dout, alphabet, &hit);
+      if (!dout.ok()) return finish(dout.status());
+      count_lookup(hit);
+      StatusOr<std::shared_ptr<const CompiledTransducer>> td =
+          cache_.GetOrCompileTransducer(request.transducer, alphabet, &hit);
+      if (!td.ok()) return finish(td.status());
+      count_lookup(hit);
+
+      TypecheckOptions options;
+      options.budget = budget_ptr;
+      options.want_counterexample = request.want_counterexample;
+      options.approximate_fallback = request.approximate_fallback;
+      options.widths = &(*td)->widths;
+      options.din_determinized = (*din)->determinized.get();
+      options.dout_determinized = (*dout)->determinized.get();
+      StatusOr<TypecheckResult> result = Typecheck(
+          *(*td)->selector_free, *(*din)->dtd, *(*dout)->dtd, options);
+      if (!result.ok()) return finish(result.status());
+      response.typechecks = result->typechecks;
+      response.approximate = result->approximate;
+      response.engine_ms = result->stats.elapsed_ms;
+      if (result->counterexample != nullptr) {
+        response.counterexample =
+            ToTermString(result->counterexample, *alphabet);
+      }
+      return finish(Status::Ok());
+    }
+    case ServiceOp::kValidate: {
+      bool hit = false;
+      StatusOr<std::shared_ptr<const CompiledSchema>> schema =
+          cache_.GetOrCompileSchema(request.schema, alphabet, &hit);
+      if (!schema.ok()) return finish(schema.status());
+      count_lookup(hit);
+      Alphabet local;
+      Arena arena;
+      TreeBuilder builder(&arena);
+      StatusOr<Node*> tree = parse_tree(&local, &builder);
+      if (!tree.ok()) return finish(tree.status());
+      response.valid = (*schema)->dtd->Valid(*tree);
+      return finish(Status::Ok());
+    }
+    case ServiceOp::kTransform: {
+      bool hit = false;
+      StatusOr<std::shared_ptr<const CompiledTransducer>> td =
+          cache_.GetOrCompileTransducer(request.transducer, alphabet, &hit);
+      if (!td.ok()) return finish(td.status());
+      count_lookup(hit);
+      Alphabet local;
+      Arena arena;
+      TreeBuilder builder(&arena);
+      StatusOr<Node*> tree = parse_tree(&local, &builder);
+      if (!tree.ok()) return finish(tree.status());
+      Node* output = Apply(*(*td)->original, *tree, &builder);
+      if (output == nullptr) {
+        return finish(FailedPreconditionError(
+            "transducer output at the root is not a single tree"));
+      }
+      response.output = ToTermString(output, local);
+      return finish(Status::Ok());
+    }
+  }
+  return finish(InvalidArgumentError("unknown op"));
+}
+
+ServiceStats TypecheckService::stats() const {
+  ServiceStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.queue_depth = queue_.size();
+  }
+  stats.latency_count = latency_.count();
+  stats.latency_p50_ms = latency_.Percentile(50);
+  stats.latency_p99_ms = latency_.Percentile(99);
+  stats.latency_max_ms = latency_.max_ms();
+  stats.cache = cache_.stats();
+  return stats;
+}
+
+}  // namespace xtc

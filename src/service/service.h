@@ -1,0 +1,122 @@
+#ifndef XTC_SERVICE_SERVICE_H_
+#define XTC_SERVICE_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/service/compile_cache.h"
+#include "src/service/request.h"
+
+namespace xtc {
+
+/// Lock-free latency telemetry: power-of-two nanosecond buckets, so Record
+/// is two relaxed atomic ops on the request path and percentiles are
+/// bucket-resolution estimates (within 2x below 1 second, exact max).
+/// Thread-compatibility: thread-safe.
+class LatencyHistogram {
+ public:
+  void Record(double ms);
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  /// Estimated percentile in [0, 100], in ms; 0 when nothing was recorded.
+  double Percentile(double p) const;
+  double max_ms() const;
+
+ private:
+  static constexpr int kBuckets = 48;  ///< bucket i covers [2^i, 2^(i+1)) ns
+
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+/// A telemetry snapshot; all counters are cumulative since construction.
+struct ServiceStats {
+  std::uint64_t submitted = 0;  ///< accepted into the queue (or Process())
+  std::uint64_t completed = 0;  ///< responses produced with status ok
+  std::uint64_t failed = 0;     ///< responses with a non-ok status
+  std::uint64_t shed = 0;       ///< rejected at Submit: queue full/stopping
+  std::size_t queue_depth = 0;  ///< instantaneous
+  std::uint64_t latency_count = 0;
+  double latency_p50_ms = 0;
+  double latency_p99_ms = 0;
+  double latency_max_ms = 0;
+  CompileCache::Stats cache;
+};
+
+/// The concurrent typechecking service: a fixed pool of worker threads
+/// draining a bounded MPMC queue of ServiceRequests, sharing one
+/// content-addressed CompileCache. Each request is executed under its own
+/// Budget (created on the worker thread — budgets never cross threads),
+/// compiled artifacts are immutable and shared, and overload is shed at
+/// the front door with kResourceExhausted rather than queued without bound.
+///
+/// Thread-compatibility: thread-safe (Submit/Process/stats from any
+/// thread). The destructor drains nothing: queued-but-unstarted requests
+/// are failed with kResourceExhausted ("service shutting down").
+class TypecheckService {
+ public:
+  struct Options {
+    /// Worker threads. 0 runs no workers: Submit() only queues (tests use
+    /// this to fill the queue deterministically and assert shedding).
+    int num_threads = 4;
+    /// Queue slots; Submit sheds once the queue holds this many requests.
+    std::size_t queue_capacity = 256;
+    /// Deadline for requests that do not carry one (0 = ungoverned).
+    std::uint64_t default_deadline_ms = 0;
+    CompileCache::Options cache;
+  };
+
+  explicit TypecheckService(const Options& options);
+  ~TypecheckService();
+
+  TypecheckService(const TypecheckService&) = delete;
+  TypecheckService& operator=(const TypecheckService&) = delete;
+
+  /// Enqueues a request. The future is always valid: a shed request
+  /// resolves immediately with kResourceExhausted.
+  std::future<ServiceResponse> Submit(ServiceRequest request);
+
+  /// Executes a request synchronously on the calling thread, bypassing the
+  /// queue (the xtc_replay emit path and unit tests).
+  ServiceResponse Process(const ServiceRequest& request);
+
+  ServiceStats stats() const;
+  CompileCache& cache() { return cache_; }
+
+ private:
+  struct Job {
+    ServiceRequest request;
+    std::promise<ServiceResponse> promise;
+  };
+
+  void WorkerLoop();
+  ServiceResponse Execute(const ServiceRequest& request);
+
+  const Options options_;
+  CompileCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  LatencyHistogram latency_;
+};
+
+}  // namespace xtc
+
+#endif  // XTC_SERVICE_SERVICE_H_

@@ -1,0 +1,158 @@
+// xtcd: the NDJSON typechecking daemon. Reads one request object per stdin
+// line, dispatches it to the concurrent TypecheckService, and streams one
+// response object per line to stdout in submission order. See DESIGN.md
+// section 4 and the README quick-start for the request schema.
+//
+//   ./xtcd --threads=4 --queue=256 < requests.ndjson > responses.ndjson
+
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/service/service.h"
+
+namespace {
+
+struct Flags {
+  int threads = 4;
+  std::size_t queue = 256;
+  std::uint64_t deadline_ms = 0;
+  std::size_t cache_mb = 64;
+  bool print_stats = false;
+};
+
+bool ParseFlag(const char* arg, const char* name, long long* out) {
+  std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  char* end = nullptr;
+  long long v = std::strtoll(arg + len + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || v < 0) return false;
+  *out = v;
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--threads=N] [--queue=N] [--deadline-ms=N]\n"
+               "          [--cache-mb=N] [--stats]\n"
+               "Reads NDJSON requests from stdin, writes NDJSON responses to "
+               "stdout.\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    long long v = 0;
+    if (ParseFlag(argv[i], "--threads", &v)) {
+      flags.threads = static_cast<int>(v);
+    } else if (ParseFlag(argv[i], "--queue", &v)) {
+      flags.queue = static_cast<std::size_t>(v);
+    } else if (ParseFlag(argv[i], "--deadline-ms", &v)) {
+      flags.deadline_ms = static_cast<std::uint64_t>(v);
+    } else if (ParseFlag(argv[i], "--cache-mb", &v)) {
+      flags.cache_mb = static_cast<std::size_t>(v);
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      flags.print_stats = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (flags.threads < 1 || flags.queue < 1) return Usage(argv[0]);
+
+  xtc::TypecheckService::Options options;
+  options.num_threads = flags.threads;
+  options.queue_capacity = flags.queue;
+  options.default_deadline_ms = flags.deadline_ms;
+  options.cache.max_bytes = flags.cache_mb << 20;
+  xtc::TypecheckService service(options);
+
+  // The reader (main thread) submits; the writer drains futures in
+  // submission order so responses stream out ordered even though workers
+  // complete out of order. The hand-off buffer is bounded: with the service
+  // queue full, submission blocks here instead of buffering every future of
+  // an arbitrarily long input.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::future<xtc::ServiceResponse>> pending;
+  bool done = false;
+  const std::size_t max_pending = flags.queue + 64;
+
+  std::thread writer([&] {
+    while (true) {
+      std::future<xtc::ServiceResponse> next;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return done || !pending.empty(); });
+        if (pending.empty()) return;
+        next = std::move(pending.front());
+        pending.pop_front();
+      }
+      cv.notify_all();
+      std::string line = next.get().ToJsonLine();
+      line.push_back('\n');
+      std::fwrite(line.data(), 1, line.size(), stdout);
+      std::fflush(stdout);
+    }
+  });
+
+  std::string line;
+  std::int64_t line_number = 0;
+  while (std::getline(std::cin, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::future<xtc::ServiceResponse> future;
+    xtc::StatusOr<xtc::ServiceRequest> request =
+        xtc::ParseServiceRequest(line);
+    if (request.ok()) {
+      if (request->id == 0) request->id = line_number;
+      future = service.Submit(*std::move(request));
+    } else {
+      // Protocol errors still produce a response line, keeping the
+      // one-line-in/one-line-out pairing intact for the client.
+      xtc::ServiceResponse response;
+      response.id = line_number;
+      response.status = request.status();
+      std::promise<xtc::ServiceResponse> ready;
+      future = ready.get_future();
+      ready.set_value(std::move(response));
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return pending.size() < max_pending; });
+    pending.push_back(std::move(future));
+    cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    done = true;
+  }
+  cv.notify_all();
+  writer.join();
+
+  if (flags.print_stats) {
+    xtc::ServiceStats stats = service.stats();
+    std::fprintf(stderr,
+                 "xtcd: submitted=%llu completed=%llu failed=%llu shed=%llu "
+                 "p50=%.3fms p99=%.3fms cache_hits=%llu cache_misses=%llu "
+                 "cache_bytes=%zu cache_entries=%zu\n",
+                 static_cast<unsigned long long>(stats.submitted),
+                 static_cast<unsigned long long>(stats.completed),
+                 static_cast<unsigned long long>(stats.failed),
+                 static_cast<unsigned long long>(stats.shed),
+                 stats.latency_p50_ms, stats.latency_p99_ms,
+                 static_cast<unsigned long long>(stats.cache.hits),
+                 static_cast<unsigned long long>(stats.cache.misses),
+                 stats.cache.bytes, stats.cache.entries);
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+#include "src/td/canonical.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/base/hash.h"
+#include "src/xpath/ast.h"
+
+namespace xtc {
+namespace {
+
+void AppendSelector(const Selector& sel, const Alphabet& alphabet,
+                    std::string* out) {
+  if (sel.pattern != nullptr) {
+    out->append("xpath ");
+    out->append(PatternToString(*sel.pattern, alphabet));
+    return;
+  }
+  const Dfa& dfa = *sel.dfa;
+  out->append("dfa ");
+  out->append(std::to_string(dfa.num_states()));
+  out->append(" init ");
+  out->append(std::to_string(dfa.initial()));
+  for (int s = 0; s < dfa.num_states(); ++s) {
+    out->push_back(' ');
+    out->push_back(dfa.final(s) ? 'f' : '.');
+    for (int a = 0; a < dfa.num_symbols(); ++a) {
+      const int to = dfa.Step(s, a);
+      if (to == Dfa::kDead) continue;
+      out->push_back(' ');
+      out->append(std::to_string(a));
+      out->push_back('>');
+      out->append(std::to_string(to));
+    }
+    out->push_back(';');
+  }
+}
+
+}  // namespace
+
+std::string CanonicalTransducerText(const Transducer& t) {
+  const Alphabet& alphabet = *t.alphabet();
+  std::string out = "td-v1\nalphabet";
+  for (int s = 0; s < alphabet.size(); ++s) {
+    out.push_back(' ');
+    out.append(alphabet.Name(s));
+  }
+  out.append("\nstates");
+  for (int q = 0; q < t.num_states(); ++q) {
+    out.push_back(' ');
+    out.append(t.StateName(q));
+  }
+  out.append("\ninitial ");
+  out.append(t.initial() >= 0 ? t.StateName(t.initial()) : "-");
+  out.push_back('\n');
+  for (int i = 0; i < t.num_selectors(); ++i) {
+    out.append("selector ");
+    AppendSelector(t.selector(i), alphabet, &out);
+    out.push_back('\n');
+  }
+
+  // rules() is keyed by (state id, symbol id); canonical order is by the
+  // corresponding names so renamed-but-identical declarations stay distinct
+  // while map iteration details never matter.
+  std::vector<const std::pair<const std::pair<int, int>, RhsHedge>*> rules;
+  for (const auto& entry : t.rules()) rules.push_back(&entry);
+  std::sort(rules.begin(), rules.end(), [&](const auto* a, const auto* b) {
+    const std::string& sa = t.StateName(a->first.first);
+    const std::string& sb = t.StateName(b->first.first);
+    if (sa != sb) return sa < sb;
+    return alphabet.Name(a->first.second) < alphabet.Name(b->first.second);
+  });
+  for (const auto* entry : rules) {
+    out.append("rule ");
+    out.append(t.StateName(entry->first.first));
+    out.push_back(' ');
+    out.append(alphabet.Name(entry->first.second));
+    out.append(" -> ");
+    out.append(t.RhsToString(entry->second));
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::uint64_t StructuralTransducerHash(const Transducer& t) {
+  return HashBytes(CanonicalTransducerText(t));
+}
+
+}  // namespace xtc

@@ -1,0 +1,25 @@
+#ifndef XTC_TD_CANONICAL_H_
+#define XTC_TD_CANONICAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/td/transducer.h"
+
+namespace xtc {
+
+/// Canonical text rendering of a transducer, the content address of
+/// compiled transducer artifacts (src/service): state names in declaration
+/// order, the initial state, each selector (XPath patterns re-rendered from
+/// the AST, path DFAs as transition tables), and every rule in
+/// (state-name, symbol-name) order with its template re-rendered through
+/// RhsToString. Like CanonicalDtdText, the alphabet id->name section pins
+/// the symbol universe the artifact was compiled against.
+std::string CanonicalTransducerText(const Transducer& t);
+
+/// HashBytes(CanonicalTransducerText(t)).
+std::uint64_t StructuralTransducerHash(const Transducer& t);
+
+}  // namespace xtc
+
+#endif  // XTC_TD_CANONICAL_H_

@@ -1,0 +1,99 @@
+#include "src/service/json.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace xtc {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_TRUE(ParseJson("true")->AsBool());
+  EXPECT_FALSE(ParseJson("false")->AsBool());
+  EXPECT_DOUBLE_EQ(ParseJson("42")->AsNumber(), 42);
+  EXPECT_DOUBLE_EQ(ParseJson("-3.5e2")->AsNumber(), -350);
+  EXPECT_EQ(ParseJson("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonTest, ParsesNestedStructure) {
+  StatusOr<JsonValue> doc =
+      ParseJson(R"({"op": "typecheck", "ids": [1, 2, 3], "inner": {"a": true}})");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Find("op")->AsString(), "typecheck");
+  EXPECT_EQ(doc->Find("ids")->AsArray().size(), 3u);
+  EXPECT_DOUBLE_EQ(doc->Find("ids")->AsArray()[1].AsNumber(), 2);
+  EXPECT_TRUE(doc->Find("inner")->Find("a")->AsBool());
+  EXPECT_EQ(doc->Find("missing"), nullptr);
+}
+
+TEST(JsonTest, DecodesEscapes) {
+  StatusOr<JsonValue> doc = ParseJson(R"("a\n\t\"\\\u0041\u00e9")");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->AsString(), "a\n\t\"\\A\xc3\xa9");
+}
+
+TEST(JsonTest, DecodesSurrogatePairs) {
+  StatusOr<JsonValue> doc = ParseJson(R"("\ud83d\ude00")");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->AsString(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("tru").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());          // trailing garbage
+  EXPECT_FALSE(ParseJson("\"\x01\"").ok());     // raw control char
+  EXPECT_FALSE(ParseJson("\"\\x41\"").ok());    // invalid escape
+  EXPECT_FALSE(ParseJson("\"\\ud83d\"").ok());  // lone surrogate
+  EXPECT_FALSE(ParseJson("nan").ok());
+}
+
+TEST(JsonTest, DepthIsFuelLimited) {
+  // Parser recursion is bounded like every other parser in the repo; a
+  // deeply nested line must fail cleanly, not overflow the stack.
+  std::string deep;
+  for (int i = 0; i < 100000; ++i) deep += '[';
+  EXPECT_FALSE(ParseJson(deep).ok());
+  std::string shallow = "[[[[[[[[[[1]]]]]]]]]]";
+  EXPECT_TRUE(ParseJson(shallow).ok());
+}
+
+TEST(JsonTest, DumpRoundTrips) {
+  const char* text =
+      R"({"op":"typecheck","n":3,"ok":true,"names":["a","b"],"x":null})";
+  StatusOr<JsonValue> doc = ParseJson(text);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Dump(), text);
+}
+
+TEST(JsonTest, DumpEscapesControlCharactersAndStaysOneLine) {
+  JsonValue v = JsonValue::Str("line1\nline2\ttab\x01");
+  std::string dumped = v.Dump();
+  EXPECT_EQ(dumped.find('\n'), std::string::npos);
+  EXPECT_EQ(dumped, "\"line1\\nline2\\ttab\\u0001\"");
+}
+
+TEST(JsonTest, DumpPrintsIntegersExactlyAndDoublesShortest) {
+  EXPECT_EQ(JsonValue::Number(42).Dump(), "42");
+  EXPECT_EQ(JsonValue::Number(-7).Dump(), "-7");
+  EXPECT_EQ(JsonValue::Number(9.446).Dump(), "9.446");
+  StatusOr<JsonValue> back = ParseJson(JsonValue::Number(0.1).Dump());
+  ASSERT_TRUE(back.ok());
+  EXPECT_DOUBLE_EQ(back->AsNumber(), 0.1);
+}
+
+TEST(JsonTest, SetOverwritesObjectFields) {
+  JsonValue o = JsonValue::Object();
+  o.Set("a", JsonValue::Number(1));
+  o.Set("b", JsonValue::Number(2));
+  o.Set("a", JsonValue::Number(3));
+  EXPECT_EQ(o.AsObject().size(), 2u);
+  EXPECT_DOUBLE_EQ(o.Find("a")->AsNumber(), 3);
+}
+
+}  // namespace
+}  // namespace xtc
