@@ -9,6 +9,7 @@
 #include "src/core/explicit_nta.h"
 #include "src/core/trac.h"
 #include "src/nta/analysis.h"
+#include "src/nta/lazy.h"
 #include "src/workload/families.h"
 
 namespace xtc {
@@ -77,6 +78,70 @@ void BM_Lemma14_ExplicitConstruction(benchmark::State& state) {
   state.counters["|B|"] = static_cast<double>(nta_size);
 }
 BENCHMARK(BM_Lemma14_ExplicitConstruction)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+// Paired lazy/eager product-emptiness rows on the filter-family schemas,
+// shared timing loop, engine chosen by the caller. Verdict agreement is
+// asserted once outside the loop; ci/lazy_gate.py enforces the speedup on
+// the Inclusion pair's largest parameter.
+void RunLemma14Pair(benchmark::State& state, EmptinessEngine engine,
+                    const Nta& a, const Nta& b, bool expect_empty) {
+  LazyProductSpec spec;
+  spec.AddNta(&a);
+  spec.AddDeterminized(&b, /*complement=*/true);
+  StatusOr<EmptinessOutcome> lazy = LazyEmptiness(spec, nullptr);
+  StatusOr<EmptinessOutcome> eager = EagerEmptiness(spec, nullptr);
+  XTC_CHECK_MSG(lazy.ok(), lazy.status().ToString().c_str());
+  XTC_CHECK_MSG(eager.ok(), eager.status().ToString().c_str());
+  XTC_CHECK(lazy->empty == expect_empty && eager->empty == expect_empty);
+  for (auto _ : state) {
+    StatusOr<EmptinessOutcome> out = engine == EmptinessEngine::kLazy
+                                         ? LazyEmptiness(spec, nullptr)
+                                         : EagerEmptiness(spec, nullptr);
+    XTC_CHECK_MSG(out.ok(), out.status().ToString().c_str());
+    benchmark::DoNotOptimize(out->empty);
+  }
+  state.counters["configs"] = static_cast<double>(lazy->stats.configs);
+}
+
+// Gated pair: is L(d_out) ⊆ L(d_in)? It is not (non-empty product) — the
+// lazy engine discovers only reachable configurations and exits at the
+// first counterexample, while the eager reference determinizes d_in's NTA,
+// complements, materializes the product, and decides emptiness afterwards.
+void RunLemma14Inclusion(benchmark::State& state, EmptinessEngine engine) {
+  PaperExample ex = FilterFamily(static_cast<int>(state.range(0)));
+  Nta a = Nta::FromDtd(*ex.dout);
+  Nta b = Nta::FromDtd(*ex.din);
+  RunLemma14Pair(state, engine, a, b, /*expect_empty=*/false);
+}
+void BM_Lemma14_InclusionLazy(benchmark::State& state) {
+  RunLemma14Inclusion(state, EmptinessEngine::kLazy);
+}
+void BM_Lemma14_InclusionEager(benchmark::State& state) {
+  RunLemma14Inclusion(state, EmptinessEngine::kEager);
+}
+// MinTime: the small rows run tens of µs/op and feed both the perf-smoke
+// compare and ci/lazy_gate.py — a longer window than the suite default
+// averages out single-vCPU scheduler noise.
+BENCHMARK(BM_Lemma14_InclusionLazy)->Arg(8)->Arg(16)->Arg(32)->MinTime(0.25);
+BENCHMARK(BM_Lemma14_InclusionEager)->Arg(8)->Arg(16)->Arg(32)->MinTime(0.25);
+
+// Ungated pair: self-inclusion L(d_in) ⊆ L(d_in) — an "empty" verdict, so
+// the lazy engine has no early exit and must saturate; its remaining edge
+// (reachable-only discovery, no materialized complement or product) is the
+// worst-case floor of the optimization.
+void RunLemma14SelfInclusion(benchmark::State& state, EmptinessEngine engine) {
+  PaperExample ex = FilterFamily(static_cast<int>(state.range(0)));
+  Nta a = Nta::FromDtd(*ex.din);
+  RunLemma14Pair(state, engine, a, a, /*expect_empty=*/true);
+}
+void BM_Lemma14_SelfInclusionLazy(benchmark::State& state) {
+  RunLemma14SelfInclusion(state, EmptinessEngine::kLazy);
+}
+void BM_Lemma14_SelfInclusionEager(benchmark::State& state) {
+  RunLemma14SelfInclusion(state, EmptinessEngine::kEager);
+}
+BENCHMARK(BM_Lemma14_SelfInclusionLazy)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_Lemma14_SelfInclusionEager)->Arg(8)->Arg(16)->Arg(32);
 
 }  // namespace
 }  // namespace xtc

@@ -5,10 +5,12 @@
 //     {"bench": "BM_Lemma14_SchemaSize", "params": [32],
 //      "ns_per_op": 431943.2, "peak_bytes": 14680064}
 //
-// `bench/run_benches.sh` aggregates these across binaries into BENCH_pr2.json
-// at the repo root, which EXPERIMENTS.md and the CI perf-smoke stage consume.
-// Peak memory is the process high-water mark (ru_maxrss), so it is an upper
-// bound shared by every run reported by the same binary invocation.
+// `bench/run_benches.sh` aggregates these across binaries into the BENCH
+// json at the repo root, which EXPERIMENTS.md and the CI perf-smoke stage
+// consume. Peak memory is the VmHWM high-water mark, reset after each
+// report batch (write "5" to /proc/self/clear_refs), so every row reports
+// the peak of its own runs rather than the binary-wide maximum; where the
+// reset is unsupported it degrades to the old monotone ru_maxrss bound.
 
 #include <benchmark/benchmark.h>
 #include <sys/resource.h>
@@ -21,11 +23,39 @@
 
 namespace {
 
-std::uint64_t PeakBytes() {
+std::uint64_t RusagePeakBytes() {
   struct rusage usage;
   if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
   // Linux reports ru_maxrss in kibibytes.
   return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+std::uint64_t PeakBytes() {
+  // VmHWM tracks ru_maxrss but is resettable (see ResetPeak); fall back to
+  // getrusage when /proc is unavailable.
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return RusagePeakBytes();
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      unsigned long long value = 0;
+      if (std::sscanf(line + 6, "%llu", &value) == 1) kb = value;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb != 0 ? kb * 1024 : RusagePeakBytes();
+}
+
+// Resets the VmHWM high-water mark to the current RSS so the next report
+// batch measures only its own allocations. No-op (monotone peaks, the old
+// behaviour) where /proc/self/clear_refs is absent or read-only.
+void ResetPeak() {
+  FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) return;
+  std::fputs("5", f);
+  std::fclose(f);
 }
 
 // Splits "BM_Name/3/17" into the bench name and its numeric params. Params
@@ -42,6 +72,14 @@ void SplitRunName(const std::string& run_name, std::string* bench,
     if (name.size() > len && name.compare(name.size() - len, len, suffix) == 0) {
       name.resize(name.size() - len);
     }
+  }
+  // Registration modifiers (MinTime, Iterations, Repetitions, ...) append
+  // "/key:value" segments after the numeric params; strip those too so a
+  // benchmark keeps its (bench, params) identity when its window changes.
+  for (std::size_t slash = name.rfind('/'); slash != std::string::npos;
+       slash = name.rfind('/')) {
+    if (name.find(':', slash) == std::string::npos) break;
+    name.resize(slash);
   }
   const std::string& run = name;
   std::size_t cut = run.size();
@@ -88,6 +126,9 @@ class JsonLinesReporter : public benchmark::BenchmarkReporter {
                     static_cast<unsigned long long>(PeakBytes()));
       lines_.push_back(line);
     }
+    // Per-row peaks: drop the high-water mark once this batch is recorded
+    // so the next benchmark's rows do not inherit it.
+    ResetPeak();
   }
 
   void Finalize() override {

@@ -14,6 +14,8 @@
 #include "src/core/explicit_nta.h"
 #include "src/core/hardness.h"
 #include "src/core/trac.h"
+#include "src/nta/lazy.h"
+#include "src/nta/nta.h"
 #include "src/workload/families.h"
 
 namespace xtc {
@@ -77,6 +79,54 @@ void BM_Thm18_NonEmptyIntersection(benchmark::State& state) {
 }
 BENCHMARK(BM_Thm18_NonEmptyIntersection)->DenseRange(2, 3, 1)
     ->Unit(benchmark::kMillisecond);
+
+// Paired lazy/eager product-emptiness rows (gated by ci/lazy_gate.py): the
+// schema-inclusion query L(d_in) ⊆ L(d_out) posed at the NTA level on the
+// Theorem 18 instances. The lazy engine explores reachable configurations
+// only and exits at the first counterexample; the eager reference
+// determinizes d_out's NTA, complements, materializes the product, and
+// decides emptiness afterwards. Verdict agreement between the engines is
+// asserted outside the timing loop.
+void RunThm18Inclusion(benchmark::State& state, EmptinessEngine engine) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<Dfa> dfas;
+  dfas.push_back(LengthModDfa(1, 2, 0));
+  for (int i = 1; i < n; ++i) dfas.push_back(LengthModDfa(1, 3, 0));
+  PaperExample ex = MakeTheorem18Instance(dfas, {"x"});
+  Nta a = Nta::FromDtd(*ex.din);
+  Nta b = Nta::FromDtd(*ex.dout);
+  LazyProductSpec spec;
+  spec.AddNta(&a);
+  spec.AddDeterminized(&b, /*complement=*/true);
+  StatusOr<EmptinessOutcome> lazy = LazyEmptiness(spec, nullptr);
+  StatusOr<EmptinessOutcome> eager = EagerEmptiness(spec, nullptr);
+  XTC_CHECK_MSG(lazy.ok(), lazy.status().ToString().c_str());
+  XTC_CHECK_MSG(eager.ok(), eager.status().ToString().c_str());
+  XTC_CHECK(lazy->empty == eager->empty);
+  for (auto _ : state) {
+    StatusOr<EmptinessOutcome> out = engine == EmptinessEngine::kLazy
+                                         ? LazyEmptiness(spec, nullptr)
+                                         : EagerEmptiness(spec, nullptr);
+    XTC_CHECK_MSG(out.ok(), out.status().ToString().c_str());
+    benchmark::DoNotOptimize(out->empty);
+  }
+  state.counters["empty"] = lazy->empty ? 1 : 0;
+  state.counters["configs"] = static_cast<double>(lazy->stats.configs);
+}
+
+void BM_Thm18_InclusionLazy(benchmark::State& state) {
+  RunThm18Inclusion(state, EmptinessEngine::kLazy);
+}
+void BM_Thm18_InclusionEager(benchmark::State& state) {
+  RunThm18Inclusion(state, EmptinessEngine::kEager);
+}
+// MinTime: these rows run ~10 µs/op and feed both the perf-smoke compare
+// and ci/lazy_gate.py, so they get a longer window than the suite default
+// to average out single-vCPU scheduler noise.
+BENCHMARK(BM_Thm18_InclusionLazy)->DenseRange(2, 4, 1)
+    ->Unit(benchmark::kMillisecond)->MinTime(0.25);
+BENCHMARK(BM_Thm18_InclusionEager)->DenseRange(2, 4, 1)
+    ->Unit(benchmark::kMillisecond)->MinTime(0.25);
 
 // Governor overhead: the same easy instance with and without a (generous)
 // Budget attached. The delta is the cost of the checkpoints plus arena

@@ -1,15 +1,24 @@
 #!/usr/bin/env bash
 # Runs the paper-experiment benchmarks in --json mode and aggregates their
-# output into a single machine-readable file (default: BENCH_pr3.json at the
+# output into a single machine-readable file (default: BENCH_pr4.json at the
 # repo root). EXPERIMENTS.md documents the format; ci/run_ci.sh compares a
-# fresh run against the checked-in snapshot in its perf-smoke stage.
+# fresh run against the checked-in snapshot in its perf-smoke stage and
+# checks the lazy-vs-eager pairs with ci/lazy_gate.py.
+#
+# Each binary is run PASSES times and rows are merged by per-row *minimum*
+# ns_per_op (maximum peak_bytes): on a single-vCPU box the host can
+# time-slice a whole 0.2s measurement window away, so a single pass reads
+# 2x slow often enough to fake a perf-smoke regression. The minimum of
+# independent passes estimates the uncontended cost, which is the quantity
+# the 2x gates are about.
 #
 # Usage: bench/run_benches.sh [build_dir] [out_json]
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build}"
-OUT="${2:-$REPO_ROOT/BENCH_pr3.json}"
+OUT="${2:-$REPO_ROOT/BENCH_pr4.json}"
+PASSES="${PASSES:-2}"
 
 BENCHES=(
   bench_lemma14_scaling
@@ -28,27 +37,47 @@ for b in "${BENCHES[@]}"; do
     echo "error: $bin not built (run cmake --build $BUILD_DIR first)" >&2
     exit 1
   fi
-  echo "running $b ..." >&2
-  "$bin" --json --benchmark_min_time=0.05 > "$TMP_DIR/$b.json"
+  for pass in $(seq 1 "$PASSES"); do
+    echo "running $b (pass $pass/$PASSES) ..." >&2
+    # 0.2s windows: the perf-smoke compare gates 2x on rows as small as a
+    # few µs and as large as tens of ms; short windows give the ms-scale
+    # rows only 2-3 iterations, where one scheduler hiccup dominates.
+    "$bin" --json --benchmark_min_time=0.2 > "$TMP_DIR/$b.$pass.json"
+  done
 done
 
-python3 - "$OUT" "$TMP_DIR" "${BENCHES[@]}" <<'EOF'
+python3 - "$OUT" "$TMP_DIR" "$PASSES" "${BENCHES[@]}" <<'EOF'
 import json
 import os
 import sys
 
-out_path, tmp_dir, benches = sys.argv[1], sys.argv[2], sys.argv[3:]
+out_path, tmp_dir, passes, benches = (
+    sys.argv[1], sys.argv[2], int(sys.argv[3]), sys.argv[4:])
 doc = {"format": "xtc-bench-v1", "suites": {}}
 # Set XTC_TSAN_CLEAN=1 after a green `ctest --preset tsan` pass to record
 # that the service-layer concurrency tests ran race-free for this snapshot.
 if "XTC_TSAN_CLEAN" in os.environ:
     doc["tsan_clean"] = os.environ["XTC_TSAN_CLEAN"] == "1"
 for b in benches:
-    with open(f"{tmp_dir}/{b}.json") as f:
-        doc["suites"][b] = json.load(f)
+    merged = {}
+    order = []
+    for p in range(1, passes + 1):
+        with open(f"{tmp_dir}/{b}.{p}.json") as f:
+            for row in json.load(f):
+                key = (row["bench"], tuple(row["params"]))
+                if key not in merged:
+                    merged[key] = row
+                    order.append(key)
+                else:
+                    best = merged[key]
+                    best["ns_per_op"] = min(best["ns_per_op"], row["ns_per_op"])
+                    best["peak_bytes"] = max(best["peak_bytes"],
+                                             row["peak_bytes"])
+    doc["suites"][b] = [merged[key] for key in order]
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
 n = sum(len(v) for v in doc["suites"].values())
-print(f"wrote {out_path} ({n} benchmark runs)", file=sys.stderr)
+print(f"wrote {out_path} ({n} benchmark runs, min over {passes} passes)",
+      file=sys.stderr)
 EOF

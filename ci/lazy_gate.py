@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Enforces the lazy-vs-eager speedup on the paired emptiness benchmarks.
+
+Usage: lazy_gate.py BENCH.json [min_factor]
+
+For each (suite, lazy_bench, eager_bench) pair below, the largest parameter
+present in BOTH rows is located and the gate requires
+
+    eager_ns_per_op >= min_factor * lazy_ns_per_op
+
+there (default min_factor 2.0). Smaller parameters are reported for context
+but not gated — the lazy engine's advantage compounds with instance size,
+so the largest common point is the honest one. A missing suite or pair is
+an error: the gate exists to catch the benches silently disappearing as
+much as the speedup regressing.
+"""
+
+import json
+import sys
+
+# (suite, lazy bench, eager bench)
+PAIRS = [
+    ("bench_thm18_hardness", "BM_Thm18_InclusionLazy", "BM_Thm18_InclusionEager"),
+    ("bench_lemma14_scaling", "BM_Lemma14_InclusionLazy", "BM_Lemma14_InclusionEager"),
+]
+
+
+def rows_of(doc, suite, bench):
+    rows = {}
+    for row in doc.get("suites", {}).get(suite, []):
+        if row.get("bench") == bench:
+            rows[tuple(row.get("params", []))] = float(row["ns_per_op"])
+    return rows
+
+
+def main():
+    if len(sys.argv) < 2 or len(sys.argv) > 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+    factor = float(sys.argv[2]) if len(sys.argv) == 3 else 2.0
+
+    failures = []
+    for suite, lazy_bench, eager_bench in PAIRS:
+        lazy = rows_of(doc, suite, lazy_bench)
+        eager = rows_of(doc, suite, eager_bench)
+        common = sorted(set(lazy) & set(eager))
+        if not common:
+            failures.append(f"{suite}: no common params for "
+                            f"{lazy_bench} / {eager_bench}")
+            continue
+        for params in common:
+            ratio = eager[params] / lazy[params] if lazy[params] > 0 else 0.0
+            gated = params == common[-1]
+            tag = "GATE" if gated else "info"
+            print(f"[{tag}] {suite} params={list(params)}: "
+                  f"lazy={lazy[params]:.0f}ns eager={eager[params]:.0f}ns "
+                  f"ratio={ratio:.2f}x (need >= {factor:.2f}x at largest)")
+            if gated and ratio < factor:
+                failures.append(
+                    f"{suite} {lazy_bench}{list(params)}: eager/lazy ratio "
+                    f"{ratio:.2f}x below the {factor:.2f}x floor")
+
+    if failures:
+        print("lazy gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("lazy gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,7 +40,7 @@ ctest --preset tsan -R "Service|CompileCache" --output-on-failure
 
 echo "=== perf smoke (Release benches vs checked-in snapshot) ==="
 SNAPSHOT=""
-for candidate in BENCH_pr3.json BENCH_pr2.json; do
+for candidate in BENCH_pr4.json BENCH_pr3.json BENCH_pr2.json; do
   if [[ -f "$candidate" ]]; then SNAPSHOT="$candidate"; break; fi
 done
 if [[ -n "$SNAPSHOT" ]]; then
@@ -50,6 +50,8 @@ if [[ -n "$SNAPSHOT" ]]; then
     bench_thm20_relab bench_service
   bench/run_benches.sh build-release /tmp/bench_smoke.json
   python3 ci/perf_compare.py "$SNAPSHOT" /tmp/bench_smoke.json 2.0
+  echo "=== lazy-vs-eager emptiness gate ==="
+  python3 ci/lazy_gate.py /tmp/bench_smoke.json 2.0
 else
   echo "no bench snapshot; skipping perf smoke"
 fi

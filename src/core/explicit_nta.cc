@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <memory>
 #include <tuple>
 #include <utility>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "src/base/logging.h"
 #include "src/base/state_set.h"
 #include "src/core/reachable.h"
+#include "src/fa/dfa_reach.h"
 
 namespace xtc {
 namespace {
@@ -120,6 +122,20 @@ class Builder {
                      const std::vector<int>& group_targets);
   void EmitDinLifted(int id, int a);
 
+  // Reachable-set cache over A_sigma = dout.RuleDfaComplete(sigma); the
+  // borrowed DFA pointer is address-stable (the rule cache never moves).
+  const StateSet& OutReachable(int sigma, int from) {
+    if (out_reach_.size() < static_cast<std::size_t>(sigma) + 1) {
+      out_reach_.resize(static_cast<std::size_t>(sigma) + 1);
+    }
+    std::unique_ptr<DfaReachability>& reach =
+        out_reach_[static_cast<std::size_t>(sigma)];
+    if (reach == nullptr) {
+      reach = std::make_unique<DfaReachability>(&dout_.RuleDfaComplete(sigma));
+    }
+    return reach->From(from);
+  }
+
   const Transducer& t_;
   const Dtd& din_;
   const Dtd& dout_;
@@ -133,6 +149,7 @@ class Builder {
   std::deque<int> worklist_;
   std::vector<std::vector<HSpec>> specs_;  // per B-state, parallel to keys_
   std::vector<int> finals_;
+  std::vector<std::unique_ptr<DfaReachability>> out_reach_;  // per sigma
 };
 
 // valid(a): the rule DFA of d_in(a) lifted over valid(c) child states.
@@ -319,10 +336,24 @@ Status Builder::EmitProduct(
       return ResourceExhaustedError(
           "explicit Lemma 14 construction exceeded the local-state budget");
     }
+    // Per-copy target candidates: an obligation (p, l, r) is satisfiable
+    // only when r is reachable from l in A_sigma (the run follows real
+    // edges), so the odometer ranges over the reachable sets instead of
+    // all of n_sigma^k. Depends only on the local state, not on c.
+    std::vector<std::vector<int>> cand(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i) {
+      cand[static_cast<std::size_t>(i)] =
+          OutReachable(sigma, local.second[static_cast<std::size_t>(i)])
+              .ToVector();
+    }
     for (int c = 0; c < d.num_symbols(); ++c) {
       int ds2 = d.Step(local.first, c);
       if (ds2 == Dfa::kDead) continue;
-      std::vector<int> z(static_cast<std::size_t>(k), 0);
+      std::vector<std::size_t> zi(static_cast<std::size_t>(k), 0);
+      std::vector<int> z(static_cast<std::size_t>(k));
+      for (int i = 0; i < k; ++i) {
+        z[static_cast<std::size_t>(i)] = cand[static_cast<std::size_t>(i)][0];
+      }
       while (true) {
         XTC_RETURN_IF_ERROR(gate.Poll("BuildCounterexampleNta/odometer"));
         std::vector<Obl> obls;
@@ -360,8 +391,14 @@ Status Builder::EmitProduct(
         }
         int pos = 0;
         while (pos < k) {
-          if (++z[static_cast<std::size_t>(pos)] < n_sigma) break;
-          z[static_cast<std::size_t>(pos)] = 0;
+          const std::vector<int>& ci = cand[static_cast<std::size_t>(pos)];
+          if (++zi[static_cast<std::size_t>(pos)] < ci.size()) {
+            z[static_cast<std::size_t>(pos)] =
+                ci[zi[static_cast<std::size_t>(pos)]];
+            break;
+          }
+          zi[static_cast<std::size_t>(pos)] = 0;
+          z[static_cast<std::size_t>(pos)] = ci[0];
           ++pos;
         }
         if (pos == k) break;

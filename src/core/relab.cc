@@ -1,5 +1,6 @@
 #include "src/core/relab.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "src/base/logging.h"
@@ -7,6 +8,7 @@
 #include "src/core/brute_force.h"
 #include "src/fa/eps_nfa.h"
 #include "src/nta/analysis.h"
+#include "src/nta/lazy.h"
 #include "src/nta/product.h"
 #include "src/schema/witness.h"
 #include "src/td/classes.h"
@@ -335,12 +337,41 @@ namespace {
 
 StatusOr<bool> DelRelabEmptiness(const Transducer& t, const Nta& ain,
                                  const Nta& aout_dtac, TypecheckStats* stats,
-                                 Budget* budget) {
+                                 const TypecheckOptions& options) {
+  Budget* budget = options.budget;
   const int base = ain.num_symbols();
   Nta aout_complement = ComplementedDtac(aout_dtac);
   StatusOr<Nta> bin = OutputLanguageNta(t, ain, base, budget);
   if (!bin.ok()) return bin.status();
   Nta bout = HashEliminationNta(aout_complement, base);
+  if (options.emptiness_engine == EmptinessEngine::kLazy) {
+    // On-the-fly product emptiness: B_in × B_out is never materialized —
+    // only configurations reachable bottom-up are discovered, and the run
+    // stops at the first accepting one (DESIGN.md §3c).
+    LazyProductSpec spec;
+    spec.AddNta(&*bin);
+    spec.AddNta(&bout);
+    LazyOptions lazy_options;
+    lazy_options.budget = budget;
+    lazy_options.max_configs = static_cast<int>(
+        std::min<std::uint64_t>(options.max_configs, 1u << 30));
+    lazy_options.max_h_configs = lazy_options.max_configs;
+    lazy_options.resume = options.lazy_resume;
+    lazy_options.export_snapshot = options.lazy_export;
+    StatusOr<EmptinessOutcome> outcome =
+        LazyEmptiness(spec, nullptr, lazy_options);
+    if (outcome.ok()) {
+      stats->nta_states = outcome->stats.configs;
+      stats->nta_size = outcome->stats.h_configs + outcome->stats.steps;
+      return outcome->empty;
+    }
+    // A tripped Budget is sticky and must surface; only the lazy engine's
+    // own state caps fall back to the eager reference pipeline.
+    if (budget != nullptr && budget->exhausted()) return outcome.status();
+    if (outcome.status().code() != StatusCode::kResourceExhausted) {
+      return outcome.status();
+    }
+  }
   XTC_ASSIGN_OR_RETURN(Nta product, Intersect(*bin, bout, budget));
   stats->nta_states = static_cast<std::uint64_t>(product.num_states());
   stats->nta_size = product.Size();
@@ -358,7 +389,7 @@ StatusOr<TypecheckResult> TypecheckDelRelabNta(const Transducer& t,
   result.arena = std::make_shared<Arena>();
   ArenaBudgetScope arena_scope(result.arena, options.budget);
   StatusOr<bool> empty =
-      DelRelabEmptiness(t, ain, aout_dtac, &result.stats, options.budget);
+      DelRelabEmptiness(t, ain, aout_dtac, &result.stats, options);
   if (!empty.ok()) return empty.status();
   result.typechecks = *empty;
   if (options.budget != nullptr) {
@@ -415,7 +446,7 @@ StatusOr<TypecheckResult> TypecheckDelRelab(const Transducer& t,
   Nta ain = Nta::FromDtd(din);
   Nta aout = CompletedDeterministic(Nta::FromDtd(dout));
   StatusOr<bool> empty =
-      DelRelabEmptiness(t, ain, aout, &result.stats, options.budget);
+      DelRelabEmptiness(t, ain, aout, &result.stats, options);
   if (!empty.ok()) return empty.status();
   result.typechecks = *empty;
   if (!result.typechecks && options.want_counterexample) {

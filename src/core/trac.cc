@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "src/base/interner.h"
 #include "src/base/logging.h"
 #include "src/base/state_set.h"
 #include "src/core/reachable.h"
+#include "src/fa/dfa_reach.h"
 #include "src/schema/witness.h"
 #include "src/td/exec.h"
 
@@ -99,6 +101,23 @@ class Engine {
   // Partial DFA: dead steps prune the child-symbol enumeration.
   const Dfa& InDfa(int b) const { return din_.RuleDfa(b); }
 
+  // Demand-driven reachability over OutDfa(sigma): obligation targets r
+  // with no path from l are unsatisfiable (the obligation constrains the
+  // run delta*(l, top(T^p(t))), which only follows real edges), so the
+  // singleton enumeration skips them. RuleDfaComplete's cached DFA is
+  // address-stable after first use, so the borrowed pointer stays valid.
+  const StateSet& OutReachable(int sigma, int from) {
+    if (out_reach_.size() < static_cast<std::size_t>(sigma + 1)) {
+      out_reach_.resize(static_cast<std::size_t>(sigma + 1));
+    }
+    std::unique_ptr<DfaReachability>& reach =
+        out_reach_[static_cast<std::size_t>(sigma)];
+    if (reach == nullptr) {
+      reach = std::make_unique<DfaReachability>(&OutDfa(sigma));
+    }
+    return reach->From(from);
+  }
+
   // Interns a Sat configuration; returns -1 when it is statically false
   // (contradictory obligations: one state, one start, two targets).
   // Sorts and dedups *obls in place; the caller's buffer is scratch.
@@ -160,6 +179,7 @@ class Engine {
   std::vector<int> z_buf_;
   std::vector<Obl> single_obl_buf_;
   std::vector<Obl> child_obl_buf_;
+  std::vector<std::unique_ptr<DfaReachability>> out_reach_;  // per sigma
 };
 
 int Engine::GetSatConfig(int b, int sigma, std::vector<Obl>* obls) {
@@ -359,7 +379,11 @@ StatusOr<bool> Engine::HedgeSearch(int id, int b, int sigma,
         for (int i = 0; i < k; ++i) cand[static_cast<std::size_t>(i)].clear();
         bool dead_copy = false;
         for (int i = 0; i < k && !dead_copy; ++i) {
+          // Only targets reachable from y[i] in A_sigma can be satisfied.
+          const StateSet& zreach =
+              OutReachable(sigma, y[static_cast<std::size_t>(i)]);
           for (int zi = 0; zi < n_sigma; ++zi) {
+            if (!zreach.Test(zi)) continue;
             single_obl_buf_.assign(
                 1, Obl{copies[static_cast<std::size_t>(i)].state,
                        y[static_cast<std::size_t>(i)], zi});

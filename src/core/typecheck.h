@@ -8,6 +8,7 @@
 #include "src/base/arena.h"
 #include "src/base/budget.h"
 #include "src/base/status.h"
+#include "src/nta/lazy.h"
 #include "src/schema/dtd.h"
 #include "src/td/transducer.h"
 #include "src/td/widths.h"
@@ -70,6 +71,14 @@ struct TypecheckOptions {
   Budget* budget = nullptr;
   bool approximate_fallback = false;
 
+  /// Which engine answers NTA product-emptiness queries in the paths that
+  /// pose them (Theorem 20 relabeling, determinization-backed dispatch):
+  /// the lazy frontier engine (src/nta/lazy.h, reachable-only with early
+  /// exit) by default, falling back to the eager materializing pipeline
+  /// when the lazy engine overruns its own state caps. kEager forces the
+  /// reference pipeline throughout.
+  EmptinessEngine emptiness_engine = EmptinessEngine::kLazy;
+
   // --- Pre-compiled artifacts (the service compile cache) ---
   //
   // All three are borrowed and must outlive the call. They let repeated
@@ -86,6 +95,15 @@ struct TypecheckOptions {
   /// share the schema's Alphabet object.
   const Dtd* din_determinized = nullptr;
   const Dtd* dout_determinized = nullptr;
+
+  /// Resumable lazy-engine state (the service compile cache). `lazy_resume`
+  /// warm-starts the lazy emptiness run with previously discovered tables;
+  /// it must come from an identical request (same schemas and transducer).
+  /// When `lazy_export` is non-null and the lazy run completes cleanly, it
+  /// receives the discovered tables for caching; a failed or skipped run
+  /// leaves it untouched.
+  const LazySnapshot* lazy_resume = nullptr;
+  LazySnapshot* lazy_export = nullptr;
 };
 
 /// Checks a claimed counterexample against the definition: t must satisfy

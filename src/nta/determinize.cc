@@ -1,93 +1,24 @@
 #include "src/nta/determinize.h"
 
 #include <algorithm>
-#include <span>
 #include <utility>
 #include <vector>
 
 #include "src/base/interner.h"
 #include "src/base/logging.h"
 #include "src/base/state_set.h"
+#include "src/nta/horizontal_space.h"
 
 namespace xtc {
-namespace {
-
-// Per input symbol `a`, all horizontal NFAs delta(q, a) are embedded into
-// one global state space so that a set of global states ("h-state")
-// summarizes, for every q simultaneously, where the horizontal run can be.
-struct SymbolSpace {
-  // offset[q] .. offset[q] + size[q] are the global ids of delta(q, a)'s
-  // states; -1 when the transition is absent.
-  std::vector<int> offset;
-  std::vector<const Nfa*> nfa;
-  std::vector<int> owner;                    // global id -> q
-  std::vector<int> initials;                 // global ids
-  std::vector<std::pair<int, int>> finals;   // (global id, q)
-  int total = 0;
-};
-
-SymbolSpace BuildSpace(const Nta& nta, int a) {
-  SymbolSpace sp;
-  sp.offset.assign(static_cast<std::size_t>(nta.num_states()), -1);
-  sp.nfa.assign(static_cast<std::size_t>(nta.num_states()), nullptr);
-  std::size_t total_states = 0;
-  for (int q = 0; q < nta.num_states(); ++q) {
-    const Nfa* h = nta.Horizontal(q, a);
-    if (h != nullptr) total_states += static_cast<std::size_t>(h->num_states());
-  }
-  sp.owner.reserve(total_states);
-  for (int q = 0; q < nta.num_states(); ++q) {
-    const Nfa* h = nta.Horizontal(q, a);
-    if (h == nullptr) continue;
-    sp.offset[static_cast<std::size_t>(q)] = sp.total;
-    sp.nfa[static_cast<std::size_t>(q)] = h;
-    for (int s = 0; s < h->num_states(); ++s) {
-      sp.owner.push_back(q);
-      if (h->initial(s)) sp.initials.push_back(sp.total + s);
-      if (h->final(s)) sp.finals.emplace_back(sp.total + s, q);
-    }
-    sp.total += h->num_states();
-  }
-  std::sort(sp.initials.begin(), sp.initials.end());
-  return sp;
-}
-
-// The set of original states q whose horizontal language accepts at the
-// h-state (sorted global-id set) `h`.
-std::vector<int> TargetSubset(const SymbolSpace& sp, std::span<const int> h) {
-  std::vector<int> subset;
-  for (const auto& [g, q] : sp.finals) {
-    if (std::binary_search(h.begin(), h.end(), g)) subset.push_back(q);
-  }
-  std::sort(subset.begin(), subset.end());
-  subset.erase(std::unique(subset.begin(), subset.end()), subset.end());
-  return subset;
-}
-
-// Advance the h-state by one child whose possible-state set is `subset`
-// (a packed mask over the original Q).
-std::vector<int> StepH(const SymbolSpace& sp, std::span<const int> h,
-                       const StateSet& subset) {
-  StateSet next(sp.total);
-  for (int g : h) {
-    const int q = sp.owner[static_cast<std::size_t>(g)];
-    const int off = sp.offset[static_cast<std::size_t>(q)];
-    const Nfa* nfa = sp.nfa[static_cast<std::size_t>(q)];
-    for (const auto& [sym, t] : nfa->Edges(g - off)) {
-      if (subset.Test(sym)) next.Set(off + t);
-    }
-  }
-  return next.ToVector();
-}
-
-}  // namespace
 
 StatusOr<Nta> DeterminizeToDtac(const Nta& nta, int max_states,
                                 Budget* budget) {
   const int num_symbols = nta.num_symbols();
-  std::vector<SymbolSpace> spaces;
+  std::vector<HorizontalSpace> spaces;
   spaces.reserve(static_cast<std::size_t>(num_symbols));
-  for (int a = 0; a < num_symbols; ++a) spaces.push_back(BuildSpace(nta, a));
+  for (int a = 0; a < num_symbols; ++a) {
+    spaces.push_back(HorizontalSpace::Build(nta, a));
+  }
 
   // Interned determinized states (subsets of Q), hashed; interner ids are
   // dense so they double as DTA state ids. det_masks mirrors each subset as

@@ -1,0 +1,523 @@
+#include "src/nta/lazy.h"
+
+#include <algorithm>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/base/interner.h"
+#include "src/base/logging.h"
+#include "src/base/state_set.h"
+#include "src/nta/analysis.h"
+#include "src/nta/determinize.h"
+#include "src/nta/horizontal_space.h"
+#include "src/nta/product.h"
+
+namespace xtc {
+namespace {
+
+// The frontier engine. One instance per query, single-threaded (it owns
+// SubsetInterners; see src/base/README.md).
+//
+// A *configuration* is a tuple with one coordinate per spec component: the
+// root state of one run for an existential component, the exact reachable
+// state subset (an interned det-state id) for a determinized component. A
+// tree t reaches config c iff every existential coordinate is reachable by
+// some run of its component on t and every det coordinate equals det(t) of
+// its component — so configs are exactly the product states bottom-up
+// reachability would visit, discovered in dependency order.
+//
+// Per symbol a, a *joint h-state* is a tuple of horizontal positions: a
+// single global NFA state (HorizontalSpace embedding) per existential
+// component, an interned subset of global states per determinized one.
+// Stepping a joint h-state by a config advances every coordinate over the
+// same child; a joint h-state whose existential coordinates are all final
+// mints the parent config (owner states / TargetSubset). Each h-state
+// keeps a cursor into the global config list so the saturation loop only
+// expands (h, config) pairs once, and a back-pointer (previous h, config
+// consumed), from which a witness tree for each minted config is assembled
+// in the SharedForest.
+class LazyEngine {
+ public:
+  LazyEngine(const LazyProductSpec& spec, SharedForest* forest,
+             const LazyOptions& options)
+      : spec_(spec), forest_(forest), options_(options) {
+    const auto& comps = spec.components();
+    num_components_ = static_cast<int>(comps.size());
+    num_symbols_ = spec.num_symbols();
+    det_slot_.assign(comps.size(), -1);
+    for (int i = 0; i < num_components_; ++i) {
+      XTC_CHECK_EQ(comps[static_cast<std::size_t>(i)].nta->num_symbols(),
+                   num_symbols_);
+      if (comps[static_cast<std::size_t>(i)].determinize) {
+        det_slot_[static_cast<std::size_t>(i)] =
+            static_cast<int>(det_comps_.size());
+        det_comps_.emplace_back();
+        det_comps_.back().component = i;
+      }
+    }
+    symbols_.resize(static_cast<std::size_t>(num_symbols_));
+    for (int a = 0; a < num_symbols_; ++a) {
+      SymbolData& sym = symbols_[static_cast<std::size_t>(a)];
+      sym.spaces.reserve(comps.size());
+      for (int i = 0; i < num_components_; ++i) {
+        sym.spaces.push_back(HorizontalSpace::Build(
+            *comps[static_cast<std::size_t>(i)].nta, a));
+      }
+      sym.det.resize(det_comps_.size());
+    }
+  }
+
+  StatusOr<EmptinessOutcome> Run() {
+    Preload();
+    for (int a = 0; a < num_symbols_ && found_ < 0; ++a) {
+      XTC_RETURN_IF_ERROR(SeedSymbol(a));
+    }
+    bool changed = true;
+    while (changed && found_ < 0) {
+      changed = false;
+      for (int a = 0; a < num_symbols_ && found_ < 0; ++a) {
+        SymbolData& sym = symbols_[static_cast<std::size_t>(a)];
+        // h_prev grows while we iterate: new h-states minted this pass are
+        // expanded in this same pass.
+        for (int hi = 0;
+             hi < static_cast<int>(sym.h_prev.size()) && found_ < 0; ++hi) {
+          while (sym.h_cursor[static_cast<std::size_t>(hi)] <
+                     static_cast<int>(cfg_accepting_.size()) &&
+                 found_ < 0) {
+            const int c = sym.h_cursor[static_cast<std::size_t>(hi)]++;
+            XTC_RETURN_IF_ERROR(BudgetCheck(options_.budget, "LazyEmptiness"));
+            ++stats_.steps;
+            XTC_RETURN_IF_ERROR(StepJoint(a, hi, c));
+            changed = true;
+          }
+        }
+      }
+    }
+
+    EmptinessOutcome out;
+    out.empty = found_ < 0;
+    if (found_ >= 0 && forest_ != nullptr) {
+      out.witness = cfg_witness_[static_cast<std::size_t>(found_)];
+    }
+    stats_.early_exit = found_ >= 0;
+    for (const DetComponent& dc : det_comps_) {
+      stats_.det_states += static_cast<std::uint64_t>(dc.ids.size());
+    }
+    out.stats = stats_;
+    if (options_.export_snapshot != nullptr) {
+      // Export only on clean completion (this line is unreachable on any
+      // budget/cap error path), so snapshots are always trustworthy and a
+      // failed retry never observes partial tables.
+      LazySnapshot snap;
+      snap.det_tables.resize(det_comps_.size());
+      for (std::size_t d = 0; d < det_comps_.size(); ++d) {
+        LazySnapshot::DetTable& table = snap.det_tables[d];
+        for (int id = 0; id < det_comps_[d].ids.size(); ++id) {
+          const std::span<const int> subset = det_comps_[d].ids.Get(id);
+          table.pool.insert(table.pool.end(), subset.begin(), subset.end());
+          table.offsets.push_back(table.pool.size());
+        }
+      }
+      snap.complete = true;
+      snap.empty = out.empty;
+      *options_.export_snapshot = std::move(snap);
+    }
+    return out;
+  }
+
+ private:
+  // Interned state subsets of one determinized component's Q, shared across
+  // symbols; ids are the det coordinates of configs.
+  struct DetComponent {
+    int component = -1;           ///< index into spec components
+    SubsetInterner ids;           ///< subsets of the component's Q
+    std::vector<StateSet> masks;  ///< id -> packed subset (for StepH tests)
+    std::vector<bool> accepting;  ///< id -> acceptance after polarity flip
+  };
+
+  // Per (symbol, determinized component): interned subsets of the symbol's
+  // global horizontal space, with a memoized deterministic step relation.
+  struct DetH {
+    SubsetInterner ids;        ///< subsets of global ids
+    std::vector<int> target;   ///< hsub -> det-state id of TargetSubset (-1
+                               ///< until first needed)
+    SubsetInterner memo_keys;  ///< {hsub, det-state letter} pairs
+    std::vector<int> memo;     ///< pair id -> successor hsub
+  };
+
+  struct SymbolData {
+    std::vector<HorizontalSpace> spaces;  ///< per component
+    std::vector<DetH> det;                ///< per det slot
+    SubsetInterner h_ids;                 ///< joint h tuples (k ints)
+    std::vector<int> h_prev;              ///< back-pointer h (-1 = initial)
+    std::vector<int> h_letter;            ///< config consumed (-1 = initial)
+    std::vector<int> h_cursor;            ///< next config id to step by
+  };
+
+  void Preload() {
+    if (options_.resume == nullptr ||
+        options_.resume->det_tables.size() != det_comps_.size()) {
+      return;
+    }
+    stats_.resumed = true;
+    for (std::size_t d = 0; d < det_comps_.size(); ++d) {
+      const LazySnapshot::DetTable& table = options_.resume->det_tables[d];
+      const Nta* nta =
+          spec_.components()[static_cast<std::size_t>(det_comps_[d].component)]
+              .nta;
+      for (std::size_t i = 0; i + 1 < table.offsets.size(); ++i) {
+        const std::span<const int> subset(table.pool.data() + table.offsets[i],
+                                          table.offsets[i + 1] -
+                                              table.offsets[i]);
+        bool valid = true;
+        for (int q : subset) valid = valid && q >= 0 && q < nta->num_states();
+        if (valid) InternDetState(static_cast<int>(d), subset);
+      }
+    }
+  }
+
+  int InternDetState(int d, std::span<const int> subset) {
+    DetComponent& dc = det_comps_[static_cast<std::size_t>(d)];
+    const int id = dc.ids.Intern(subset);
+    if (id < static_cast<int>(dc.masks.size())) return id;
+    const LazyComponent& comp =
+        spec_.components()[static_cast<std::size_t>(dc.component)];
+    StateSet mask(comp.nta->num_states());
+    bool any_final = false;
+    for (int q : subset) {
+      mask.Set(q);
+      any_final = any_final || comp.nta->final(q);
+    }
+    dc.masks.push_back(std::move(mask));
+    dc.accepting.push_back(comp.complement ? !any_final : any_final);
+    return id;
+  }
+
+  int InternDetH(int a, int d, std::span<const int> subset) {
+    DetH& dh = symbols_[static_cast<std::size_t>(a)]
+                   .det[static_cast<std::size_t>(d)];
+    const int id = dh.ids.Intern(subset);
+    if (id == static_cast<int>(dh.target.size())) dh.target.push_back(-1);
+    return id;
+  }
+
+  // The det-state the subset-of-globals `hsub` emits (memoized).
+  int TargetOf(int a, int d, int hsub) {
+    SymbolData& sym = symbols_[static_cast<std::size_t>(a)];
+    DetH& dh = sym.det[static_cast<std::size_t>(d)];
+    if (dh.target[static_cast<std::size_t>(hsub)] < 0) {
+      const int comp = det_comps_[static_cast<std::size_t>(d)].component;
+      const std::span<const int> span = dh.ids.Get(hsub);
+      const std::vector<int> members(span.begin(), span.end());
+      dh.target[static_cast<std::size_t>(hsub)] = InternDetState(
+          d, TargetSubset(sym.spaces[static_cast<std::size_t>(comp)], members));
+    }
+    return dh.target[static_cast<std::size_t>(hsub)];
+  }
+
+  // Deterministic subset step of a det coordinate by a det-state letter.
+  StatusOr<int> StepDet(int a, int d, int hsub, int det_letter) {
+    SymbolData& sym = symbols_[static_cast<std::size_t>(a)];
+    DetH& dh = sym.det[static_cast<std::size_t>(d)];
+    const int pair_key[2] = {hsub, det_letter};
+    const int pid = dh.memo_keys.Intern(pair_key);
+    if (pid < static_cast<int>(dh.memo.size())) return dh.memo[pid];
+    const int comp = det_comps_[static_cast<std::size_t>(d)].component;
+    const HorizontalSpace& sp = sym.spaces[static_cast<std::size_t>(comp)];
+    const StateSet& mask =
+        det_comps_[static_cast<std::size_t>(d)]
+            .masks[static_cast<std::size_t>(det_letter)];
+    const std::span<const int> span = dh.ids.Get(hsub);
+    const std::vector<int> members(span.begin(), span.end());
+    StateSet next(sp.total);
+    for (int g : members) {
+      sp.ForEachEdge(g, [&](int symq, int to) {
+        if (mask.Test(symq)) next.Set(to);
+      });
+    }
+    const int result = InternDetH(a, d, next.ToVector());
+    dh.memo.push_back(result);
+    return result;
+  }
+
+  // Interns a joint h tuple, recording back-pointers and minting the parent
+  // config when every existential coordinate is horizontally final.
+  Status InternJoint(int a, std::span<const int> key, int prev, int letter) {
+    SymbolData& sym = symbols_[static_cast<std::size_t>(a)];
+    const int id = sym.h_ids.Intern(key);
+    if (id < static_cast<int>(sym.h_prev.size())) return Status::Ok();
+    if (total_h_ >= options_.max_h_configs) {
+      return ResourceExhaustedError(
+          "lazy emptiness exceeded max_h_configs horizontal states");
+    }
+    ++total_h_;
+    ++stats_.h_configs;
+    sym.h_prev.push_back(prev);
+    sym.h_letter.push_back(letter);
+    sym.h_cursor.push_back(0);
+    return TryEmit(a, id);
+  }
+
+  Status TryEmit(int a, int hid) {
+    SymbolData& sym = symbols_[static_cast<std::size_t>(a)];
+    // Copy out: interners below may grow their pools.
+    const std::span<const int> span = sym.h_ids.Get(hid);
+    const std::vector<int> h(span.begin(), span.end());
+    std::vector<int> key(static_cast<std::size_t>(num_components_));
+    for (int i = 0; i < num_components_; ++i) {
+      if (det_slot_[static_cast<std::size_t>(i)] >= 0) continue;
+      const HorizontalSpace& sp = sym.spaces[static_cast<std::size_t>(i)];
+      const int g = h[static_cast<std::size_t>(i)];
+      if (!sp.final_mask.Test(g)) return Status::Ok();
+      key[static_cast<std::size_t>(i)] = sp.owner[static_cast<std::size_t>(g)];
+    }
+    for (int i = 0; i < num_components_; ++i) {
+      const int d = det_slot_[static_cast<std::size_t>(i)];
+      if (d >= 0) {
+        key[static_cast<std::size_t>(i)] =
+            TargetOf(a, d, h[static_cast<std::size_t>(i)]);
+      }
+    }
+    return MintConfig(a, hid, key);
+  }
+
+  Status MintConfig(int a, int hid, std::span<const int> key) {
+    const int id = cfg_ids_.Intern(key);
+    if (id < static_cast<int>(cfg_accepting_.size())) return Status::Ok();
+    if (static_cast<int>(cfg_accepting_.size()) >= options_.max_configs) {
+      return ResourceExhaustedError(
+          "lazy emptiness exceeded max_configs product configurations");
+    }
+    ++stats_.configs;
+    bool accepting = true;
+    for (int i = 0; i < num_components_ && accepting; ++i) {
+      const int d = det_slot_[static_cast<std::size_t>(i)];
+      const int coord = key[static_cast<std::size_t>(i)];
+      accepting =
+          d < 0 ? spec_.components()[static_cast<std::size_t>(i)].nta->final(
+                      coord)
+                : static_cast<bool>(
+                      det_comps_[static_cast<std::size_t>(d)]
+                          .accepting[static_cast<std::size_t>(coord)]);
+    }
+    cfg_accepting_.push_back(accepting);
+    if (forest_ != nullptr) {
+      // Children are the configs consumed along the back-pointer chain (in
+      // reverse); their witnesses were recorded when they were minted.
+      SymbolData& sym = symbols_[static_cast<std::size_t>(a)];
+      std::vector<int> children;
+      for (int cur = hid; sym.h_prev[static_cast<std::size_t>(cur)] >= 0;
+           cur = sym.h_prev[static_cast<std::size_t>(cur)]) {
+        children.push_back(
+            cfg_witness_[static_cast<std::size_t>(
+                sym.h_letter[static_cast<std::size_t>(cur)])]);
+      }
+      std::reverse(children.begin(), children.end());
+      cfg_witness_.push_back(forest_->Make(a, children));
+    } else {
+      cfg_witness_.push_back(-1);
+    }
+    if (accepting && found_ < 0) found_ = id;
+    return Status::Ok();
+  }
+
+  // Cross product of the existential successor choices; det coordinates in
+  // `key` are already fixed.
+  Status EnumerateJoint(int a, std::vector<int>* key,
+                        const std::vector<int>& ex_slots,
+                        const std::vector<std::vector<int>>& options,
+                        int prev, int letter) {
+    std::vector<std::size_t> idx(ex_slots.size(), 0);
+    while (true) {
+      for (std::size_t j = 0; j < ex_slots.size(); ++j) {
+        (*key)[static_cast<std::size_t>(ex_slots[j])] = options[j][idx[j]];
+      }
+      XTC_RETURN_IF_ERROR(InternJoint(a, *key, prev, letter));
+      if (found_ >= 0) return Status::Ok();
+      std::size_t j = 0;
+      for (; j < idx.size(); ++j) {
+        if (++idx[j] < options[j].size()) break;
+        idx[j] = 0;
+      }
+      if (j == idx.size()) return Status::Ok();
+    }
+  }
+
+  Status SeedSymbol(int a) {
+    SymbolData& sym = symbols_[static_cast<std::size_t>(a)];
+    std::vector<int> key(static_cast<std::size_t>(num_components_), -1);
+    std::vector<std::vector<int>> options;
+    std::vector<int> ex_slots;
+    for (int i = 0; i < num_components_; ++i) {
+      const int d = det_slot_[static_cast<std::size_t>(i)];
+      const HorizontalSpace& sp = sym.spaces[static_cast<std::size_t>(i)];
+      if (d >= 0) {
+        key[static_cast<std::size_t>(i)] = InternDetH(a, d, sp.initials);
+        continue;
+      }
+      if (sp.initials.empty()) return Status::Ok();  // no run roots at `a`
+      ex_slots.push_back(i);
+      options.push_back(sp.initials);
+    }
+    return EnumerateJoint(a, &key, ex_slots, options, -1, -1);
+  }
+
+  Status StepJoint(int a, int hi, int c) {
+    SymbolData& sym = symbols_[static_cast<std::size_t>(a)];
+    // Copy out: successor interning moves the pools under these spans.
+    const std::span<const int> hspan = sym.h_ids.Get(hi);
+    const std::vector<int> h(hspan.begin(), hspan.end());
+    const std::span<const int> cspan = cfg_ids_.Get(c);
+    const std::vector<int> cfg(cspan.begin(), cspan.end());
+
+    std::vector<int> key(static_cast<std::size_t>(num_components_), -1);
+    std::vector<std::vector<int>> options;
+    std::vector<int> ex_slots;
+    for (int i = 0; i < num_components_; ++i) {
+      const int d = det_slot_[static_cast<std::size_t>(i)];
+      if (d >= 0) {
+        XTC_ASSIGN_OR_RETURN(key[static_cast<std::size_t>(i)],
+                             StepDet(a, d, h[static_cast<std::size_t>(i)],
+                                     cfg[static_cast<std::size_t>(i)]));
+        continue;
+      }
+      const HorizontalSpace& sp = sym.spaces[static_cast<std::size_t>(i)];
+      std::vector<int> succ;
+      sp.ForEachEdge(h[static_cast<std::size_t>(i)], [&](int symq, int to) {
+        if (symq == cfg[static_cast<std::size_t>(i)]) succ.push_back(to);
+      });
+      if (succ.empty()) return Status::Ok();  // letter can't extend this run
+      std::sort(succ.begin(), succ.end());
+      succ.erase(std::unique(succ.begin(), succ.end()), succ.end());
+      ex_slots.push_back(i);
+      options.push_back(std::move(succ));
+    }
+    return EnumerateJoint(a, &key, ex_slots, options, hi, c);
+  }
+
+  const LazyProductSpec& spec_;
+  SharedForest* forest_;
+  const LazyOptions& options_;
+  int num_components_ = 0;
+  int num_symbols_ = 0;
+  std::vector<int> det_slot_;  ///< component -> det slot, -1 if existential
+  std::vector<DetComponent> det_comps_;
+  std::vector<SymbolData> symbols_;
+  SubsetInterner cfg_ids_;  ///< global config tuples (k ints)
+  std::vector<bool> cfg_accepting_;
+  std::vector<int> cfg_witness_;  ///< forest id per config, -1 w/o forest
+  int total_h_ = 0;
+  int found_ = -1;  ///< first accepting config, -1 while none
+  LazyStats stats_;
+};
+
+class LazyOracle : public EmptinessOracle {
+ public:
+  explicit LazyOracle(const LazyOptions& options) : options_(options) {}
+  const char* name() const override { return "lazy"; }
+  StatusOr<EmptinessOutcome> Check(const LazyProductSpec& spec,
+                                   SharedForest* forest) override {
+    return LazyEmptiness(spec, forest, options_);
+  }
+
+ private:
+  LazyOptions options_;
+};
+
+class EagerOracle : public EmptinessOracle {
+ public:
+  explicit EagerOracle(const LazyOptions& options) : options_(options) {}
+  const char* name() const override { return "eager"; }
+  StatusOr<EmptinessOutcome> Check(const LazyProductSpec& spec,
+                                   SharedForest* forest) override {
+    return EagerEmptiness(spec, forest, options_);
+  }
+
+ private:
+  LazyOptions options_;
+};
+
+}  // namespace
+
+std::size_t LazySnapshot::ApproxBytes() const {
+  std::size_t bytes = sizeof(LazySnapshot);
+  for (const DetTable& table : det_tables) {
+    bytes += sizeof(DetTable) + table.pool.capacity() * sizeof(int) +
+             table.offsets.capacity() * sizeof(std::size_t);
+  }
+  return bytes;
+}
+
+StatusOr<EmptinessOutcome> LazyEmptiness(const LazyProductSpec& spec,
+                                         SharedForest* forest,
+                                         const LazyOptions& options) {
+  if (spec.components().empty()) {
+    return InvalidArgumentError("empty emptiness product spec");
+  }
+  if (options.resume != nullptr && options.resume->complete) {
+    // The snapshot's verdict is final; only a witness request for a
+    // non-empty product needs a (warm-started) re-exploration.
+    const bool need_witness = forest != nullptr && !options.resume->empty;
+    if (!need_witness) {
+      EmptinessOutcome out;
+      out.empty = options.resume->empty;
+      out.stats.resumed = true;
+      if (options.export_snapshot != nullptr) {
+        *options.export_snapshot = *options.resume;
+      }
+      return out;
+    }
+  }
+  LazyEngine engine(spec, forest, options);
+  return engine.Run();
+}
+
+StatusOr<EmptinessOutcome> EagerEmptiness(const LazyProductSpec& spec,
+                                          SharedForest* forest,
+                                          const LazyOptions& options) {
+  if (spec.components().empty()) {
+    return InvalidArgumentError("empty emptiness product spec");
+  }
+  const auto& comps = spec.components();
+  std::vector<Nta> owned;
+  owned.reserve(comps.size());
+  for (const LazyComponent& comp : comps) {
+    if (!comp.determinize) {
+      owned.push_back(*comp.nta);
+      continue;
+    }
+    XTC_ASSIGN_OR_RETURN(
+        Nta det,
+        DeterminizeToDtac(*comp.nta, options.max_configs, options.budget));
+    owned.push_back(comp.complement ? ComplementedDtac(det) : std::move(det));
+  }
+  Nta product = std::move(owned.front());
+  for (std::size_t i = 1; i < owned.size(); ++i) {
+    XTC_ASSIGN_OR_RETURN(product,
+                         Intersect(product, owned[i], options.budget));
+  }
+  EmptinessOutcome out;
+  out.stats.configs = static_cast<std::uint64_t>(product.num_states());
+  out.stats.steps = static_cast<std::uint64_t>(product.Size());
+  if (forest != nullptr) {
+    XTC_ASSIGN_OR_RETURN(
+        std::optional<int> witness,
+        WitnessTree(product, forest, nullptr, options.budget));
+    out.empty = !witness.has_value();
+    out.witness = witness.value_or(-1);
+  } else {
+    XTC_ASSIGN_OR_RETURN(out.empty, IsEmptyLanguage(product, options.budget));
+  }
+  return out;
+}
+
+std::unique_ptr<EmptinessOracle> MakeEmptinessOracle(
+    EmptinessEngine engine, const LazyOptions& options) {
+  if (engine == EmptinessEngine::kEager) {
+    return std::make_unique<EagerOracle>(options);
+  }
+  return std::make_unique<LazyOracle>(options);
+}
+
+}  // namespace xtc

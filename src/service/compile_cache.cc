@@ -235,6 +235,34 @@ CompileCache::GetOrCompileTransducer(const TransducerSpec& spec,
   return std::shared_ptr<const CompiledTransducer>(artifact);
 }
 
+std::shared_ptr<const LazySnapshot> CompileCache::GetLazySnapshot(
+    const std::string& key) {
+  // Namespaced so a snapshot key can never alias a canonical-text artifact
+  // key ('\n' ends the prefix; canonical texts never start with "lazy\n").
+  const std::string full_key = "lazy\n" + key;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* entry = LookupLocked(full_key);
+      entry != nullptr && entry->lazy != nullptr) {
+    ++counters_.lazy_hits;
+    return entry->lazy;
+  }
+  ++counters_.lazy_misses;
+  return nullptr;
+}
+
+void CompileCache::PutLazySnapshot(
+    const std::string& key, std::shared_ptr<const LazySnapshot> snapshot) {
+  if (snapshot == nullptr) return;
+  std::string full_key = "lazy\n" + key;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (LookupLocked(full_key) != nullptr) return;  // first insert wins
+  Entry entry;
+  entry.bytes =
+      kEntryBaseBytes + 2 * full_key.size() + snapshot->ApproxBytes();
+  entry.lazy = std::move(snapshot);
+  InsertLocked(std::move(full_key), std::move(entry));
+}
+
 CompileCache::Stats CompileCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats stats = counters_;

@@ -12,6 +12,7 @@
 #include "src/base/budget.h"
 #include "src/base/status.h"
 #include "src/fa/alphabet.h"
+#include "src/nta/lazy.h"
 #include "src/schema/dtd.h"
 #include "src/service/request.h"
 #include "src/td/transducer.h"
@@ -96,6 +97,8 @@ class CompileCache {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    std::uint64_t lazy_hits = 0;    ///< lazy-snapshot lookups served
+    std::uint64_t lazy_misses = 0;  ///< lazy-snapshot lookups missed
     std::size_t bytes = 0;
     std::size_t entries = 0;
     std::size_t universes = 0;
@@ -123,6 +126,20 @@ class CompileCache {
       const TransducerSpec& spec, const std::shared_ptr<Alphabet>& alphabet,
       bool* cache_hit = nullptr);
 
+  /// Returns the cached lazy discovered-state snapshot for `key` (the
+  /// caller's content address for the emptiness query, e.g. the joined
+  /// artifact keys plus engine parameters), or null on miss. Snapshots are
+  /// complete or partial interned state tables of src/nta/lazy.h runs:
+  /// resuming from one replays discovery instead of re-deriving it.
+  std::shared_ptr<const LazySnapshot> GetLazySnapshot(const std::string& key);
+
+  /// Stores `snapshot` under `key`, byte-accounted on the artifact LRU
+  /// (ApproxBytes + flat overhead). First insert wins: equal keys describe
+  /// the same query, so the tables are interchangeable and a racing worker
+  /// adopts whichever landed first. Null snapshots are ignored.
+  void PutLazySnapshot(const std::string& key,
+                       std::shared_ptr<const LazySnapshot> snapshot);
+
   Stats stats() const;
 
   /// Drops all artifacts and universes (cumulative counters are kept).
@@ -130,9 +147,13 @@ class CompileCache {
 
  private:
   struct Entry {
+    // Exactly one of schema/transducer/lazy is set. Lazy entries carry an
+    // empty universe_key: their tables are interned int tuples with no
+    // Alphabet binding, so universe cascade eviction never touches them.
     std::string universe_key;
-    std::shared_ptr<const CompiledSchema> schema;  // exactly one of these
-    std::shared_ptr<const CompiledTransducer> transducer;  // two is set
+    std::shared_ptr<const CompiledSchema> schema;
+    std::shared_ptr<const CompiledTransducer> transducer;
+    std::shared_ptr<const LazySnapshot> lazy;
     std::size_t bytes = 0;
     std::list<std::string>::iterator lru_it;
   };

@@ -196,6 +196,18 @@ StatusOr<ServiceRequest> ParseServiceRequest(std::string_view json_line) {
     }
     request.approximate_fallback = approx->AsBool();
   }
+  if (const JsonValue* engine = doc.Find("engine")) {
+    if (engine->kind() != JsonValue::Kind::kString) {
+      return FieldError("engine", "must be a string");
+    }
+    if (engine->AsString() == "auto") {
+      request.engine = TypecheckEngine::kAuto;
+    } else if (engine->AsString() == "delrelab") {
+      request.engine = TypecheckEngine::kDelRelab;
+    } else {
+      return FieldError("engine", "must be auto or delrelab");
+    }
+  }
   if (const JsonValue* tree = doc.Find("tree")) {
     if (tree->kind() != JsonValue::Kind::kString) {
       return FieldError("tree", "must be a term-syntax string");
@@ -265,6 +277,9 @@ std::string ServiceRequestToJson(const ServiceRequest& request) {
   }
   if (request.approximate_fallback) {
     o.Set("approximate_fallback", JsonValue::Bool(true));
+  }
+  if (request.engine == TypecheckEngine::kDelRelab) {
+    o.Set("engine", JsonValue::Str("delrelab"));
   }
   return o.Dump();
 }

@@ -41,6 +41,18 @@ enum class ServiceOp {
 
 const char* ServiceOpName(ServiceOp op);
 
+/// Engine selection for typecheck requests (wire field `engine`). `kAuto`
+/// defers to the library front door, which picks the cheapest applicable
+/// engine (usually T_trac). `kDelRelab` requests the Theorem 20
+/// deleting-relabeling engine explicitly: it rejects transducers outside
+/// the class (`kFailedPrecondition`), but its lazy emptiness exploration is
+/// resumable — completed state tables are parked on the compile cache and
+/// warm-start later identical requests (DESIGN.md §3c).
+enum class TypecheckEngine {
+  kAuto,
+  kDelRelab,
+};
+
 /// One NDJSON request line, parsed. `deadline_ms == 0` defers to the
 /// service default.
 struct ServiceRequest {
@@ -54,6 +66,7 @@ struct ServiceRequest {
   std::uint64_t deadline_ms = 0;
   bool want_counterexample = true;
   bool approximate_fallback = false;
+  TypecheckEngine engine = TypecheckEngine::kAuto;
 };
 
 /// Parses one request line. Errors are protocol-shaped (missing fields,

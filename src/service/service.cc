@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/base/arena.h"
+#include "src/core/relab.h"
 #include "src/core/typecheck.h"
 #include "src/td/exec.h"
 #include "src/tree/codec.h"
@@ -190,9 +191,32 @@ ServiceResponse TypecheckService::Execute(const ServiceRequest& request) {
       options.widths = &(*td)->widths;
       options.din_determinized = (*din)->determinized.get();
       options.dout_determinized = (*dout)->determinized.get();
-      StatusOr<TypecheckResult> result = Typecheck(
-          *(*td)->selector_free, *(*din)->dtd, *(*dout)->dtd, options);
+      // Resumable lazy exploration (delrelab engine only — the auto front
+      // door dispatches to engines that never touch these tables): equal
+      // artifact keys pose the identical emptiness query, so discovered
+      // tables from an earlier request warm-start this one. '\x1f' never
+      // occurs in canonical texts, so the join is injective.
+      const std::string lazy_key =
+          (*din)->key + '\x1f' + (*dout)->key + '\x1f' + (*td)->key;
+      std::shared_ptr<const LazySnapshot> lazy_resume;
+      LazySnapshot lazy_export;
+      if (request.engine == TypecheckEngine::kDelRelab) {
+        lazy_resume = cache_.GetLazySnapshot(lazy_key);
+        options.lazy_resume = lazy_resume.get();
+        options.lazy_export = &lazy_export;
+      }
+      StatusOr<TypecheckResult> result =
+          request.engine == TypecheckEngine::kDelRelab
+              ? TypecheckDelRelab(*(*td)->selector_free, *(*din)->dtd,
+                                  *(*dout)->dtd, options)
+              : Typecheck(*(*td)->selector_free, *(*din)->dtd, *(*dout)->dtd,
+                          options);
       if (!result.ok()) return finish(result.status());
+      if (lazy_export.complete) {
+        // Only completed runs export; Put keeps the first insert on a race.
+        cache_.PutLazySnapshot(
+            lazy_key, std::make_shared<LazySnapshot>(std::move(lazy_export)));
+      }
       response.typechecks = result->typechecks;
       response.approximate = result->approximate;
       response.engine_ms = result->stats.elapsed_ms;

@@ -268,6 +268,72 @@ TEST(CompileCacheTest, CompiledSchemasAreFullyForced) {
   EXPECT_EQ((*artifact)->determinized->alphabet(), alphabet.get());
 }
 
+TEST(CompileCacheTest, LazySnapshotsRoundTripAndAreLruAccounted) {
+  CompileCache cache;
+  auto snapshot = std::make_shared<LazySnapshot>();
+  snapshot->det_tables.emplace_back();
+  snapshot->det_tables[0].pool = {0, 1, 2};
+  snapshot->det_tables[0].offsets = {0, 1, 3};
+  snapshot->complete = true;
+  snapshot->empty = true;
+
+  EXPECT_EQ(cache.GetLazySnapshot("k1"), nullptr);
+  cache.PutLazySnapshot("k1", snapshot);
+  EXPECT_EQ(cache.GetLazySnapshot("k1").get(), snapshot.get());
+  EXPECT_EQ(cache.GetLazySnapshot("k2"), nullptr);
+  CompileCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.lazy_hits, 1u);
+  EXPECT_EQ(stats.lazy_misses, 2u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GE(stats.bytes, snapshot->ApproxBytes());
+
+  // First insert wins: a racing second snapshot for the same key is dropped.
+  auto other = std::make_shared<LazySnapshot>(*snapshot);
+  cache.PutLazySnapshot("k1", other);
+  EXPECT_EQ(cache.GetLazySnapshot("k1").get(), snapshot.get());
+
+  // Null snapshots are ignored rather than cached as tombstones.
+  cache.PutLazySnapshot("k3", nullptr);
+  EXPECT_EQ(cache.GetLazySnapshot("k3"), nullptr);
+}
+
+TEST(CompileCacheTest, LazySnapshotsEvictUnderBytePressureLikeArtifacts) {
+  CompileCache::Options options;
+  options.max_bytes = 1;  // every insert overflows: only the newest survives
+  CompileCache cache(options);
+  auto snap = [] {
+    auto s = std::make_shared<LazySnapshot>();
+    s->complete = true;
+    return s;
+  };
+  cache.PutLazySnapshot("a", snap());
+  cache.PutLazySnapshot("b", snap());
+  CompileCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GE(stats.evictions, 1u);
+  EXPECT_EQ(cache.GetLazySnapshot("a"), nullptr);
+  EXPECT_NE(cache.GetLazySnapshot("b"), nullptr);
+}
+
+TEST(CompileCacheTest, LazySnapshotsSurviveUniverseCascades) {
+  CompileCache::Options options;
+  options.max_universes = 1;
+  CompileCache cache(options);
+  Wire a = WireOf(FilterFamily(3));
+  Wire b = WireOf(RelabFamily(3));
+  auto snapshot = std::make_shared<LazySnapshot>();
+  snapshot->complete = true;
+  cache.PutLazySnapshot("q", snapshot);
+
+  // Displacing universe A with B cascades A's schema artifact away, but the
+  // alphabet-independent snapshot entry stays.
+  std::shared_ptr<Alphabet> alpha_a = cache.GetOrCreateAlphabet(a.universe);
+  ASSERT_TRUE(cache.GetOrCompileSchema(a.din, alpha_a, nullptr).ok());
+  cache.GetOrCreateAlphabet(b.universe);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.GetLazySnapshot("q").get(), snapshot.get());
+}
+
 TEST(CanonicalTest, SkeletonAndCompiledDtdAgreeOnCanonicalText) {
   // The cache keys on the *skeleton's* canonical text; compiling (forcing
   // DFAs) must not change the address.

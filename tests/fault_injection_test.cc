@@ -24,6 +24,8 @@
 #include "src/fa/dfa.h"
 #include "src/nta/analysis.h"
 #include "src/nta/determinize.h"
+#include "src/nta/lazy.h"
+#include "src/nta/nta.h"
 #include "src/nta/product.h"
 #include "src/schema/witness.h"
 #include "src/workload/families.h"
@@ -113,6 +115,30 @@ TEST(FaultInjectionTest, SweepAllEnginesCleanly) {
     });
   }
   {
+    // The lazy frontier engine, directly: every discovered-state expansion
+    // checkpoints the budget ("LazyEmptiness"), and the eager reference on
+    // the same spec for comparison.
+    PaperExample ex = RelabFamily(3);
+    Nta a = Nta::FromDtd(*ex.din);
+    Nta c = Nta::FromDtd(*ex.dout);
+    total += SweepInjection("lazy-emptiness", [&](Budget* b) {
+      LazyProductSpec spec;
+      spec.AddNta(&a);
+      spec.AddDeterminized(&c, /*complement=*/true);
+      LazyOptions opts;
+      opts.budget = b;
+      return LazyEmptiness(spec, nullptr, opts).status();
+    });
+    total += SweepInjection("eager-emptiness", [&](Budget* b) {
+      LazyProductSpec spec;
+      spec.AddNta(&a);
+      spec.AddDeterminized(&c, /*complement=*/true);
+      LazyOptions opts;
+      opts.budget = b;
+      return EagerEmptiness(spec, nullptr, opts).status();
+    });
+  }
+  {
     PaperExample ex = MakeBookExample(/*with_summary=*/false);
     total += SweepInjection("brute-force", [&](Budget* b) {
       BruteForceOptions bf;
@@ -161,6 +187,71 @@ TEST(FaultInjectionTest, SweepAllEnginesCleanly) {
   // The acceptance bar: the sweep must exercise at least 200 distinct
   // checkpoint failure points across the engines.
   EXPECT_GE(total, 200) << "fault-injection sweep coverage shrank";
+}
+
+// A fault injected mid-exploration must never leave a partially-interned
+// state table observable to a retry: the export target — including one
+// already holding a prior good snapshot, as the compile cache's entries do
+// — stays byte-for-byte untouched on every failure, and a retry resuming
+// from it still agrees with the eager reference.
+TEST(FaultInjectionTest, LazyInjectionLeavesNoPartialSnapshotBehind) {
+  PaperExample ex = RelabFamily(3);
+  Nta a = Nta::FromDtd(*ex.din);
+  Nta c = Nta::FromDtd(*ex.dout);
+  auto make_spec = [&] {
+    LazyProductSpec spec;
+    spec.AddNta(&a);
+    spec.AddDeterminized(&c, /*complement=*/true);
+    return spec;
+  };
+  auto tables_equal = [](const LazySnapshot& x, const LazySnapshot& y) {
+    if (x.complete != y.complete || x.empty != y.empty ||
+        x.det_tables.size() != y.det_tables.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < x.det_tables.size(); ++i) {
+      if (x.det_tables[i].pool != y.det_tables[i].pool ||
+          x.det_tables[i].offsets != y.det_tables[i].offsets) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  LazyProductSpec spec = make_spec();
+  StatusOr<EmptinessOutcome> eager = EagerEmptiness(spec, nullptr);
+  ASSERT_TRUE(eager.ok());
+
+  // A clean run exporting the reference snapshot.
+  LazySnapshot good;
+  LazyOptions export_opts;
+  export_opts.export_snapshot = &good;
+  ASSERT_TRUE(LazyEmptiness(spec, nullptr, export_opts).ok());
+  ASSERT_TRUE(good.complete);
+
+  int injected = 0;
+  for (std::uint64_t n = 1; n <= 200; ++n) {
+    Budget b;
+    b.set_fail_at_checkpoint(n);
+    LazySnapshot prior = good;  // the cached artifact a retry would see
+    LazyOptions opts;
+    opts.budget = &b;
+    opts.export_snapshot = &prior;
+    StatusOr<EmptinessOutcome> out = LazyEmptiness(spec, nullptr, opts);
+    if (b.cause() != ExhaustionCause::kInjected) break;
+    ++injected;
+    ASSERT_FALSE(out.ok()) << "n=" << n;
+    EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+    // The failed run must not have touched the prior snapshot...
+    EXPECT_TRUE(tables_equal(prior, good)) << "n=" << n;
+    // ...and a retry resuming from it agrees with the eager reference.
+    LazyOptions retry_opts;
+    retry_opts.resume = &prior;
+    StatusOr<EmptinessOutcome> retry = LazyEmptiness(spec, nullptr, retry_opts);
+    ASSERT_TRUE(retry.ok()) << "n=" << n << ": " << retry.status().ToString();
+    EXPECT_EQ(retry->empty, eager->empty) << "n=" << n;
+  }
+  EXPECT_GT(injected, 0) << "no checkpoint was ever reached";
 }
 
 // The front door with approximate_fallback enabled: an injected exhaustion

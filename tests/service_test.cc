@@ -95,6 +95,55 @@ TEST_F(ServiceTest, TypecheckPositiveAndNegative) {
   EXPECT_GT(response.engine_ms, 0);
 }
 
+TEST_F(ServiceTest, DelRelabEngineCachesResumableLazySnapshots) {
+  TypecheckService service(SyncOptions());
+  StatusOr<ServiceRequest> request =
+      TypecheckRequestFromExample(RelabFamily(3));
+  ASSERT_TRUE(request.ok());
+  request->engine = TypecheckEngine::kDelRelab;
+
+  // Cold: the snapshot lookup misses, the run completes, and the engine's
+  // discovered state tables are parked on the compile cache.
+  ServiceResponse first = service.Process(*request);
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  CompileCache::Stats stats = service.cache().stats();
+  EXPECT_EQ(stats.lazy_hits, 0u);
+  EXPECT_GE(stats.lazy_misses, 1u);
+
+  // Warm: the identical request resumes from the cached snapshot and must
+  // reach the same verdict.
+  ServiceResponse second = service.Process(*request);
+  ASSERT_TRUE(second.status.ok()) << second.status.ToString();
+  EXPECT_EQ(second.typechecks, first.typechecks);
+  stats = service.cache().stats();
+  EXPECT_GE(stats.lazy_hits, 1u);
+
+  // The auto front door on the same artifacts agrees and never consults
+  // the snapshot cache (the counters are unchanged).
+  ServiceRequest auto_request = *request;
+  auto_request.engine = TypecheckEngine::kAuto;
+  ServiceResponse third = service.Process(auto_request);
+  ASSERT_TRUE(third.status.ok()) << third.status.ToString();
+  EXPECT_EQ(third.typechecks, first.typechecks);
+  CompileCache::Stats after = service.cache().stats();
+  EXPECT_EQ(after.lazy_hits, stats.lazy_hits);
+  EXPECT_EQ(after.lazy_misses, stats.lazy_misses);
+
+  // The wire field round-trips through the NDJSON form.
+  ServiceRequest back = MustParse(ServiceRequestToJson(*request));
+  EXPECT_EQ(back.engine, TypecheckEngine::kDelRelab);
+
+  // An engine request outside the deleting-relabeling class is a content
+  // error, not a crash.
+  StatusOr<ServiceRequest> copying =
+      TypecheckRequestFromExample(WidthFamily(/*c=*/2, /*k=*/2));
+  ASSERT_TRUE(copying.ok());
+  copying->engine = TypecheckEngine::kDelRelab;
+  ServiceResponse rejected = service.Process(*copying);
+  EXPECT_FALSE(rejected.status.ok());
+  EXPECT_EQ(rejected.status.code(), StatusCode::kFailedPrecondition);
+}
+
 TEST_F(ServiceTest, ValidateAndTransform) {
   TypecheckService service(SyncOptions());
   ServiceRequest validate = MustParse(
