@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""CI overload smoke: invariants over one xtc_loadgen gate-mode document.
+
+xtc_loadgen (gate mode) calibrates the warm-cache sustainable rate, runs a
+warm-only baseline at 0.5x, then the mixed warm/cold/hostile schedule at
+2x. This script asserts the overload-resilience contract on its output:
+
+ 1. Accounting: offered == ok + shed + failed for every run, per class and
+    in total. The harness only exits once every submitted future resolved,
+    so together these prove zero requests hung or were dropped.
+ 2. Warm latency: overloaded warm p99 <= 1.5 x the warm SLO (5 x the
+    unloaded p99, floored against timer noise). The service enforces the
+    SLO through deadline propagation — predicted misses shed at admission,
+    late stragglers fail the in-queue expiry check — so ok-response p99
+    must sit at or under the SLO; the 1.5 factor covers the latency
+    histogram's power-of-two bucket midpoints.
+ 3. Tiered degradation: the hostile (Theorem 18 inclusion) class was
+    served at the approximate tier at least once, and the overload run
+    shed — i.e. admission degraded before it rejected, rather than only
+    hard-shedding.
+
+Usage: overload_gate.py loadgen.json
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"overload gate: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_accounting(name, run):
+    total = (run["ok"], run["shed"], run["failed"])
+    if run["offered"] != sum(total):
+        fail(f"{name}: offered={run['offered']} != ok+shed+failed={total}")
+    for cls_name, cls in run["classes"].items():
+        parts = cls["ok"] + cls["shed"] + cls["failed"]
+        if cls["offered"] != parts:
+            fail(f"{name}/{cls_name}: offered={cls['offered']} != "
+                 f"accounted={parts}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+    if doc.get("format") != "xtc-loadgen-v1":
+        fail(f"unexpected format {doc.get('format')!r}")
+
+    for name in ("unloaded", "overload"):
+        if name not in doc:
+            fail(f"missing run {name!r}")
+        check_accounting(name, doc[name])
+
+    overload = doc["overload"]
+    warm = overload["classes"]["warm"]
+    slo = doc["warm_slo_ms"]
+    bound = slo * 1.5
+    if warm["ok"] == 0:
+        fail("overload: no warm request completed at all")
+    if warm["p99_ms"] > bound:
+        fail(f"overload warm p99 {warm['p99_ms']:.3f}ms > "
+             f"{bound:.3f}ms (1.5 x SLO {slo:.3f}ms)")
+
+    hostile = overload["classes"]["hostile"]
+    if hostile["tier_approximate"] < 1:
+        fail("overload: hostile class never served at the approximate tier "
+             "(admission jumped straight to rejection)")
+    if overload["shed"] == 0:
+        fail("overload run shed nothing — not actually overloaded; "
+             "calibration is suspect")
+
+    print(f"overload gate: OK (warm p99 {warm['p99_ms']:.3f}ms <= "
+          f"{bound:.3f}ms, hostile approximate={hostile['tier_approximate']}, "
+          f"shed={overload['shed']}/{overload['offered']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

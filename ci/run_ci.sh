@@ -33,14 +33,32 @@ ctest --preset asan -R "FaultInjection|Budget|Malformed" --output-on-failure
 echo "=== configure + build (TSan, service layer) ==="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "${JOBS}" --target \
-  service_test service_stress_test compile_cache_test
+  service_test service_stress_test service_overload_test compile_cache_test
 
 echo "=== service concurrency tests (TSan) ==="
 ctest --preset tsan -R "Service|CompileCache" --output-on-failure
 
+echo "=== overload smoke (loadgen at 2x sustainable rate) ==="
+cmake --preset release >/dev/null
+cmake --build --preset release -j "${JOBS}" --target xtc_loadgen
+# Best of two: the single-vCPU CI box can time-slice an entire measurement
+# window away, making one run read as a latency regression that the gate's
+# ratios were never about. Two independent runs must both fail to gate.
+overload_ok=0
+for attempt in 1 2; do
+  if build-release/src/xtc_loadgen --threads=2 --duration-s=2 \
+       > /tmp/loadgen_smoke.json \
+     && python3 ci/overload_gate.py /tmp/loadgen_smoke.json; then
+    overload_ok=1
+    break
+  fi
+  echo "overload smoke attempt ${attempt} failed" >&2
+done
+[[ "${overload_ok}" == 1 ]]
+
 echo "=== perf smoke (Release benches vs checked-in snapshot) ==="
 SNAPSHOT=""
-for candidate in BENCH_pr4.json BENCH_pr3.json BENCH_pr2.json; do
+for candidate in BENCH_pr6.json BENCH_pr4.json BENCH_pr3.json BENCH_pr2.json; do
   if [[ -f "$candidate" ]]; then SNAPSHOT="$candidate"; break; fi
 done
 if [[ -n "$SNAPSHOT" ]]; then

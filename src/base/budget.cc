@@ -44,6 +44,21 @@ void Budget::set_deadline(std::chrono::milliseconds deadline) {
   deadline_at_ = start_ + deadline;
 }
 
+void Budget::set_deadline_until(std::chrono::steady_clock::time_point at) {
+  start_ = std::chrono::steady_clock::now();
+  deadline_duration_ = std::chrono::duration_cast<std::chrono::milliseconds>(
+      at > start_ ? at - start_ : std::chrono::steady_clock::duration::zero());
+  deadline_at_ = at;
+}
+
+std::optional<double> Budget::remaining_ms() const {
+  if (!deadline_at_.has_value()) return std::nullopt;
+  double left = std::chrono::duration<double, std::milli>(
+                    *deadline_at_ - std::chrono::steady_clock::now())
+                    .count();
+  return left > 0 ? left : 0;
+}
+
 double Budget::elapsed_ms() const {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - start_)

@@ -54,6 +54,16 @@ class Budget {
 
   /// Starts the wall-clock countdown now. Re-arming resets the clock.
   void set_deadline(std::chrono::milliseconds deadline);
+  /// Anchors the deadline at an absolute steady-clock instant. This is the
+  /// deadline-propagation form: the service anchors at request *admission*,
+  /// so time spent queued counts against the client's deadline and
+  /// server-side work never outlives the client's patience. An instant
+  /// already in the past trips the very first Check().
+  void set_deadline_until(std::chrono::steady_clock::time_point at);
+  /// Milliseconds of deadline left (never negative); nullopt when no
+  /// deadline is armed. Used to cap subordinate work (e.g. artifact
+  /// compiles) at the caller's remaining patience.
+  std::optional<double> remaining_ms() const;
   /// Caps the total number of checkpoints (0 disables).
   void set_max_steps(std::uint64_t steps) { max_steps_ = steps; }
   /// Caps the bytes charged via ChargeBytes (0 disables).

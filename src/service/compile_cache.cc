@@ -22,14 +22,20 @@ CompileCache::CompileCache() : CompileCache(Options()) {}
 
 CompileCache::CompileCache(const Options& options) : options_(options) {}
 
-Budget CompileCache::MakeCompileBudget() const {
+Budget CompileCache::MakeCompileBudget(std::uint64_t deadline_cap_ms) const {
   Budget budget;
   if (options_.compile_max_bytes != 0) {
     budget.set_max_bytes(options_.compile_max_bytes);
   }
-  if (options_.compile_deadline_ms != 0) {
-    budget.set_deadline(
-        std::chrono::milliseconds(options_.compile_deadline_ms));
+  // The effective compile deadline is the tighter of the configured
+  // ceiling and the caller's remaining patience (deadline propagation).
+  std::uint64_t deadline_ms = options_.compile_deadline_ms;
+  if (deadline_cap_ms != 0 &&
+      (deadline_ms == 0 || deadline_cap_ms < deadline_ms)) {
+    deadline_ms = deadline_cap_ms;
+  }
+  if (deadline_ms != 0) {
+    budget.set_deadline(std::chrono::milliseconds(deadline_ms));
   }
   return budget;
 }
@@ -117,7 +123,8 @@ void CompileCache::EraseEntryLocked(const std::string& key) {
 StatusOr<std::shared_ptr<const CompiledSchema>>
 CompileCache::GetOrCompileSchema(const SchemaSpec& spec,
                                  const std::shared_ptr<Alphabet>& alphabet,
-                                 bool* cache_hit) {
+                                 bool* cache_hit,
+                                 std::uint64_t deadline_cap_ms) {
   if (cache_hit != nullptr) *cache_hit = false;
   // The skeleton build (parse + Glushkov) is cheap and performs no
   // interning: the universe alphabet already contains every name the spec
@@ -146,7 +153,7 @@ CompileCache::GetOrCompileSchema(const SchemaSpec& spec,
   // Compile outside the lock: subset construction + completion +
   // inhabitation, and determinization for non-DFA schemas — the expensive,
   // worst-case-exponential work the cache exists to amortize.
-  Budget budget = MakeCompileBudget();
+  Budget budget = MakeCompileBudget(deadline_cap_ms);
   auto artifact = std::make_shared<CompiledSchema>();
   artifact->alphabet = alphabet;
   artifact->key = key;
@@ -185,7 +192,12 @@ CompileCache::GetOrCompileSchema(const SchemaSpec& spec,
 StatusOr<std::shared_ptr<const CompiledTransducer>>
 CompileCache::GetOrCompileTransducer(const TransducerSpec& spec,
                                      const std::shared_ptr<Alphabet>& alphabet,
-                                     bool* cache_hit) {
+                                     bool* cache_hit,
+                                     std::uint64_t deadline_cap_ms) {
+  // Selector compilation and width analysis are polynomial (Theorems
+  // 23/29, Proposition 16) — no budget hooks to cap, unlike the
+  // worst-case-exponential schema determinization.
+  (void)deadline_cap_ms;
   if (cache_hit != nullptr) *cache_hit = false;
   XTC_ASSIGN_OR_RETURN(Transducer skeleton,
                        BuildTransducerSkeleton(spec, alphabet.get()));

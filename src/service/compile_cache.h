@@ -117,14 +117,18 @@ class CompileCache {
   /// Returns the compiled artifact for `spec` under `alphabet`, compiling
   /// on miss. `cache_hit` (optional) reports whether this call was served
   /// from cache. Compile failures (budget exhaustion, bad rules) are not
-  /// cached; the next request retries.
+  /// cached; the next request retries. `deadline_cap_ms`, when non-zero,
+  /// further bounds the compile's wall clock — deadline propagation: a
+  /// request with 20ms of patience left must not pay a multi-second
+  /// hostile determinization, even if the configured compile deadline
+  /// would allow it.
   StatusOr<std::shared_ptr<const CompiledSchema>> GetOrCompileSchema(
       const SchemaSpec& spec, const std::shared_ptr<Alphabet>& alphabet,
-      bool* cache_hit = nullptr);
+      bool* cache_hit = nullptr, std::uint64_t deadline_cap_ms = 0);
 
   StatusOr<std::shared_ptr<const CompiledTransducer>> GetOrCompileTransducer(
       const TransducerSpec& spec, const std::shared_ptr<Alphabet>& alphabet,
-      bool* cache_hit = nullptr);
+      bool* cache_hit = nullptr, std::uint64_t deadline_cap_ms = 0);
 
   /// Returns the cached lazy discovered-state snapshot for `key` (the
   /// caller's content address for the emptiness query, e.g. the joined
@@ -162,7 +166,7 @@ class CompileCache {
     std::list<std::string>::iterator lru_it;
   };
 
-  Budget MakeCompileBudget() const;
+  Budget MakeCompileBudget(std::uint64_t deadline_cap_ms) const;
   std::string UniverseKeyOf(const Alphabet& alphabet) const;
   // All *Locked helpers require mu_ held.
   Entry* LookupLocked(const std::string& key);

@@ -1,11 +1,26 @@
 #include "src/service/replay.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "src/fa/regex.h"
 #include "src/workload/families.h"
 
 namespace xtc {
+namespace {
+
+// splitmix64 (Steele et al.): a full-avalanche mix, so consecutive
+// (id, attempt) pairs land on decorrelated jitter values.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
 
 StatusOr<SchemaSpec> SerializeSchema(const Dtd& dtd) {
   const Alphabet& alphabet = *dtd.alphabet();
@@ -88,6 +103,43 @@ StatusOr<std::vector<ServiceRequest>> MakeFamilyBatch(const std::string& family,
     batch.push_back(std::move(request));
   }
   return batch;
+}
+
+std::uint64_t RetryBackoffMs(const RetryPolicy& policy, std::uint64_t attempt,
+                             std::uint64_t retry_after_ms,
+                             std::uint64_t request_id) {
+  if (attempt == 0) attempt = 1;
+  std::uint64_t base = policy.base_backoff_ms > 0 ? policy.base_backoff_ms : 1;
+  // base << (attempt-1), saturating well before the shift overflows.
+  std::uint64_t backoff = attempt - 1 < 32 ? base << (attempt - 1)
+                                           : policy.max_backoff_ms;
+  backoff = std::min(backoff, policy.max_backoff_ms);
+  backoff = std::max(backoff, retry_after_ms);
+  std::uint64_t jitter_range = backoff / 4 + 1;
+  std::uint64_t jitter =
+      Mix64(policy.jitter_seed ^ Mix64(request_id) ^ attempt) % jitter_range;
+  return backoff + jitter;
+}
+
+RetryOutcome SubmitWithRetry(TypecheckService& service, ServiceRequest request,
+                             const RetryPolicy& policy) {
+  RetryOutcome outcome;
+  int max_attempts = std::max(policy.max_attempts, 1);
+  for (int attempt = 1;; ++attempt) {
+    request.attempt = static_cast<std::uint64_t>(attempt - 1);
+    ServiceRequest copy = request;  // keep one for the next attempt
+    outcome.attempts = static_cast<std::uint64_t>(attempt);
+    outcome.response = service.Submit(std::move(copy)).get();
+    if (outcome.response.status.ok() ||
+        outcome.response.retry_after_ms == 0 || attempt >= max_attempts) {
+      return outcome;
+    }
+    std::uint64_t backoff = RetryBackoffMs(
+        policy, static_cast<std::uint64_t>(attempt),
+        outcome.response.retry_after_ms, request.id);
+    outcome.backoff_ms_total += backoff;
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+  }
 }
 
 }  // namespace xtc

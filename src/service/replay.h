@@ -1,12 +1,14 @@
 #ifndef XTC_SERVICE_REPLAY_H_
 #define XTC_SERVICE_REPLAY_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "src/base/status.h"
 #include "src/core/paper_examples.h"
 #include "src/service/request.h"
+#include "src/service/service.h"
 
 namespace xtc {
 
@@ -31,6 +33,41 @@ StatusOr<ServiceRequest> TypecheckRequestFromExample(const PaperExample& ex);
 StatusOr<std::vector<ServiceRequest>> MakeFamilyBatch(const std::string& family,
                                                       int n, int count,
                                                       int distinct);
+
+/// Client-side retry policy for shed responses. A response is retryable
+/// exactly when it carries `retry_after_ms > 0` (admission sheds: queue
+/// full, overload, predicted deadline miss); engine failures and
+/// `stopping` sheds are terminal and are never retried.
+struct RetryPolicy {
+  int max_attempts = 3;               ///< total submits, including the first
+  std::uint64_t base_backoff_ms = 10;  ///< first retry's backoff before jitter
+  std::uint64_t max_backoff_ms = 2000;
+  std::uint64_t jitter_seed = 0;  ///< folded into the jitter hash
+};
+
+/// Deterministic capped exponential backoff for the retry after `attempt`
+/// failed submits (attempt >= 1): doubling from `base_backoff_ms`, capped
+/// at `max_backoff_ms`, floored at the server's `retry_after_ms` hint, plus
+/// up to 25% jitter derived from splitmix64(seed, request id, attempt) —
+/// reproducible across runs, decorrelated across requests, so a shed burst
+/// does not re-arrive as a synchronized thundering herd.
+std::uint64_t RetryBackoffMs(const RetryPolicy& policy, std::uint64_t attempt,
+                             std::uint64_t retry_after_ms,
+                             std::uint64_t request_id);
+
+/// What SubmitWithRetry did for one request.
+struct RetryOutcome {
+  ServiceResponse response;           ///< the final (terminal) response
+  std::uint64_t attempts = 1;         ///< submits performed
+  std::uint64_t backoff_ms_total = 0; ///< total time slept between submits
+};
+
+/// Submits `request` and, while the response is a retryable shed and the
+/// policy allows another attempt, sleeps RetryBackoffMs and resubmits with
+/// an incremented `attempt` field (servers log and echo it). Blocking; the
+/// replay client's drive loop is the caller.
+RetryOutcome SubmitWithRetry(TypecheckService& service, ServiceRequest request,
+                             const RetryPolicy& policy);
 
 }  // namespace xtc
 

@@ -6,15 +6,17 @@
 //                  ./xtc_replay --mode=emit --family=filter --n=6 --count=32
 //   drive mode — run the batch against an in-process service and print a
 //                one-line JSON summary (throughput, latency, cache stats):
-//                  ./xtc_replay --mode=drive --family=nfa --n=9 --count=64 \
+//                  ./xtc_replay --mode=drive --family=nfa --n=9 --count=64
 //                      --threads=4 --distinct=4
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/service/replay.h"
@@ -31,6 +33,7 @@ struct Flags {
   int threads = 4;
   std::size_t queue = 1024;
   std::uint64_t deadline_ms = 0;
+  int retries = 1;  // total attempts per request (1 = no retry)
 };
 
 bool ParseInt(const char* arg, const char* name, long long* out) {
@@ -56,7 +59,7 @@ int Usage(const char* argv0) {
       "usage: %s [--mode=emit|drive] [--family=filter|failing|width|relab|"
       "replus|xpath|nfa]\n"
       "          [--n=N] [--count=N] [--distinct=N] [--threads=N] "
-      "[--queue=N] [--deadline-ms=N]\n",
+      "[--queue=N] [--deadline-ms=N] [--retries=N]\n",
       argv0);
   return 2;
 }
@@ -82,6 +85,8 @@ int main(int argc, char** argv) {
       flags.queue = static_cast<std::size_t>(v);
     } else if (ParseInt(argv[i], "--deadline-ms", &v)) {
       flags.deadline_ms = static_cast<std::uint64_t>(v);
+    } else if (ParseInt(argv[i], "--retries", &v)) {
+      flags.retries = static_cast<int>(v);
     } else {
       return Usage(argv[0]);
     }
@@ -112,17 +117,54 @@ int main(int argc, char** argv) {
   options.queue_capacity = flags.queue;
   xtc::TypecheckService service(options);
 
+  // Wave-pipelined retries: every wave submits its whole batch (keeping
+  // the workers saturated), collects terminal/retryable responses, then
+  // sleeps the longest per-request deterministic backoff before the next
+  // wave. RetryBackoffMs keeps per-request jitter reproducible.
+  xtc::RetryPolicy policy;
+  policy.max_attempts = flags.retries < 1 ? 1 : flags.retries;
+
   auto start = std::chrono::steady_clock::now();
-  std::vector<std::future<xtc::ServiceResponse>> futures;
-  futures.reserve(batch->size());
-  for (xtc::ServiceRequest& request : *batch) {
-    futures.push_back(service.Submit(std::move(request)));
-  }
   int ok = 0;
   int errors = 0;
-  for (std::future<xtc::ServiceResponse>& future : futures) {
-    xtc::ServiceResponse response = future.get();
-    (response.status.ok() ? ok : errors) += 1;
+  unsigned long long tier_exact = 0, tier_approx = 0, rejected = 0;
+  unsigned long long retries_total = 0, backoff_ms_total = 0;
+  std::vector<xtc::ServiceRequest> wave = *std::move(batch);
+  for (int attempt = 1; !wave.empty(); ++attempt) {
+    std::vector<std::future<xtc::ServiceResponse>> futures;
+    futures.reserve(wave.size());
+    for (xtc::ServiceRequest& request : wave) {
+      request.attempt = static_cast<std::uint64_t>(attempt - 1);
+      xtc::ServiceRequest copy = request;
+      futures.push_back(service.Submit(std::move(copy)));
+    }
+    std::vector<xtc::ServiceRequest> next_wave;
+    std::uint64_t max_backoff = 0;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      xtc::ServiceResponse response = futures[i].get();
+      bool retryable = !response.status.ok() && response.retry_after_ms > 0 &&
+                       attempt < policy.max_attempts;
+      if (retryable) {
+        max_backoff = std::max(
+            max_backoff,
+            xtc::RetryBackoffMs(policy, static_cast<std::uint64_t>(attempt),
+                                response.retry_after_ms, wave[i].id));
+        next_wave.push_back(std::move(wave[i]));
+        continue;
+      }
+      (response.status.ok() ? ok : errors) += 1;
+      switch (response.tier) {
+        case xtc::AdmissionTier::kExact: ++tier_exact; break;
+        case xtc::AdmissionTier::kApproximate: ++tier_approx; break;
+        case xtc::AdmissionTier::kRejected: ++rejected; break;
+      }
+    }
+    retries_total += next_wave.size();
+    if (!next_wave.empty()) {
+      backoff_ms_total += max_backoff;
+      std::this_thread::sleep_for(std::chrono::milliseconds(max_backoff));
+    }
+    wave = std::move(next_wave);
   }
   double elapsed_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -133,13 +175,16 @@ int main(int argc, char** argv) {
       "{\"family\": \"%s\", \"n\": %d, \"count\": %d, \"distinct\": %d, "
       "\"threads\": %d, \"ok\": %d, \"errors\": %d, \"elapsed_s\": %.4f, "
       "\"requests_per_s\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
-      "\"cache_hits\": %llu, \"cache_misses\": %llu, \"shed\": %llu}\n",
+      "\"cache_hits\": %llu, \"cache_misses\": %llu, \"shed\": %llu, "
+      "\"tier_exact\": %llu, \"tier_approximate\": %llu, "
+      "\"rejected\": %llu, \"retries\": %llu, \"backoff_ms\": %llu}\n",
       flags.family.c_str(), flags.n, flags.count, flags.distinct,
       flags.threads, ok, errors, elapsed_s,
       elapsed_s > 0 ? static_cast<double>(ok + errors) / elapsed_s : 0.0,
       stats.latency_p50_ms, stats.latency_p99_ms,
       static_cast<unsigned long long>(stats.cache.hits),
       static_cast<unsigned long long>(stats.cache.misses),
-      static_cast<unsigned long long>(stats.shed));
+      static_cast<unsigned long long>(stats.shed), tier_exact, tier_approx,
+      rejected, retries_total, backoff_ms_total);
   return errors == 0 ? 0 : 1;
 }

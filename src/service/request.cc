@@ -137,6 +137,36 @@ double RoundMs(double ms) { return std::round(ms * 1000.0) / 1000.0; }
 
 }  // namespace
 
+const char* AdmissionTierName(AdmissionTier tier) {
+  switch (tier) {
+    case AdmissionTier::kExact:
+      return "exact";
+    case AdmissionTier::kApproximate:
+      return "approximate";
+    case AdmissionTier::kRejected:
+      return "rejected";
+  }
+  return "unknown";
+}
+
+const char* ShedReasonName(ShedReason reason) {
+  switch (reason) {
+    case ShedReason::kNone:
+      return "none";
+    case ShedReason::kQueueFull:
+      return "queue_full";
+    case ShedReason::kOverload:
+      return "overload";
+    case ShedReason::kDeadline:
+      return "deadline";
+    case ShedReason::kStopping:
+      return "stopping";
+    case ShedReason::kFault:
+      return "fault";
+  }
+  return "unknown";
+}
+
 const char* ServiceOpName(ServiceOp op) {
   switch (op) {
     case ServiceOp::kTypecheck:
@@ -183,6 +213,14 @@ StatusOr<ServiceRequest> ParseServiceRequest(std::string_view json_line) {
     }
     request.deadline_ms =
         static_cast<std::uint64_t>(std::llround(deadline->AsNumber()));
+  }
+  if (const JsonValue* attempt = doc.Find("attempt")) {
+    if (attempt->kind() != JsonValue::Kind::kNumber ||
+        attempt->AsNumber() < 0) {
+      return FieldError("attempt", "must be a non-negative number");
+    }
+    request.attempt =
+        static_cast<std::uint64_t>(std::llround(attempt->AsNumber()));
   }
   if (const JsonValue* want = doc.Find("want_counterexample")) {
     if (want->kind() != JsonValue::Kind::kBool) {
@@ -272,6 +310,9 @@ std::string ServiceRequestToJson(const ServiceRequest& request) {
     o.Set("deadline_ms",
           JsonValue::Number(static_cast<double>(request.deadline_ms)));
   }
+  if (request.attempt != 0) {
+    o.Set("attempt", JsonValue::Number(static_cast<double>(request.attempt)));
+  }
   if (!request.want_counterexample) {
     o.Set("want_counterexample", JsonValue::Bool(false));
   }
@@ -308,8 +349,20 @@ std::string ServiceResponse::ToJsonLine() const {
         break;
     }
   }
+  o.Set("tier", JsonValue::Str(AdmissionTierName(tier)));
+  if (shed_reason != ShedReason::kNone) {
+    o.Set("shed_reason", JsonValue::Str(ShedReasonName(shed_reason)));
+  }
+  if (retry_after_ms > 0) {
+    o.Set("retry_after_ms",
+          JsonValue::Number(static_cast<double>(retry_after_ms)));
+  }
+  if (attempt > 0) {
+    o.Set("attempt", JsonValue::Number(static_cast<double>(attempt)));
+  }
   o.Set("elapsed_ms", JsonValue::Number(RoundMs(elapsed_ms)));
   if (engine_ms > 0) o.Set("engine_ms", JsonValue::Number(RoundMs(engine_ms)));
+  if (queue_ms > 0) o.Set("queue_ms", JsonValue::Number(RoundMs(queue_ms)));
   JsonValue cache = JsonValue::Object();
   cache.Set("hits", JsonValue::Number(static_cast<double>(cache_hits)));
   cache.Set("misses", JsonValue::Number(static_cast<double>(cache_misses)));

@@ -41,6 +41,34 @@ enum class ServiceOp {
 
 const char* ServiceOpName(ServiceOp op);
 
+/// The admission tier a request was served at (wire field `tier`).
+/// Admission control degrades requests one tier at a time as load rises
+/// (DESIGN.md §4): `kExact` runs the full engine dispatch, `kApproximate`
+/// runs only the sound-but-incomplete approximate engine (bounded cost; a
+/// `typechecks == false` answer may be a false alarm and is flagged
+/// `approximate`), `kRejected` never ran — the response carries a
+/// `retry_after_ms` hint instead.
+enum class AdmissionTier {
+  kExact,
+  kApproximate,
+  kRejected,
+};
+
+const char* AdmissionTierName(AdmissionTier tier);
+
+/// Why a request was shed or cancelled without (fully) executing; the
+/// service stats break shed totals down by reason.
+enum class ShedReason {
+  kNone,       ///< not shed
+  kQueueFull,  ///< the bounded queue held queue_capacity requests
+  kOverload,   ///< load factor (depth + deadline pressure) past reject_load
+  kDeadline,   ///< predicted or actual deadline expiry before execution
+  kStopping,   ///< the service is draining or shut down
+  kFault,      ///< a deterministic injected fault fired (tests)
+};
+
+const char* ShedReasonName(ShedReason reason);
+
 /// Engine selection for typecheck requests (wire field `engine`). `kAuto`
 /// defers to the library front door, which picks the cheapest applicable
 /// engine (usually T_trac). `kDelRelab` requests the Theorem 20
@@ -64,6 +92,10 @@ struct ServiceRequest {
   TransducerSpec transducer;
   std::string tree;  ///< term syntax (validate/transform input document)
   std::uint64_t deadline_ms = 0;
+  /// Retry ordinal, 0 on the first try. Echoed in the response; the
+  /// client-side retry helper (replay.h) increments it so server logs and
+  /// stats can distinguish fresh traffic from retries.
+  std::uint64_t attempt = 0;
   bool want_counterexample = true;
   bool approximate_fallback = false;
   TypecheckEngine engine = TypecheckEngine::kAuto;
@@ -90,8 +122,16 @@ struct ServiceResponse {
   std::string counterexample;   ///< term syntax; empty when none/suppressed
   double elapsed_ms = 0;        ///< wall clock incl. compile/cache work
   double engine_ms = 0;         ///< the engine run alone (stats.elapsed_ms)
+  double queue_ms = 0;          ///< admission-to-execution wait
   std::uint64_t cache_hits = 0;      ///< artifact lookups served from cache
   std::uint64_t cache_misses = 0;    ///< artifact compiles this request paid
+  AdmissionTier tier = AdmissionTier::kExact;  ///< tier served (or rejected)
+  ShedReason shed_reason = ShedReason::kNone;  ///< why, when tier==kRejected
+  /// Backoff hint on shed responses: > 0 means "retryable, wait about this
+  /// long". Engine/budget failures leave it 0 — retrying those would burn
+  /// the same budget again.
+  std::uint64_t retry_after_ms = 0;
+  std::uint64_t attempt = 0;  ///< echoed from the request
   std::string ToJsonLine() const;
 };
 

@@ -1,17 +1,27 @@
 #include "src/service/service.h"
 
+#include <algorithm>
 #include <bit>
 #include <chrono>
 #include <cmath>
 #include <utility>
 
 #include "src/base/arena.h"
+#include "src/core/approximate.h"
 #include "src/core/relab.h"
 #include "src/core/typecheck.h"
 #include "src/td/exec.h"
 #include "src/tree/codec.h"
 
 namespace xtc {
+namespace {
+
+// Retry hints are clamped so clients neither spin (sub-10ms retries on a
+// loaded service) nor stall (multi-second waits on a momentary spike).
+constexpr std::uint64_t kMinRetryAfterMs = 10;
+constexpr std::uint64_t kMaxRetryAfterMs = 5000;
+
+}  // namespace
 
 void LatencyHistogram::Record(double ms) {
   auto ns = static_cast<std::uint64_t>(ms * 1e6);
@@ -52,7 +62,9 @@ double LatencyHistogram::max_ms() const {
 }
 
 TypecheckService::TypecheckService(const Options& options)
-    : options_(options), cache_(options.cache) {
+    : options_(options),
+      cache_(options.cache),
+      cost_ewma_ms_(options.cost_prior_ms > 0 ? options.cost_prior_ms : 1.0) {
   workers_.reserve(static_cast<std::size_t>(options_.num_threads));
   for (int i = 0; i < options_.num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -60,53 +72,162 @@ TypecheckService::TypecheckService(const Options& options)
 }
 
 TypecheckService::~TypecheckService() {
-  std::deque<Job> orphaned;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stopping_ = true;
-    orphaned.swap(queue_);
+  // Destruction is an immediate drain: admission closes, queued-but-
+  // unstarted requests are failed cleanly, every future is fulfilled.
+  Stop(std::chrono::milliseconds(0));
+}
+
+double TypecheckService::EstimatedWaitMsLocked() const {
+  int lanes = std::max(options_.num_threads, 1);
+  return (static_cast<double>(queue_.size()) +
+          static_cast<double>(in_flight_)) *
+         cost_ewma_ms_ / static_cast<double>(lanes);
+}
+
+void TypecheckService::RecordCost(double elapsed_ms) {
+  double alpha = options_.cost_ewma_alpha;
+  if (alpha <= 0 || alpha > 1) alpha = 0.2;
+  std::lock_guard<std::mutex> lock(mu_);
+  cost_ewma_ms_ += alpha * (elapsed_ms - cost_ewma_ms_);
+}
+
+ServiceResponse TypecheckService::ShedResponse(const ServiceRequest& request,
+                                               ShedReason reason,
+                                               std::uint64_t retry_after_ms) {
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  switch (reason) {
+    case ShedReason::kQueueFull:
+      shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ShedReason::kOverload:
+      shed_overload_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ShedReason::kDeadline:
+      shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ShedReason::kStopping:
+      shed_stopping_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ShedReason::kFault:
+      shed_fault_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ShedReason::kNone:
+      break;
   }
-  queue_cv_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
-  for (Job& job : orphaned) {
-    ServiceResponse response;
-    response.id = job.request.id;
-    response.op = job.request.op;
-    response.status = ResourceExhaustedError("service shutting down");
-    job.promise.set_value(std::move(response));
+  ServiceResponse response;
+  response.id = request.id;
+  response.op = request.op;
+  response.attempt = request.attempt;
+  response.tier = AdmissionTier::kRejected;
+  response.shed_reason = reason;
+  response.retry_after_ms = retry_after_ms;
+  switch (reason) {
+    case ShedReason::kStopping:
+      response.status = ResourceExhaustedError("service shutting down");
+      break;
+    case ShedReason::kQueueFull:
+      response.status = ResourceExhaustedError("request queue is full");
+      break;
+    case ShedReason::kOverload:
+      response.status =
+          ResourceExhaustedError("service overloaded; request shed");
+      break;
+    case ShedReason::kDeadline:
+      response.status = ResourceExhaustedError(
+          "predicted queue wait exceeds the request deadline");
+      break;
+    case ShedReason::kFault:
+      response.status =
+          ResourceExhaustedError("injected fault at service checkpoint");
+      break;
+    case ShedReason::kNone:
+      response.status = ResourceExhaustedError("request shed");
+      break;
   }
+  return response;
 }
 
 std::future<ServiceResponse> TypecheckService::Submit(ServiceRequest request) {
   Job job;
   job.request = std::move(request);
   std::future<ServiceResponse> future = job.promise.get_future();
-  bool was_stopping;
+
+  if (options_.fault_injector != nullptr &&
+      options_.fault_injector->Check("enqueue")) {
+    job.promise.set_value(
+        ShedResponse(job.request, ShedReason::kFault, /*retry_after_ms=*/0));
+    return future;
+  }
+
+  ShedReason reason = ShedReason::kNone;
+  std::uint64_t retry_hint = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!stopping_ && queue_.size() < options_.queue_capacity) {
-      queue_.push_back(std::move(job));
-      submitted_.fetch_add(1, std::memory_order_relaxed);
-      queue_cv_.notify_one();
-      return future;
+    std::uint64_t hint = static_cast<std::uint64_t>(std::llround(
+        std::clamp(EstimatedWaitMsLocked(),
+                   static_cast<double>(kMinRetryAfterMs),
+                   static_cast<double>(kMaxRetryAfterMs))));
+    if (draining_ || stopping_) {
+      // Not retryable against this instance: the service is going away.
+      reason = ShedReason::kStopping;
+    } else if (queue_.size() >= options_.queue_capacity) {
+      reason = ShedReason::kQueueFull;
+      retry_hint = hint;
+    } else {
+      // Tiered admission: the load factor folds together how full the
+      // queue is and how long the new request would wait relative to its
+      // deadline (queue depth x smoothed per-request cost over the worker
+      // lanes). One request degrades before the service does.
+      double depth_load =
+          options_.queue_capacity > 0
+              ? static_cast<double>(queue_.size()) /
+                    static_cast<double>(options_.queue_capacity)
+              : 1.0;
+      double est_wait_ms = EstimatedWaitMsLocked();
+      std::uint64_t deadline_ms = job.request.deadline_ms != 0
+                                      ? job.request.deadline_ms
+                                      : options_.default_deadline_ms;
+      double pressure =
+          (deadline_ms != 0 && options_.num_threads > 0)
+              ? est_wait_ms / static_cast<double>(deadline_ms)
+              : 0.0;
+      double load = std::max(depth_load, pressure);
+      if (pressure >= 1.0) {
+        // The request would (almost surely) expire before a worker picks
+        // it up; shedding now is strictly kinder than queueing it to die.
+        reason = ShedReason::kDeadline;
+        retry_hint = hint;
+      } else if (load >= options_.reject_load) {
+        reason = ShedReason::kOverload;
+        retry_hint = hint;
+      } else {
+        job.tier = (load >= options_.degrade_load &&
+                    job.request.op == ServiceOp::kTypecheck)
+                       ? AdmissionTier::kApproximate
+                       : AdmissionTier::kExact;
+        job.admit_time = std::chrono::steady_clock::now();
+        (job.tier == AdmissionTier::kApproximate ? tier_approximate_
+                                                 : tier_exact_)
+            .fetch_add(1, std::memory_order_relaxed);
+        queue_.push_back(std::move(job));
+        submitted_.fetch_add(1, std::memory_order_relaxed);
+        queue_cv_.notify_one();
+        return future;
+      }
     }
-    was_stopping = stopping_;
   }
-  // Graceful shedding: the caller gets an immediate, well-formed
-  // kResourceExhausted response instead of unbounded queueing.
-  shed_.fetch_add(1, std::memory_order_relaxed);
-  ServiceResponse response;
-  response.id = job.request.id;
-  response.op = job.request.op;
-  response.status = ResourceExhaustedError(
-      was_stopping ? "service shutting down" : "request queue is full");
-  job.promise.set_value(std::move(response));
+  // Graceful shedding: the caller gets an immediate, well-formed response
+  // with a shed reason and (when useful) a backoff hint instead of
+  // unbounded queueing.
+  job.promise.set_value(ShedResponse(job.request, reason, retry_hint));
   return future;
 }
 
 ServiceResponse TypecheckService::Process(const ServiceRequest& request) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
-  return Execute(request);
+  tier_exact_.fetch_add(1, std::memory_order_relaxed);
+  return Execute(request, AdmissionTier::kExact,
+                 std::chrono::steady_clock::now());
 }
 
 void TypecheckService::WorkerLoop() {
@@ -118,36 +239,128 @@ void TypecheckService::WorkerLoop() {
       if (queue_.empty()) return;  // stopping_, nothing left to drain
       job = std::move(queue_.front());
       queue_.pop_front();
+      ++in_flight_;
     }
-    job.promise.set_value(Execute(job.request));
+    job.promise.set_value(Execute(job.request, job.tier, job.admit_time));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (draining_ && queue_.empty() && in_flight_ == 0) {
+        drain_cv_.notify_all();
+      }
+    }
   }
 }
 
-ServiceResponse TypecheckService::Execute(const ServiceRequest& request) {
+DrainReport TypecheckService::Stop(std::chrono::milliseconds drain_deadline) {
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (stopped_) return drain_report_;
+
+  DrainReport report;
+  std::uint64_t done_before = completed_.load(std::memory_order_relaxed) +
+                              failed_.load(std::memory_order_relaxed);
+  std::deque<Job> cancelled;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    draining_ = true;  // Submit sheds with kStopping from here on
+    report.clean = drain_cv_.wait_until(
+        lock, std::chrono::steady_clock::now() + drain_deadline,
+        [this] { return queue_.empty() && in_flight_ == 0; });
+    stopping_ = true;
+    cancelled.swap(queue_);
+  }
+  queue_cv_.notify_all();
+  // In-flight work always runs to completion — per-request budgets bound
+  // it; the drain deadline bounds queued-but-unstarted work only.
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+
+  report.drained = completed_.load(std::memory_order_relaxed) +
+                   failed_.load(std::memory_order_relaxed) - done_before;
+  report.cancelled = cancelled.size();
+  for (Job& job : cancelled) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    drain_cancelled_.fetch_add(1, std::memory_order_relaxed);
+    ServiceResponse response;
+    response.id = job.request.id;
+    response.op = job.request.op;
+    response.attempt = job.request.attempt;
+    response.tier = AdmissionTier::kRejected;
+    response.shed_reason = ShedReason::kStopping;
+    response.status = ResourceExhaustedError("service shutting down");
+    job.promise.set_value(std::move(response));
+  }
+
+  stopped_ = true;
+  drain_report_ = report;
+  return report;
+}
+
+ServiceResponse TypecheckService::Execute(
+    const ServiceRequest& request, AdmissionTier tier,
+    std::chrono::steady_clock::time_point admit_time) {
   WallTimer timer;
   ServiceResponse response;
   response.id = request.id;
   response.op = request.op;
+  response.attempt = request.attempt;
+  response.tier = tier;
+  response.queue_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - admit_time)
+                          .count();
+
+  ServiceFaultInjector* injector = options_.fault_injector;
+  auto injected = [&](const char* checkpoint) {
+    return injector != nullptr && injector->Check(checkpoint);
+  };
+
+  auto finish = [&](Status status) -> ServiceResponse {
+    // The `respond` checkpoint proves that even a failure at the very
+    // last step still yields a well-formed response line.
+    if (injected("respond")) {
+      status = ResourceExhaustedError("injected fault at 'respond'");
+    }
+    response.status = std::move(status);
+    response.elapsed_ms = timer.elapsed_ms();
+    latency_.Record(response.elapsed_ms);
+    RecordCost(response.elapsed_ms);
+    (response.status.ok() ? completed_ : failed_)
+        .fetch_add(1, std::memory_order_relaxed);
+    return std::move(response);
+  };
+
+  if (injected("execute")) {
+    return finish(ResourceExhaustedError("injected fault at 'execute'"));
+  }
 
   // The per-request governor lives and dies on this worker thread
-  // (src/base/README.md: budgets never cross threads).
+  // (src/base/README.md: budgets never cross threads). Its deadline is
+  // anchored at admission, so queue wait already counts against it.
   Budget budget;
   Budget* budget_ptr = nullptr;
   std::uint64_t deadline_ms = request.deadline_ms != 0
                                   ? request.deadline_ms
                                   : options_.default_deadline_ms;
   if (deadline_ms != 0) {
-    budget.set_deadline(std::chrono::milliseconds(deadline_ms));
+    budget.set_deadline_until(admit_time +
+                              std::chrono::milliseconds(deadline_ms));
     budget_ptr = &budget;
+    if (budget.remaining_ms().value_or(1) <= 0) {
+      expired_in_queue_.fetch_add(1, std::memory_order_relaxed);
+      response.shed_reason = ShedReason::kDeadline;
+      return finish(ResourceExhaustedError(
+          "deadline expired after " + std::to_string(deadline_ms) +
+          "ms before execution started"));
+    }
   }
-
-  auto finish = [&](Status status) -> ServiceResponse {
-    response.status = std::move(status);
-    response.elapsed_ms = timer.elapsed_ms();
-    latency_.Record(response.elapsed_ms);
-    (response.status.ok() ? completed_ : failed_)
-        .fetch_add(1, std::memory_order_relaxed);
-    return std::move(response);
+  // Cap on subordinate compile work: the request's remaining patience,
+  // rounded up so a nearly-expired deadline still caps rather than
+  // disabling the cap (0 means "no cap" to the cache).
+  auto compile_cap_ms = [&]() -> std::uint64_t {
+    if (budget_ptr == nullptr) return 0;
+    std::optional<double> left = budget_ptr->remaining_ms();
+    if (!left.has_value()) return 0;
+    return static_cast<std::uint64_t>(std::llround(std::max(*left, 1.0)));
   };
 
   StatusOr<std::vector<std::string>> universe = CollectUniverse(request);
@@ -157,6 +370,10 @@ ServiceResponse TypecheckService::Execute(const ServiceRequest& request) {
   auto count_lookup = [&response](bool hit) {
     (hit ? response.cache_hits : response.cache_misses) += 1;
   };
+
+  if (injected("compile")) {
+    return finish(ResourceExhaustedError("injected fault at 'compile'"));
+  }
 
   // Validate/transform parse the input document against a request-private
   // alphabet seeded with the universe: document ids line up with artifact
@@ -172,17 +389,41 @@ ServiceResponse TypecheckService::Execute(const ServiceRequest& request) {
     case ServiceOp::kTypecheck: {
       bool hit = false;
       StatusOr<std::shared_ptr<const CompiledSchema>> din =
-          cache_.GetOrCompileSchema(request.din, alphabet, &hit);
+          cache_.GetOrCompileSchema(request.din, alphabet, &hit,
+                                    compile_cap_ms());
       if (!din.ok()) return finish(din.status());
       count_lookup(hit);
       StatusOr<std::shared_ptr<const CompiledSchema>> dout =
-          cache_.GetOrCompileSchema(request.dout, alphabet, &hit);
+          cache_.GetOrCompileSchema(request.dout, alphabet, &hit,
+                                    compile_cap_ms());
       if (!dout.ok()) return finish(dout.status());
       count_lookup(hit);
       StatusOr<std::shared_ptr<const CompiledTransducer>> td =
-          cache_.GetOrCompileTransducer(request.transducer, alphabet, &hit);
+          cache_.GetOrCompileTransducer(request.transducer, alphabet, &hit,
+                                        compile_cap_ms());
       if (!td.ok()) return finish(td.status());
       count_lookup(hit);
+
+      if (injected("cache-adopt")) {
+        return finish(
+            ResourceExhaustedError("injected fault at 'cache-adopt'"));
+      }
+
+      if (tier == AdmissionTier::kApproximate) {
+        // Degraded tier: only the sound, bounded-cost approximate engine
+        // runs. A `typechecks == true` verdict is still definitive; a
+        // false verdict may be a false alarm and is flagged approximate
+        // (the same contract as the PR 1 budget fallback).
+        StatusOr<ApproximateResult> approx = TypecheckApproximate(
+            *(*td)->selector_free, *(*din)->dtd, *(*dout)->dtd,
+            options_.approximate_max_dfa_states, budget_ptr);
+        if (!approx.ok()) return finish(approx.status());
+        response.typechecks =
+            approx->verdict == ApproximateVerdict::kTypechecks;
+        response.approximate = true;
+        response.engine_ms = approx->stats.elapsed_ms;
+        return finish(Status::Ok());
+      }
 
       TypecheckOptions options;
       options.budget = budget_ptr;
@@ -229,9 +470,14 @@ ServiceResponse TypecheckService::Execute(const ServiceRequest& request) {
     case ServiceOp::kValidate: {
       bool hit = false;
       StatusOr<std::shared_ptr<const CompiledSchema>> schema =
-          cache_.GetOrCompileSchema(request.schema, alphabet, &hit);
+          cache_.GetOrCompileSchema(request.schema, alphabet, &hit,
+                                    compile_cap_ms());
       if (!schema.ok()) return finish(schema.status());
       count_lookup(hit);
+      if (injected("cache-adopt")) {
+        return finish(
+            ResourceExhaustedError("injected fault at 'cache-adopt'"));
+      }
       Alphabet local;
       Arena arena;
       TreeBuilder builder(&arena);
@@ -243,9 +489,14 @@ ServiceResponse TypecheckService::Execute(const ServiceRequest& request) {
     case ServiceOp::kTransform: {
       bool hit = false;
       StatusOr<std::shared_ptr<const CompiledTransducer>> td =
-          cache_.GetOrCompileTransducer(request.transducer, alphabet, &hit);
+          cache_.GetOrCompileTransducer(request.transducer, alphabet, &hit,
+                                        compile_cap_ms());
       if (!td.ok()) return finish(td.status());
       count_lookup(hit);
+      if (injected("cache-adopt")) {
+        return finish(
+            ResourceExhaustedError("injected fault at 'cache-adopt'"));
+      }
       Alphabet local;
       Arena arena;
       TreeBuilder builder(&arena);
@@ -269,9 +520,19 @@ ServiceStats TypecheckService::stats() const {
   stats.completed = completed_.load(std::memory_order_relaxed);
   stats.failed = failed_.load(std::memory_order_relaxed);
   stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.tier_exact = tier_exact_.load(std::memory_order_relaxed);
+  stats.tier_approximate = tier_approximate_.load(std::memory_order_relaxed);
+  stats.shed_queue_full = shed_queue_full_.load(std::memory_order_relaxed);
+  stats.shed_overload = shed_overload_.load(std::memory_order_relaxed);
+  stats.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
+  stats.shed_stopping = shed_stopping_.load(std::memory_order_relaxed);
+  stats.shed_fault = shed_fault_.load(std::memory_order_relaxed);
+  stats.expired_in_queue = expired_in_queue_.load(std::memory_order_relaxed);
+  stats.drain_cancelled = drain_cancelled_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats.queue_depth = queue_.size();
+    stats.cost_ewma_ms = cost_ewma_ms_;
   }
   stats.latency_count = latency_.count();
   stats.latency_p50_ms = latency_.Percentile(50);

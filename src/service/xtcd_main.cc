@@ -5,7 +5,9 @@
 //
 //   ./xtcd --threads=4 --queue=256 < requests.ndjson > responses.ndjson
 
+#include <atomic>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,8 +27,28 @@ struct Flags {
   std::size_t queue = 256;
   std::uint64_t deadline_ms = 0;
   std::size_t cache_mb = 64;
+  std::uint64_t drain_ms = 5000;  // grace period for queued work on signal
+  int degrade_pct = 75;           // load %: typechecks go approximate-only
+  int reject_pct = 95;            // load %: requests are shed
   bool print_stats = false;
 };
+
+// SIGTERM/SIGINT request a graceful drain: stop reading stdin, let queued
+// work finish within --drain-ms, fail the rest cleanly, then exit. The
+// handler only sets a flag; sigaction is installed without SA_RESTART so a
+// blocking stdin read returns EINTR and the reader loop observes the flag.
+std::atomic<bool> g_shutdown{false};
+
+void HandleSignal(int) { g_shutdown.store(true, std::memory_order_relaxed); }
+
+void InstallSignalHandlers() {
+  struct sigaction action = {};
+  action.sa_handler = HandleSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: interrupt the blocking getline
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+}
 
 bool ParseFlag(const char* arg, const char* name, long long* out) {
   std::size_t len = std::strlen(name);
@@ -41,9 +63,12 @@ bool ParseFlag(const char* arg, const char* name, long long* out) {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--threads=N] [--queue=N] [--deadline-ms=N]\n"
-               "          [--cache-mb=N] [--stats]\n"
+               "          [--cache-mb=N] [--drain-ms=N] [--degrade-pct=N]\n"
+               "          [--reject-pct=N] [--stats]\n"
                "Reads NDJSON requests from stdin, writes NDJSON responses to "
-               "stdout.\n",
+               "stdout.\n"
+               "SIGTERM/SIGINT drain gracefully: queued work gets --drain-ms "
+               "to finish.\n",
                argv0);
   return 2;
 }
@@ -62,6 +87,12 @@ int main(int argc, char** argv) {
       flags.deadline_ms = static_cast<std::uint64_t>(v);
     } else if (ParseFlag(argv[i], "--cache-mb", &v)) {
       flags.cache_mb = static_cast<std::size_t>(v);
+    } else if (ParseFlag(argv[i], "--drain-ms", &v)) {
+      flags.drain_ms = static_cast<std::uint64_t>(v);
+    } else if (ParseFlag(argv[i], "--degrade-pct", &v)) {
+      flags.degrade_pct = static_cast<int>(v);
+    } else if (ParseFlag(argv[i], "--reject-pct", &v)) {
+      flags.reject_pct = static_cast<int>(v);
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       flags.print_stats = true;
     } else {
@@ -70,10 +101,14 @@ int main(int argc, char** argv) {
   }
   if (flags.threads < 1 || flags.queue < 1) return Usage(argv[0]);
 
+  InstallSignalHandlers();
+
   xtc::TypecheckService::Options options;
   options.num_threads = flags.threads;
   options.queue_capacity = flags.queue;
   options.default_deadline_ms = flags.deadline_ms;
+  options.degrade_load = flags.degrade_pct / 100.0;
+  options.reject_load = flags.reject_pct / 100.0;
   options.cache.max_bytes = flags.cache_mb << 20;
   xtc::TypecheckService service(options);
 
@@ -108,7 +143,8 @@ int main(int argc, char** argv) {
 
   std::string line;
   std::int64_t line_number = 0;
-  while (std::getline(std::cin, line)) {
+  while (!g_shutdown.load(std::memory_order_relaxed) &&
+         std::getline(std::cin, line)) {
     ++line_number;
     if (line.empty()) continue;
     std::future<xtc::ServiceResponse> future;
@@ -132,23 +168,51 @@ int main(int argc, char** argv) {
     pending.push_back(std::move(future));
     cv.notify_all();
   }
+  const bool interrupted = g_shutdown.load(std::memory_order_relaxed);
+  xtc::DrainReport report;
+  if (interrupted) {
+    // Graceful drain: close admission now, give queued work --drain-ms to
+    // finish, fail the remainder cleanly. Every pending future resolves,
+    // so the writer below flushes a response line for every request read.
+    report = service.Stop(std::chrono::milliseconds(flags.drain_ms));
+  }
   {
     std::lock_guard<std::mutex> lock(mu);
     done = true;
   }
   cv.notify_all();
   writer.join();
+  if (!interrupted) {
+    // EOF path: the writer has drained every future, so the queue is
+    // already empty and this records a clean zero-cancellation drain.
+    report = service.Stop(std::chrono::milliseconds(0));
+  }
 
-  if (flags.print_stats) {
+  if (flags.print_stats || interrupted) {
     xtc::ServiceStats stats = service.stats();
     std::fprintf(stderr,
-                 "xtcd: submitted=%llu completed=%llu failed=%llu shed=%llu "
+                 "xtcd: %s drain=%s drained=%llu cancelled=%llu "
+                 "submitted=%llu completed=%llu failed=%llu shed=%llu "
+                 "tier_exact=%llu tier_approximate=%llu "
+                 "shed_queue_full=%llu shed_overload=%llu shed_deadline=%llu "
+                 "shed_stopping=%llu expired_in_queue=%llu "
                  "p50=%.3fms p99=%.3fms cache_hits=%llu cache_misses=%llu "
                  "cache_bytes=%zu cache_entries=%zu\n",
+                 interrupted ? "signal" : "eof",
+                 report.clean ? "clean" : "deadline",
+                 static_cast<unsigned long long>(report.drained),
+                 static_cast<unsigned long long>(report.cancelled),
                  static_cast<unsigned long long>(stats.submitted),
                  static_cast<unsigned long long>(stats.completed),
                  static_cast<unsigned long long>(stats.failed),
                  static_cast<unsigned long long>(stats.shed),
+                 static_cast<unsigned long long>(stats.tier_exact),
+                 static_cast<unsigned long long>(stats.tier_approximate),
+                 static_cast<unsigned long long>(stats.shed_queue_full),
+                 static_cast<unsigned long long>(stats.shed_overload),
+                 static_cast<unsigned long long>(stats.shed_deadline),
+                 static_cast<unsigned long long>(stats.shed_stopping),
+                 static_cast<unsigned long long>(stats.expired_in_queue),
                  stats.latency_p50_ms, stats.latency_p99_ms,
                  static_cast<unsigned long long>(stats.cache.hits),
                  static_cast<unsigned long long>(stats.cache.misses),

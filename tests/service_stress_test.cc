@@ -143,7 +143,16 @@ TEST(ServiceStressTest, SheddingUnderOverloadIsWellFormed) {
     for (std::future<ServiceResponse>& future : client_futures) {
       ServiceResponse response = future.get();
       if (response.status.ok()) {
-        EXPECT_TRUE(response.typechecks);
+        // Near the queue-full boundary admission degrades typechecks to
+        // the approximate tier, whose false verdicts may be false alarms;
+        // exact-tier verdicts must still be the ground truth (filter
+        // instances typecheck), and a degraded `true` is always sound.
+        if (!response.approximate) {
+          EXPECT_TRUE(response.typechecks);
+          EXPECT_EQ(response.tier, AdmissionTier::kExact);
+        } else {
+          EXPECT_EQ(response.tier, AdmissionTier::kApproximate);
+        }
         ++ok;
       } else {
         // Shed responses are immediate, well-formed, and echo the id.
