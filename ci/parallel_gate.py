@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Enforces worker-pool scaling on the parallel emptiness benchmarks.
+
+Usage: parallel_gate.py BENCH.json [min_factor_at_4]
+
+For each (suite, bench) below, rows carry params [n, threads] and the
+threads=1 row runs the sequential engine, so within-bench ratios
+
+    seq_ns_per_op / parallel_ns_per_op
+
+measure the worker pool directly. At the largest common n the gate
+requires the threads=4 row to clear `min_factor_at_4` (default 2.0) and,
+when the recording host has >= 8 cores, the threads=8 row to clear 3.0.
+
+The floors only bind when the recorded hardware_concurrency (written by
+bench/run_benches.sh into the snapshot's metadata block) is >= 4: a
+single-vCPU host can only measure oversubscription, so there the gate
+reports the ratios and passes. Missing rows are always an error — the
+gate exists to catch the benches silently disappearing as much as the
+scaling regressing.
+"""
+
+import json
+import sys
+
+# (suite, bench) — params are [n, threads].
+BENCHES = [
+    ("bench_thm18_hardness", "BM_Thm18_InclusionParallel"),
+    ("bench_lemma14_scaling", "BM_Lemma14_InclusionParallel"),
+    ("bench_lemma14_scaling", "BM_Lemma14_SelfInclusionParallel"),
+]
+
+
+def rows_of(doc, suite, bench):
+    """(n, threads) -> ns_per_op for one bench."""
+    rows = {}
+    for row in doc.get("suites", {}).get(suite, []):
+        params = row.get("params", [])
+        if row.get("bench") == bench and len(params) == 2:
+            rows[(int(params[0]), int(params[1]))] = float(row["ns_per_op"])
+    return rows
+
+
+def main():
+    if len(sys.argv) < 2 or len(sys.argv) > 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+    floor4 = float(sys.argv[2]) if len(sys.argv) == 3 else 2.0
+
+    cores = int(doc.get("metadata", {}).get("hardware_concurrency", 1))
+    enforce = cores >= 4
+    if not enforce:
+        print(f"parallel gate: host recorded {cores} core(s); "
+              "reporting ratios without enforcing speedup floors")
+
+    failures = []
+    for suite, bench in BENCHES:
+        rows = rows_of(doc, suite, bench)
+        ns = sorted({n for (n, _) in rows})
+        if not ns:
+            failures.append(f"{suite}: no [n, threads] rows for {bench}")
+            continue
+        n = ns[-1]
+        seq = rows.get((n, 1))
+        if seq is None or seq <= 0:
+            failures.append(f"{suite} {bench}: missing threads=1 row at n={n}")
+            continue
+        floors = {4: floor4}
+        if cores >= 8:
+            floors[8] = 3.0
+        for threads in sorted(t for (m, t) in rows if m == n and t > 1):
+            ratio = seq / rows[(n, threads)] if rows[(n, threads)] > 0 else 0.0
+            floor = floors.get(threads)
+            gated = enforce and floor is not None
+            tag = "GATE" if gated else "info"
+            need = f" (need >= {floor:.2f}x)" if gated else ""
+            print(f"[{tag}] {suite} {bench} n={n} threads={threads}: "
+                  f"seq={seq:.0f}ns par={rows[(n, threads)]:.0f}ns "
+                  f"speedup={ratio:.2f}x{need}")
+            if gated and ratio < floor:
+                failures.append(
+                    f"{suite} {bench} n={n} threads={threads}: speedup "
+                    f"{ratio:.2f}x below the {floor:.2f}x floor")
+
+    if failures:
+        print("parallel gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("parallel gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,13 +30,15 @@ ctest --preset asan
 echo "=== fault-injection sweep (sanitized, verbose) ==="
 ctest --preset asan -R "FaultInjection|Budget|Malformed" --output-on-failure
 
-echo "=== configure + build (TSan, service layer) ==="
+echo "=== configure + build (TSan, concurrent layers) ==="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "${JOBS}" --target \
-  service_test service_stress_test service_overload_test compile_cache_test
+  service_test service_stress_test service_overload_test compile_cache_test \
+  concurrent_interner_test lazy_determinize_test
 
-echo "=== service concurrency tests (TSan) ==="
-ctest --preset tsan -R "Service|CompileCache" --output-on-failure
+echo "=== service + parallel-emptiness concurrency tests (TSan) ==="
+ctest --preset tsan -R "Service|CompileCache|ConcurrentInterner|ConcurrentLog|LazyParallel" \
+  --output-on-failure
 
 echo "=== overload smoke (loadgen at 2x sustainable rate) ==="
 cmake --preset release >/dev/null
@@ -58,7 +60,7 @@ done
 
 echo "=== perf smoke (Release benches vs checked-in snapshot) ==="
 SNAPSHOT=""
-for candidate in BENCH_pr6.json BENCH_pr4.json BENCH_pr3.json BENCH_pr2.json; do
+for candidate in BENCH_pr7.json BENCH_pr6.json BENCH_pr4.json BENCH_pr3.json BENCH_pr2.json; do
   if [[ -f "$candidate" ]]; then SNAPSHOT="$candidate"; break; fi
 done
 if [[ -n "$SNAPSHOT" ]]; then
@@ -70,6 +72,10 @@ if [[ -n "$SNAPSHOT" ]]; then
   python3 ci/perf_compare.py "$SNAPSHOT" /tmp/bench_smoke.json 2.0
   echo "=== lazy-vs-eager emptiness gate ==="
   python3 ci/lazy_gate.py /tmp/bench_smoke.json 2.0
+  echo "=== parallel frontier scaling gate ==="
+  # The fresh run's metadata records this host's core count; the gate only
+  # enforces its speedup floors when the host can physically exhibit them.
+  python3 ci/parallel_gate.py /tmp/bench_smoke.json 2.0
 else
   echo "no bench snapshot; skipping perf smoke"
 fi

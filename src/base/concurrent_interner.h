@@ -1,0 +1,356 @@
+#ifndef XTC_BASE_CONCURRENT_INTERNER_H_
+#define XTC_BASE_CONCURRENT_INTERNER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "src/base/interner.h"
+#include "src/base/logging.h"
+
+namespace xtc {
+
+/// Thread-safe interning of int sequences for the parallel lazy frontier
+/// engine (src/nta/lazy_parallel.cc): the shared config-hash → global-id
+/// map of DESIGN.md §3d. Same job as SubsetInterner — dense first-insertion
+/// ids for int vectors — but insertable from many threads at once:
+///
+///  - an open-addressed table of atomic slots claimed by CAS (empty →
+///    pending → id), hashed with the same FNV/splitmix recipe as
+///    SubsetInterner::HashKey / base/hash.h;
+///  - a segmented, append-only entry log (id → key span + cached hash)
+///    whose segments are published once and never move, so Get(id) spans
+///    are pointer-stable forever — unlike SubsetInterner, whose pool
+///    reallocates under Intern;
+///  - per-thread key pools, so copying a key in never contends.
+///
+/// Insertion protocol: a claimer CASes a slot to "pending", takes the next
+/// dense id, copies the key into its own pool, writes the entry, runs the
+/// caller's init callback (side tables indexed by id), and only then
+/// publishes the id into the slot with a release store. Racing inserters
+/// of the same key spin on the pending slot, so by the time any thread
+/// observes an id — through this table or through any release/acquire
+/// channel downstream of the winner — the entry and every init write are
+/// visible. Ids are therefore safe to pass between threads as plain ints.
+///
+/// The table does NOT grow concurrently. Capacity is fixed while threads
+/// are inserting; once the fill limit is reached TryIntern reports
+/// `full`, and the owner grows the table at a quiescent point (the
+/// parallel engine's epoch barrier) via Grow(). `max_entries` is the hard
+/// id-space cap (the engine's config/state caps); `full` with
+/// NeedsGrow() == false means the cap itself is exhausted.
+///
+/// Thread-safety: TryIntern/Find/Get/size are safe from any thread, with
+/// the per-thread pool index `thread` exclusive to its caller. Grow() and
+/// the constructor/destructor require external quiescence (no concurrent
+/// calls at all).
+class ConcurrentInterner {
+ public:
+  struct InternResult {
+    int id = -1;          ///< the key's dense id (-1 when full)
+    bool inserted = false;  ///< this call created the id (winner duties)
+    bool full = false;      ///< table at fill limit or max_entries reached
+  };
+
+  ConcurrentInterner(int num_threads, std::size_t max_entries,
+                     std::size_t initial_capacity = 1024)
+      : max_entries_(max_entries), pools_(static_cast<std::size_t>(
+                                       num_threads > 0 ? num_threads : 1)) {
+    std::size_t cap = 64;
+    while (cap < initial_capacity) cap <<= 1;
+    AllocateTable(cap);
+    num_seg_slots_ = (max_entries_ >> kSegBits) + 1;
+    segs_ = std::make_unique<std::atomic<Entry*>[]>(num_seg_slots_);
+    for (std::size_t i = 0; i < num_seg_slots_; ++i) {
+      segs_[i].store(nullptr, std::memory_order_relaxed);
+    }
+  }
+
+  ~ConcurrentInterner() {
+    for (std::size_t i = 0; i < num_seg_slots_; ++i) {
+      delete[] segs_[i].load(std::memory_order_relaxed);
+    }
+  }
+
+  ConcurrentInterner(const ConcurrentInterner&) = delete;
+  ConcurrentInterner& operator=(const ConcurrentInterner&) = delete;
+
+  /// Interns `key` from worker `thread`. When this call wins the insertion
+  /// race, `init(id)` runs before the id is published anywhere, so writes
+  /// it makes to id-indexed side tables happen-before any other thread's
+  /// use of the id.
+  template <typename Init>
+  InternResult TryIntern(int thread, std::span<const int> key, Init&& init) {
+    const std::uint64_t h = SubsetInterner::HashKey(key);
+    std::size_t i = h & mask_;
+    while (true) {
+      int s = table_[i].load(std::memory_order_acquire);
+      if (s >= 0) {
+        if (EntryEquals(s, h, key)) return {s, false, false};
+        i = (i + 1) & mask_;
+        continue;
+      }
+      if (s == kPending) {
+        // The claimer is between CAS and publish; its window is a key copy
+        // plus the init callback — short. Spin on this same slot.
+        std::this_thread::yield();
+        continue;
+      }
+      // Empty. The fill check is approximate (racers may overshoot by at
+      // most one slot each); the limit leaves slack for that.
+      if (static_cast<std::size_t>(count_.load(std::memory_order_relaxed)) >=
+          fill_limit_) {
+        return {-1, false, true};
+      }
+      int expected = kEmpty;
+      if (!table_[i].compare_exchange_weak(expected, kPending,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+        continue;  // lost the claim; re-examine the slot
+      }
+      const int id = count_.fetch_add(1, std::memory_order_acq_rel);
+      if (static_cast<std::size_t>(id) >= max_entries_) {
+        // Hard cap: release the slot so spinners can observe the full
+        // table instead of a stuck pending marker. The id is burned, but
+        // the whole run is about to unwind with kResourceExhausted.
+        table_[i].store(kEmpty, std::memory_order_release);
+        return {-1, false, true};
+      }
+      Entry* e = EnsureSegment(id) + (id & (kSegSize - 1));
+      e->data = CopyKey(thread, key);
+      e->len = static_cast<std::uint32_t>(key.size());
+      e->hash = h;
+      init(id);
+      table_[i].store(id, std::memory_order_release);
+      return {id, true, false};
+    }
+  }
+
+  InternResult TryIntern(int thread, std::span<const int> key) {
+    return TryIntern(thread, key, [](int) {});
+  }
+
+  /// The id of `key`, or -1 when it was never (fully) interned.
+  int Find(std::span<const int> key) const {
+    const std::uint64_t h = SubsetInterner::HashKey(key);
+    std::size_t i = h & mask_;
+    while (true) {
+      int s = table_[i].load(std::memory_order_acquire);
+      if (s == kEmpty) return -1;
+      if (s >= 0) {
+        if (EntryEquals(s, h, key)) return s;
+        i = (i + 1) & mask_;
+        continue;
+      }
+      std::this_thread::yield();  // pending: the inserter is about to publish
+    }
+  }
+
+  /// The interned key for `id`. Storage is pointer-stable for the
+  /// interner's lifetime. The caller must have received `id` through a
+  /// synchronized channel (this table, or any release/acquire handoff
+  /// downstream of the inserting thread).
+  std::span<const int> Get(int id) const {
+    const Entry& e = SegmentOf(id)[id & (kSegSize - 1)];
+    return std::span<const int>(e.data, e.len);
+  }
+
+  /// The cached hash of id's key (work distribution by key-hash ownership).
+  std::uint64_t HashOf(int id) const {
+    return SegmentOf(id)[id & (kSegSize - 1)].hash;
+  }
+
+  /// Number of interned keys. An acquire read: every id < size() returned
+  /// here is safe to Get from the calling thread.
+  int size() const {
+    const int n = count_.load(std::memory_order_acquire);
+    return n < static_cast<int>(max_entries_) ? n
+                                              : static_cast<int>(max_entries_);
+  }
+
+  /// True when the table is at its fill limit but the id-space cap is not
+  /// reached — i.e. Grow() (at a quiescent point) would make progress.
+  /// False + a `full` TryIntern means max_entries itself is exhausted.
+  bool NeedsGrow() const {
+    return static_cast<std::size_t>(size()) >= fill_limit_ &&
+           fill_limit_ < max_entries_;
+  }
+
+  /// True when occupancy crossed the proactive-growth threshold (half the
+  /// fill limit); the engine grows at barriers before pressure develops.
+  bool NearCapacity() const {
+    return static_cast<std::size_t>(size()) * 2 >= fill_limit_;
+  }
+
+  /// True when the slot table is still below the id-space cap, i.e. Grow()
+  /// can raise the fill limit at all.
+  bool CanGrow() const { return fill_limit_ < max_entries_; }
+
+  /// Quadruples the slot table and reinserts every entry (ids unchanged).
+  /// Requires external quiescence: no concurrent calls of any kind.
+  void Grow() {
+    const std::size_t new_cap = (mask_ + 1) * 4;
+    AllocateTable(new_cap);
+    const int n = size();
+    for (int id = 0; id < n; ++id) {
+      const Entry& e = SegmentOf(id)[id & (kSegSize - 1)];
+      std::size_t i = e.hash & mask_;
+      while (table_[i].load(std::memory_order_relaxed) != kEmpty) {
+        i = (i + 1) & mask_;
+      }
+      table_[i].store(id, std::memory_order_relaxed);
+    }
+    // Publish the rebuilt table to the (quiescent) world; the barrier that
+    // restarts the workers is the real synchronization point.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+ private:
+  static constexpr int kEmpty = -1;
+  static constexpr int kPending = -2;
+  static constexpr std::size_t kSegBits = 12;
+  static constexpr std::size_t kSegSize = std::size_t{1} << kSegBits;
+
+  struct Entry {
+    const int* data = nullptr;
+    std::uint32_t len = 0;
+    std::uint64_t hash = 0;
+  };
+
+  struct Pool {
+    std::vector<std::unique_ptr<int[]>> chunks;
+    std::size_t used = 0;
+    std::size_t cap = 0;
+  };
+
+  void AllocateTable(std::size_t cap) {
+    table_ = std::make_unique<std::atomic<int>[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      table_[i].store(kEmpty, std::memory_order_relaxed);
+    }
+    mask_ = cap - 1;
+    const std::size_t limit = cap - cap / 4;  // 75% + claim-race slack below
+    fill_limit_ = limit < max_entries_ ? limit : max_entries_;
+  }
+
+  bool EntryEquals(int id, std::uint64_t h, std::span<const int> key) const {
+    const Entry& e = SegmentOf(id)[id & (kSegSize - 1)];
+    return e.hash == h && e.len == key.size() &&
+           (key.empty() ||
+            std::memcmp(e.data, key.data(), key.size() * sizeof(int)) == 0);
+  }
+
+  Entry* SegmentOf(int id) const {
+    return segs_[static_cast<std::size_t>(id) >> kSegBits].load(
+        std::memory_order_acquire);
+  }
+
+  Entry* EnsureSegment(int id) {
+    const std::size_t seg = static_cast<std::size_t>(id) >> kSegBits;
+    Entry* p = segs_[seg].load(std::memory_order_acquire);
+    if (p != nullptr) return p;
+    std::lock_guard<std::mutex> lock(seg_mutex_);
+    p = segs_[seg].load(std::memory_order_acquire);
+    if (p == nullptr) {
+      p = new Entry[kSegSize];
+      segs_[seg].store(p, std::memory_order_release);
+    }
+    return p;
+  }
+
+  const int* CopyKey(int thread, std::span<const int> key) {
+    if (key.empty()) return nullptr;  // a fresh pool has no chunk to point at
+    Pool& pool = pools_[static_cast<std::size_t>(thread)];
+    if (pool.used + key.size() > pool.cap) {
+      std::size_t chunk = kSegSize * 4;
+      if (chunk < key.size()) chunk = key.size();
+      pool.chunks.push_back(std::make_unique<int[]>(chunk));
+      pool.used = 0;
+      pool.cap = chunk;
+    }
+    int* dst = pool.chunks.back().get() + pool.used;
+    if (!key.empty()) std::memcpy(dst, key.data(), key.size() * sizeof(int));
+    pool.used += key.size();
+    return dst;
+  }
+
+  std::size_t max_entries_;
+  std::unique_ptr<std::atomic<int>[]> table_;
+  std::size_t mask_ = 0;        ///< capacity - 1; mutated only in Grow()
+  std::size_t fill_limit_ = 0;  ///< mutated only in Grow()
+  std::atomic<int> count_{0};
+  std::unique_ptr<std::atomic<Entry*>[]> segs_;
+  std::size_t num_seg_slots_ = 0;
+  std::mutex seg_mutex_;
+  std::vector<Pool> pools_;
+};
+
+/// Segmented, write-once side table indexed by ConcurrentInterner ids:
+/// segments are allocated on demand (mutex-guarded, published with a
+/// release store) and never move, so `Get` references stay valid. The
+/// synchronization contract piggybacks on the interner's: the id winner
+/// writes `Slot(id)` inside its init callback (before the id is
+/// published), every other thread only reads — through an id it received
+/// over a release/acquire channel. Entries holding atomics (e.g. memo
+/// cells) may instead be mutated through their own atomic operations.
+template <typename T>
+class ConcurrentLog {
+ public:
+  explicit ConcurrentLog(std::size_t max_entries) {
+    num_seg_slots_ = (max_entries >> kSegBits) + 1;
+    segs_ = std::make_unique<std::atomic<T*>[]>(num_seg_slots_);
+    for (std::size_t i = 0; i < num_seg_slots_; ++i) {
+      segs_[i].store(nullptr, std::memory_order_relaxed);
+    }
+  }
+
+  ~ConcurrentLog() {
+    for (std::size_t i = 0; i < num_seg_slots_; ++i) {
+      delete[] segs_[i].load(std::memory_order_relaxed);
+    }
+  }
+
+  ConcurrentLog(const ConcurrentLog&) = delete;
+  ConcurrentLog& operator=(const ConcurrentLog&) = delete;
+
+  /// The (default-constructed until written) cell for `id`, allocating its
+  /// segment if needed. Safe from any thread; writing the returned
+  /// reference is the caller's synchronization problem (see class comment).
+  T& Slot(int id) {
+    const std::size_t seg = static_cast<std::size_t>(id) >> kSegBits;
+    XTC_CHECK(seg < num_seg_slots_);
+    T* p = segs_[seg].load(std::memory_order_acquire);
+    if (p == nullptr) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      p = segs_[seg].load(std::memory_order_acquire);
+      if (p == nullptr) {
+        p = new T[kSegSize]();
+        segs_[seg].store(p, std::memory_order_release);
+      }
+    }
+    return p[id & (kSegSize - 1)];
+  }
+
+  const T& Get(int id) const {
+    return segs_[static_cast<std::size_t>(id) >> kSegBits].load(
+        std::memory_order_acquire)[id & (kSegSize - 1)];
+  }
+
+ private:
+  static constexpr std::size_t kSegBits = 12;
+  static constexpr std::size_t kSegSize = std::size_t{1} << kSegBits;
+
+  std::unique_ptr<std::atomic<T*>[]> segs_;
+  std::size_t num_seg_slots_ = 0;
+  std::mutex mutex_;
+};
+
+}  // namespace xtc
+
+#endif  // XTC_BASE_CONCURRENT_INTERNER_H_

@@ -356,6 +356,7 @@ StatusOr<bool> DelRelabEmptiness(const Transducer& t, const Nta& ain,
     lazy_options.max_configs = static_cast<int>(
         std::min<std::uint64_t>(options.max_configs, 1u << 30));
     lazy_options.max_h_configs = lazy_options.max_configs;
+    lazy_options.threads = options.emptiness_threads;
     lazy_options.resume = options.lazy_resume;
     lazy_options.export_snapshot = options.lazy_export;
     StatusOr<EmptinessOutcome> outcome =

@@ -79,6 +79,12 @@ struct TypecheckOptions {
   /// reference pipeline throughout.
   EmptinessEngine emptiness_engine = EmptinessEngine::kLazy;
 
+  /// Worker threads for the lazy emptiness engine (LazyOptions::threads).
+  /// 1 (the default) keeps the single-threaded engine; >1 shards the
+  /// frontier across a worker pool with identical verdicts and failure
+  /// semantics. Ignored by the eager engine.
+  int emptiness_threads = 1;
+
   // --- Pre-compiled artifacts (the service compile cache) ---
   //
   // All three are borrowed and must outlive the call. They let repeated

@@ -1,0 +1,860 @@
+#include "src/nta/lazy_parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/base/concurrent_interner.h"
+#include "src/base/interner.h"
+#include "src/base/logging.h"
+#include "src/base/state_set.h"
+#include "src/nta/horizontal_space.h"
+
+namespace xtc {
+namespace {
+
+// Cap messages shared with (or in the spirit of) the sequential engine, so
+// differential tests see the same failure text whichever engine ran.
+constexpr char kMsgMaxConfigs[] =
+    "lazy emptiness exceeded max_configs product configurations";
+constexpr char kMsgMaxH[] =
+    "lazy emptiness exceeded max_h_configs horizontal states";
+constexpr char kMsgDetTable[] =
+    "lazy emptiness exhausted its determinized-state table";
+constexpr char kMsgHsubTable[] =
+    "lazy emptiness exhausted a horizontal-subset table";
+constexpr char kMsgMemoTable[] =
+    "lazy emptiness exhausted a horizontal step memo table";
+
+// A slot whose value is published with release/acquire; -1 = unset. Used
+// for the TargetSubset and det-step memo cells, whose values are
+// deterministic functions of their index, so racing writers store the same
+// int and the race is benign by construction.
+struct AtomicCell {
+  std::atomic<int> v{-1};
+};
+
+// The parallel frontier engine (DESIGN.md §3d). Same discovery structure as
+// the sequential LazyEngine in lazy.cc — configs, per-symbol joint h-states
+// with cursors over the global config list, back-pointers for witnesses —
+// but every id table is a shared ConcurrentInterner and the saturation loop
+// runs as bulk-synchronous epochs over a worker pool:
+//
+//  - At each barrier the coordinator snapshots the config count, rescans
+//    every h-state cursor, and deals the pending (h-state, cursor window)
+//    items into per-worker queues by key-hash ownership.
+//  - Workers drain their own queue, then steal from peers via the atomic
+//    claim cursor. Joint h-states minted mid-epoch go to the discoverer's
+//    private overflow (never stolen — the queues are immutable in-epoch);
+//    whatever is left anywhere at the barrier is re-derived from the
+//    cursors, so correctness never depends on queues draining.
+//  - Termination: a barrier rescan that produces zero items is the
+//    fixpoint. First accepting config CASes `found_` and raises `stop_`,
+//    which peers poll; the witness is rebuilt after the join.
+//  - Tables never grow mid-epoch. A full table raises `pressure_` + `stop_`
+//    (ending the epoch early); the coordinator grows at the barrier and the
+//    deferred steps retry idempotently. `full` without room to grow is the
+//    hard cap — the run fails soft exactly like the sequential engine.
+//  - The single-thread Budget is never touched in the hot loop: workers
+//    count steps in plain per-thread counters, the coordinator reconciles
+//    with Budget::ChargeSteps at each barrier, and a per-worker epoch
+//    quantum plus a mid-epoch deadline poll (against the snapshotted
+//    deadline instant) bound how stale exhaustion detection can get.
+class ParallelEngine {
+ public:
+  ParallelEngine(const LazyProductSpec& spec, SharedForest* forest,
+                 const LazyOptions& options)
+      : spec_(spec), forest_(forest), options_(options) {
+    nthreads_ = options.threads < 2 ? 2 : options.threads;
+    if (nthreads_ > 64) nthreads_ = 64;
+    max_configs_ = options.max_configs > 0 ? options.max_configs : 1;
+    max_h_ = options.max_h_configs > 0 ? options.max_h_configs : 1;
+    if (options.budget != nullptr) {
+      deadline_ = options.budget->deadline_instant();
+    }
+
+    const auto& comps = spec.components();
+    num_components_ = static_cast<int>(comps.size());
+    num_symbols_ = spec.num_symbols();
+    det_slot_.assign(comps.size(), -1);
+    // Side tables are sized to their interner's hard cap (the ConcurrentLog
+    // segment directory must cover every reachable id).
+    const std::size_t aux_cap =
+        static_cast<std::size_t>(max_configs_) +
+        static_cast<std::size_t>(max_h_) + 4096;
+    for (int i = 0; i < num_components_; ++i) {
+      XTC_CHECK_EQ(comps[static_cast<std::size_t>(i)].nta->num_symbols(),
+                   num_symbols_);
+      if (comps[static_cast<std::size_t>(i)].determinize) {
+        det_slot_[static_cast<std::size_t>(i)] =
+            static_cast<int>(det_comps_.size());
+        det_comps_.emplace_back();
+        DetGlobal& dc = det_comps_.back();
+        dc.component = i;
+        dc.ids = std::make_unique<ConcurrentInterner>(nthreads_, aux_cap, 256);
+        dc.masks = std::make_unique<ConcurrentLog<StateSet>>(aux_cap);
+        dc.accepting = std::make_unique<ConcurrentLog<unsigned char>>(aux_cap);
+      }
+    }
+    const std::size_t cfg_cap = static_cast<std::size_t>(max_configs_);
+    cfg_ids_ = std::make_unique<ConcurrentInterner>(nthreads_, cfg_cap, 4096);
+    cfg_acc_ = std::make_unique<ConcurrentLog<unsigned char>>(cfg_cap);
+    cfg_sym_ = std::make_unique<ConcurrentLog<int>>(cfg_cap);
+    cfg_hid_ = std::make_unique<ConcurrentLog<int>>(cfg_cap);
+
+    symbols_.reserve(static_cast<std::size_t>(num_symbols_));
+    const std::size_t h_cap = static_cast<std::size_t>(max_h_);
+    for (int a = 0; a < num_symbols_; ++a) {
+      symbols_.emplace_back();
+      SymbolGlobal& sym = symbols_.back();
+      sym.spaces.reserve(comps.size());
+      for (int i = 0; i < num_components_; ++i) {
+        sym.spaces.push_back(HorizontalSpace::Build(
+            *comps[static_cast<std::size_t>(i)].nta, a));
+      }
+      sym.h_ids =
+          std::make_unique<ConcurrentInterner>(nthreads_, h_cap, 4096);
+      sym.h_prev = std::make_unique<ConcurrentLog<int>>(h_cap);
+      sym.h_letter = std::make_unique<ConcurrentLog<int>>(h_cap);
+      sym.h_cursor = std::make_unique<ConcurrentLog<int>>(h_cap);
+      sym.det.resize(det_comps_.size());
+      for (DetHGlobal& dh : sym.det) {
+        dh.ids =
+            std::make_unique<ConcurrentInterner>(nthreads_, aux_cap, 1024);
+        dh.target = std::make_unique<ConcurrentLog<AtomicCell>>(aux_cap);
+        dh.memo_keys = std::make_unique<ConcurrentInterner>(
+            nthreads_, aux_cap * 4, 4096);
+        dh.memo_val =
+            std::make_unique<ConcurrentLog<AtomicCell>>(aux_cap * 4);
+      }
+    }
+
+    workers_.reserve(static_cast<std::size_t>(nthreads_));
+    for (int w = 0; w < nthreads_; ++w) {
+      workers_.push_back(std::make_unique<WorkerCtx>(w));
+      workers_.back()->h_cache.resize(static_cast<std::size_t>(num_symbols_));
+      workers_.back()->memo_cache.assign(
+          static_cast<std::size_t>(num_symbols_),
+          std::vector<L1Cache>(det_comps_.size()));
+    }
+  }
+
+  ~ParallelEngine() { ShutdownPool(); }
+
+  StatusOr<EmptinessOutcome> Run() {
+    // Joins the pool on every return path, so no worker outlives the run.
+    struct PoolJoiner {
+      ParallelEngine* e;
+      ~PoolJoiner() { e->ShutdownPool(); }
+    } joiner{this};
+
+    XTC_RETURN_IF_ERROR(Bootstrap());
+    while (found_.load(std::memory_order_acquire) < 0) {
+      GrowTables();
+      if (!BuildQueues()) break;  // fixpoint: nothing left to expand
+      stop_.store(false, std::memory_order_relaxed);
+      pressure_.store(false, std::memory_order_relaxed);
+      RunEpoch();
+      std::uint64_t delta = 0;
+      for (const auto& w : workers_) delta += w->epoch_steps;
+      steps_total_ += delta;
+      if (options_.budget != nullptr && delta > 0) {
+        XTC_RETURN_IF_ERROR(
+            options_.budget->ChargeSteps(delta, "LazyEmptiness"));
+      }
+      Status failed = TakeFail();
+      if (!failed.ok()) return failed;
+      // Any surviving pressure_ is resolved by GrowTables at the loop top.
+    }
+    {
+      Status failed = TakeFail();
+      if (!failed.ok()) return failed;
+    }
+
+    EmptinessOutcome out;
+    const int found = found_.load(std::memory_order_acquire);
+    out.empty = found < 0;
+    if (found >= 0 && forest_ != nullptr) out.witness = BuildWitness(found);
+    stats_.configs = static_cast<std::uint64_t>(cfg_ids_->size());
+    stats_.h_configs =
+        static_cast<std::uint64_t>(total_h_.load(std::memory_order_relaxed));
+    for (const DetGlobal& dc : det_comps_) {
+      stats_.det_states += static_cast<std::uint64_t>(dc.ids->size());
+    }
+    stats_.steps = steps_total_;
+    stats_.early_exit = found >= 0;
+    stats_.resumed = resumed_;
+    out.stats = stats_;
+    if (options_.export_snapshot != nullptr) {
+      // Clean completion only — every failure path returned above, so the
+      // merged global tables are trustworthy and format-compatible with the
+      // sequential exporter (id order is insertion order in both).
+      LazySnapshot snap;
+      snap.det_tables.resize(det_comps_.size());
+      for (std::size_t d = 0; d < det_comps_.size(); ++d) {
+        LazySnapshot::DetTable& table = snap.det_tables[d];
+        const int n = det_comps_[d].ids->size();
+        for (int id = 0; id < n; ++id) {
+          const std::span<const int> subset = det_comps_[d].ids->Get(id);
+          table.pool.insert(table.pool.end(), subset.begin(), subset.end());
+          table.offsets.push_back(table.pool.size());
+        }
+      }
+      snap.complete = true;
+      snap.empty = out.empty;
+      *options_.export_snapshot = std::move(snap);
+    }
+    return out;
+  }
+
+ private:
+  static constexpr std::uint64_t kEpochQuantum = 8192;
+  static constexpr std::uint64_t kDeadlineStride = 1024;
+
+  struct Item {
+    int sym = -1;
+    int hid = -1;
+  };
+
+  // A worker's private view: an L1 SubsetInterner over each global table so
+  // repeat lookups of hot keys never touch the shared CAS slots. Caches
+  // only record keys this worker has seen resolve globally, so a hit is
+  // always authoritative.
+  struct L1Cache {
+    SubsetInterner keys;
+    std::vector<int> global;  ///< local id -> global value (memo caches)
+  };
+
+  struct WorkerCtx {
+    explicit WorkerCtx(int idx) : index(idx) {}
+
+    const int index;
+    // Dealt by the coordinator at the barrier, immutable in-epoch; claimed
+    // (by owner and thieves alike) through the atomic cursor.
+    std::vector<Item> queue;
+    std::atomic<std::size_t> qhead{0};
+    // Joint h-states this worker minted mid-epoch; private, never stolen.
+    std::vector<Item> overflow;
+    std::uint64_t epoch_steps = 0;
+
+    L1Cache cfg_cache;
+    std::vector<L1Cache> h_cache;                 // per symbol
+    std::vector<std::vector<L1Cache>> memo_cache;  // [symbol][det slot]
+
+    // Scratch; `key` carries joint h tuples, `cfg_key` config tuples — two
+    // buffers because minting a config happens while a joint key is live.
+    std::vector<int> key, cfg_key, ex_slots;
+    std::vector<std::vector<int>> ex_options;
+    std::vector<std::size_t> odometer;
+  };
+
+  struct DetGlobal {
+    int component = -1;
+    std::unique_ptr<ConcurrentInterner> ids;
+    std::unique_ptr<ConcurrentLog<StateSet>> masks;
+    std::unique_ptr<ConcurrentLog<unsigned char>> accepting;
+  };
+
+  struct DetHGlobal {
+    std::unique_ptr<ConcurrentInterner> ids;  ///< subsets of global h ids
+    std::unique_ptr<ConcurrentLog<AtomicCell>> target;
+    std::unique_ptr<ConcurrentInterner> memo_keys;
+    std::unique_ptr<ConcurrentLog<AtomicCell>> memo_val;
+  };
+
+  struct SymbolGlobal {
+    std::vector<HorizontalSpace> spaces;  ///< per component, read-only shared
+    std::vector<DetHGlobal> det;
+    std::unique_ptr<ConcurrentInterner> h_ids;
+    std::unique_ptr<ConcurrentLog<int>> h_prev;
+    std::unique_ptr<ConcurrentLog<int>> h_letter;
+    std::unique_ptr<ConcurrentLog<int>> h_cursor;
+  };
+
+  // ---- failure / stop channels -------------------------------------------
+
+  void Fail(Status s) {
+    {
+      std::lock_guard<std::mutex> lock(fail_mu_);
+      if (fail_status_.ok()) fail_status_ = std::move(s);
+    }
+    stop_.store(true, std::memory_order_relaxed);
+  }
+
+  Status TakeFail() {
+    std::lock_guard<std::mutex> lock(fail_mu_);
+    return fail_status_;
+  }
+
+  // A table reported `full`: growable tables end the epoch for a barrier
+  // Grow(); a table at its hard cap fails the run.
+  bool ReportFull(const ConcurrentInterner& table, const char* cap_msg) {
+    if (table.NeedsGrow()) {
+      pressure_.store(true, std::memory_order_relaxed);
+      stop_.store(true, std::memory_order_relaxed);
+    } else {
+      Fail(ResourceExhaustedError(cap_msg));
+    }
+    return false;
+  }
+
+  void TryMarkFound(int cfg) {
+    int expected = -1;
+    found_.compare_exchange_strong(expected, cfg, std::memory_order_acq_rel,
+                                   std::memory_order_acquire);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+
+  void PollDeadline() {
+    if (deadline_.has_value() &&
+        std::chrono::steady_clock::now() > *deadline_) {
+      // Just end the epoch; the authoritative trip is the coordinator's
+      // ChargeSteps at the barrier (which re-reads the clock).
+      stop_.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  template <typename F>
+  void ForEachInterner(F&& f) {
+    f(*cfg_ids_);
+    for (DetGlobal& dc : det_comps_) f(*dc.ids);
+    for (SymbolGlobal& sym : symbols_) {
+      f(*sym.h_ids);
+      for (DetHGlobal& dh : sym.det) {
+        f(*dh.ids);
+        f(*dh.memo_keys);
+      }
+    }
+  }
+
+  // Barrier-time growth: resolves any in-epoch pressure and proactively
+  // grows tables past half occupancy so pressure rarely develops at all.
+  void GrowTables() {
+    ForEachInterner([](ConcurrentInterner& t) {
+      while (t.CanGrow() && t.NearCapacity()) t.Grow();
+    });
+  }
+
+  // ---- discovery (mirrors lazy.cc, against the shared tables) ------------
+
+  int InternDetState(WorkerCtx& w, int d, std::span<const int> subset) {
+    DetGlobal& dc = det_comps_[static_cast<std::size_t>(d)];
+    const LazyComponent& comp =
+        spec_.components()[static_cast<std::size_t>(dc.component)];
+    const auto res = dc.ids->TryIntern(w.index, subset, [&](int id) {
+      StateSet mask(comp.nta->num_states());
+      bool any_final = false;
+      for (int q : subset) {
+        mask.Set(q);
+        any_final = any_final || comp.nta->final(q);
+      }
+      dc.masks->Slot(id) = std::move(mask);
+      dc.accepting->Slot(id) =
+          (comp.complement ? !any_final : any_final) ? 1 : 0;
+    });
+    if (res.full) {
+      ReportFull(*dc.ids, kMsgDetTable);
+      return -1;
+    }
+    return res.id;
+  }
+
+  int InternDetH(WorkerCtx& w, int a, int d, std::span<const int> subset) {
+    DetHGlobal& dh = symbols_[static_cast<std::size_t>(a)]
+                         .det[static_cast<std::size_t>(d)];
+    const auto res = dh.ids->TryIntern(w.index, subset);
+    if (res.full) {
+      ReportFull(*dh.ids, kMsgHsubTable);
+      return -1;
+    }
+    return res.id;
+  }
+
+  // The det-state the h-subset `hsub` emits. The memo cell holds a value
+  // that is a pure function of hsub, so racing recomputations store the
+  // same id.
+  int TargetOfP(WorkerCtx& w, int a, int d, int hsub) {
+    SymbolGlobal& sym = symbols_[static_cast<std::size_t>(a)];
+    DetHGlobal& dh = sym.det[static_cast<std::size_t>(d)];
+    std::atomic<int>& cell = dh.target->Slot(hsub).v;
+    const int cached = cell.load(std::memory_order_acquire);
+    if (cached >= 0) return cached;
+    const int comp = det_comps_[static_cast<std::size_t>(d)].component;
+    const std::span<const int> members = dh.ids->Get(hsub);
+    const int id = InternDetState(
+        w, d,
+        TargetSubset(sym.spaces[static_cast<std::size_t>(comp)], members));
+    if (id < 0) return -1;
+    cell.store(id, std::memory_order_release);
+    return id;
+  }
+
+  // Deterministic subset step of a det coordinate by a det-state letter;
+  // L1-cached per worker, globally memoized behind an atomic cell.
+  int StepDetP(WorkerCtx& w, int a, int d, int hsub, int det_letter) {
+    L1Cache& cache = w.memo_cache[static_cast<std::size_t>(a)]
+                                 [static_cast<std::size_t>(d)];
+    const int pair_key[2] = {hsub, det_letter};
+    const int local = cache.keys.Find(pair_key);
+    if (local >= 0) return cache.global[static_cast<std::size_t>(local)];
+    SymbolGlobal& sym = symbols_[static_cast<std::size_t>(a)];
+    DetHGlobal& dh = sym.det[static_cast<std::size_t>(d)];
+    const auto res = dh.memo_keys->TryIntern(w.index, pair_key);
+    if (res.full) {
+      ReportFull(*dh.memo_keys, kMsgMemoTable);
+      return -1;
+    }
+    std::atomic<int>& cell = dh.memo_val->Slot(res.id).v;
+    int value = cell.load(std::memory_order_acquire);
+    if (value < 0) {
+      const int comp = det_comps_[static_cast<std::size_t>(d)].component;
+      const HorizontalSpace& sp =
+          sym.spaces[static_cast<std::size_t>(comp)];
+      const StateSet& mask =
+          det_comps_[static_cast<std::size_t>(d)].masks->Get(det_letter);
+      const std::span<const int> members = dh.ids->Get(hsub);
+      StateSet next(sp.total);
+      for (int g : members) {
+        sp.ForEachEdge(g, [&](int symq, int to) {
+          if (mask.Test(symq)) next.Set(to);
+        });
+      }
+      const int succ = InternDetH(w, a, d, next.ToVector());
+      if (succ < 0) return -1;
+      cell.store(succ, std::memory_order_release);
+      value = succ;
+    }
+    cache.keys.Intern(pair_key);
+    cache.global.push_back(value);
+    return value;
+  }
+
+  bool MintConfig(WorkerCtx& w, int a, int hid) {
+    if (w.cfg_cache.keys.Find(w.cfg_key) >= 0) return true;
+    const auto res = cfg_ids_->TryIntern(w.index, w.cfg_key, [&](int id) {
+      bool accepting = true;
+      for (int i = 0; i < num_components_ && accepting; ++i) {
+        const int d = det_slot_[static_cast<std::size_t>(i)];
+        const int coord = w.cfg_key[static_cast<std::size_t>(i)];
+        accepting =
+            d < 0 ? spec_.components()[static_cast<std::size_t>(i)].nta->final(
+                        coord)
+                  : det_comps_[static_cast<std::size_t>(d)].accepting->Get(
+                        coord) != 0;
+      }
+      cfg_acc_->Slot(id) = accepting ? 1 : 0;
+      cfg_sym_->Slot(id) = a;
+      cfg_hid_->Slot(id) = hid;
+    });
+    if (res.full) return ReportFull(*cfg_ids_, kMsgMaxConfigs);
+    w.cfg_cache.keys.Intern(w.cfg_key);
+    if (res.inserted && cfg_acc_->Get(res.id) != 0) TryMarkFound(res.id);
+    return true;
+  }
+
+  bool TryEmit(WorkerCtx& w, int a, int hid) {
+    SymbolGlobal& sym = symbols_[static_cast<std::size_t>(a)];
+    const std::span<const int> h = sym.h_ids->Get(hid);  // pointer-stable
+    auto& key = w.cfg_key;
+    key.assign(static_cast<std::size_t>(num_components_), -1);
+    for (int i = 0; i < num_components_; ++i) {
+      if (det_slot_[static_cast<std::size_t>(i)] >= 0) continue;
+      const HorizontalSpace& sp = sym.spaces[static_cast<std::size_t>(i)];
+      const int g = h[static_cast<std::size_t>(i)];
+      if (!sp.final_mask.Test(g)) return true;
+      key[static_cast<std::size_t>(i)] = sp.owner[static_cast<std::size_t>(g)];
+    }
+    for (int i = 0; i < num_components_; ++i) {
+      const int d = det_slot_[static_cast<std::size_t>(i)];
+      if (d < 0) continue;
+      const int target = TargetOfP(w, a, d, h[static_cast<std::size_t>(i)]);
+      if (target < 0) return false;
+      key[static_cast<std::size_t>(i)] = target;
+    }
+    return MintConfig(w, a, hid);
+  }
+
+  bool InternJoint(WorkerCtx& w, int a, int prev, int letter) {
+    SymbolGlobal& sym = symbols_[static_cast<std::size_t>(a)];
+    L1Cache& cache = w.h_cache[static_cast<std::size_t>(a)];
+    if (cache.keys.Find(w.key) >= 0) return true;
+    const auto res = sym.h_ids->TryIntern(w.index, w.key, [&](int id) {
+      sym.h_prev->Slot(id) = prev;
+      sym.h_letter->Slot(id) = letter;
+      sym.h_cursor->Slot(id) = 0;
+    });
+    if (res.full) return ReportFull(*sym.h_ids, kMsgMaxH);
+    cache.keys.Intern(w.key);
+    if (res.inserted) {
+      const int total = 1 + total_h_.fetch_add(1, std::memory_order_relaxed);
+      if (total > max_h_) {
+        Fail(ResourceExhaustedError(kMsgMaxH));
+        return false;
+      }
+      if (!TryEmit(w, a, res.id)) return false;
+      w.overflow.push_back({a, res.id});
+    }
+    return true;
+  }
+
+  bool EnumerateJoint(WorkerCtx& w, int a, int prev, int letter,
+                      std::size_t nex) {
+    auto& idx = w.odometer;
+    idx.assign(nex, 0);
+    while (true) {
+      if (stop_.load(std::memory_order_relaxed)) return false;
+      for (std::size_t j = 0; j < nex; ++j) {
+        w.key[static_cast<std::size_t>(w.ex_slots[j])] = w.ex_options[j][idx[j]];
+      }
+      if (!InternJoint(w, a, prev, letter)) return false;
+      std::size_t j = 0;
+      for (; j < nex; ++j) {
+        if (++idx[j] < w.ex_options[j].size()) break;
+        idx[j] = 0;
+      }
+      if (j == nex) return true;
+    }
+  }
+
+  bool SeedSymbol(WorkerCtx& w, int a) {
+    SymbolGlobal& sym = symbols_[static_cast<std::size_t>(a)];
+    auto& key = w.key;
+    key.assign(static_cast<std::size_t>(num_components_), -1);
+    w.ex_slots.clear();
+    std::size_t nex = 0;
+    for (int i = 0; i < num_components_; ++i) {
+      const int d = det_slot_[static_cast<std::size_t>(i)];
+      const HorizontalSpace& sp = sym.spaces[static_cast<std::size_t>(i)];
+      if (d >= 0) {
+        const int id = InternDetH(w, a, d, sp.initials);
+        if (id < 0) return false;
+        key[static_cast<std::size_t>(i)] = id;
+        continue;
+      }
+      if (sp.initials.empty()) return true;  // no run roots at `a`
+      if (nex == w.ex_options.size()) w.ex_options.emplace_back();
+      w.ex_options[nex].assign(sp.initials.begin(), sp.initials.end());
+      w.ex_slots.push_back(i);
+      ++nex;
+    }
+    return EnumerateJoint(w, a, -1, -1, nex);
+  }
+
+  bool StepJoint(WorkerCtx& w, int a, int hid, int c) {
+    SymbolGlobal& sym = symbols_[static_cast<std::size_t>(a)];
+    const std::span<const int> h = sym.h_ids->Get(hid);   // pointer-stable
+    const std::span<const int> cfg = cfg_ids_->Get(c);    // pointer-stable
+    auto& key = w.key;
+    key.assign(static_cast<std::size_t>(num_components_), -1);
+    w.ex_slots.clear();
+    std::size_t nex = 0;
+    for (int i = 0; i < num_components_; ++i) {
+      const int d = det_slot_[static_cast<std::size_t>(i)];
+      if (d >= 0) {
+        const int next = StepDetP(w, a, d, h[static_cast<std::size_t>(i)],
+                                  cfg[static_cast<std::size_t>(i)]);
+        if (next < 0) return false;
+        key[static_cast<std::size_t>(i)] = next;
+        continue;
+      }
+      const HorizontalSpace& sp = sym.spaces[static_cast<std::size_t>(i)];
+      if (nex == w.ex_options.size()) w.ex_options.emplace_back();
+      auto& succ = w.ex_options[nex];
+      succ.clear();
+      sp.ForEachEdge(h[static_cast<std::size_t>(i)], [&](int symq, int to) {
+        if (symq == cfg[static_cast<std::size_t>(i)]) succ.push_back(to);
+      });
+      if (succ.empty()) return true;  // letter can't extend this run
+      std::sort(succ.begin(), succ.end());
+      succ.erase(std::unique(succ.begin(), succ.end()), succ.end());
+      w.ex_slots.push_back(i);
+      ++nex;
+    }
+    return EnumerateJoint(w, a, hid, c, nex);
+  }
+
+  // ---- epochs ------------------------------------------------------------
+
+  // Runs preload + seeding single-threaded on worker 0, growing tables and
+  // retrying (idempotently) under pressure.
+  Status Bootstrap() {
+    while (true) {
+      bool ok = Preload();
+      for (int a = 0; ok && a < num_symbols_; ++a) {
+        if (found_.load(std::memory_order_relaxed) >= 0) break;
+        ok = SeedSymbol(*workers_[0], a);
+      }
+      Status failed = TakeFail();
+      if (!failed.ok()) return failed;
+      if (ok || found_.load(std::memory_order_relaxed) >= 0) {
+        return Status::Ok();
+      }
+      XTC_CHECK(pressure_.load(std::memory_order_relaxed));
+      GrowTables();
+      pressure_.store(false, std::memory_order_relaxed);
+      stop_.store(false, std::memory_order_relaxed);
+    }
+  }
+
+  bool Preload() {
+    if (options_.resume == nullptr ||
+        options_.resume->det_tables.size() != det_comps_.size()) {
+      return true;
+    }
+    resumed_ = true;
+    for (std::size_t d = 0; d < det_comps_.size(); ++d) {
+      const LazySnapshot::DetTable& table = options_.resume->det_tables[d];
+      const Nta* nta =
+          spec_.components()[static_cast<std::size_t>(det_comps_[d].component)]
+              .nta;
+      for (std::size_t i = 0; i + 1 < table.offsets.size(); ++i) {
+        const std::span<const int> subset(table.pool.data() + table.offsets[i],
+                                          table.offsets[i + 1] -
+                                              table.offsets[i]);
+        bool valid = true;
+        for (int q : subset) valid = valid && q >= 0 && q < nta->num_states();
+        if (valid &&
+            InternDetState(*workers_[0], static_cast<int>(d), subset) < 0) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  // Deals every h-state with pending cursor work into per-worker queues by
+  // key-hash ownership; returns false at the fixpoint. Runs between epochs,
+  // so the plain cursor reads are ordered by the barrier handshake.
+  bool BuildQueues() {
+    snapshot_ = cfg_ids_->size();
+    for (const auto& w : workers_) {
+      w->queue.clear();
+      w->qhead.store(0, std::memory_order_relaxed);
+      w->overflow.clear();  // leftovers are re-derived from cursors below
+      w->epoch_steps = 0;
+    }
+    bool any = false;
+    for (int a = 0; a < num_symbols_; ++a) {
+      SymbolGlobal& sym = symbols_[static_cast<std::size_t>(a)];
+      const int nh = sym.h_ids->size();
+      for (int hid = 0; hid < nh; ++hid) {
+        if (sym.h_cursor->Get(hid) >= snapshot_) continue;
+        const std::size_t owner =
+            sym.h_ids->HashOf(hid) % workers_.size();
+        workers_[owner]->queue.push_back({a, hid});
+        any = true;
+      }
+    }
+    return any;
+  }
+
+  static bool ClaimFrom(WorkerCtx& victim, Item* item) {
+    const std::size_t i =
+        victim.qhead.fetch_add(1, std::memory_order_acq_rel);
+    if (i >= victim.queue.size()) return false;
+    *item = victim.queue[i];
+    return true;
+  }
+
+  // Drains one (h-state, cursor window) item. Returns false when this
+  // worker should retire from the epoch; un-advanced cursor positions are
+  // re-dealt at the next barrier, and a step aborted mid-way left no
+  // partial state (every publication is idempotent), so retrying it is
+  // sound.
+  bool ProcessItem(WorkerCtx& w, const Item& item) {
+    SymbolGlobal& sym = symbols_[static_cast<std::size_t>(item.sym)];
+    int& cursor = sym.h_cursor->Slot(item.hid);
+    while (cursor < snapshot_) {
+      if (stop_.load(std::memory_order_relaxed)) return false;
+      if (!StepJoint(w, item.sym, item.hid, cursor)) return false;
+      ++cursor;
+      ++w.epoch_steps;
+      if ((w.epoch_steps & (kDeadlineStride - 1)) == 0) PollDeadline();
+      if (w.epoch_steps >= kEpochQuantum) return false;
+    }
+    return true;
+  }
+
+  void EpochBody(WorkerCtx& w) {
+    const int n = static_cast<int>(workers_.size());
+    while (!stop_.load(std::memory_order_relaxed)) {
+      Item item;
+      bool got = ClaimFrom(w, &item);
+      if (!got && !w.overflow.empty()) {
+        item = w.overflow.back();
+        w.overflow.pop_back();
+        got = true;
+      }
+      for (int v = 1; !got && v < n; ++v) {
+        got = ClaimFrom(*workers_[static_cast<std::size_t>(
+                            (w.index + v) % n)],
+                        &item);
+      }
+      if (!got) return;  // nothing visible; the barrier rescan catches strays
+      if (!ProcessItem(w, item)) return;
+    }
+  }
+
+  void EnsurePool() {
+    if (!pool_.empty()) return;
+    pool_.reserve(static_cast<std::size_t>(nthreads_ - 1));
+    for (int w = 1; w < nthreads_; ++w) {
+      pool_.emplace_back([this, w] { PoolMain(w); });
+    }
+  }
+
+  void ShutdownPool() {
+    if (pool_.empty()) return;
+    {
+      std::lock_guard<std::mutex> lock(sync_mu_);
+      shutdown_ = true;
+    }
+    sync_cv_.notify_all();
+    for (std::thread& t : pool_) t.join();
+    pool_.clear();
+    shutdown_ = false;
+  }
+
+  void PoolMain(int w) {
+    int seen = 0;
+    while (true) {
+      {
+        std::unique_lock<std::mutex> lock(sync_mu_);
+        sync_cv_.wait(lock,
+                      [&] { return shutdown_ || epoch_generation_ > seen; });
+        if (shutdown_) return;
+        seen = epoch_generation_;
+      }
+      EpochBody(*workers_[static_cast<std::size_t>(w)]);
+      {
+        std::lock_guard<std::mutex> lock(sync_mu_);
+        --epoch_running_;
+      }
+      sync_cv_.notify_all();
+    }
+  }
+
+  // One barrier-to-barrier round: release the pool, participate as worker
+  // 0, wait for quiescence. The mutex handshake is what orders all the
+  // plain in-epoch state (queues, cursors, step counters) across epochs.
+  void RunEpoch() {
+    EnsurePool();
+    {
+      std::lock_guard<std::mutex> lock(sync_mu_);
+      epoch_running_ = nthreads_ - 1;
+      ++epoch_generation_;
+    }
+    sync_cv_.notify_all();
+    EpochBody(*workers_[0]);
+    std::unique_lock<std::mutex> lock(sync_mu_);
+    sync_cv_.wait(lock, [&] { return epoch_running_ == 0; });
+  }
+
+  // ---- witness -----------------------------------------------------------
+
+  // Rebuilds the witness tree after the join, walking mint back-pointers.
+  // Every child config consumed along a minting chain was interned before
+  // the parent config's id was assigned, so children have strictly smaller
+  // ids and a single ascending pass builds bottom-up.
+  int BuildWitness(int root) {
+    std::vector<char> mark(static_cast<std::size_t>(root) + 1, 0);
+    std::vector<int> wit(static_cast<std::size_t>(root) + 1, -1);
+    std::vector<int> needed;
+    std::vector<int> stack = {root};
+    mark[static_cast<std::size_t>(root)] = 1;
+    while (!stack.empty()) {
+      const int c = stack.back();
+      stack.pop_back();
+      needed.push_back(c);
+      const SymbolGlobal& sym =
+          symbols_[static_cast<std::size_t>(cfg_sym_->Get(c))];
+      for (int cur = cfg_hid_->Get(c); sym.h_prev->Get(cur) >= 0;
+           cur = sym.h_prev->Get(cur)) {
+        const int child = sym.h_letter->Get(cur);
+        XTC_CHECK(child >= 0 && child < c);
+        if (!mark[static_cast<std::size_t>(child)]) {
+          mark[static_cast<std::size_t>(child)] = 1;
+          stack.push_back(child);
+        }
+      }
+    }
+    std::sort(needed.begin(), needed.end());
+    std::vector<int> children;
+    for (const int c : needed) {
+      const int a = cfg_sym_->Get(c);
+      const SymbolGlobal& sym = symbols_[static_cast<std::size_t>(a)];
+      children.clear();
+      for (int cur = cfg_hid_->Get(c); sym.h_prev->Get(cur) >= 0;
+           cur = sym.h_prev->Get(cur)) {
+        children.push_back(
+            wit[static_cast<std::size_t>(sym.h_letter->Get(cur))]);
+      }
+      std::reverse(children.begin(), children.end());
+      wit[static_cast<std::size_t>(c)] = forest_->Make(a, children);
+    }
+    return wit[static_cast<std::size_t>(root)];
+  }
+
+  // ---- state -------------------------------------------------------------
+
+  const LazyProductSpec& spec_;
+  SharedForest* forest_;
+  const LazyOptions& options_;
+  int nthreads_ = 2;
+  int num_components_ = 0;
+  int num_symbols_ = 0;
+  int max_configs_ = 1;
+  int max_h_ = 1;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
+
+  std::vector<int> det_slot_;  ///< component -> det slot, -1 if existential
+  std::vector<DetGlobal> det_comps_;
+  std::vector<SymbolGlobal> symbols_;
+  std::unique_ptr<ConcurrentInterner> cfg_ids_;
+  std::unique_ptr<ConcurrentLog<unsigned char>> cfg_acc_;
+  std::unique_ptr<ConcurrentLog<int>> cfg_sym_;  ///< minting symbol
+  std::unique_ptr<ConcurrentLog<int>> cfg_hid_;  ///< minting joint h-state
+
+  std::vector<std::unique_ptr<WorkerCtx>> workers_;
+  std::vector<std::thread> pool_;
+  std::mutex sync_mu_;
+  std::condition_variable sync_cv_;
+  int epoch_generation_ = 0;
+  int epoch_running_ = 0;
+  bool shutdown_ = false;
+  int snapshot_ = 0;  ///< config count this epoch steps against
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> pressure_{false};
+  std::atomic<int> found_{-1};
+  std::atomic<int> total_h_{0};
+  std::mutex fail_mu_;
+  Status fail_status_;
+
+  std::uint64_t steps_total_ = 0;
+  bool resumed_ = false;
+  LazyStats stats_;
+};
+
+}  // namespace
+
+StatusOr<EmptinessOutcome> ParallelLazyEmptiness(const LazyProductSpec& spec,
+                                                 SharedForest* forest,
+                                                 const LazyOptions& options) {
+  if (spec.components().empty()) {
+    return InvalidArgumentError("empty emptiness product spec");
+  }
+  ParallelEngine engine(spec, forest, options);
+  return engine.Run();
+}
+
+}  // namespace xtc

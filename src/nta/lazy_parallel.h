@@ -1,0 +1,27 @@
+#ifndef XTC_NTA_LAZY_PARALLEL_H_
+#define XTC_NTA_LAZY_PARALLEL_H_
+
+#include "src/base/status.h"
+#include "src/nta/lazy.h"
+#include "src/tree/hashcons.h"
+
+namespace xtc {
+
+/// The multi-threaded lazy frontier engine (LazyOptions::threads > 1).
+/// Internal to src/nta — call sites go through LazyEmptiness, which
+/// dispatches here after the shared resume short-circuit. `options.threads`
+/// must already be > 1; the engine clamps it to [2, 64].
+///
+/// Same contract as the sequential engine: same verdicts, witnesses valid
+/// against every component, LazySnapshot export only on clean completion
+/// (sequential and parallel snapshots are interchangeable — resume
+/// re-shards the merged tables), kResourceExhausted on budget/cap
+/// exhaustion with no partial snapshot. See DESIGN.md §3d for the
+/// sharding, termination-detection, and budget-reconciliation design.
+StatusOr<EmptinessOutcome> ParallelLazyEmptiness(const LazyProductSpec& spec,
+                                                 SharedForest* forest,
+                                                 const LazyOptions& options);
+
+}  // namespace xtc
+
+#endif  // XTC_NTA_LAZY_PARALLEL_H_

@@ -234,6 +234,13 @@ StatusOr<ServiceRequest> ParseServiceRequest(std::string_view json_line) {
     }
     request.approximate_fallback = approx->AsBool();
   }
+  if (const JsonValue* threads = doc.Find("threads")) {
+    if (threads->kind() != JsonValue::Kind::kNumber ||
+        threads->AsNumber() < 1) {
+      return FieldError("threads", "must be a number >= 1");
+    }
+    request.threads = static_cast<int>(std::llround(threads->AsNumber()));
+  }
   if (const JsonValue* engine = doc.Find("engine")) {
     if (engine->kind() != JsonValue::Kind::kString) {
       return FieldError("engine", "must be a string");
@@ -321,6 +328,9 @@ std::string ServiceRequestToJson(const ServiceRequest& request) {
   }
   if (request.engine == TypecheckEngine::kDelRelab) {
     o.Set("engine", JsonValue::Str("delrelab"));
+  }
+  if (request.threads > 1) {
+    o.Set("threads", JsonValue::Number(static_cast<double>(request.threads)));
   }
   return o.Dump();
 }

@@ -99,6 +99,11 @@ struct ServiceRequest {
   bool want_counterexample = true;
   bool approximate_fallback = false;
   TypecheckEngine engine = TypecheckEngine::kAuto;
+  /// Worker threads for the lazy emptiness exploration (wire field
+  /// `threads`, default 1 = sequential). The service clamps this to
+  /// [1, Options::max_request_threads] at execution, so a client can ask
+  /// but the operator bounds the per-request fan-out.
+  int threads = 1;
 };
 
 /// Parses one request line. Errors are protocol-shaped (missing fields,

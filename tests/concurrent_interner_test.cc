@@ -1,0 +1,196 @@
+// ConcurrentInterner / ConcurrentLog (src/base/concurrent_interner.h): the
+// shared id tables under the parallel lazy frontier engine. Covers the
+// single-thread contract (dense ids, find/get, init-callback duties), the
+// multi-thread insertion race (one id per key, winner-only duties, ids safe
+// to exchange), capacity signaling (`full` vs hard cap) and quiescent
+// growth. The multi-thread cases are the ones the tsan CI preset replays.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/base/concurrent_interner.h"
+
+namespace xtc {
+namespace {
+
+std::vector<int> Key(std::uint32_t v) {
+  // Multi-word keys so equality is content, not hash, comparison.
+  return {static_cast<int>(v % 97), static_cast<int>(v / 97 % 89),
+          static_cast<int>(v)};
+}
+
+TEST(ConcurrentInternerTest, DenseIdsAndLookup) {
+  ConcurrentInterner interner(/*num_threads=*/1, /*max_entries=*/1024);
+  for (int round = 0; round < 2; ++round) {
+    // Second round re-interns everything: same ids, no new insertions.
+    for (std::uint32_t v = 0; v < 100; ++v) {
+      const auto res = interner.TryIntern(0, Key(v));
+      ASSERT_FALSE(res.full);
+      EXPECT_EQ(res.id, static_cast<int>(v));
+      EXPECT_EQ(res.inserted, round == 0);
+    }
+  }
+  EXPECT_EQ(interner.size(), 100);
+  for (std::uint32_t v = 0; v < 100; ++v) {
+    const std::vector<int> key = Key(v);
+    EXPECT_EQ(interner.Find(key), static_cast<int>(v));
+    const std::span<const int> got = interner.Get(static_cast<int>(v));
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), key.begin(), key.end()));
+  }
+  EXPECT_EQ(interner.Find(Key(100)), -1);
+}
+
+TEST(ConcurrentInternerTest, EmptyKeyAndHashOfAreStable) {
+  ConcurrentInterner interner(1, 16);
+  const auto empty = interner.TryIntern(0, std::span<const int>());
+  ASSERT_TRUE(empty.inserted);
+  EXPECT_EQ(interner.Find(std::span<const int>()), empty.id);
+  EXPECT_EQ(interner.Get(empty.id).size(), 0u);
+  const auto one = interner.TryIntern(0, Key(5));
+  EXPECT_EQ(interner.HashOf(one.id), SubsetInterner::HashKey(Key(5)));
+}
+
+TEST(ConcurrentInternerTest, InitCallbackRunsOnceBeforePublication) {
+  ConcurrentInterner interner(1, 64);
+  ConcurrentLog<int> side(64);
+  int init_calls = 0;
+  for (int round = 0; round < 2; ++round) {
+    const auto res = interner.TryIntern(0, Key(1), [&](int id) {
+      ++init_calls;
+      side.Slot(id) = 42;
+    });
+    EXPECT_EQ(side.Get(res.id), 42);
+  }
+  EXPECT_EQ(init_calls, 1);
+}
+
+TEST(ConcurrentInternerTest, FullSignalsGrowThenHardCap) {
+  // Tiny table: fill limit trips first (NeedsGrow), a quiescent Grow makes
+  // room, and the id-space cap is the terminal `full` (NeedsGrow false).
+  const std::size_t max_entries = 96;
+  ConcurrentInterner interner(1, max_entries, /*initial_capacity=*/64);
+  std::uint32_t v = 0;
+  bool saw_grow_pressure = false;
+  while (static_cast<std::size_t>(interner.size()) < max_entries) {
+    const auto res = interner.TryIntern(0, Key(v));
+    if (res.full) {
+      ASSERT_TRUE(interner.NeedsGrow()) << "premature hard cap";
+      saw_grow_pressure = true;
+      interner.Grow();
+      continue;  // retry the same key
+    }
+    ++v;
+  }
+  EXPECT_TRUE(saw_grow_pressure);
+  const auto over = interner.TryIntern(0, Key(v + 1));
+  EXPECT_TRUE(over.full);
+  EXPECT_FALSE(interner.NeedsGrow());  // the cap, not the fill limit
+  // Everything interned before the cap is still reachable.
+  for (std::uint32_t u = 0; u < v; ++u) {
+    EXPECT_GE(interner.Find(Key(u)), 0) << u;
+  }
+}
+
+TEST(ConcurrentInternerTest, ConcurrentInsertersAgreeOnIds) {
+  // Heavily overlapping key sets from many threads: every key ends with
+  // exactly one id, exactly one winner ran the init duty, and every
+  // thread's view of (key -> id -> key) is consistent.
+  const int kThreads = 8;
+  // Prime, so every thread's odd stride is coprime with it and each thread
+  // visits the whole key space (in a different order).
+  const std::uint32_t kKeys = 2003;
+  ConcurrentInterner interner(kThreads, kKeys * 2, 4096);
+  std::vector<std::atomic<int>> duty_runs(kKeys);
+  for (auto& d : duty_runs) d.store(0, std::memory_order_relaxed);
+  std::vector<std::vector<int>> ids(kThreads,
+                                    std::vector<int>(kKeys, -1));
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      // Each thread walks the keys at a different stride, so insertion
+      // order differs per thread and races cover the whole key space.
+      for (std::uint32_t i = 0; i < kKeys; ++i) {
+        const std::uint32_t v =
+            (i * static_cast<std::uint32_t>(2 * t + 1)) % kKeys;
+        const auto res = interner.TryIntern(t, Key(v), [&](int) {
+          duty_runs[v].fetch_add(1, std::memory_order_relaxed);
+        });
+        ASSERT_FALSE(res.full);
+        ASSERT_GE(res.id, 0);
+        ids[static_cast<std::size_t>(t)][v] = res.id;
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(interner.size(), static_cast<int>(kKeys));
+  for (std::uint32_t v = 0; v < kKeys; ++v) {
+    EXPECT_EQ(duty_runs[v].load(), 1) << "key " << v;
+    const int id0 = ids[0][v];
+    for (int t = 1; t < kThreads; ++t) EXPECT_EQ(ids[t][v], id0);
+    const std::vector<int> key = Key(v);
+    const std::span<const int> got = interner.Get(id0);
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), key.begin(), key.end()));
+  }
+}
+
+TEST(ConcurrentInternerTest, GrowBetweenConcurrentRoundsKeepsIds) {
+  // Epoch-style use: hammer, quiesce, Grow, hammer again. Ids assigned in
+  // round one must survive the grow and stay Get-consistent in round two.
+  const int kThreads = 4;
+  ConcurrentInterner interner(kThreads, 1 << 16, /*initial_capacity=*/64);
+  auto hammer = [&](std::uint32_t base, std::uint32_t count) {
+    std::atomic<bool> full{false};
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+      pool.emplace_back([&, t] {
+        for (std::uint32_t v = base; v < base + count; ++v) {
+          if (interner.TryIntern(t, Key(v)).full) {
+            full.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    return full.load();
+  };
+  std::uint32_t interned = 0;
+  while (hammer(0, 40)) interner.Grow();  // rounds are quiescent points
+  interned = 40;
+  const int id_before = interner.Find(Key(7));
+  ASSERT_GE(id_before, 0);
+  while (interner.NeedsGrow() || interner.NearCapacity()) {
+    if (!interner.CanGrow()) break;
+    interner.Grow();
+  }
+  while (hammer(interned, 400)) interner.Grow();
+  EXPECT_EQ(interner.Find(Key(7)), id_before);
+  EXPECT_EQ(interner.size(), static_cast<int>(interned + 400));
+}
+
+TEST(ConcurrentLogTest, ConcurrentSlotsAtDistinctIds) {
+  ConcurrentLog<int> log(1 << 12);
+  const int kThreads = 8;
+  const int kPerThread = 256;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      // Interleaved ids across threads, so segment allocation races too.
+      for (int i = 0; i < kPerThread; ++i) {
+        const int id = i * kThreads + t;
+        log.Slot(id) = id * 3;
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  for (int id = 0; id < kThreads * kPerThread; ++id) {
+    EXPECT_EQ(log.Get(id), id * 3);
+  }
+}
+
+}  // namespace
+}  // namespace xtc

@@ -207,5 +207,250 @@ TEST(LazyDeterminizeTest, EmptySpecIsInvalid) {
   EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
 }
 
+// ---------------------------------------------------------------------------
+// Parallel frontier engine (LazyOptions::threads > 1): the sharded engine
+// must be observationally identical to the sequential one — verdicts,
+// witness validity, snapshot semantics, and failure modes — at every
+// thread count, including heavy oversubscription of this machine.
+
+constexpr int kThreadSweep[] = {1, 2, 4, 8};
+
+TEST(LazyParallelTest, VerdictsMatchSequentialAcrossThreadCounts) {
+  int nonempty = 0;
+  for (std::uint32_t seed = 1; seed <= 80; ++seed) {
+    InclusionQuery q = MakeInclusion(seed);
+    StatusOr<EmptinessOutcome> sequential = LazyEmptiness(q.spec, nullptr);
+    ASSERT_TRUE(sequential.ok())
+        << "seed " << seed << ": " << sequential.status().ToString();
+    if (!sequential->empty) ++nonempty;
+    for (int threads : kThreadSweep) {
+      LazyOptions options;
+      options.threads = threads;
+      SharedForest forest;
+      StatusOr<EmptinessOutcome> parallel =
+          LazyEmptiness(q.spec, &forest, options);
+      ASSERT_TRUE(parallel.ok()) << "seed " << seed << " threads " << threads
+                                 << ": " << parallel.status().ToString();
+      EXPECT_EQ(parallel->empty, sequential->empty)
+          << "seed " << seed << " threads " << threads;
+      if (!parallel->empty) {
+        // Which accepting config wins the race may differ per run; the
+        // witness must still be a genuine counterexample.
+        ASSERT_GE(parallel->witness, 0)
+            << "seed " << seed << " threads " << threads;
+        Arena arena;
+        TreeBuilder builder(&arena);
+        StatusOr<Node*> tree =
+            forest.Materialize(parallel->witness, &builder, 1 << 20);
+        ASSERT_TRUE(tree.ok()) << "seed " << seed << " threads " << threads
+                               << ": " << tree.status().ToString();
+        EXPECT_TRUE(q.a->Accepts(*tree))
+            << "seed " << seed << " threads " << threads;
+        EXPECT_FALSE(q.b->Accepts(*tree))
+            << "seed " << seed << " threads " << threads;
+      }
+    }
+  }
+  EXPECT_GT(nonempty, 0);
+  EXPECT_LT(nonempty, 80);
+}
+
+TEST(LazyParallelTest, VerdictsMatchOnPureExistentialProducts) {
+  for (std::uint32_t seed = 1; seed <= 20; ++seed) {
+    RandomOptions gen;
+    gen.num_symbols = 3;
+    PaperExample ex1 = RandomInstance(seed, gen, /*re_plus=*/false);
+    PaperExample ex2 = RandomInstance(seed + 1000, gen, /*re_plus=*/true);
+    Nta a = Nta::FromDtd(*ex1.din);
+    Nta b = Nta::FromDtd(*ex2.din);
+    if (a.num_symbols() != b.num_symbols()) continue;
+    LazyProductSpec spec;
+    spec.AddNta(&a);
+    spec.AddNta(&b);
+    StatusOr<EmptinessOutcome> sequential = LazyEmptiness(spec, nullptr);
+    ASSERT_TRUE(sequential.ok()) << "seed " << seed;
+    LazyOptions options;
+    options.threads = 4;
+    SharedForest forest;
+    StatusOr<EmptinessOutcome> parallel = LazyEmptiness(spec, &forest, options);
+    ASSERT_TRUE(parallel.ok())
+        << "seed " << seed << ": " << parallel.status().ToString();
+    EXPECT_EQ(parallel->empty, sequential->empty) << "seed " << seed;
+    if (!parallel->empty) {
+      Arena arena;
+      TreeBuilder builder(&arena);
+      StatusOr<Node*> tree =
+          forest.Materialize(parallel->witness, &builder, 1 << 20);
+      ASSERT_TRUE(tree.ok()) << "seed " << seed;
+      EXPECT_TRUE(a.Accepts(*tree) && b.Accepts(*tree)) << "seed " << seed;
+    }
+  }
+}
+
+TEST(LazyParallelTest, SnapshotsInterchangeableWithSequential) {
+  // Snapshots are a merged-table artifact: a parallel export must resume a
+  // sequential run and vice versa, with identical verdicts and the same
+  // short-circuit/witness-re-derivation semantics as the sequential pair.
+  for (std::uint32_t seed = 1; seed <= 20; ++seed) {
+    InclusionQuery q = MakeInclusion(seed);
+    LazySnapshot from_parallel;
+    LazyOptions par_export;
+    par_export.threads = 4;
+    par_export.export_snapshot = &from_parallel;
+    StatusOr<EmptinessOutcome> par_cold =
+        LazyEmptiness(q.spec, nullptr, par_export);
+    ASSERT_TRUE(par_cold.ok())
+        << "seed " << seed << ": " << par_cold.status().ToString();
+    EXPECT_TRUE(from_parallel.complete) << "seed " << seed;
+    EXPECT_EQ(from_parallel.empty, par_cold->empty) << "seed " << seed;
+
+    LazySnapshot from_sequential;
+    LazyOptions seq_export;
+    seq_export.export_snapshot = &from_sequential;
+    StatusOr<EmptinessOutcome> seq_cold =
+        LazyEmptiness(q.spec, nullptr, seq_export);
+    ASSERT_TRUE(seq_cold.ok()) << "seed " << seed;
+    EXPECT_EQ(par_cold->empty, seq_cold->empty) << "seed " << seed;
+    // Same discovery fixpoint: the merged det tables agree in size (ids may
+    // be permuted — insertion order is race-dependent).
+    ASSERT_EQ(from_parallel.det_tables.size(),
+              from_sequential.det_tables.size());
+    for (std::size_t d = 0; d < from_parallel.det_tables.size(); ++d) {
+      EXPECT_EQ(from_parallel.det_tables[d].offsets.size(),
+                from_sequential.det_tables[d].offsets.size())
+          << "seed " << seed << " det " << d;
+    }
+
+    // Cross-resume both ways, re-sharding where the resumer is parallel.
+    struct Direction {
+      const LazySnapshot* snapshot;
+      int threads;
+    } directions[] = {{&from_parallel, 1}, {&from_sequential, 8}};
+    for (const Direction& dir : directions) {
+      LazyOptions resume;
+      resume.resume = dir.snapshot;
+      resume.threads = dir.threads;
+      StatusOr<EmptinessOutcome> warm = LazyEmptiness(q.spec, nullptr, resume);
+      ASSERT_TRUE(warm.ok()) << "seed " << seed << " threads " << dir.threads;
+      EXPECT_EQ(warm->empty, par_cold->empty)
+          << "seed " << seed << " threads " << dir.threads;
+      EXPECT_TRUE(warm->stats.resumed)
+          << "seed " << seed << " threads " << dir.threads;
+      if (!par_cold->empty) {
+        SharedForest forest;
+        StatusOr<EmptinessOutcome> witnessed =
+            LazyEmptiness(q.spec, &forest, resume);
+        ASSERT_TRUE(witnessed.ok())
+            << "seed " << seed << " threads " << dir.threads;
+        ASSERT_GE(witnessed->witness, 0);
+        Arena arena;
+        TreeBuilder builder(&arena);
+        StatusOr<Node*> tree =
+            forest.Materialize(witnessed->witness, &builder, 1 << 20);
+        ASSERT_TRUE(tree.ok()) << "seed " << seed;
+        EXPECT_TRUE(q.a->Accepts(*tree)) << "seed " << seed;
+        EXPECT_FALSE(q.b->Accepts(*tree)) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(LazyParallelTest, FaultInjectionMidEpochIsCleanAndUntorn) {
+  // Deterministic fault sweep: the coordinator reconciles worker fuel at
+  // epoch barriers, so an injected budget fault lands mid-epoch from the
+  // workers' perspective. Every tripped run must unwind with
+  // kResourceExhausted, export no snapshot (no torn tables), and — the
+  // hang check — actually return; untripped runs must stay correct.
+  for (std::uint32_t seed : {3u, 7u, 11u}) {
+    InclusionQuery q = MakeInclusion(seed);
+    StatusOr<EmptinessOutcome> reference = LazyEmptiness(q.spec, nullptr);
+    ASSERT_TRUE(reference.ok()) << "seed " << seed;
+    for (std::uint64_t fail_at = 1; fail_at <= 40; fail_at += 3) {
+      Budget budget;
+      budget.set_fail_at_checkpoint(fail_at);
+      LazySnapshot snapshot;
+      LazyOptions options;
+      options.threads = 4;
+      options.budget = &budget;
+      options.export_snapshot = &snapshot;
+      StatusOr<EmptinessOutcome> out = LazyEmptiness(q.spec, nullptr, options);
+      if (budget.exhausted()) {
+        EXPECT_FALSE(out.ok()) << "seed " << seed << " fail_at " << fail_at;
+        EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted)
+            << "seed " << seed << " fail_at " << fail_at << ": "
+            << out.status().ToString();
+        EXPECT_FALSE(snapshot.complete)
+            << "seed " << seed << " fail_at " << fail_at;
+        for (const LazySnapshot::DetTable& table : snapshot.det_tables) {
+          EXPECT_TRUE(table.pool.empty())
+              << "seed " << seed << " fail_at " << fail_at;
+        }
+      } else {
+        ASSERT_TRUE(out.ok()) << "seed " << seed << " fail_at " << fail_at
+                              << ": " << out.status().ToString();
+        EXPECT_EQ(out->empty, reference->empty)
+            << "seed " << seed << " fail_at " << fail_at;
+        EXPECT_TRUE(snapshot.complete);
+      }
+    }
+  }
+}
+
+TEST(LazyParallelTest, BudgetExhaustionReconcilesAtBarriers) {
+  int tripped = 0;
+  for (std::uint32_t seed = 1; seed <= 20; ++seed) {
+    InclusionQuery q = MakeInclusion(seed);
+    Budget budget;
+    budget.set_max_steps(1);
+    LazyOptions options;
+    options.threads = 4;
+    options.budget = &budget;
+    StatusOr<EmptinessOutcome> out = LazyEmptiness(q.spec, nullptr, options);
+    if (!budget.exhausted()) {
+      EXPECT_TRUE(out.ok()) << "seed " << seed;
+      continue;
+    }
+    ++tripped;
+    EXPECT_FALSE(out.ok()) << "seed " << seed;
+    EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted)
+        << "seed " << seed << ": " << out.status().ToString();
+  }
+  EXPECT_GT(tripped, 0);
+}
+
+TEST(LazyParallelTest, StateCapsFailSoftWithResourceExhausted) {
+  InclusionQuery q = MakeInclusion(7);
+  for (int threads : {2, 8}) {
+    {
+      LazyOptions options;
+      options.threads = threads;
+      options.max_configs = 1;
+      StatusOr<EmptinessOutcome> out = LazyEmptiness(q.spec, nullptr, options);
+      ASSERT_FALSE(out.ok()) << "threads " << threads;
+      EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+    }
+    {
+      LazyOptions options;
+      options.threads = threads;
+      options.max_h_configs = 2;
+      StatusOr<EmptinessOutcome> out = LazyEmptiness(q.spec, nullptr, options);
+      ASSERT_FALSE(out.ok()) << "threads " << threads;
+      EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+    }
+  }
+}
+
+TEST(LazyParallelTest, OversizedThreadRequestIsClamped) {
+  // threads is clamped to [1, 64]; a huge ask must still run correctly.
+  InclusionQuery q = MakeInclusion(5);
+  StatusOr<EmptinessOutcome> sequential = LazyEmptiness(q.spec, nullptr);
+  ASSERT_TRUE(sequential.ok());
+  LazyOptions options;
+  options.threads = 1 << 20;
+  StatusOr<EmptinessOutcome> parallel = LazyEmptiness(q.spec, nullptr, options);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  EXPECT_EQ(parallel->empty, sequential->empty);
+}
+
 }  // namespace
 }  // namespace xtc
