@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Runs the paper-experiment benchmarks in --json mode and aggregates their
-# output into a single machine-readable file (default: BENCH_pr7.json at the
+# output into a single machine-readable file (default: BENCH_pr8.json at the
 # repo root). EXPERIMENTS.md documents the format; ci/run_ci.sh compares a
 # fresh run against the checked-in snapshot in its perf-smoke stage and
-# checks the lazy-vs-eager pairs with ci/lazy_gate.py.
+# checks the lazy-vs-eager pairs with ci/lazy_gate.py and the streaming
+# peak-memory claims with ci/stream_gate.py.
 #
 # When xtc_loadgen is built, one gate-mode run (calibrate, unloaded 0.5x,
 # overload 2x) is embedded under a top-level "loadgen" key — outside
@@ -21,7 +22,7 @@ set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build}"
-OUT="${2:-$REPO_ROOT/BENCH_pr7.json}"
+OUT="${2:-$REPO_ROOT/BENCH_pr8.json}"
 PASSES="${PASSES:-2}"
 
 BENCHES=(
@@ -30,6 +31,7 @@ BENCHES=(
   bench_table1_frontier
   bench_thm20_relab
   bench_service
+  bench_stream
 )
 
 TMP_DIR="$(mktemp -d)"

@@ -30,14 +30,18 @@ ctest --preset asan
 echo "=== fault-injection sweep (sanitized, verbose) ==="
 ctest --preset asan -R "FaultInjection|Budget|Malformed" --output-on-failure
 
+echo "=== streaming subsystem tests (sanitized, verbose) ==="
+ctest --preset asan -R "Stream|XmlEventReader|SharedGrammar|XmlDocStream" \
+  --output-on-failure
+
 echo "=== configure + build (TSan, concurrent layers) ==="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "${JOBS}" --target \
   service_test service_stress_test service_overload_test compile_cache_test \
-  concurrent_interner_test lazy_determinize_test
+  concurrent_interner_test lazy_determinize_test stream_test
 
 echo "=== service + parallel-emptiness concurrency tests (TSan) ==="
-ctest --preset tsan -R "Service|CompileCache|ConcurrentInterner|ConcurrentLog|LazyParallel" \
+ctest --preset tsan -R "Service|CompileCache|ConcurrentInterner|ConcurrentLog|LazyParallel|Stream|XmlEventReader|SharedGrammar" \
   --output-on-failure
 
 echo "=== overload smoke (loadgen at 2x sustainable rate) ==="
@@ -60,14 +64,14 @@ done
 
 echo "=== perf smoke (Release benches vs checked-in snapshot) ==="
 SNAPSHOT=""
-for candidate in BENCH_pr7.json BENCH_pr6.json BENCH_pr4.json BENCH_pr3.json BENCH_pr2.json; do
+for candidate in BENCH_pr8.json BENCH_pr7.json BENCH_pr6.json BENCH_pr4.json BENCH_pr3.json BENCH_pr2.json; do
   if [[ -f "$candidate" ]]; then SNAPSHOT="$candidate"; break; fi
 done
 if [[ -n "$SNAPSHOT" ]]; then
   cmake --preset release >/dev/null
   cmake --build --preset release -j "${JOBS}" --target \
     bench_lemma14_scaling bench_thm18_hardness bench_table1_frontier \
-    bench_thm20_relab bench_service
+    bench_thm20_relab bench_service bench_stream
   bench/run_benches.sh build-release /tmp/bench_smoke.json
   python3 ci/perf_compare.py "$SNAPSHOT" /tmp/bench_smoke.json 2.0
   echo "=== lazy-vs-eager emptiness gate ==="
@@ -76,6 +80,8 @@ if [[ -n "$SNAPSHOT" ]]; then
   # The fresh run's metadata records this host's core count; the gate only
   # enforces its speedup floors when the host can physically exhibit them.
   python3 ci/parallel_gate.py /tmp/bench_smoke.json 2.0
+  echo "=== streaming O(depth)-memory gate ==="
+  python3 ci/stream_gate.py /tmp/bench_smoke.json
 else
   echo "no bench snapshot; skipping perf smoke"
 fi

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Enforces the O(depth)-memory claim on the bench_stream suite.
+
+Usage: stream_gate.py BENCH.json
+
+For each (streaming bench, DOM baseline) pair the gate locates the smallest
+and largest document sizes present in both rows (the bench registers a
+>= 4x span) and requires, over that span:
+
+  1. streaming peak_bytes grows by at most STREAM_FLAT (the streaming path
+     holds one DFA state per open element — its peak must not track the
+     document);
+  2. DOM peak_bytes grows by at least DOM_GROWTH (the baseline builds the
+     whole tree, so its peak must track the document — if it stops growing
+     the comparison is measuring something else, e.g. a VmHWM reset bug);
+  3. at the largest size, streaming ns_per_op <= ns floor of
+     1/THROUGHPUT_FLOOR x the DOM row — O(depth) memory must not cost an
+     order of magnitude in throughput.
+
+A missing suite or row is an error: the gate exists to catch the benches
+silently disappearing as much as the claims regressing.
+"""
+
+import json
+import sys
+
+STREAM_FLAT = 1.2        # max allowed streaming peak growth over the span
+DOM_GROWTH = 2.0         # min required DOM peak growth over the span
+THROUGHPUT_FLOOR = 0.5   # streaming ops/s >= this fraction of DOM ops/s
+
+# (streaming bench, DOM baseline) — both live in the bench_stream suite.
+PAIRS = [
+    ("BM_StreamValidate", "BM_DomValidate"),
+    ("BM_StreamTransform", "BM_DomTransform"),
+]
+
+
+def rows_of(doc, bench):
+    rows = {}
+    for row in doc.get("suites", {}).get("bench_stream", []):
+        if row.get("bench") == bench and len(row.get("params", [])) == 1:
+            rows[row["params"][0]] = (float(row["ns_per_op"]),
+                                      float(row["peak_bytes"]))
+    return rows
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+
+    failures = []
+    for stream_bench, dom_bench in PAIRS:
+        stream = rows_of(doc, stream_bench)
+        dom = rows_of(doc, dom_bench)
+        common = sorted(set(stream) & set(dom))
+        if len(common) < 2:
+            failures.append(f"bench_stream: need >= 2 common sizes for "
+                            f"{stream_bench} / {dom_bench}, got {common}")
+            continue
+        lo, hi = common[0], common[-1]
+        if hi < 4 * lo:
+            failures.append(f"{stream_bench}: size span {lo}..{hi} is below "
+                            f"the required 4x sweep")
+
+        s_growth = stream[hi][1] / stream[lo][1] if stream[lo][1] else 0.0
+        d_growth = dom[hi][1] / dom[lo][1] if dom[lo][1] else 0.0
+        speed = dom[hi][0] / stream[hi][0] if stream[hi][0] else 0.0
+        print(f"[GATE] {stream_bench} n={lo}..{hi}: "
+              f"stream peak {stream[lo][1] / 1e6:.1f}->{stream[hi][1] / 1e6:.1f}MB "
+              f"({s_growth:.2f}x, need <= {STREAM_FLAT:.2f}x), "
+              f"DOM peak {dom[lo][1] / 1e6:.1f}->{dom[hi][1] / 1e6:.1f}MB "
+              f"({d_growth:.2f}x, need >= {DOM_GROWTH:.2f}x), "
+              f"throughput {speed:.2f}x DOM "
+              f"(need >= {THROUGHPUT_FLOOR:.2f}x)")
+        if s_growth > STREAM_FLAT:
+            failures.append(f"{stream_bench}: streaming peak grew "
+                            f"{s_growth:.2f}x over {lo}->{hi} "
+                            f"(limit {STREAM_FLAT:.2f}x) — memory is no "
+                            f"longer O(depth)")
+        if d_growth < DOM_GROWTH:
+            failures.append(f"{dom_bench}: DOM peak grew only "
+                            f"{d_growth:.2f}x over {lo}->{hi} "
+                            f"(floor {DOM_GROWTH:.2f}x) — baseline is not "
+                            f"exercising document-sized memory")
+        if speed < THROUGHPUT_FLOOR:
+            failures.append(f"{stream_bench}: throughput {speed:.2f}x DOM at "
+                            f"n={hi} (floor {THROUGHPUT_FLOOR:.2f}x)")
+
+    if failures:
+        print("stream gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("stream gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

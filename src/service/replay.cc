@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/fa/regex.h"
+#include "src/stream/doc_gen.h"
 #include "src/workload/families.h"
 
 namespace xtc {
@@ -67,6 +68,37 @@ StatusOr<ServiceRequest> TypecheckRequestFromExample(const PaperExample& ex) {
   return request;
 }
 
+SchemaSpec StreamDocSchemaSpec() {
+  SchemaSpec spec;
+  spec.start = "root";
+  spec.rules.emplace_back("root", "(section|item)*");
+  spec.rules.emplace_back("section", "(section|item)*");
+  spec.rules.emplace_back("item", "%");
+  return spec;
+}
+
+TransducerSpec StreamDocTransducerSpec() {
+  TransducerSpec spec;
+  spec.states = {"m"};
+  spec.initial = "m";
+  spec.rules.push_back({"m", "root", "root(m)"});
+  spec.rules.push_back({"m", "section", "section(m)"});
+  spec.rules.push_back({"m", "item", "item"});
+  return spec;
+}
+
+TransducerSpec StreamDocCopyTransducerSpec() {
+  TransducerSpec spec;
+  spec.states = {"m"};
+  spec.initial = "m";
+  spec.rules.push_back({"m", "root", "root(m)"});
+  // Two state leaves under one label: the second copy of every section's
+  // children cannot stream and lands in the spill buffer.
+  spec.rules.push_back({"m", "section", "section(m m)"});
+  spec.rules.push_back({"m", "item", "item"});
+  return spec;
+}
+
 StatusOr<std::vector<ServiceRequest>> MakeFamilyBatch(const std::string& family,
                                                       int n, int count,
                                                       int distinct) {
@@ -75,6 +107,25 @@ StatusOr<std::vector<ServiceRequest>> MakeFamilyBatch(const std::string& family,
   }
   std::vector<ServiceRequest> batch;
   batch.reserve(static_cast<std::size_t>(count));
+  if (family == "vstream" || family == "tstream") {
+    for (int i = 0; i < count; ++i) {
+      StreamDocSpec doc_spec;
+      doc_spec.shape = StreamDocSpec::Shape::kMixed;
+      doc_spec.nodes = static_cast<std::uint64_t>(n + i % distinct);
+      ServiceRequest request;
+      request.id = i + 1;
+      request.doc = RenderDoc(doc_spec);
+      if (family == "vstream") {
+        request.op = ServiceOp::kValidateStream;
+        request.schema = StreamDocSchemaSpec();
+      } else {
+        request.op = ServiceOp::kTransformStream;
+        request.transducer = StreamDocTransducerSpec();
+      }
+      batch.push_back(std::move(request));
+    }
+    return batch;
+  }
   for (int i = 0; i < count; ++i) {
     int size = n + i % distinct;
     PaperExample ex;
@@ -95,7 +146,8 @@ StatusOr<std::vector<ServiceRequest>> MakeFamilyBatch(const std::string& family,
     } else {
       return InvalidArgumentError(
           "unknown family '" + family +
-          "' (filter | failing | width | relab | replus | xpath | nfa)");
+          "' (filter | failing | width | relab | replus | xpath | nfa | "
+          "vstream | tstream)");
     }
     XTC_ASSIGN_OR_RETURN(ServiceRequest request,
                          TypecheckRequestFromExample(ex));

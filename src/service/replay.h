@@ -25,11 +25,27 @@ StatusOr<TransducerSpec> SerializeTransducer(const Transducer& t);
 /// request, the unit of the replay client and the service bench.
 StatusOr<ServiceRequest> TypecheckRequestFromExample(const PaperExample& ex);
 
+/// The wire schema the synthetic stream documents (src/stream/doc_gen.h)
+/// satisfy: root -> (section|item)*, section -> (section|item)*, item -> eps.
+SchemaSpec StreamDocSchemaSpec();
+
+/// A linear (non-copying) identity transducer over the stream vocabulary —
+/// the streaming executor's best case: one live write-through chain, zero
+/// copy-spill.
+TransducerSpec StreamDocTransducerSpec();
+
+/// A copying transducer (every section duplicates its translated children)
+/// that exercises the byte-accounted copy-spill path.
+TransducerSpec StreamDocCopyTransducerSpec();
+
 /// A named batch of requests generated from the scaling families:
-/// `family` in {filter, failing, width, relab, replus, xpath, nfa}. The
-/// family's size parameter is swept over `distinct` consecutive values
-/// starting at `n` (cycled until `count` requests exist), so `distinct`
-/// controls how many different compile-cache keys the batch touches.
+/// `family` in {filter, failing, width, relab, replus, xpath, nfa} for
+/// typechecking, plus the streaming-document families {vstream, tstream}
+/// (validate_stream / transform_stream over generated mixed-shape docs of
+/// `size` elements, inline-doc form). The family's size parameter is swept
+/// over `distinct` consecutive values starting at `n` (cycled until `count`
+/// requests exist), so `distinct` controls how many different compile-cache
+/// keys (or document sizes) the batch touches.
 StatusOr<std::vector<ServiceRequest>> MakeFamilyBatch(const std::string& family,
                                                       int n, int count,
                                                       int distinct);

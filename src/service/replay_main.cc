@@ -57,7 +57,7 @@ int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--mode=emit|drive] [--family=filter|failing|width|relab|"
-      "replus|xpath|nfa]\n"
+      "replus|xpath|nfa|vstream|tstream]\n"
       "          [--n=N] [--count=N] [--distinct=N] [--threads=N] "
       "[--queue=N] [--deadline-ms=N] [--retries=N]\n",
       argv0);

@@ -175,8 +175,16 @@ const char* ServiceOpName(ServiceOp op) {
       return "validate";
     case ServiceOp::kTransform:
       return "transform";
+    case ServiceOp::kValidateStream:
+      return "validate_stream";
+    case ServiceOp::kTransformStream:
+      return "transform_stream";
   }
   return "unknown";
+}
+
+bool IsStreamOp(ServiceOp op) {
+  return op == ServiceOp::kValidateStream || op == ServiceOp::kTransformStream;
 }
 
 StatusOr<ServiceRequest> ParseServiceRequest(std::string_view json_line) {
@@ -202,8 +210,14 @@ StatusOr<ServiceRequest> ParseServiceRequest(std::string_view json_line) {
     request.op = ServiceOp::kValidate;
   } else if (op_name == "transform") {
     request.op = ServiceOp::kTransform;
+  } else if (op_name == "validate_stream") {
+    request.op = ServiceOp::kValidateStream;
+  } else if (op_name == "transform_stream") {
+    request.op = ServiceOp::kTransformStream;
   } else {
-    return FieldError("op", "must be typecheck, validate, or transform");
+    return FieldError("op",
+                      "must be typecheck, validate, transform, "
+                      "validate_stream, or transform_stream");
   }
 
   if (const JsonValue* deadline = doc.Find("deadline_ms")) {
@@ -259,6 +273,30 @@ StatusOr<ServiceRequest> ParseServiceRequest(std::string_view json_line) {
     }
     request.tree = tree->AsString();
   }
+  if (const JsonValue* format = doc.Find("format")) {
+    if (format->kind() != JsonValue::Kind::kString) {
+      return FieldError("format", "must be a string");
+    }
+    if (format->AsString() == "term") {
+      request.format = DocFormat::kTerm;
+    } else if (format->AsString() == "xml") {
+      request.format = DocFormat::kXml;
+    } else {
+      return FieldError("format", "must be term or xml");
+    }
+  }
+  if (const JsonValue* d = doc.Find("doc")) {
+    if (d->kind() != JsonValue::Kind::kString) {
+      return FieldError("doc", "must be an XML string");
+    }
+    request.doc = d->AsString();
+  }
+  if (const JsonValue* chunked = doc.Find("chunked")) {
+    if (chunked->kind() != JsonValue::Kind::kBool) {
+      return FieldError("chunked", "must be a bool");
+    }
+    request.chunked = chunked->AsBool();
+  }
 
   auto require = [&doc](const char* field) -> StatusOr<const JsonValue*> {
     const JsonValue* v = doc.Find(field);
@@ -290,6 +328,22 @@ StatusOr<ServiceRequest> ParseServiceRequest(std::string_view json_line) {
       XTC_RETURN_IF_ERROR(require("tree").status());
       break;
     }
+    case ServiceOp::kValidateStream: {
+      XTC_ASSIGN_OR_RETURN(const JsonValue* schema, require("schema"));
+      XTC_ASSIGN_OR_RETURN(request.schema, SchemaFromJson(*schema, "schema"));
+      if (!request.chunked && doc.Find("doc") == nullptr) {
+        return FieldError("doc", "is required unless 'chunked' is true");
+      }
+      break;
+    }
+    case ServiceOp::kTransformStream: {
+      XTC_ASSIGN_OR_RETURN(const JsonValue* td, require("transducer"));
+      XTC_ASSIGN_OR_RETURN(request.transducer, TransducerFromJson(*td));
+      if (!request.chunked && doc.Find("doc") == nullptr) {
+        return FieldError("doc", "is required unless 'chunked' is true");
+      }
+      break;
+    }
   }
   return request;
 }
@@ -312,6 +366,24 @@ std::string ServiceRequestToJson(const ServiceRequest& request) {
       o.Set("transducer", TransducerToJson(request.transducer));
       o.Set("tree", JsonValue::Str(request.tree));
       break;
+    case ServiceOp::kValidateStream:
+      o.Set("schema", SchemaToJson(request.schema));
+      break;
+    case ServiceOp::kTransformStream:
+      o.Set("transducer", TransducerToJson(request.transducer));
+      break;
+  }
+  if (IsStreamOp(request.op)) {
+    if (request.chunked) {
+      o.Set("chunked", JsonValue::Bool(true));
+    } else {
+      o.Set("doc", JsonValue::Str(request.doc));
+    }
+  }
+  if (request.format == DocFormat::kXml &&
+      (request.op == ServiceOp::kValidate ||
+       request.op == ServiceOp::kTransform)) {
+    o.Set("format", JsonValue::Str("xml"));
   }
   if (request.deadline_ms != 0) {
     o.Set("deadline_ms",
@@ -355,7 +427,11 @@ std::string ServiceResponse::ToJsonLine() const {
         o.Set("valid", JsonValue::Bool(valid));
         break;
       case ServiceOp::kTransform:
+      case ServiceOp::kTransformStream:
         o.Set("output", JsonValue::Str(output));
+        break;
+      case ServiceOp::kValidateStream:
+        o.Set("valid", JsonValue::Bool(valid));
         break;
     }
   }
@@ -377,6 +453,33 @@ std::string ServiceResponse::ToJsonLine() const {
   cache.Set("hits", JsonValue::Number(static_cast<double>(cache_hits)));
   cache.Set("misses", JsonValue::Number(static_cast<double>(cache_misses)));
   o.Set("cache", std::move(cache));
+  return o.Dump();
+}
+
+StatusOr<DocChunk> ParseDocChunk(std::string_view json_line) {
+  XTC_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(json_line));
+  if (doc.kind() != JsonValue::Kind::kObject) {
+    return InvalidArgumentError("doc chunk must be a JSON object");
+  }
+  const JsonValue* data = doc.Find("doc_chunk");
+  if (data == nullptr || data->kind() != JsonValue::Kind::kString) {
+    return FieldError("doc_chunk", "is required and must be a string");
+  }
+  DocChunk chunk;
+  chunk.data = data->AsString();
+  if (const JsonValue* last = doc.Find("last")) {
+    if (last->kind() != JsonValue::Kind::kBool) {
+      return FieldError("last", "must be a bool");
+    }
+    chunk.last = last->AsBool();
+  }
+  return chunk;
+}
+
+std::string DocChunkToJson(const DocChunk& chunk) {
+  JsonValue o = JsonValue::Object();
+  o.Set("doc_chunk", JsonValue::Str(chunk.data));
+  if (chunk.last) o.Set("last", JsonValue::Bool(true));
   return o.Dump();
 }
 
@@ -409,9 +512,11 @@ StatusOr<std::vector<std::string>> CollectUniverse(
       break;
     }
     case ServiceOp::kValidate:
+    case ServiceOp::kValidateStream:
       XTC_RETURN_IF_ERROR(probe_schema(request.schema, "schema"));
       break;
     case ServiceOp::kTransform:
+    case ServiceOp::kTransformStream:
       XTC_RETURN_IF_ERROR(
           BuildTransducerSkeleton(request.transducer, &probe).status());
       break;

@@ -34,12 +34,29 @@ struct TransducerSpec {
 };
 
 enum class ServiceOp {
-  kTypecheck,  ///< din + dout + transducer
-  kValidate,   ///< schema + tree
-  kTransform,  ///< transducer + tree
+  kTypecheck,        ///< din + dout + transducer
+  kValidate,         ///< schema + tree
+  kTransform,        ///< transducer + tree
+  kValidateStream,   ///< schema + doc (XML text, inline or chunked)
+  kTransformStream,  ///< transducer + doc (XML text, inline or chunked)
 };
 
 const char* ServiceOpName(ServiceOp op);
+
+/// Returns true for the streaming document ops (validate_stream /
+/// transform_stream), which carry the document as XML text in `doc` (or as
+/// doc_chunk continuation lines when `chunked`) and run on the caller's
+/// thread with O(depth) working memory (src/stream/).
+bool IsStreamOp(ServiceOp op);
+
+/// Syntax of the `tree` field on validate/transform requests (wire field
+/// `format`): the paper's term syntax (default) or the structure-only XML
+/// codec syntax. Transform responses serialize their output in the same
+/// format the input used.
+enum class DocFormat {
+  kTerm,
+  kXml,
+};
 
 /// The admission tier a request was served at (wire field `tier`).
 /// Admission control degrades requests one tier at a time as load rises
@@ -90,7 +107,16 @@ struct ServiceRequest {
   SchemaSpec dout;
   SchemaSpec schema;  ///< validate
   TransducerSpec transducer;
-  std::string tree;  ///< term syntax (validate/transform input document)
+  std::string tree;  ///< validate/transform input document (`format` syntax)
+  DocFormat format = DocFormat::kTerm;  ///< syntax of `tree` (and the output)
+  /// Stream ops: the whole document as XML text. Mutually exclusive with
+  /// `chunked` — an inline doc rides the request line itself.
+  std::string doc;
+  /// Stream ops: the document follows the request line as doc_chunk
+  /// NDJSON continuation lines (`{"doc_chunk": "...", "last": bool}`),
+  /// ending with the first `last: true` line. Only xtcd's transport pumps
+  /// chunk lines; in-process callers use TypecheckService::OpenStream.
+  bool chunked = false;
   std::uint64_t deadline_ms = 0;
   /// Retry ordinal, 0 on the first try. Echoed in the response; the
   /// client-side retry helper (replay.h) increments it so server logs and
@@ -113,6 +139,18 @@ StatusOr<ServiceRequest> ParseServiceRequest(std::string_view json_line);
 
 /// Renders a request back to its NDJSON line (replay client, tests).
 std::string ServiceRequestToJson(const ServiceRequest& request);
+
+/// One continuation line of a chunked stream request: a slice of the
+/// document's XML text plus the end-of-document marker. A malformed chunk
+/// line aborts the whole stream (the transport cannot tell where the
+/// document was meant to resume), so the response carries the parse error.
+struct DocChunk {
+  std::string data;
+  bool last = false;
+};
+
+StatusOr<DocChunk> ParseDocChunk(std::string_view json_line);
+std::string DocChunkToJson(const DocChunk& chunk);
 
 /// One NDJSON response line. `status` mirrors the library Status; every
 /// response echoes the request id so out-of-order transports can rejoin.

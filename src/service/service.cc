@@ -10,6 +10,7 @@
 #include "src/core/approximate.h"
 #include "src/core/relab.h"
 #include "src/core/typecheck.h"
+#include "src/service/stream.h"
 #include "src/td/exec.h"
 #include "src/tree/codec.h"
 
@@ -299,6 +300,26 @@ DrainReport TypecheckService::Stop(std::chrono::milliseconds drain_deadline) {
 ServiceResponse TypecheckService::Execute(
     const ServiceRequest& request, AdmissionTier tier,
     std::chrono::steady_clock::time_point admit_time) {
+  if (IsStreamOp(request.op)) {
+    // Inline-doc stream requests (queued or Process()ed) run the same
+    // session the chunk transport uses; the whole document is just one
+    // chunk. The session records latency/cost/completion stats itself.
+    if (request.chunked) {
+      ServiceResponse response;
+      response.id = request.id;
+      response.op = request.op;
+      response.attempt = request.attempt;
+      response.tier = tier;
+      response.status = InvalidArgumentError(
+          "chunked stream requests need a chunk transport (xtcd) or "
+          "OpenStream; submit an inline 'doc' instead");
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      return response;
+    }
+    StreamSession session(this, request, tier, admit_time);
+    session.Push(request.doc);
+    return session.Finish();
+  }
   WallTimer timer;
   ServiceResponse response;
   response.id = request.id;
@@ -382,7 +403,9 @@ ServiceResponse TypecheckService::Execute(
   auto parse_tree = [&](Alphabet* local,
                         TreeBuilder* builder) -> StatusOr<Node*> {
     for (int i = 0; i < alphabet->size(); ++i) local->Intern(alphabet->Name(i));
-    return ParseTerm(request.tree, local, builder);
+    return request.format == DocFormat::kXml
+               ? ParseXml(request.tree, local, builder)
+               : ParseTerm(request.tree, local, builder);
   };
 
   switch (request.op) {
@@ -516,9 +539,15 @@ ServiceResponse TypecheckService::Execute(
         return finish(FailedPreconditionError(
             "transducer output at the root is not a single tree"));
       }
-      response.output = ToTermString(output, local);
+      // The output rides in the same syntax the input document used.
+      response.output = request.format == DocFormat::kXml
+                            ? ToXml(output, local)
+                            : ToTermString(output, local);
       return finish(Status::Ok());
     }
+    case ServiceOp::kValidateStream:
+    case ServiceOp::kTransformStream:
+      break;  // dispatched to a StreamSession before the switch
   }
   return finish(InvalidArgumentError("unknown op"));
 }

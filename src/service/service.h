@@ -17,6 +17,8 @@
 
 namespace xtc {
 
+class StreamSession;
+
 /// Lock-free latency telemetry: power-of-two nanosecond buckets, so Record
 /// is two relaxed atomic ops on the request path and percentiles are
 /// bucket-resolution estimates (within 2x below 1 second, exact max).
@@ -187,6 +189,16 @@ class TypecheckService {
   /// tests). Always runs at the exact tier.
   ServiceResponse Process(const ServiceRequest& request);
 
+  /// Opens a streaming session for a validate_stream / transform_stream
+  /// request whose document arrives in chunks (src/service/stream.h). The
+  /// session runs on the caller's thread, bypassing the worker queue, with
+  /// its deadline anchored now. Always returns a session: shed or
+  /// malformed opens come back latched, so Push is a no-op and Finish
+  /// yields the well-formed error response. The session borrows this
+  /// service and must be finished (or destroyed) before Stop returns —
+  /// in-flight streams are the caller's to drain.
+  std::unique_ptr<StreamSession> OpenStream(ServiceRequest request);
+
   /// Graceful drain: closes admission (new Submits shed with `stopping`),
   /// lets the workers finish queued work until `drain_deadline`, then
   /// fails whatever is still queued with kResourceExhausted and joins the
@@ -201,6 +213,8 @@ class TypecheckService {
   CompileCache& cache() { return cache_; }
 
  private:
+  friend class StreamSession;  ///< shares cache, budget policy, and stats
+
   struct Job {
     ServiceRequest request;
     std::promise<ServiceResponse> promise;

@@ -19,6 +19,7 @@
 #include <thread>
 
 #include "src/service/service.h"
+#include "src/service/stream.h"
 
 namespace {
 
@@ -150,7 +151,38 @@ int main(int argc, char** argv) {
     std::future<xtc::ServiceResponse> future;
     xtc::StatusOr<xtc::ServiceRequest> request =
         xtc::ParseServiceRequest(line);
-    if (request.ok()) {
+    if (request.ok() && request->chunked && xtc::IsStreamOp(request->op)) {
+      // Chunked stream: the document follows as doc_chunk lines, pumped on
+      // this thread straight into the session — no queue hop, O(depth)
+      // memory end to end. A malformed chunk line aborts the stream (the
+      // framing is lost), but still yields exactly one response line.
+      if (request->id == 0) request->id = line_number;
+      std::unique_ptr<xtc::StreamSession> session =
+          service.OpenStream(*std::move(request));
+      bool saw_last = false;
+      xtc::Status framing = xtc::Status::Ok();
+      while (!saw_last && !g_shutdown.load(std::memory_order_relaxed) &&
+             std::getline(std::cin, line)) {
+        ++line_number;
+        xtc::StatusOr<xtc::DocChunk> chunk = xtc::ParseDocChunk(line);
+        if (!chunk.ok()) {
+          framing = chunk.status();
+          break;
+        }
+        session->Push(chunk->data);
+        saw_last = chunk->last;
+      }
+      xtc::ServiceResponse response = session->Finish();
+      if (!framing.ok()) {
+        response.status = framing;
+      } else if (!saw_last && response.status.ok()) {
+        response.status = xtc::InvalidArgumentError(
+            "stream ended before a last:true doc_chunk line");
+      }
+      std::promise<xtc::ServiceResponse> ready;
+      future = ready.get_future();
+      ready.set_value(std::move(response));
+    } else if (request.ok()) {
       if (request->id == 0) request->id = line_number;
       future = service.Submit(*std::move(request));
     } else {

@@ -1,0 +1,96 @@
+#include "src/stream/doc_gen.h"
+
+namespace xtc {
+namespace {
+
+// Chunks land well under the reader's compaction threshold so the pipeline
+// exercises the need-input path many times per document.
+constexpr std::size_t kChunkTarget = 3072;
+
+}  // namespace
+
+XmlDocStream::XmlDocStream(const StreamDocSpec& spec) : spec_(spec) {
+  if (spec_.nodes == 0) spec_.nodes = 1;
+}
+
+int XmlDocStream::ToothDepth() const {
+  switch (spec_.shape) {
+    case StreamDocSpec::Shape::kWide:
+      return 0;
+    case StreamDocSpec::Shape::kDeep:
+      return kDeepChainDepth;
+    case StreamDocSpec::Shape::kMixed:
+      // Deterministic variety: depths cycle through [2, kDeepChainDepth).
+      return 2 + static_cast<int>((tooth_ * 41 + 7) %
+                                  (kDeepChainDepth - 2));
+  }
+  return 0;
+}
+
+int XmlDocStream::ToothItems() const {
+  if (spec_.shape == StreamDocSpec::Shape::kMixed) {
+    return 1 + static_cast<int>(tooth_ % 4);
+  }
+  return 1;
+}
+
+void XmlDocStream::Step(std::string* out) {
+  if (!started_) {
+    out->append("<root>");
+    started_ = true;
+    emitted_ = 1;
+    return;
+  }
+  if (emitted_ < spec_.nodes && !ascending_) {
+    if (depth_ < ToothDepth()) {
+      out->append("<section>");
+      ++emitted_;
+      ++depth_;
+      if (depth_ == ToothDepth()) items_left_ = ToothItems();
+      return;
+    }
+    if (depth_ == 0) {
+      // kWide: an endless run of leaf items directly under the root.
+      out->append("<item/>");
+      ++emitted_;
+      return;
+    }
+    if (items_left_ > 0 && emitted_ < spec_.nodes) {
+      out->append("<item/>");
+      ++emitted_;
+      --items_left_;
+      if (items_left_ > 0) return;
+    }
+    ascending_ = true;
+    return;
+  }
+  if (depth_ > 0) {
+    out->append("</section>");
+    --depth_;
+    if (depth_ == 0) {
+      ascending_ = false;
+      ++tooth_;
+    }
+    return;
+  }
+  out->append("</root>");
+  done_ = true;
+}
+
+bool XmlDocStream::Next(std::string* chunk) {
+  chunk->clear();
+  if (done_) return false;
+  while (chunk->size() < kChunkTarget && !done_) Step(chunk);
+  bytes_emitted_ += chunk->size();
+  return true;
+}
+
+std::string RenderDoc(const StreamDocSpec& spec) {
+  XmlDocStream stream(spec);
+  std::string doc;
+  std::string chunk;
+  while (stream.Next(&chunk)) doc += chunk;
+  return doc;
+}
+
+}  // namespace xtc

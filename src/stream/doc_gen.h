@@ -1,0 +1,72 @@
+#ifndef XTC_STREAM_DOC_GEN_H_
+#define XTC_STREAM_DOC_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace xtc {
+
+/// Shape and size of a synthetic structure-only XML document. All shapes
+/// use the three-symbol vocabulary {root, section, item} and satisfy the
+/// stream workload schema (StreamDocSchema in src/service/replay.h):
+///
+///   root    -> (section | item)*
+///   section -> (section | item)*
+///   item    -> eps
+///
+/// `kWide` is one root with `nodes - 1` leaf items (document size grows,
+/// depth stays 2). `kDeep` is a sawtooth of section chains, each descending
+/// to kDeepChainDepth before closing (depth-heavy, the streaming stack's
+/// worst case under the 256-deep grammar fuel). `kMixed` interleaves teeth
+/// of varying depth with runs of items at the bottom.
+struct StreamDocSpec {
+  enum class Shape { kWide, kDeep, kMixed };
+  Shape shape = Shape::kWide;
+  std::uint64_t nodes = 1000;  ///< total element count, >= 1
+};
+
+/// Generates the XML text of a StreamDocSpec document chunk by chunk with
+/// O(depth) generator state — the point is feeding multi-megabyte documents
+/// to the streaming engines (and the chunked wire protocol) without any
+/// component, generator included, ever holding the whole document.
+/// Deterministic: the same spec always yields the same byte sequence, so
+/// differential tests can replay a doc into both the DOM and stream paths.
+class XmlDocStream {
+ public:
+  /// Deepest section chain a kDeep/kMixed tooth descends to; one below the
+  /// shared grammar depth fuel (root occupies one level).
+  static constexpr int kDeepChainDepth = 200;
+
+  explicit XmlDocStream(const StreamDocSpec& spec);
+
+  /// Writes the next chunk (a few KiB) into `*chunk`, replacing its
+  /// contents. Returns false — leaving `*chunk` empty — once the document
+  /// is complete.
+  bool Next(std::string* chunk);
+
+  std::uint64_t bytes_emitted() const { return bytes_emitted_; }
+  bool done() const { return done_; }
+
+ private:
+  void Step(std::string* out);
+  int ToothDepth() const;
+  int ToothItems() const;
+
+  StreamDocSpec spec_;
+  bool started_ = false;
+  bool done_ = false;
+  std::uint64_t emitted_ = 0;    ///< elements opened so far
+  int depth_ = 0;                ///< open section chain below root
+  int items_left_ = 0;           ///< items still to emit at this tooth's foot
+  bool ascending_ = false;       ///< closing the current tooth
+  std::uint64_t tooth_ = 0;      ///< completed teeth (varies kMixed shapes)
+  std::uint64_t bytes_emitted_ = 0;
+};
+
+/// Accumulates the whole document into one string (tests, the replay
+/// request builder — NOT the benches, which feed chunks straight through).
+std::string RenderDoc(const StreamDocSpec& spec);
+
+}  // namespace xtc
+
+#endif  // XTC_STREAM_DOC_GEN_H_

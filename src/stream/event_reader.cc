@@ -1,0 +1,165 @@
+#include "src/stream/event_reader.h"
+
+#include <cctype>
+
+#include "src/tree/xml_grammar.h"
+
+namespace xtc {
+namespace {
+
+bool IsSpaceByte(char c) {
+  return std::isspace(static_cast<unsigned char>(c));
+}
+
+}  // namespace
+
+XmlEventReader::XmlEventReader(Alphabet* alphabet)
+    : XmlEventReader(alphabet, Options()) {}
+
+XmlEventReader::XmlEventReader(Alphabet* alphabet, const Options& options)
+    : alphabet_(alphabet), budget_(options.budget) {}
+
+void XmlEventReader::Push(std::string_view chunk) {
+  if (budget_ != nullptr) budget_->ChargeBytes(chunk.size());
+  buffer_.append(chunk);
+}
+
+void XmlEventReader::FinishInput() { finished_ = true; }
+
+Status XmlEventReader::Fail(Status status) {
+  latched_ = status;
+  return latched_;
+}
+
+void XmlEventReader::Discard(std::size_t n) {
+  pos_ += n;
+  bytes_consumed_ += n;
+  // Compact once the consumed prefix dominates, so the buffer stays at
+  // O(longest tag) instead of O(document).
+  if (pos_ > 4096 && pos_ * 2 >= buffer_.size()) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+}
+
+StatusOr<XmlEventReader::ReadResult> XmlEventReader::Next(XmlEvent* out) {
+  if (!latched_.ok()) return latched_;
+  StatusOr<ReadResult> r = NextInner(out);
+  if (!r.ok()) latched_ = r.status();
+  if (r.ok() && *r == ReadResult::kEvent) {
+    ++events_;
+    if (budget_ != nullptr) {
+      Status s = budget_->Check("XmlEventReader");
+      if (!s.ok()) return Fail(s);
+    }
+  }
+  return r;
+}
+
+StatusOr<XmlEventReader::ReadResult> XmlEventReader::NextInner(XmlEvent* out) {
+  // A self-closing tag emits its synthesized end event before any further
+  // input is consumed.
+  if (pending_end_) {
+    pending_end_ = false;
+    out->kind = XmlEventKind::kEndElement;
+    out->label = pending_label_;
+    open_.pop_back();
+    if (open_.empty()) root_done_ = true;
+    return ReadResult::kEvent;
+  }
+
+  // Inter-tag whitespace is consumable immediately; everything else waits
+  // for a full tag in the buffer.
+  while (pos_ < buffer_.size() && IsSpaceByte(buffer_[pos_])) Discard(1);
+
+  if (pos_ >= buffer_.size()) {
+    if (!finished_) return ReadResult::kNeedInput;
+    if (root_done_) return ReadResult::kEndOfDocument;
+    if (open_.empty()) {
+      return Fail(InvalidArgumentError("expected '<' at position " +
+                                       std::to_string(bytes_consumed_)));
+    }
+    return Fail(InvalidArgumentError(
+        "unexpected end of input inside <" +
+        alphabet_->Name(open_.back()) + ">"));
+  }
+
+  if (root_done_) {
+    return Fail(InvalidArgumentError(
+        "trailing characters after root element at position " +
+        std::to_string(bytes_consumed_)));
+  }
+  if (buffer_[pos_] != '<') {
+    return Fail(InvalidArgumentError("expected '<' at position " +
+                                     std::to_string(bytes_consumed_)));
+  }
+
+  // Wait until the whole tag is buffered: tags are tiny (a name plus
+  // punctuation), so this is the only lookahead the grammar ever needs and
+  // the buffer tail stays bounded by the longest single tag.
+  std::size_t close = buffer_.find('>', pos_);
+  if (close == std::string::npos) {
+    if (!finished_) return ReadResult::kNeedInput;
+    return Fail(InvalidArgumentError("unexpected end of input inside a tag"));
+  }
+
+  std::size_t p = pos_ + 1;
+  bool closing = false;
+  if (p < close && buffer_[p] == '/') {
+    closing = true;
+    ++p;
+  }
+  std::size_t name_start = p;
+  while (p < close && IsXmlNameChar(buffer_[p])) ++p;
+  if (p == name_start) {
+    return Fail(InvalidArgumentError("expected element name"));
+  }
+  std::string_view name(buffer_.data() + name_start, p - name_start);
+  while (p < close && IsSpaceByte(buffer_[p])) ++p;
+  bool self_closing = false;
+  if (!closing && p < close && buffer_[p] == '/') {
+    self_closing = true;
+    ++p;
+  }
+  if (p != close) {
+    return Fail(InvalidArgumentError(
+        "expected '>' (attributes and text content are not supported)"));
+  }
+
+  if (closing) {
+    if (open_.empty() ||
+        alphabet_->Name(open_.back()) != name) {
+      return Fail(InvalidArgumentError("mismatched closing tag for <" +
+                                       std::string(name) + ">"));
+    }
+    out->kind = XmlEventKind::kEndElement;
+    out->label = open_.back();
+    open_.pop_back();
+    if (open_.empty()) root_done_ = true;
+    Discard(close + 1 - pos_);
+    return ReadResult::kEvent;
+  }
+
+  // Depth fuel (shared contract, src/tree/xml_grammar.h): the open-element
+  // stack is this reader's only document-proportional state, and the fuel
+  // caps it.
+  if (static_cast<int>(open_.size()) >= kMaxXmlDepth) {
+    return Fail(InvalidArgumentError("element nesting exceeds depth limit " +
+                                     std::to_string(kMaxXmlDepth)));
+  }
+  int label = alphabet_->Intern(name);
+  open_.push_back(label);
+  if (static_cast<int>(open_.size()) > max_depth_) {
+    max_depth_ = static_cast<int>(open_.size());
+  }
+  if (self_closing) {
+    pending_end_ = true;
+    pending_label_ = label;
+  }
+  out->kind = XmlEventKind::kStartElement;
+  out->label = label;
+  Discard(close + 1 - pos_);
+  return ReadResult::kEvent;
+}
+
+}  // namespace xtc

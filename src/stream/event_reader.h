@@ -1,0 +1,102 @@
+#ifndef XTC_STREAM_EVENT_READER_H_
+#define XTC_STREAM_EVENT_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/budget.h"
+#include "src/base/status.h"
+#include "src/fa/alphabet.h"
+
+namespace xtc {
+
+/// A SAX-style XML event: an element opens or closes. Labels are interned
+/// symbol ids (a self-closing `<a/>` yields a kStartElement immediately
+/// followed by a kEndElement). There are no other event kinds — the
+/// structure-only grammar (src/tree/xml_grammar.h) has no text, attributes,
+/// comments or processing instructions.
+enum class XmlEventKind { kStartElement, kEndElement };
+
+struct XmlEvent {
+  XmlEventKind kind = XmlEventKind::kStartElement;
+  int label = -1;
+};
+
+/// A pull-based tokenizer producing XmlEvents from chunked input. It
+/// implements exactly the grammar of src/tree/xml_grammar.h — the contract
+/// shared with codec.cc's ParseXml — but never allocates a tree: working
+/// memory is one partial-tag tail (bounded by the longest single tag) plus
+/// the open-element label stack, i.e. O(depth), independent of document
+/// size. Chunks may split anywhere, including mid-name.
+///
+/// Usage: Push() chunks as they arrive, Next() until it reports kNeedInput,
+/// repeat; call FinishInput() after the last chunk, then Next() until
+/// kEndOfDocument. Errors (malformed input, depth fuel, budget exhaustion)
+/// are sticky: every later Next() repeats the same Status.
+///
+/// Thread-compatibility: single-thread only, like the Budget that governs
+/// it. One reader consumes one document.
+class XmlEventReader {
+ public:
+  struct Options {
+    /// Optional governor: checkpointed once per event, chunk bytes charged
+    /// via ChargeBytes. Borrowed; must outlive the reader.
+    Budget* budget = nullptr;
+  };
+
+  /// Element names are interned into `alphabet` (borrowed). Like the DOM
+  /// path, the service feeds a request-private alphabet seeded with the
+  /// universe so that unknown document labels get ids past it.
+  explicit XmlEventReader(Alphabet* alphabet);
+  XmlEventReader(Alphabet* alphabet, const Options& options);
+
+  /// Appends a chunk of document text. May be called any number of times,
+  /// with chunks split at arbitrary byte positions.
+  void Push(std::string_view chunk);
+
+  /// Declares end of input. A document truncated mid-element surfaces as an
+  /// InvalidArgument from the next Next().
+  void FinishInput();
+
+  enum class ReadResult {
+    kEvent,          ///< `out` holds the next event
+    kNeedInput,      ///< a complete tag is not buffered yet; Push more
+    kEndOfDocument,  ///< the root element closed and the input is exhausted
+  };
+
+  /// Advances the tokenizer. On kEvent, `out` is filled; otherwise `out`
+  /// is untouched.
+  StatusOr<ReadResult> Next(XmlEvent* out);
+
+  /// Open elements right now (root counts as 1 while open).
+  int depth() const { return static_cast<int>(open_.size()); }
+  std::uint64_t events() const { return events_; }
+  std::uint64_t bytes_consumed() const { return bytes_consumed_; }
+  /// High-water mark of depth() over the document so far.
+  int max_depth() const { return max_depth_; }
+
+ private:
+  StatusOr<ReadResult> NextInner(XmlEvent* out);
+  Status Fail(Status status);
+  void Discard(std::size_t n);
+
+  Alphabet* alphabet_;
+  Budget* budget_;
+  std::string buffer_;      ///< unconsumed tail; consumed prefix compacted
+  std::size_t pos_ = 0;     ///< consumed prefix of buffer_
+  std::vector<int> open_;   ///< label ids of open elements
+  bool finished_ = false;   ///< FinishInput called
+  bool root_done_ = false;  ///< the root element has closed
+  bool pending_end_ = false;  ///< a self-closing tag owes its kEndElement
+  int pending_label_ = -1;
+  std::uint64_t events_ = 0;
+  std::uint64_t bytes_consumed_ = 0;
+  int max_depth_ = 0;
+  Status latched_ = Status::Ok();
+};
+
+}  // namespace xtc
+
+#endif  // XTC_STREAM_EVENT_READER_H_

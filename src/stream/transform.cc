@@ -1,0 +1,277 @@
+#include "src/stream/transform.h"
+
+#include <utility>
+
+#include "src/base/logging.h"
+
+namespace xtc {
+
+// --- Target ---------------------------------------------------------------
+
+Status StreamTransducer::Target::Write(std::string_view bytes) {
+  if (sink != nullptr) return sink->Append(bytes);
+  XTC_RETURN_IF_ERROR(owner->ChargeSpill(bytes.size()));
+  buffer.append(bytes);
+  return Status::Ok();
+}
+
+Status StreamTransducer::Target::CommitPending() {
+  if (pending.empty()) return Status::Ok();
+  // Commits are rare enough (once per non-leaf output element) that the
+  // pending stack is at most one deep in practice; a loop keeps it general.
+  std::string text;
+  for (int label : pending) {
+    text.push_back('<');
+    text.append(owner->t_->alphabet()->Name(label));
+    text.push_back('>');
+    ++open_depth;
+  }
+  pending.clear();
+  return Write(text);
+}
+
+Status StreamTransducer::Target::Open(int label) {
+  XTC_RETURN_IF_ERROR(CommitPending());
+  if (open_depth == 0) ++roots;
+  pending.push_back(label);
+  return Status::Ok();
+}
+
+Status StreamTransducer::Target::Close(int label) {
+  if (!pending.empty()) {
+    // Zero content between Open and Close: serialize the self-closing leaf
+    // form, byte-identical to codec ToXml.
+    XTC_CHECK_EQ(pending.back(), label);
+    pending.pop_back();
+    std::string text = "<";
+    text.append(owner->t_->alphabet()->Name(label));
+    text.append("/>");
+    return Write(text);
+  }
+  XTC_CHECK_GT(open_depth, 0);
+  --open_depth;
+  std::string text = "</";
+  text.append(owner->t_->alphabet()->Name(label));
+  text.push_back('>');
+  return Write(text);
+}
+
+Status StreamTransducer::Target::Splice(Target&& spill) {
+  if (spill.buffer.empty()) return Status::Ok();
+  XTC_RETURN_IF_ERROR(CommitPending());
+  if (open_depth == 0) roots += spill.roots;
+  owner->ReleaseSpill(spill.buffer.size());
+  std::string bytes = std::move(spill.buffer);
+  spill.buffer.clear();
+  return Write(bytes);
+}
+
+// --- StreamTransducer -----------------------------------------------------
+
+StatusOr<std::unique_ptr<StreamTransducer>> StreamTransducer::Create(
+    const Transducer* t, StreamSink* sink) {
+  return Create(t, sink, Options());
+}
+
+StatusOr<std::unique_ptr<StreamTransducer>> StreamTransducer::Create(
+    const Transducer* t, StreamSink* sink, const Options& options) {
+  if (t->initial() < 0) {
+    return FailedPreconditionError(
+        "streaming transducer needs an initial state");
+  }
+  if (t->HasSelectors()) {
+    return FailedPreconditionError(
+        "selectors need subtree navigation a stream cannot replay; compile "
+        "them away first (Theorems 23/29)");
+  }
+  return std::unique_ptr<StreamTransducer>(
+      new StreamTransducer(t, sink, options));
+}
+
+StreamTransducer::StreamTransducer(const Transducer* t, StreamSink* sink,
+                                   const Options& options)
+    : t_(t), options_(options), gate_(options.budget) {
+  root_target_.owner = this;
+  root_target_.sink = sink;
+}
+
+void StreamTransducer::Flatten(const RhsHedge& rhs, FlatTemplate* out) {
+  for (const RhsNode& n : rhs) {
+    switch (n.kind) {
+      case RhsNode::Kind::kLabel:
+        out->push_back(Op{Op::Kind::kOpen, n.label});
+        Flatten(n.children, out);
+        out->push_back(Op{Op::Kind::kClose, n.label});
+        break;
+      case RhsNode::Kind::kState:
+        out->push_back(Op{Op::Kind::kHole, n.state});
+        break;
+      case RhsNode::Kind::kSelect:
+        // Unreachable: Create rejects selector transducers.
+        break;
+    }
+  }
+}
+
+const StreamTransducer::FlatTemplate* StreamTransducer::TemplateFor(
+    int state, int symbol) {
+  auto key = std::make_pair(state, symbol);
+  auto it = templates_.find(key);
+  if (it != templates_.end()) return &it->second;
+  const RhsHedge* rhs = t_->rule(state, symbol);
+  if (rhs == nullptr) return nullptr;
+  FlatTemplate flat;
+  Flatten(*rhs, &flat);
+  return &templates_.emplace(key, std::move(flat)).first->second;
+}
+
+Status StreamTransducer::ChargeSpill(std::size_t bytes) {
+  spill_bytes_ += bytes;
+  if (spill_bytes_ > peak_spill_bytes_) peak_spill_bytes_ = spill_bytes_;
+  if (options_.budget != nullptr) options_.budget->ChargeBytes(bytes);
+  if (spill_bytes_ > options_.max_spill_bytes) {
+    return ResourceExhaustedError(
+        "copy-spill exceeds its ceiling (" +
+        std::to_string(options_.max_spill_bytes) +
+        " bytes): the transducer copies more than this stream can buffer");
+  }
+  return Status::Ok();
+}
+
+void StreamTransducer::ReleaseSpill(std::size_t bytes) {
+  spill_bytes_ -= bytes < spill_bytes_ ? bytes : spill_bytes_;
+}
+
+Status StreamTransducer::PlayUntilHole(Expansion* exp, std::size_t from,
+                                       std::size_t* next) {
+  const FlatTemplate& tmpl = *exp->tmpl;
+  for (std::size_t i = from; i < tmpl.size(); ++i) {
+    switch (tmpl[i].kind) {
+      case Op::Kind::kOpen:
+        XTC_RETURN_IF_ERROR(exp->out->Open(tmpl[i].label));
+        break;
+      case Op::Kind::kClose:
+        XTC_RETURN_IF_ERROR(exp->out->Close(tmpl[i].label));
+        break;
+      case Op::Kind::kHole:
+        *next = i;
+        return Status::Ok();
+    }
+  }
+  *next = tmpl.size();
+  return Status::Ok();
+}
+
+Status StreamTransducer::BeginExpansion(int state, int label, Target* out,
+                                        Expansion* exp) {
+  exp->out = out;
+  exp->tmpl = TemplateFor(state, label);
+  if (exp->tmpl == nullptr) {
+    // No (state, symbol) rule: the translation is the empty hedge and the
+    // element's children are not processed in this context.
+    exp->resume = 0;
+    return Status::Ok();
+  }
+  // Emit the label structure before the first hole now; record every hole
+  // so child events can be dispatched as they arrive. The first hole
+  // continues in place (streaming); later holes buffer (copy-spill).
+  std::size_t first_hole = 0;
+  XTC_RETURN_IF_ERROR(PlayUntilHole(exp, 0, &first_hole));
+  exp->resume = first_hole < exp->tmpl->size() ? first_hole + 1
+                                               : exp->tmpl->size();
+  bool first = true;
+  for (std::size_t i = first_hole; i < exp->tmpl->size(); ++i) {
+    const Op& op = (*exp->tmpl)[i];
+    if (op.kind != Op::Kind::kHole) continue;
+    if (first) {
+      exp->holes.push_back(Hole{op.label, out});
+      first = false;
+    } else {
+      auto spill = std::make_unique<Target>();
+      spill->owner = this;
+      exp->holes.push_back(Hole{op.label, spill.get()});
+      exp->spills.push_back(std::move(spill));
+    }
+  }
+  return Status::Ok();
+}
+
+Status StreamTransducer::CloseFrame(Frame& frame) {
+  for (Expansion& exp : frame.expansions) {
+    if (exp.tmpl == nullptr) continue;
+    std::size_t i = exp.resume;
+    std::size_t spill_idx = 0;
+    while (i < exp.tmpl->size()) {
+      std::size_t next = 0;
+      XTC_RETURN_IF_ERROR(PlayUntilHole(&exp, i, &next));
+      if (next >= exp.tmpl->size()) break;
+      // The hole's children translations are complete; splice its spill at
+      // its template position.
+      XTC_CHECK_LT(spill_idx, exp.spills.size());
+      XTC_RETURN_IF_ERROR(
+          exp.out->Splice(std::move(*exp.spills[spill_idx])));
+      ++spill_idx;
+      i = next + 1;
+    }
+  }
+  return Status::Ok();
+}
+
+Status StreamTransducer::OnEvent(const XmlEvent& event) {
+  if (!latched_.ok()) return latched_;
+  ++events_;
+  Status s = gate_.Poll("StreamTransducer");
+  if (!s.ok()) return latched_ = s;
+
+  if (event.kind == XmlEventKind::kStartElement) {
+    Frame frame;
+    if (frames_.empty()) {
+      if (root_dispatched_) {
+        return latched_ = InvalidArgumentError(
+                   "unbalanced event stream: second root element");
+      }
+      root_dispatched_ = true;
+      Expansion exp;
+      s = BeginExpansion(t_->initial(), event.label, &root_target_, &exp);
+      if (!s.ok()) return latched_ = s;
+      frame.expansions.push_back(std::move(exp));
+    } else {
+      Frame& parent = frames_.back();
+      for (Expansion& pexp : parent.expansions) {
+        for (Hole& hole : pexp.holes) {
+          Expansion exp;
+          s = BeginExpansion(hole.state, event.label, hole.target, &exp);
+          if (!s.ok()) return latched_ = s;
+          frame.expansions.push_back(std::move(exp));
+        }
+      }
+    }
+    frames_.push_back(std::move(frame));
+  } else {
+    if (frames_.empty()) {
+      return latched_ = InvalidArgumentError(
+                 "unbalanced event stream: end without start");
+    }
+    s = CloseFrame(frames_.back());
+    frames_.pop_back();
+    if (!s.ok()) return latched_ = s;
+  }
+  return Status::Ok();
+}
+
+Status StreamTransducer::Finish() {
+  if (!latched_.ok()) return latched_;
+  if (!frames_.empty()) {
+    return latched_ =
+               InvalidArgumentError("unbalanced event stream at end of input");
+  }
+  finished_ = true;
+  if (root_target_.roots != 1) {
+    // Definition 5's root restriction, same message as the DOM path.
+    return latched_ = FailedPreconditionError(
+               "transducer output at the root is not a single tree");
+  }
+  return Status::Ok();
+}
+
+}  // namespace xtc

@@ -1,0 +1,166 @@
+#ifndef XTC_STREAM_TRANSFORM_H_
+#define XTC_STREAM_TRANSFORM_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/budget.h"
+#include "src/base/status.h"
+#include "src/stream/event_reader.h"
+#include "src/td/transducer.h"
+
+namespace xtc {
+
+/// Where streaming output bytes go. The service appends into the response
+/// string; tests use the same sink; a future socket transport can stream.
+class StreamSink {
+ public:
+  virtual ~StreamSink() = default;
+  virtual Status Append(std::string_view bytes) = 0;
+};
+
+/// Appends into a caller-owned string.
+class StringSink : public StreamSink {
+ public:
+  explicit StringSink(std::string* out) : out_(out) {}
+  Status Append(std::string_view bytes) override {
+    out_->append(bytes);
+    return Status::Ok();
+  }
+
+ private:
+  std::string* out_;
+};
+
+/// Streaming execution of a deterministic top-down transducer (Definition
+/// 5) over an XML event stream, emitting the output document as XML text
+/// (codec ToXml syntax, non-indented) on the fly.
+///
+/// Each open input element holds one expansion per transducer state
+/// processing it: the rule template's label structure is written
+/// immediately, and the template's state leaves become "holes" that this
+/// element's children fill as their events arrive. The leftmost unfinished
+/// hole writes straight through to its parent's output position — for
+/// linear (non-copying) rules this chains all the way to the sink, so
+/// output streams with O(depth) working memory. Every other hole of a
+/// template (copying: the same children translated again) spills into a
+/// byte-accounted buffer that is spliced in when the element closes.
+/// Copy-spill is bounded by Options::max_spill_bytes; crossing the ceiling
+/// fails soft with kResourceExhausted, the same degradation contract as
+/// every governed engine (DESIGN.md §3).
+///
+/// Selectors are rejected at construction (kFailedPrecondition): a ⟨q, P⟩
+/// leaf needs subtree navigation a stream cannot replay. The service runs
+/// the compiled selector-free form (Theorems 23/29) instead.
+///
+/// Thread-compatibility: single-thread, like the Budget.
+class StreamTransducer {
+ public:
+  struct Options {
+    Budget* budget = nullptr;  ///< checkpointed per event (gated); borrowed
+    /// Ceiling on bytes held across all live copy-spill buffers.
+    std::size_t max_spill_bytes = std::size_t{16} << 20;
+  };
+
+  /// Fails with kFailedPrecondition if `t` uses selectors or has no
+  /// initial state. `t` and `sink` are borrowed and must outlive this.
+  static StatusOr<std::unique_ptr<StreamTransducer>> Create(
+      const Transducer* t, StreamSink* sink);
+  static StatusOr<std::unique_ptr<StreamTransducer>> Create(
+      const Transducer* t, StreamSink* sink, const Options& options);
+
+  /// Feeds one input event. Errors (spill ceiling, budget, sink) are
+  /// sticky.
+  Status OnEvent(const XmlEvent& event);
+
+  /// Called once the reader reports kEndOfDocument. Enforces Definition
+  /// 5's root restriction: the translation must be exactly one tree
+  /// (kFailedPrecondition otherwise, matching the DOM path's message).
+  Status Finish();
+
+  std::size_t spill_bytes() const { return spill_bytes_; }
+  std::size_t peak_spill_bytes() const { return peak_spill_bytes_; }
+  std::uint64_t events() const { return events_; }
+
+ private:
+  /// One step of a flattened rule template.
+  struct Op {
+    enum class Kind { kOpen, kClose, kHole };
+    Kind kind;
+    int label = -1;  ///< kOpen/kClose: output label; kHole: state
+  };
+  using FlatTemplate = std::vector<Op>;
+
+  /// An output position. Exactly one target per document is "live" (writes
+  /// through to the sink); all others buffer. The self-closing-leaf
+  /// bookkeeping (`<a/>` vs `<a>...</a>`) lives here so spliced spill
+  /// bytes and streamed bytes serialize identically to codec ToXml.
+  struct Target {
+    StreamTransducer* owner;
+    StreamSink* sink = nullptr;  ///< live target when non-null
+    std::string buffer;         ///< spill storage otherwise
+    std::vector<int> pending;   ///< opened labels with no content yet
+    int open_depth = 0;         ///< committed open elements
+    std::uint64_t roots = 0;    ///< top-level trees emitted (root target)
+
+    Status Open(int label);
+    Status Close(int label);
+    /// Splices a finished spill (a self-contained serialized hedge).
+    Status Splice(Target&& spill);
+    Status CommitPending();
+    Status Write(std::string_view bytes);
+  };
+
+  /// One state occurrence awaiting this element's children.
+  struct Hole {
+    int state;
+    Target* target;  ///< borrowed from the frame's expansion storage
+  };
+
+  /// One (parent hole state, this element) rule expansion.
+  struct Expansion {
+    const FlatTemplate* tmpl = nullptr;  ///< null: no rule, empty output
+    std::size_t resume = 0;  ///< next op index when the element closes
+    Target* out;             ///< the parent hole's target
+    std::vector<std::unique_ptr<Target>> spills;  ///< holes beyond the first
+    std::vector<Hole> holes;
+  };
+
+  struct Frame {
+    std::vector<Expansion> expansions;
+  };
+
+  StreamTransducer(const Transducer* t, StreamSink* sink,
+                   const Options& options);
+
+  const FlatTemplate* TemplateFor(int state, int symbol);
+  static void Flatten(const RhsHedge& rhs, FlatTemplate* out);
+  Status BeginExpansion(int state, int label, Target* out, Expansion* exp);
+  /// Plays `exp`'s template from op `from` until the next hole (returning
+  /// its index) or the template's end.
+  Status PlayUntilHole(Expansion* exp, std::size_t from, std::size_t* next);
+  Status CloseFrame(Frame& frame);
+  Status ChargeSpill(std::size_t bytes);
+  void ReleaseSpill(std::size_t bytes);
+
+  const Transducer* t_;
+  const Options options_;
+  BudgetGate gate_;
+  Target root_target_;
+  std::vector<Frame> frames_;
+  std::map<std::pair<int, int>, FlatTemplate> templates_;
+  std::size_t spill_bytes_ = 0;
+  std::size_t peak_spill_bytes_ = 0;
+  std::uint64_t events_ = 0;
+  bool root_dispatched_ = false;
+  bool finished_ = false;
+  Status latched_ = Status::Ok();
+};
+
+}  // namespace xtc
+
+#endif  // XTC_STREAM_TRANSFORM_H_

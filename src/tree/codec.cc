@@ -3,18 +3,19 @@
 #include <cctype>
 #include <vector>
 
+#include "src/tree/xml_grammar.h"
+
 namespace xtc {
 namespace {
 
 // Maximum nesting depth accepted by the recursive-descent parsers; beyond
 // this the input is rejected with InvalidArgument rather than risking a
-// native stack overflow.
-constexpr int kMaxParseDepth = 256;
+// native stack overflow. The XML side of the contract (grammar, name
+// charset, depth fuel, trailing-garbage rejection) is shared with the
+// streaming XmlEventReader — see src/tree/xml_grammar.h.
+constexpr int kMaxParseDepth = kMaxXmlDepth;
 
-bool IsNameChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '#' ||
-         c == '$' || c == '.' || c == ':' || c == '-';
-}
+bool IsNameChar(char c) { return IsXmlNameChar(c); }
 
 void TermRec(const Node* tree, const Alphabet& alphabet, std::string* out) {
   out->append(alphabet.Name(tree->label));
@@ -127,7 +128,9 @@ class XmlParser {
     if (!t.ok()) return t;
     SkipSpace();
     if (pos_ != text_.size()) {
-      return InvalidArgumentError("trailing characters after root element");
+      return InvalidArgumentError(
+          "trailing characters after root element at position " +
+          std::to_string(pos_));
     }
     return t;
   }

@@ -1,0 +1,44 @@
+#ifndef XTC_TREE_XML_GRAMMAR_H_
+#define XTC_TREE_XML_GRAMMAR_H_
+
+#include <cctype>
+
+namespace xtc {
+
+/// The shared tokenizer contract between the DOM codec (src/tree/codec.cc)
+/// and the streaming event reader (src/stream/event_reader.h). Both accept
+/// exactly the same structure-only XML subset; a document accepted by one
+/// parser is accepted by the other, and a document rejected by one is
+/// rejected by the other (the regression suite in malformed_input_test and
+/// the differential sweep in stream_test pin this down). The grammar:
+///
+///   document  ::= ws element ws                 (exactly one root; anything
+///                                                but whitespace after the
+///                                                root is "trailing
+///                                                characters")
+///   element   ::= '<' name ws '/>'              (leaf)
+///               | '<' name ws '>' content '</' name ws '>'
+///   content   ::= (ws element)* ws              (elements only: attributes,
+///                                                text, comments, PIs and
+///                                                doctypes are rejected)
+///   name      ::= namechar+                     (IsXmlNameChar below)
+///   ws        ::= isspace*
+///
+/// Closing-tag names must match their opening tag. Nesting beyond
+/// kMaxXmlDepth is rejected with InvalidArgument ("depth limit") instead of
+/// risking unbounded recursion (DOM) or an unbounded element stack
+/// (streaming): both parsers hold O(depth) state, and the fuel makes that a
+/// hard bound an adversarial document cannot grow.
+inline constexpr int kMaxXmlDepth = 256;
+
+/// Characters allowed in element names and term-syntax labels. This is
+/// deliberately the same set for the term codec, the XML codec and the
+/// streaming reader, so a label round-trips between all three syntaxes.
+inline bool IsXmlNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '#' ||
+         c == '$' || c == '.' || c == ':' || c == '-';
+}
+
+}  // namespace xtc
+
+#endif  // XTC_TREE_XML_GRAMMAR_H_

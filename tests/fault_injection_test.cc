@@ -28,6 +28,10 @@
 #include "src/nta/nta.h"
 #include "src/nta/product.h"
 #include "src/schema/witness.h"
+#include "src/stream/doc_gen.h"
+#include "src/stream/event_reader.h"
+#include "src/stream/transform.h"
+#include "src/stream/validate.h"
 #include "src/workload/families.h"
 
 namespace xtc {
@@ -283,6 +287,78 @@ TEST(FaultInjectionTest, FrontDoorFallbackAbsorbsInjectedFaults) {
     }
   }
   EXPECT_GT(degraded, 0) << "no injection ever reached the fallback path";
+}
+
+// The streaming pipeline (src/stream/): one budget governs schema compile,
+// the event reader (per-event checks plus byte accounting), the validator
+// and the transducer gates. Every mid-stream injection point must surface
+// as a clean kResourceExhausted — never a crash, a hang, or a torn event.
+TEST(FaultInjectionTest, StreamingPipelineSweepsCleanly) {
+  const std::string doc =
+      RenderDoc(StreamDocSpec{StreamDocSpec::Shape::kMixed, 3000});
+  auto run = [&](Budget* b) -> Status {
+    Alphabet alphabet;
+    int root = alphabet.Intern("root");
+    alphabet.Intern("section");
+    alphabet.Intern("item");
+    Dtd dtd(&alphabet, root);
+    Status rule = dtd.SetRule("root", "(section|item)*");
+    if (!rule.ok()) return rule;
+    rule = dtd.SetRule("section", "(section|item)*");
+    if (!rule.ok()) return rule;
+    rule = dtd.SetRule("item", "%");
+    if (!rule.ok()) return rule;
+    Status compiled = dtd.Compile(b);
+    if (!compiled.ok()) return compiled;
+
+    Transducer t(&alphabet);
+    t.SetInitial(t.AddState("m"));
+    XTC_CHECK(t.SetRuleFromString("m", "root", "root(m)").ok());
+    XTC_CHECK(t.SetRuleFromString("m", "section", "section(m)").ok());
+    XTC_CHECK(t.SetRuleFromString("m", "item", "item").ok());
+
+    XmlEventReader::Options reader_options;
+    reader_options.budget = b;
+    XmlEventReader reader(&alphabet, reader_options);
+    StreamValidator::Options validator_options;
+    validator_options.budget = b;
+    StreamValidator validator(&dtd, validator_options);
+    std::string out;
+    StringSink sink(&out);
+    StreamTransducer::Options transducer_options;
+    transducer_options.budget = b;
+    StatusOr<std::unique_ptr<StreamTransducer>> exec =
+        StreamTransducer::Create(&t, &sink, transducer_options);
+    if (!exec.ok()) return exec.status();
+
+    std::size_t fed = 0;
+    XmlEvent event;
+    while (true) {
+      StatusOr<XmlEventReader::ReadResult> r = reader.Next(&event);
+      if (!r.ok()) return r.status();
+      if (*r == XmlEventReader::ReadResult::kEvent) {
+        Status s = validator.OnEvent(event);
+        if (!s.ok()) return s;
+        s = (*exec)->OnEvent(event);
+        if (!s.ok()) return s;
+        continue;
+      }
+      if (*r == XmlEventReader::ReadResult::kEndOfDocument) break;
+      if (fed < doc.size()) {
+        std::size_t n = std::min<std::size_t>(1024, doc.size() - fed);
+        reader.Push(std::string_view(doc).substr(fed, n));
+        fed += n;
+      } else {
+        reader.FinishInput();
+      }
+    }
+    Status finish = (*exec)->Finish();
+    if (!finish.ok()) return finish;
+    XTC_CHECK(validator.AtEndOfDocument());
+    return Status::Ok();
+  };
+  int points = SweepInjection("stream-pipeline", run);
+  EXPECT_GT(points, 0) << "no stream checkpoint was ever reached";
 }
 
 }  // namespace

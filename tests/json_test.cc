@@ -86,6 +86,26 @@ TEST(JsonTest, DumpPrintsIntegersExactlyAndDoublesShortest) {
   EXPECT_DOUBLE_EQ(back->AsNumber(), 0.1);
 }
 
+TEST(JsonTest, StreamRequestLinesRoundTripAtTheJsonLayer) {
+  // The streaming wire format (request.h) rides plain NDJSON: XML text in
+  // string fields must survive Dump/Parse untouched — angle brackets need
+  // no escaping — and doc_chunk continuation lines are ordinary objects.
+  const char* request = R"({"op":"validate_stream",)"
+                        R"("doc":"<a><b/></a>","format":"xml"})";
+  StatusOr<JsonValue> doc = ParseJson(request);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Find("doc")->AsString(), "<a><b/></a>");
+  EXPECT_EQ(doc->Find("format")->AsString(), "xml");
+  EXPECT_EQ(doc->Dump(), request);
+
+  const char* chunk = R"({"doc_chunk":"<a><b/>","last":false})";
+  StatusOr<JsonValue> line = ParseJson(chunk);
+  ASSERT_TRUE(line.ok());
+  EXPECT_EQ(line->Find("doc_chunk")->AsString(), "<a><b/>");
+  EXPECT_FALSE(line->Find("last")->AsBool());
+  EXPECT_EQ(line->Dump(), chunk);
+}
+
 TEST(JsonTest, SetOverwritesObjectFields) {
   JsonValue o = JsonValue::Object();
   o.Set("a", JsonValue::Number(1));

@@ -121,6 +121,54 @@ TEST(MalformedXmlTest, TruncatedAndGarbageInputsFailSoftly) {
   }
 }
 
+// Regression: both tree parsers must reject input that continues past the
+// root — the first well-formed prefix is not an accepting parse. The wire
+// protocol relies on this (a request's `tree`/`doc` field is exactly one
+// document), and the streaming reader implements the same rule, so the
+// parsers and the reader must agree (tests/stream_test.cc holds the
+// reader's half of the contract).
+TEST(MalformedTermTest, TrailingGarbageAfterRootRejected) {
+  Alphabet alphabet;
+  Arena arena;
+  TreeBuilder builder(&arena);
+  for (const char* bad : {"a b", "a(b) c", "a(b))", "a(b)(", "a(b)x(y)"}) {
+    StatusOr<Node*> t = ParseTerm(bad, &alphabet, &builder);
+    ASSERT_FALSE(t.ok()) << "accepted: " << bad;
+    EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument) << bad;
+    EXPECT_NE(t.status().message().find("trailing"), std::string::npos)
+        << bad << ": " << t.status().ToString();
+  }
+  // Trailing whitespace alone is fine.
+  EXPECT_TRUE(ParseTerm("a(b)  \n", &alphabet, &builder).ok());
+}
+
+TEST(MalformedXmlTest, TrailingGarbageAfterRootRejected) {
+  Alphabet alphabet;
+  Arena arena;
+  TreeBuilder builder(&arena);
+  for (const char* bad :
+       {"<a/><b/>", "<a></a>x", "<a/></a>", "<a/><", "<a></a><a></a>"}) {
+    StatusOr<Node*> t = ParseXml(bad, &alphabet, &builder);
+    ASSERT_FALSE(t.ok()) << "accepted: " << bad;
+    EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument) << bad;
+    EXPECT_NE(t.status().message().find("trailing"), std::string::npos)
+        << bad << ": " << t.status().ToString();
+  }
+  EXPECT_TRUE(ParseXml("<a/>  \n", &alphabet, &builder).ok());
+}
+
+TEST(MalformedXmlTest, TruncatedOpenBracketAfterChildFailsCleanly) {
+  // Regression guard for the shared tokenizer contract: an unfinished tag
+  // opener right after a complete child must be a clean error (not an
+  // out-of-range read) in both the DOM parser and the streaming reader.
+  Alphabet alphabet;
+  Arena arena;
+  TreeBuilder builder(&arena);
+  StatusOr<Node*> t = ParseXml("<a><", &alphabet, &builder);
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+}
+
 // Deterministic fuzz: random byte soup over the parsers' own alphabets must
 // always produce a verdict (parse or Status error), never a crash. Seeded
 // generator — failures reproduce.

@@ -15,6 +15,8 @@
 
 #include "src/service/replay.h"
 #include "src/service/service.h"
+#include "src/service/stream.h"
+#include "src/stream/doc_gen.h"
 
 namespace xtc {
 namespace {
@@ -337,6 +339,67 @@ TEST(ServiceFaultInjectionTest, ServiceSweepYieldsWellFormedResponses) {
           << "after n=" << n << ": " << response.status.ToString();
       EXPECT_EQ(response.typechecks, truth[response.id]) << "n=" << n;
     }
+  }
+}
+
+// The streaming sessions cross the same checkpoint ladder (enqueue,
+// execute, compile, cache-adopt, respond) on the caller's thread. Sweep
+// every crossing: each must yield exactly one well-formed injected-fault
+// response, and a disarmed re-run on the same service (same cache) must
+// still complete — no torn cache entries, no lost stats.
+TEST(ServiceFaultInjectionTest, StreamSessionSweepYieldsWellFormedResponses) {
+  const std::string doc =
+      RenderDoc(StreamDocSpec{StreamDocSpec::Shape::kMixed, 200});
+  ServiceRequest request;
+  {
+    StatusOr<std::vector<ServiceRequest>> batch =
+        MakeFamilyBatch("vstream", 200, 1, 1);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    request = (*batch)[0];
+  }
+  request.doc.clear();
+  request.chunked = true;
+
+  auto run_stream = [&](TypecheckService& service) {
+    std::unique_ptr<StreamSession> session = service.OpenStream(request);
+    for (std::size_t fed = 0; fed < doc.size(); fed += 64) {
+      session->Push(std::string_view(doc).substr(fed, 64));
+    }
+    return session->Finish();
+  };
+
+  ServiceFaultInjector injector;
+  injector.FailAt(0);  // disarmed: count the checkpoints one stream crosses
+  TypecheckService::Options options;
+  options.num_threads = 1;
+  options.fault_injector = &injector;
+  std::uint64_t total_checkpoints = 0;
+  {
+    TypecheckService service(options);
+    ServiceResponse clean = run_stream(service);
+    ASSERT_TRUE(clean.status.ok()) << clean.status.ToString();
+    EXPECT_TRUE(clean.valid);
+    total_checkpoints = injector.crossed();
+  }
+  ASSERT_GT(total_checkpoints, 0u);
+
+  for (std::uint64_t n = 1; n <= total_checkpoints; ++n) {
+    injector.FailAt(n);
+    TypecheckService service(options);  // fresh cache: compile paths re-run
+    ServiceResponse response = run_stream(service);
+    ASSERT_NE(injector.fired(), nullptr) << "n=" << n;
+    EXPECT_FALSE(response.status.ok()) << "n=" << n;
+    EXPECT_EQ(response.status.code(), StatusCode::kResourceExhausted)
+        << "n=" << n << ": " << response.status.ToString();
+    EXPECT_NE(response.status.message().find("injected fault"),
+              std::string::npos)
+        << "n=" << n << ": " << response.status.ToString();
+
+    injector.FailAt(0);  // disarm; same service, warm cache
+    ServiceResponse retry = run_stream(service);
+    ASSERT_TRUE(retry.status.ok())
+        << "after n=" << n << ": " << retry.status.ToString();
+    EXPECT_TRUE(retry.valid) << "n=" << n;
   }
 }
 

@@ -9,6 +9,7 @@
 #include "src/core/typecheck.h"
 #include "src/service/json.h"
 #include "src/service/replay.h"
+#include "src/service/stream.h"
 #include "src/workload/families.h"
 
 namespace xtc {
@@ -298,6 +299,208 @@ TEST_F(ServiceTest, ResponseLinesAreValidSingleLineJson) {
   EXPECT_FALSE(parsed->Find("typechecks")->AsBool());
   ASSERT_NE(parsed->Find("counterexample"), nullptr);
   ASSERT_NE(parsed->Find("cache"), nullptr);
+}
+
+// --- Streaming ops & the format field -------------------------------------
+
+TEST(ServiceRequestTest, ParsesAndRoundTripsStreamRequests) {
+  ServiceRequest request = MustParse(
+      R"js({"id": 4, "op": "validate_stream",
+          "schema": {"start": "root", "rules": {"root": "item*"}},
+          "doc": "<root><item/></root>"})js");
+  EXPECT_EQ(request.op, ServiceOp::kValidateStream);
+  EXPECT_EQ(request.doc, "<root><item/></root>");
+  EXPECT_FALSE(request.chunked);
+
+  ServiceRequest back = MustParse(ServiceRequestToJson(request));
+  EXPECT_EQ(back.op, ServiceOp::kValidateStream);
+  EXPECT_EQ(back.doc, request.doc);
+  EXPECT_EQ(back.schema.rules, request.schema.rules);
+
+  ServiceRequest chunked = MustParse(
+      R"js({"op": "transform_stream", "chunked": true,
+          "transducer": {"states": ["q"], "initial": "q",
+                         "rules": [["q", "a", "a(q)"]]}})js");
+  EXPECT_EQ(chunked.op, ServiceOp::kTransformStream);
+  EXPECT_TRUE(chunked.chunked);
+  ServiceRequest chunked_back = MustParse(ServiceRequestToJson(chunked));
+  EXPECT_TRUE(chunked_back.chunked);
+
+  // A stream op with neither an inline doc nor chunked: true is malformed.
+  EXPECT_FALSE(ParseServiceRequest(
+                   R"js({"op": "validate_stream",
+                       "schema": {"start": "r", "rules": {"r": "%"}}})js")
+                   .ok());
+}
+
+TEST(ServiceRequestTest, ParsesAndRoundTripsTheFormatField) {
+  ServiceRequest request = MustParse(
+      R"js({"op": "validate", "format": "xml",
+          "schema": {"start": "a", "rules": {"a": "b*"}},
+          "tree": "<a><b/></a>"})js");
+  EXPECT_EQ(request.format, DocFormat::kXml);
+  ServiceRequest back = MustParse(ServiceRequestToJson(request));
+  EXPECT_EQ(back.format, DocFormat::kXml);
+  EXPECT_EQ(back.tree, request.tree);
+
+  // Default is the paper's term syntax; garbage values are rejected.
+  EXPECT_EQ(MustParse(R"js({"op": "validate", "tree": "a",
+                          "schema": {"start": "a"}})js")
+                .format,
+            DocFormat::kTerm);
+  EXPECT_FALSE(ParseServiceRequest(
+                   R"js({"op": "validate", "format": "sgml", "tree": "a",
+                       "schema": {"start": "a"}})js")
+                   .ok());
+}
+
+TEST(ServiceRequestTest, DocChunkLinesParseAndRoundTrip) {
+  StatusOr<DocChunk> chunk =
+      ParseDocChunk(R"js({"doc_chunk": "<root><it", "last": false})js");
+  ASSERT_TRUE(chunk.ok()) << chunk.status().ToString();
+  EXPECT_EQ(chunk->data, "<root><it");
+  EXPECT_FALSE(chunk->last);
+
+  StatusOr<DocChunk> last = ParseDocChunk(DocChunkToJson({"em/></root>", true}));
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(last->data, "em/></root>");
+  EXPECT_TRUE(last->last);
+
+  EXPECT_FALSE(ParseDocChunk(R"js({"last": true})js").ok());
+  EXPECT_FALSE(ParseDocChunk(R"js({"doc_chunk": 7})js").ok());
+  EXPECT_FALSE(ParseDocChunk("not json").ok());
+}
+
+TEST_F(ServiceTest, ValidateAndTransformAcceptXmlFormat) {
+  TypecheckService service(SyncOptions());
+  ServiceRequest validate = MustParse(
+      R"js({"op": "validate", "format": "xml",
+          "schema": {"start": "a", "rules": {"a": "b*"}},
+          "tree": "<a><b/><b/></a>"})js");
+  ServiceResponse response = service.Process(validate);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_TRUE(response.valid);
+
+  // The transform output follows the input format: XML in, XML out.
+  ServiceRequest transform = MustParse(
+      R"js({"op": "transform", "format": "xml",
+          "transducer": {"states": ["q"], "initial": "q",
+                         "rules": [["q", "a", "c(q)"], ["q", "b", "d"]]},
+          "tree": "<a><b/><b/></a>"})js");
+  response = service.Process(transform);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.output, "<c><d/><d/></c>");
+
+  // Term syntax in the tree field under format xml is a clean error.
+  ServiceRequest mixed = MustParse(
+      R"js({"op": "validate", "format": "xml",
+          "schema": {"start": "a", "rules": {"a": "b*"}}, "tree": "a(b)"})js");
+  response = service.Process(mixed);
+  EXPECT_FALSE(response.status.ok());
+  EXPECT_EQ(response.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServiceTest, ValidateStreamInlineDoc) {
+  TypecheckService service(SyncOptions());
+  ServiceRequest request = MustParse(
+      R"js({"op": "validate_stream",
+          "schema": {"start": "root",
+                     "rules": {"root": "(section|item)*",
+                               "section": "(section|item)*"}},
+          "doc": "<root><section><item/></section><item/></root>"})js");
+  ServiceResponse response = service.Process(request);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_TRUE(response.valid);
+  EXPECT_EQ(response.tier, AdmissionTier::kExact);
+
+  // Schema-invalid (item below item) and unknown-label docs: ok status,
+  // valid false — verdict parity with the DOM validate op.
+  request.doc = "<root><item><item/></item></root>";
+  response = service.Process(request);
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_FALSE(response.valid);
+  request.doc = "<root><zebra/></root>";
+  response = service.Process(request);
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_FALSE(response.valid);
+
+  // Malformed XML is an error, not a verdict.
+  request.doc = "<root><item/>";
+  response = service.Process(request);
+  EXPECT_FALSE(response.status.ok());
+  EXPECT_EQ(response.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServiceTest, TransformStreamInlineDoc) {
+  TypecheckService service(SyncOptions());
+  ServiceRequest request = MustParse(
+      R"js({"op": "transform_stream",
+          "transducer": {"states": ["q"], "initial": "q",
+                         "rules": [["q", "a", "c(q)"], ["q", "b", "d"]]},
+          "doc": "<a><b/><b/></a>"})js");
+  ServiceResponse response = service.Process(request);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.output, "<c><d/><d/></c>");
+
+  // Verdict parity with the DOM transform op under format xml.
+  ServiceRequest dom = MustParse(
+      R"js({"op": "transform", "format": "xml",
+          "transducer": {"states": ["q"], "initial": "q",
+                         "rules": [["q", "a", "c(q)"], ["q", "b", "d"]]},
+          "tree": "<a><b/><b/></a>"})js");
+  ServiceResponse dom_response = service.Process(dom);
+  ASSERT_TRUE(dom_response.status.ok());
+  EXPECT_EQ(dom_response.output, response.output);
+}
+
+TEST_F(ServiceTest, OpenStreamPumpsChunks) {
+  TypecheckService service(SyncOptions());
+  ServiceRequest request = MustParse(
+      R"js({"id": 9, "op": "validate_stream", "chunked": true,
+          "schema": {"start": "root", "rules": {"root": "item*"}}})js");
+  std::unique_ptr<StreamSession> session = service.OpenStream(request);
+  const std::string doc = "<root><item/><item/></root>";
+  // Feed byte by byte: chunk boundaries must not matter.
+  for (char c : doc) session->Push(std::string_view(&c, 1));
+  ServiceResponse response = session->Finish();
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_TRUE(response.valid);
+  EXPECT_EQ(response.id, 9);
+  // Finish is idempotent.
+  EXPECT_TRUE(session->Finish().status.ok());
+
+  ServiceStats stats = service.stats();
+  EXPECT_GE(stats.completed, 1u);
+}
+
+TEST_F(ServiceTest, ChunkedRequestViaProcessIsRejected) {
+  // Process has no chunk transport; a chunked stream request needs
+  // OpenStream (or xtcd). The error must be a clean protocol error.
+  TypecheckService service(SyncOptions());
+  ServiceRequest request = MustParse(
+      R"js({"op": "validate_stream", "chunked": true,
+          "schema": {"start": "root", "rules": {"root": "item*"}}})js");
+  ServiceResponse response = service.Process(request);
+  EXPECT_FALSE(response.status.ok());
+  EXPECT_EQ(response.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServiceTest, StreamResponseLinesAreWellFormed) {
+  TypecheckService service(SyncOptions());
+  ServiceRequest request = MustParse(
+      R"js({"id": 12, "op": "transform_stream",
+          "transducer": {"states": ["q"], "initial": "q",
+                         "rules": [["q", "a", "c(q)"]]},
+          "doc": "<a><a/></a>"})js");
+  ServiceResponse response = service.Process(request);
+  std::string line = response.ToJsonLine();
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  StatusOr<JsonValue> parsed = ParseJson(line);
+  ASSERT_TRUE(parsed.ok()) << line;
+  EXPECT_DOUBLE_EQ(parsed->Find("id")->AsNumber(), 12);
+  EXPECT_EQ(parsed->Find("op")->AsString(), "transform_stream");
+  ASSERT_NE(parsed->Find("output"), nullptr);
+  EXPECT_EQ(parsed->Find("output")->AsString(), "<c><c/></c>");
 }
 
 // Satellite regression: ungoverned Typecheck() runs (budget == nullptr)
