@@ -10,10 +10,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
 #include <future>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "src/service/compile_cache.h"
 #include "src/service/replay.h"
 #include "src/service/service.h"
 #include "src/workload/families.h"
@@ -119,6 +123,73 @@ void BM_ServiceWarmCache(benchmark::State& state) {
                           static_cast<std::int64_t>(batch.size()));
 }
 BENCHMARK(BM_ServiceWarmCache)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// Warm-hit contention: N threads hammer GetOrCompileSchema against ONE
+// shared, prewarmed cache over a small key set, so every lookup resolves on
+// the lock-free snapshot path. This is the sharded cache's proof row: with
+// the old single-mutex table the per-op time grows with thread count (a
+// convoy); with snapshot reads it should stay near flat, so the scaling
+// ratio N*ns(1)/ns(N) approaches N (ci/cache_gate.py enforces floors on
+// multi-core hosts). Thread count rides in Arg() rather than ->Threads()
+// because the bench JSON reporter strips /key:value name suffixes, which
+// would drop a Threads() count from the row; manual time brackets exactly
+// the hammer loop, not thread spawn.
+void BM_CacheWarmHitContention(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  constexpr int kKeys = 8;
+  constexpr int kOpsPerThread = 4096;
+  struct Key {
+    SchemaSpec spec;
+    std::shared_ptr<Alphabet> alphabet;
+  };
+  CompileCache cache;
+  std::vector<Key> keys;
+  for (int n = 3; n < 3 + kKeys; ++n) {
+    StatusOr<ServiceRequest> request =
+        TypecheckRequestFromExample(FilterFamily(n));
+    XTC_CHECK_MSG(request.ok(), request.status().ToString().c_str());
+    StatusOr<std::vector<std::string>> universe = CollectUniverse(*request);
+    XTC_CHECK_MSG(universe.ok(), universe.status().ToString().c_str());
+    Key key;
+    key.spec = request->din;
+    key.alphabet = cache.GetOrCreateAlphabet(*universe);
+    XTC_CHECK(cache.GetOrCompileSchema(key.spec, key.alphabet, nullptr).ok());
+    keys.push_back(std::move(key));
+  }
+  for (auto _ : state) {
+    std::atomic<bool> go{false};
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&cache, &keys, &go, t] {
+        while (!go.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        for (int op = 0; op < kOpsPerThread; ++op) {
+          const Key& key = keys[static_cast<std::size_t>(t + op) % kKeys];
+          bool hit = false;
+          StatusOr<std::shared_ptr<const CompiledSchema>> artifact =
+              cache.GetOrCompileSchema(key.spec, key.alphabet, &hit);
+          benchmark::DoNotOptimize(artifact);
+        }
+      });
+    }
+    auto start = std::chrono::steady_clock::now();
+    go.store(true, std::memory_order_release);
+    for (std::thread& worker : pool) worker.join();
+    state.SetIterationTime(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count());
+  }
+  state.SetItemsProcessed(state.iterations() * threads * kOpsPerThread);
+}
+BENCHMARK(BM_CacheWarmHitContention)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->UseManualTime();
 
 }  // namespace
 }  // namespace xtc

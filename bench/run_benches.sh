@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs the paper-experiment benchmarks in --json mode and aggregates their
-# output into a single machine-readable file (default: BENCH_pr8.json at the
+# output into a single machine-readable file (default: BENCH_pr9.json at the
 # repo root). EXPERIMENTS.md documents the format; ci/run_ci.sh compares a
 # fresh run against the checked-in snapshot in its perf-smoke stage and
 # checks the lazy-vs-eager pairs with ci/lazy_gate.py and the streaming
@@ -22,7 +22,7 @@ set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build}"
-OUT="${2:-$REPO_ROOT/BENCH_pr8.json}"
+OUT="${2:-$REPO_ROOT/BENCH_pr9.json}"
 PASSES="${PASSES:-2}"
 
 BENCHES=(

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Enforces warm-hit throughput scaling on the sharded compile cache.
+
+Usage: cache_gate.py BENCH.json [min_scaling_at_4]
+
+BM_CacheWarmHitContention rows carry params [threads]; every lookup in the
+bench is a warm hit resolved on the lock-free snapshot path, and ns_per_op
+is the manual-timed cost of one iteration (threads * kOpsPerThread
+lookups). Per-thread op count is constant across rows, so the throughput
+scaling factor at N threads over the single-thread row is
+
+    scaling(N) = N * ns_per_op(1) / ns_per_op(N)
+
+With the old single-mutex table the rows convoy and scaling(N) saturates
+near 1; with snapshot reads it should track N. The gate requires
+scaling(4) >= `min_scaling_at_4` (default 2.0) and, when the recording
+host has >= 8 cores, scaling(8) >= 3.0.
+
+The floors only bind when the recorded hardware_concurrency (written by
+bench/run_benches.sh into the snapshot's metadata block) is >= 4: a
+single-vCPU host can only measure oversubscription, so there the gate
+reports the ratios and passes. Missing rows are always an error — the
+gate exists to catch the bench silently disappearing as much as the
+scaling regressing.
+"""
+
+import json
+import sys
+
+SUITE = "bench_service"
+BENCH = "BM_CacheWarmHitContention"
+
+
+def rows_of(doc):
+    """threads -> ns_per_op for the contention bench."""
+    rows = {}
+    for row in doc.get("suites", {}).get(SUITE, []):
+        params = row.get("params", [])
+        if row.get("bench") == BENCH and len(params) == 1:
+            rows[int(params[0])] = float(row["ns_per_op"])
+    return rows
+
+
+def main():
+    if len(sys.argv) < 2 or len(sys.argv) > 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+    floor4 = float(sys.argv[2]) if len(sys.argv) == 3 else 2.0
+
+    cores = int(doc.get("metadata", {}).get("hardware_concurrency", 1))
+    enforce = cores >= 4
+    if not enforce:
+        print(f"cache gate: host recorded {cores} core(s); "
+              "reporting scaling without enforcing floors")
+
+    rows = rows_of(doc)
+    failures = []
+    if not rows:
+        failures.append(f"{SUITE}: no [threads] rows for {BENCH}")
+    base = rows.get(1)
+    if rows and (base is None or base <= 0):
+        failures.append(f"{SUITE} {BENCH}: missing threads=1 row")
+        base = None
+
+    if base is not None:
+        floors = {4: floor4}
+        if cores >= 8:
+            floors[8] = 3.0
+        for threads in sorted(t for t in rows if t > 1):
+            ns = rows[threads]
+            scaling = threads * base / ns if ns > 0 else 0.0
+            floor = floors.get(threads)
+            gated = enforce and floor is not None
+            tag = "GATE" if gated else "info"
+            need = f" (need >= {floor:.2f}x)" if gated else ""
+            print(f"[{tag}] {SUITE} {BENCH} threads={threads}: "
+                  f"base={base:.0f}ns row={ns:.0f}ns "
+                  f"scaling={scaling:.2f}x{need}")
+            if gated and scaling < floor:
+                failures.append(
+                    f"{SUITE} {BENCH} threads={threads}: warm-hit scaling "
+                    f"{scaling:.2f}x below the {floor:.2f}x floor")
+
+    if failures:
+        print("cache gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("cache gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,7 +64,7 @@ done
 
 echo "=== perf smoke (Release benches vs checked-in snapshot) ==="
 SNAPSHOT=""
-for candidate in BENCH_pr8.json BENCH_pr7.json BENCH_pr6.json BENCH_pr4.json BENCH_pr3.json BENCH_pr2.json; do
+for candidate in BENCH_pr9.json BENCH_pr8.json BENCH_pr7.json BENCH_pr6.json BENCH_pr4.json BENCH_pr3.json BENCH_pr2.json; do
   if [[ -f "$candidate" ]]; then SNAPSHOT="$candidate"; break; fi
 done
 if [[ -n "$SNAPSHOT" ]]; then
@@ -82,6 +82,10 @@ if [[ -n "$SNAPSHOT" ]]; then
   python3 ci/parallel_gate.py /tmp/bench_smoke.json 2.0
   echo "=== streaming O(depth)-memory gate ==="
   python3 ci/stream_gate.py /tmp/bench_smoke.json
+  echo "=== sharded-cache warm-hit scaling gate ==="
+  # Same core-count guard as the parallel gate: floors only bind when this
+  # host records >= 4 cores; otherwise the scaling is reported and passes.
+  python3 ci/cache_gate.py /tmp/bench_smoke.json 2.0
 else
   echo "no bench snapshot; skipping perf smoke"
 fi

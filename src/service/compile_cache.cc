@@ -1,6 +1,8 @@
 #include "src/service/compile_cache.h"
 
 #include <chrono>
+#include <cstddef>
+#include <limits>
 #include <utility>
 
 #include "src/base/hash.h"
@@ -16,11 +18,37 @@ namespace {
 // the canonical key strings, map nodes, and the artifact struct itself.
 constexpr std::size_t kEntryBaseBytes = 1024;
 
+std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
 }  // namespace
 
 CompileCache::CompileCache() : CompileCache(Options()) {}
 
-CompileCache::CompileCache(const Options& options) : options_(options) {}
+CompileCache::CompileCache(const Options& options) : options_(options) {
+  std::size_t shards = options.shards == 0 ? 1 : options.shards;
+  if (shards > 4096) shards = 4096;
+  shard_count_ = RoundUpPow2(shards);
+  shard_mask_ = shard_count_ - 1;
+  shard_budget_ = options_.max_bytes / shard_count_;
+  shards_ = std::make_unique<Shard[]>(shard_count_);
+}
+
+std::unique_lock<std::mutex> CompileCache::LockCounted(
+    std::mutex& mu, std::atomic<std::uint64_t>& lock_waits) {
+  std::unique_lock<std::mutex> lock(mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    // Convoy telemetry: someone else holds the writer lock, so this
+    // acquisition will block. The count approximates contended waits, not
+    // wait time — enough to see a convoy form under the loadgen.
+    lock_waits.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+  return lock;
+}
 
 Budget CompileCache::MakeCompileBudget(std::uint64_t deadline_cap_ms) const {
   Budget budget;
@@ -51,6 +79,32 @@ std::string CompileCache::UniverseKeyOf(const Alphabet& alphabet) const {
   return key;
 }
 
+void CompileCache::PublishUniversesLocked() {
+  std::vector<std::shared_ptr<UniverseEntry>> entries;
+  entries.reserve(universes_.size());
+  for (const auto& [key, entry] : universes_) entries.push_back(entry);
+  universe_snapshot_.Publish(SnapshotTable<UniverseEntry>::Build(
+      std::move(entries)));
+}
+
+void CompileCache::CascadeEvictUniverseLocked(const std::string& universe_key) {
+  // Cascade: artifacts of the evicted universe reference an Alphabet
+  // object that a later identical universe would NOT be (pointer
+  // identity), so they must go with it — in every shard. Lock order is
+  // universe_mu_ (held by the caller) then one shard mu at a time.
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    Shard& shard = shards_[i];
+    auto lock = LockCounted(shard.mu, shard.lock_waits);
+    std::vector<std::string> stale;
+    for (const auto& [entry_key, entry] : shard.entries) {
+      if (entry->universe_key == universe_key) stale.push_back(entry_key);
+    }
+    if (stale.empty()) continue;
+    for (const std::string& entry_key : stale) EraseLocked(shard, entry_key);
+    PublishLocked(shard);
+  }
+}
+
 std::shared_ptr<Alphabet> CompileCache::GetOrCreateAlphabet(
     const std::vector<std::string>& universe) {
   std::string key;
@@ -58,66 +112,139 @@ std::shared_ptr<Alphabet> CompileCache::GetOrCreateAlphabet(
     key += name;
     key += '\n';
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = universes_.find(key);
-  if (it != universes_.end()) {
-    universe_lru_.splice(universe_lru_.begin(), universe_lru_,
-                         it->second.lru_it);
-    return it->second.alphabet;
-  }
-  auto alphabet = std::make_shared<Alphabet>();
-  for (const std::string& name : universe) alphabet->Intern(name);
-  universe_lru_.push_front(key);
-  universes_.emplace(std::move(key),
-                     Universe{alphabet, universe_lru_.begin()});
-  while (universes_.size() > options_.max_universes) {
-    // Cascade: artifacts of the evicted universe reference an Alphabet
-    // object that a later identical universe would NOT be (pointer
-    // identity), so they must go with it.
-    const std::string victim = universe_lru_.back();
-    universe_lru_.pop_back();
-    universes_.erase(victim);
-    std::vector<std::string> stale;
-    for (const auto& [entry_key, entry] : entries_) {
-      if (entry.universe_key == victim) stale.push_back(entry_key);
+  const std::uint64_t hash = HashBytes(key);
+  // Warm path: snapshot acquire, no mutex. Recency is recorded with a
+  // relaxed stamp store so the count-capped eviction below stays LRU-ish.
+  if (auto table = universe_snapshot_.Acquire()) {
+    if (UniverseEntry* entry = table->Find(hash, key)) {
+      entry->last_used.store(NextStamp(), std::memory_order_relaxed);
+      return entry->alphabet;
     }
-    for (const std::string& entry_key : stale) EraseEntryLocked(entry_key);
   }
+  auto lock = LockCounted(universe_mu_, universe_lock_waits_);
+  if (auto it = universes_.find(key); it != universes_.end()) {
+    it->second->last_used.store(NextStamp(), std::memory_order_relaxed);
+    return it->second->alphabet;
+  }
+  auto entry = std::make_shared<UniverseEntry>();
+  entry->key = key;
+  entry->hash = hash;
+  entry->alphabet = std::make_shared<Alphabet>();
+  for (const std::string& name : universe) entry->alphabet->Intern(name);
+  entry->last_used.store(NextStamp(), std::memory_order_relaxed);
+  std::shared_ptr<Alphabet> alphabet = entry->alphabet;
+  universes_.emplace(std::move(key), std::move(entry));
+  while (universes_.size() > options_.max_universes) {
+    // Evict the stalest universe (the just-created one is by construction
+    // the freshest stamp, so it always survives).
+    auto victim = universes_.end();
+    std::uint64_t coldest = std::numeric_limits<std::uint64_t>::max();
+    for (auto it = universes_.begin(); it != universes_.end(); ++it) {
+      const std::uint64_t stamp =
+          it->second->last_used.load(std::memory_order_relaxed);
+      if (stamp < coldest) {
+        coldest = stamp;
+        victim = it;
+      }
+    }
+    if (victim == universes_.end()) break;
+    CascadeEvictUniverseLocked(victim->first);
+    universes_.erase(victim);
+  }
+  PublishUniversesLocked();
   return alphabet;
 }
 
-CompileCache::Entry* CompileCache::LookupLocked(const std::string& key) {
-  auto it = entries_.find(key);
-  if (it == entries_.end()) return nullptr;
-  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-  return &it->second;
+std::shared_ptr<CompileCache::CacheEntry> CompileCache::FindLocked(
+    Shard& shard, const std::string& key) {
+  auto it = shard.entries.find(key);
+  return it == shard.entries.end() ? nullptr : it->second;
 }
 
-void CompileCache::InsertLocked(std::string key, Entry entry) {
-  lru_.push_front(key);
-  entry.lru_it = lru_.begin();
-  bytes_ += entry.bytes;
-  entries_.emplace(std::move(key), std::move(entry));
-  EvictOverflowLocked();
+void CompileCache::InsertLocked(Shard& shard,
+                                std::shared_ptr<CacheEntry> entry) {
+  shard.bytes += entry->bytes;
+  total_bytes_.fetch_add(entry->bytes, std::memory_order_relaxed);
+  entry->last_used.store(NextStamp(), std::memory_order_relaxed);
+  std::string key = entry->key;
+  shard.entries.emplace(std::move(key), std::move(entry));
 }
 
-void CompileCache::EvictOverflowLocked() {
-  // Evict from the cold end until under the ceiling; the just-touched front
-  // entry always survives (an artifact larger than the whole ceiling would
-  // otherwise never be usable at all).
-  while (bytes_ > options_.max_bytes && entries_.size() > 1) {
-    std::string victim = lru_.back();
-    EraseEntryLocked(victim);
-    ++counters_.evictions;
+void CompileCache::EraseLocked(Shard& shard, const std::string& key) {
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return;
+  shard.bytes -= it->second->bytes;
+  total_bytes_.fetch_sub(it->second->bytes, std::memory_order_relaxed);
+  shard.entries.erase(it);
+}
+
+void CompileCache::EvictShardOverflowLocked(Shard& shard,
+                                            const std::string& protect) {
+  // Evict stalest-first until under the shard budget; the just-inserted
+  // entry always survives locally (the global reconcile pass below it may
+  // still drop it once it is no longer the freshest).
+  while (shard.bytes > shard_budget_) {
+    std::string victim_key;
+    bool found = false;
+    std::uint64_t coldest = std::numeric_limits<std::uint64_t>::max();
+    for (const auto& [entry_key, entry] : shard.entries) {
+      if (entry_key == protect) continue;
+      const std::uint64_t stamp =
+          entry->last_used.load(std::memory_order_relaxed);
+      if (stamp < coldest) {
+        coldest = stamp;
+        victim_key = entry_key;
+        found = true;
+      }
+    }
+    if (!found) break;
+    EraseLocked(shard, victim_key);
+    shard.evictions.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
-void CompileCache::EraseEntryLocked(const std::string& key) {
-  auto it = entries_.find(key);
-  if (it == entries_.end()) return;
-  bytes_ -= it->second.bytes;
-  lru_.erase(it->second.lru_it);
-  entries_.erase(it);
+void CompileCache::PublishLocked(Shard& shard) {
+  std::vector<std::shared_ptr<CacheEntry>> entries;
+  entries.reserve(shard.entries.size());
+  for (const auto& [key, entry] : shard.entries) entries.push_back(entry);
+  shard.snapshot.Publish(SnapshotTable<CacheEntry>::Build(std::move(entries)));
+}
+
+void CompileCache::ReconcileGlobalBytes(const std::string& protect) {
+  // Per-shard budgets sum to the global ceiling, but the newest-entry
+  // carve-out lets an individual shard run over its slice; reconcile by
+  // evicting the globally coldest entries (approximate LRU over the stamp
+  // clock) until the total fits. One shard lock at a time, never nested.
+  while (total_bytes_.load(std::memory_order_relaxed) > options_.max_bytes) {
+    std::size_t victim_shard = shard_count_;
+    std::string victim_key;
+    std::uint64_t coldest = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t i = 0; i < shard_count_; ++i) {
+      Shard& shard = shards_[i];
+      auto lock = LockCounted(shard.mu, shard.lock_waits);
+      for (const auto& [entry_key, entry] : shard.entries) {
+        if (entry_key == protect) continue;
+        const std::uint64_t stamp =
+            entry->last_used.load(std::memory_order_relaxed);
+        if (stamp < coldest) {
+          coldest = stamp;
+          victim_shard = i;
+          victim_key = entry_key;
+        }
+      }
+    }
+    if (victim_shard == shard_count_) break;  // only the protected entry left
+    Shard& shard = shards_[victim_shard];
+    auto lock = LockCounted(shard.mu, shard.lock_waits);
+    if (shard.entries.find(victim_key) == shard.entries.end()) {
+      // A racing writer got there first; its own reconcile pass owns the
+      // remainder — bail instead of rescanning forever.
+      break;
+    }
+    EraseLocked(shard, victim_key);
+    shard.evictions.fetch_add(1, std::memory_order_relaxed);
+    PublishLocked(shard);
+  }
 }
 
 StatusOr<std::shared_ptr<const CompiledSchema>>
@@ -133,11 +260,32 @@ CompileCache::GetOrCompileSchema(const SchemaSpec& spec,
   XTC_ASSIGN_OR_RETURN(Dtd skeleton, BuildSchemaSkeleton(spec, alphabet.get()));
   std::string key = CanonicalDtdText(skeleton);
   std::uint64_t hash = HashBytes(key);
+  Shard& shard = ShardOf(hash);
+  // Warm path: one atomic snapshot acquire, an immutable-table probe, and
+  // a relaxed recency stamp — no mutex. This is the dominant serving case
+  // (warm@4threads = 17x cold@1 per BENCH_pr3), so it must scale with
+  // cores instead of convoying on a lock.
+  if (auto table = shard.snapshot.Acquire()) {
+    if (CacheEntry* entry = table->Find(hash, key)) {
+      if (entry->schema != nullptr && entry->schema->alphabet == alphabet) {
+        entry->last_used.store(NextStamp(), std::memory_order_relaxed);
+        shard.hits.fetch_add(1, std::memory_order_relaxed);
+        shard.snapshot_hits.fetch_add(1, std::memory_order_relaxed);
+        if (cache_hit != nullptr) *cache_hit = true;
+        return entry->schema;
+      }
+      // Stale generation (or a torn race with an eviction): re-check under
+      // the writer lock below before recompiling.
+    }
+  }
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (Entry* entry = LookupLocked(key); entry != nullptr) {
-      if (entry->schema->alphabet == alphabet) {
-        ++counters_.hits;
+    auto lock = LockCounted(shard.mu, shard.lock_waits);
+    if (auto entry = FindLocked(shard, key); entry != nullptr) {
+      if (entry->schema != nullptr && entry->schema->alphabet == alphabet) {
+        // Published after our snapshot acquire (or the snapshot probe
+        // raced): still a warm hit, just served under the lock.
+        entry->last_used.store(NextStamp(), std::memory_order_relaxed);
+        shard.hits.fetch_add(1, std::memory_order_relaxed);
         if (cache_hit != nullptr) *cache_hit = true;
         return entry->schema;
       }
@@ -145,9 +293,10 @@ CompileCache::GetOrCompileSchema(const SchemaSpec& spec,
       // instance of this universe (inserted by a worker that raced a
       // cascade eviction). Engines assert alphabet pointer identity, so it
       // is unusable with the caller's alphabet — drop it and recompile.
-      EraseEntryLocked(key);
+      EraseLocked(shard, key);
+      PublishLocked(shard);
     }
-    ++counters_.misses;
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
   }
 
   // Compile outside the lock: subset construction + completion +
@@ -172,20 +321,27 @@ CompileCache::GetOrCompileSchema(const SchemaSpec& spec,
                     static_cast<std::size_t>(budget.bytes_charged()) +
                     artifact->dtd->Size() * sizeof(int);
 
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Entry* entry = LookupLocked(key); entry != nullptr) {
-    if (entry->schema->alphabet == alphabet) {
-      // A concurrent worker compiled the same content first; adopt its
-      // artifact so equal content has one pointer identity cache-wide.
-      return entry->schema;
+  {
+    auto lock = LockCounted(shard.mu, shard.lock_waits);
+    if (auto entry = FindLocked(shard, key); entry != nullptr) {
+      if (entry->schema != nullptr && entry->schema->alphabet == alphabet) {
+        // A concurrent worker compiled the same content first; adopt its
+        // artifact so equal content has one pointer identity cache-wide.
+        return entry->schema;
+      }
+      EraseLocked(shard, key);  // stale generation; replace with ours below
     }
-    EraseEntryLocked(key);  // stale generation; replace with ours below
+    auto entry = std::make_shared<CacheEntry>();
+    entry->key = key;
+    entry->hash = hash;
+    entry->universe_key = UniverseKeyOf(*alphabet);
+    entry->schema = artifact;
+    entry->bytes = artifact->bytes;
+    InsertLocked(shard, std::move(entry));
+    EvictShardOverflowLocked(shard, key);
+    PublishLocked(shard);
   }
-  Entry entry;
-  entry.universe_key = UniverseKeyOf(*alphabet);
-  entry.schema = artifact;
-  entry.bytes = artifact->bytes;
-  InsertLocked(std::move(key), std::move(entry));
+  ReconcileGlobalBytes(key);
   return std::shared_ptr<const CompiledSchema>(artifact);
 }
 
@@ -203,17 +359,33 @@ CompileCache::GetOrCompileTransducer(const TransducerSpec& spec,
                        BuildTransducerSkeleton(spec, alphabet.get()));
   std::string key = CanonicalTransducerText(skeleton);
   std::uint64_t hash = HashBytes(key);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (Entry* entry = LookupLocked(key); entry != nullptr) {
-      if (entry->transducer->alphabet == alphabet) {
-        ++counters_.hits;
+  Shard& shard = ShardOf(hash);
+  if (auto table = shard.snapshot.Acquire()) {
+    if (CacheEntry* entry = table->Find(hash, key)) {
+      if (entry->transducer != nullptr &&
+          entry->transducer->alphabet == alphabet) {
+        entry->last_used.store(NextStamp(), std::memory_order_relaxed);
+        shard.hits.fetch_add(1, std::memory_order_relaxed);
+        shard.snapshot_hits.fetch_add(1, std::memory_order_relaxed);
         if (cache_hit != nullptr) *cache_hit = true;
         return entry->transducer;
       }
-      EraseEntryLocked(key);  // stale generation (see GetOrCompileSchema)
     }
-    ++counters_.misses;
+  }
+  {
+    auto lock = LockCounted(shard.mu, shard.lock_waits);
+    if (auto entry = FindLocked(shard, key); entry != nullptr) {
+      if (entry->transducer != nullptr &&
+          entry->transducer->alphabet == alphabet) {
+        entry->last_used.store(NextStamp(), std::memory_order_relaxed);
+        shard.hits.fetch_add(1, std::memory_order_relaxed);
+        if (cache_hit != nullptr) *cache_hit = true;
+        return entry->transducer;
+      }
+      EraseLocked(shard, key);  // stale generation (see GetOrCompileSchema)
+      PublishLocked(shard);
+    }
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
   }
 
   auto artifact = std::make_shared<CompiledTransducer>();
@@ -234,16 +406,26 @@ CompileCache::GetOrCompileTransducer(const TransducerSpec& spec,
       kEntryBaseBytes + 2 * key.size() +
       (artifact->original->Size() + artifact->selector_free->Size()) * 64;
 
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Entry* entry = LookupLocked(key); entry != nullptr) {
-    if (entry->transducer->alphabet == alphabet) return entry->transducer;
-    EraseEntryLocked(key);  // stale generation; replace with ours below
+  {
+    auto lock = LockCounted(shard.mu, shard.lock_waits);
+    if (auto entry = FindLocked(shard, key); entry != nullptr) {
+      if (entry->transducer != nullptr &&
+          entry->transducer->alphabet == alphabet) {
+        return entry->transducer;
+      }
+      EraseLocked(shard, key);  // stale generation; replace with ours below
+    }
+    auto entry = std::make_shared<CacheEntry>();
+    entry->key = key;
+    entry->hash = hash;
+    entry->universe_key = UniverseKeyOf(*alphabet);
+    entry->transducer = artifact;
+    entry->bytes = artifact->bytes;
+    InsertLocked(shard, std::move(entry));
+    EvictShardOverflowLocked(shard, key);
+    PublishLocked(shard);
   }
-  Entry entry;
-  entry.universe_key = UniverseKeyOf(*alphabet);
-  entry.transducer = artifact;
-  entry.bytes = artifact->bytes;
-  InsertLocked(std::move(key), std::move(entry));
+  ReconcileGlobalBytes(key);
   return std::shared_ptr<const CompiledTransducer>(artifact);
 }
 
@@ -252,13 +434,26 @@ std::shared_ptr<const LazySnapshot> CompileCache::GetLazySnapshot(
   // Namespaced so a snapshot key can never alias a canonical-text artifact
   // key ('\n' ends the prefix; canonical texts never start with "lazy\n").
   const std::string full_key = "lazy\n" + key;
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Entry* entry = LookupLocked(full_key);
+  const std::uint64_t hash = HashBytes(full_key);
+  Shard& shard = ShardOf(hash);
+  if (auto table = shard.snapshot.Acquire()) {
+    if (CacheEntry* entry = table->Find(hash, full_key)) {
+      if (entry->lazy != nullptr) {
+        entry->last_used.store(NextStamp(), std::memory_order_relaxed);
+        shard.lazy_hits.fetch_add(1, std::memory_order_relaxed);
+        shard.snapshot_hits.fetch_add(1, std::memory_order_relaxed);
+        return entry->lazy;
+      }
+    }
+  }
+  auto lock = LockCounted(shard.mu, shard.lock_waits);
+  if (auto entry = FindLocked(shard, full_key);
       entry != nullptr && entry->lazy != nullptr) {
-    ++counters_.lazy_hits;
+    entry->last_used.store(NextStamp(), std::memory_order_relaxed);
+    shard.lazy_hits.fetch_add(1, std::memory_order_relaxed);
     return entry->lazy;
   }
-  ++counters_.lazy_misses;
+  shard.lazy_misses.fetch_add(1, std::memory_order_relaxed);
   return nullptr;
 }
 
@@ -266,31 +461,78 @@ void CompileCache::PutLazySnapshot(
     const std::string& key, std::shared_ptr<const LazySnapshot> snapshot) {
   if (snapshot == nullptr) return;
   std::string full_key = "lazy\n" + key;
-  std::lock_guard<std::mutex> lock(mu_);
-  if (LookupLocked(full_key) != nullptr) return;  // first insert wins
-  Entry entry;
-  entry.bytes =
-      kEntryBaseBytes + 2 * full_key.size() + snapshot->ApproxBytes();
-  entry.lazy = std::move(snapshot);
-  InsertLocked(std::move(full_key), std::move(entry));
+  const std::uint64_t hash = HashBytes(full_key);
+  Shard& shard = ShardOf(hash);
+  {
+    auto lock = LockCounted(shard.mu, shard.lock_waits);
+    if (auto entry = FindLocked(shard, full_key); entry != nullptr) {
+      // First insert wins; refresh recency so the kept table stays warm.
+      entry->last_used.store(NextStamp(), std::memory_order_relaxed);
+      return;
+    }
+    auto entry = std::make_shared<CacheEntry>();
+    entry->key = full_key;
+    entry->hash = hash;
+    entry->bytes =
+        kEntryBaseBytes + 2 * full_key.size() + snapshot->ApproxBytes();
+    entry->lazy = std::move(snapshot);
+    InsertLocked(shard, std::move(entry));
+    EvictShardOverflowLocked(shard, full_key);
+    PublishLocked(shard);
+  }
+  ReconcileGlobalBytes(full_key);
 }
 
 CompileCache::Stats CompileCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  Stats stats = counters_;
-  stats.bytes = bytes_;
-  stats.entries = entries_.size();
-  stats.universes = universes_.size();
+  Stats stats;
+  stats.shards = shard_count_;
+  stats.per_shard.reserve(shard_count_);
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    Shard& shard = shards_[i];
+    ShardStats per;
+    per.hits = shard.hits.load(std::memory_order_relaxed);
+    per.misses = shard.misses.load(std::memory_order_relaxed);
+    per.evictions = shard.evictions.load(std::memory_order_relaxed);
+    per.snapshot_hits = shard.snapshot_hits.load(std::memory_order_relaxed);
+    per.lock_waits = shard.lock_waits.load(std::memory_order_relaxed);
+    {
+      // Plain lock (not LockCounted): a stats scrape contending with a
+      // writer is not a serving-path convoy.
+      std::lock_guard<std::mutex> lock(shard.mu);
+      per.bytes = shard.bytes;
+      per.entries = shard.entries.size();
+    }
+    stats.hits += per.hits;
+    stats.misses += per.misses;
+    stats.evictions += per.evictions;
+    stats.snapshot_hits += per.snapshot_hits;
+    stats.lock_waits += per.lock_waits;
+    stats.lazy_hits += shard.lazy_hits.load(std::memory_order_relaxed);
+    stats.lazy_misses += shard.lazy_misses.load(std::memory_order_relaxed);
+    stats.bytes += per.bytes;
+    stats.entries += per.entries;
+    stats.per_shard.push_back(per);
+  }
+  stats.lock_waits += universe_lock_waits_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(universe_mu_);
+    stats.universes = universes_.size();
+  }
   return stats;
 }
 
 void CompileCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  entries_.clear();
-  lru_.clear();
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total_bytes_.fetch_sub(shard.bytes, std::memory_order_relaxed);
+    shard.bytes = 0;
+    shard.entries.clear();
+    shard.snapshot.Publish(nullptr);
+  }
+  std::lock_guard<std::mutex> lock(universe_mu_);
   universes_.clear();
-  universe_lru_.clear();
-  bytes_ = 0;
+  universe_snapshot_.Publish(nullptr);
 }
 
 }  // namespace xtc

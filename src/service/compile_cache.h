@@ -1,8 +1,8 @@
 #ifndef XTC_SERVICE_COMPILE_CACHE_H_
 #define XTC_SERVICE_COMPILE_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/base/budget.h"
+#include "src/base/snapshot.h"
 #include "src/base/status.h"
 #include "src/fa/alphabet.h"
 #include "src/nta/lazy.h"
@@ -56,31 +57,52 @@ struct CompiledTransducer {
 ///
 /// Content addressing: the key is the canonical text of the component
 /// (src/schema/canonical.h, src/td/canonical.h), which embeds the universe
-/// id->name section; the 64-bit structural hash only buckets, equality is
-/// always by full key comparison — hash collisions can cost a lookup, never
-/// alias artifacts.
+/// id->name section; the 64-bit structural hash picks the shard and
+/// buckets within it, equality is always by full key comparison — hash
+/// collisions can cost a lookup, never alias artifacts.
 ///
 /// Universes: one immutable Alphabet object per distinct sorted name set,
 /// interned in sorted order so ids are deterministic. Artifacts hold a
 /// shared_ptr to their universe's alphabet; evicting a universe cascades to
-/// its artifacts (a re-created universe is a *different* Alphabet object,
-/// and the engines' pointer comparison must never see a stale one).
+/// its artifacts across every shard (a re-created universe is a *different*
+/// Alphabet object, and the engines' pointer comparison must never see a
+/// stale one).
 ///
-/// Eviction: strict LRU over artifacts, triggered when accounted bytes
-/// exceed `max_bytes` (sizes are measured with the PR-1 Budget byte
-/// accounting during compilation). Universe registry is LRU-capped by
-/// count. Evicted artifacts stay alive while in-flight requests hold them.
+/// Sharding + snapshots: artifacts are hash-partitioned into
+/// `Options::shards` shards. Each shard publishes an immutable
+/// SnapshotTable of its entries through a SnapshotSlot; warm lookups do an
+/// atomic snapshot acquire and probe it — no mutex anywhere on the hit
+/// path. Only misses, inserts, evictions, and universe cascades take the
+/// per-shard writer mutex, mutate the authoritative map, and publish a new
+/// snapshot (init-before-publish, like concurrent_interner.h). The
+/// universe registry gets the same treatment with a single table.
 ///
-/// Concurrency: lookups and inserts are mutex-guarded; compilation runs
-/// outside the lock. Two workers missing on the same key both compile;
-/// the first insert wins and the loser adopts it — slightly wasteful,
-/// never incorrect.
+/// Eviction: approximate LRU over generation stamps. Every entry carries
+/// an atomic `last_used` stamp from a global clock; snapshot hits bump it
+/// with a relaxed store (readers never publish). Each shard locally evicts
+/// its coldest entries past its budget (`max_bytes / shards`); after an
+/// insert the shard reconciles against the global ceiling by evicting the
+/// globally coldest entries (one shard lock at a time), so accounted bytes
+/// never exceed `max_bytes` — the sum of the shard budgets — except when
+/// the just-inserted artifact alone is larger than the whole ceiling (it
+/// survives, exactly like the old single-lock cache's newest-entry
+/// carve-out). Universe registry is stamp-LRU-capped by count. Evicted
+/// artifacts stay alive while in-flight requests hold them.
+///
+/// Concurrency: warm hits are lock-free snapshot reads; slow paths are
+/// per-shard mutexes; compilation runs outside any lock. Two workers
+/// missing on the same key both compile; the first insert wins and the
+/// loser adopts it — slightly wasteful, never incorrect. Stale-generation
+/// detection is preserved: a snapshot or map hit whose artifact alphabet
+/// is not the caller's (a worker raced a cascade eviction) is treated as a
+/// miss, erased, and recompiled.
 ///
 /// Thread-compatibility: thread-safe (all public methods).
 class CompileCache {
  public:
   struct Options {
-    /// Artifact byte ceiling before LRU eviction starts.
+    /// Artifact byte ceiling before LRU eviction starts (sum of the
+    /// per-shard budgets).
     std::size_t max_bytes = std::size_t{64} << 20;
     /// Max distinct universe alphabets kept.
     std::size_t max_universes = 64;
@@ -91,6 +113,20 @@ class CompileCache {
     std::uint64_t compile_deadline_ms = 0;
     /// Per-rule DFA state cap for DTD(NFA) determinization.
     int max_dfa_states = 1 << 16;
+    /// Hash partitions. Rounded up to a power of two, clamped to
+    /// [1, 4096]. 1 reproduces the old single-lock strict-LRU behaviour.
+    std::size_t shards = 8;
+  };
+
+  /// Per-shard contention/occupancy counters (Stats::per_shard).
+  struct ShardStats {
+    std::uint64_t hits = 0;           ///< warm lookups served (any path)
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t snapshot_hits = 0;  ///< hits served lock-free
+    std::uint64_t lock_waits = 0;     ///< contended writer-mutex acquires
+    std::size_t bytes = 0;
+    std::size_t entries = 0;
   };
 
   struct Stats {
@@ -99,9 +135,13 @@ class CompileCache {
     std::uint64_t evictions = 0;
     std::uint64_t lazy_hits = 0;    ///< lazy-snapshot lookups served
     std::uint64_t lazy_misses = 0;  ///< lazy-snapshot lookups missed
+    std::uint64_t snapshot_hits = 0;  ///< hits served without any mutex
+    std::uint64_t lock_waits = 0;   ///< convoy counter: contended acquires
     std::size_t bytes = 0;
     std::size_t entries = 0;
     std::size_t universes = 0;
+    std::size_t shards = 0;
+    std::vector<ShardStats> per_shard;
   };
 
   CompileCache();  ///< default Options
@@ -110,7 +150,7 @@ class CompileCache {
   /// The shared Alphabet for `universe` (sorted unique names, as returned
   /// by CollectUniverse), creating and registering it on first use. The
   /// returned object is frozen by contract: callers must never Intern into
-  /// it (src/base/README.md).
+  /// it (src/base/README.md). Warm lookups are lock-free snapshot reads.
   std::shared_ptr<Alphabet> GetOrCreateAlphabet(
       const std::vector<std::string>& universe);
 
@@ -149,39 +189,98 @@ class CompileCache {
   /// Drops all artifacts and universes (cumulative counters are kept).
   void Clear();
 
+  std::size_t shard_count() const { return shard_count_; }
+
  private:
-  struct Entry {
-    // Exactly one of schema/transducer/lazy is set. Lazy entries carry an
-    // empty universe_key: their tables are interned int tuples with no
-    // Alphabet binding, so universe cascade eviction never touches them.
+  // One cached artifact. Every payload field is immutable after
+  // construction; `last_used` is the only mutable field and is a relaxed
+  // atomic so lock-free snapshot readers can record recency without the
+  // shard writer mutex. Exactly one of schema/transducer/lazy is set.
+  // Lazy entries carry an empty universe_key: their tables are interned
+  // int tuples with no Alphabet binding, so universe cascade eviction
+  // never touches them.
+  struct CacheEntry {
+    std::string key;
+    std::uint64_t hash = 0;
     std::string universe_key;
     std::shared_ptr<const CompiledSchema> schema;
     std::shared_ptr<const CompiledTransducer> transducer;
     std::shared_ptr<const LazySnapshot> lazy;
     std::size_t bytes = 0;
-    std::list<std::string>::iterator lru_it;
+    mutable std::atomic<std::uint64_t> last_used{0};
   };
-  struct Universe {
+
+  // One universe registration, snapshot-readable like CacheEntry.
+  struct UniverseEntry {
+    std::string key;  // id->name section, '\n'-joined (names never contain it)
+    std::uint64_t hash = 0;
     std::shared_ptr<Alphabet> alphabet;
-    std::list<std::string>::iterator lru_it;
+    mutable std::atomic<std::uint64_t> last_used{0};
+  };
+
+  // A hash partition. `entries`/`bytes` are the authoritative state,
+  // guarded by `mu`; `snapshot` is the published immutable index rebuilt
+  // after every mutation. Counters are atomics: hits/snapshot_hits are
+  // bumped by lock-free readers, the rest under mu (atomic anyway so
+  // stats() needs no lock to read them).
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::shared_ptr<CacheEntry>> entries;
+    std::size_t bytes = 0;
+    SnapshotSlot<const SnapshotTable<CacheEntry>> snapshot;
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> evictions{0};
+    std::atomic<std::uint64_t> snapshot_hits{0};
+    std::atomic<std::uint64_t> lock_waits{0};
+    std::atomic<std::uint64_t> lazy_hits{0};
+    std::atomic<std::uint64_t> lazy_misses{0};
   };
 
   Budget MakeCompileBudget(std::uint64_t deadline_cap_ms) const;
   std::string UniverseKeyOf(const Alphabet& alphabet) const;
-  // All *Locked helpers require mu_ held.
-  Entry* LookupLocked(const std::string& key);
-  void InsertLocked(std::string key, Entry entry);
-  void EvictOverflowLocked();
-  void EraseEntryLocked(const std::string& key);
+
+  Shard& ShardOf(std::uint64_t hash) const {
+    return shards_[hash & shard_mask_];
+  }
+  // Locks `mu`, counting a convoy event into `lock_waits` when the lock
+  // was contended (try_lock failed and we had to block).
+  static std::unique_lock<std::mutex> LockCounted(
+      std::mutex& mu, std::atomic<std::uint64_t>& lock_waits);
+  std::uint64_t NextStamp() const {
+    return clock_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // All *Locked helpers require the shard's mu held.
+  std::shared_ptr<CacheEntry> FindLocked(Shard& shard, const std::string& key);
+  void InsertLocked(Shard& shard, std::shared_ptr<CacheEntry> entry);
+  void EraseLocked(Shard& shard, const std::string& key);
+  // Evicts the shard's coldest entries past its budget; `protect` (the
+  // just-inserted key) always survives.
+  void EvictShardOverflowLocked(Shard& shard, const std::string& protect);
+  void PublishLocked(Shard& shard);
+  // Takes one shard lock at a time; evicts globally coldest entries until
+  // total accounted bytes fit the global ceiling. Never called with a
+  // shard lock held.
+  void ReconcileGlobalBytes(const std::string& protect);
+  // Erases every artifact bound to `universe_key` in every shard (requires
+  // universe_mu_ held; takes shard locks one at a time — the lock order is
+  // universe_mu_ before shard mu, never the reverse).
+  void CascadeEvictUniverseLocked(const std::string& universe_key);
+  void PublishUniversesLocked();
 
   const Options options_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Entry> entries_;
-  std::list<std::string> lru_;  ///< front = most recently used artifact key
-  std::unordered_map<std::string, Universe> universes_;
-  std::list<std::string> universe_lru_;  ///< front = most recently used
-  std::size_t bytes_ = 0;
-  Stats counters_;  ///< hits/misses/evictions (sizes derived on read)
+  std::size_t shard_count_ = 1;
+  std::size_t shard_mask_ = 0;
+  std::size_t shard_budget_ = 0;  ///< max_bytes / shard_count_
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<std::size_t> total_bytes_{0};
+  mutable std::atomic<std::uint64_t> clock_{1};  ///< approximate LRU clock
+
+  mutable std::mutex universe_mu_;
+  std::unordered_map<std::string, std::shared_ptr<UniverseEntry>> universes_;
+  SnapshotSlot<const SnapshotTable<UniverseEntry>> universe_snapshot_;
+  std::atomic<std::uint64_t> universe_lock_waits_{0};
 };
 
 }  // namespace xtc

@@ -24,6 +24,7 @@ namespace {
 
 struct Flags {
   std::string mode = "gate";
+  std::string mix = "standard";  // standard | warm (95% warm repeats)
   double qps = 100;        // run mode only; gate mode calibrates
   double duration_s = 2.0;
   int threads = 2;
@@ -45,7 +46,8 @@ bool ParseNum(const char* arg, const char* name, double* out) {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--mode=gate|run] [--qps=N] [--duration-s=N]\n"
+               "usage: %s [--mode=gate|run] [--mix=standard|warm] [--qps=N] "
+               "[--duration-s=N]\n"
                "          [--threads=N] [--queue=N] [--seed=N] "
                "[--deadline-ms=N] [--hostile-deadline-ms=N]\n",
                argv0);
@@ -66,6 +68,25 @@ std::vector<xtc::LoadClass> MixClasses(const Flags& flags) {
   warm.weight = 0.8;
   warm.deadline_ms = flags.deadline_ms;
   warm.prewarm = true;
+
+  if (flags.mix == "warm") {
+    // Warm-heavy mix: ~95% warm repeats over a small prewarmed key set,
+    // with a thin cold tail. This is the sharded cache's target workload —
+    // nearly every request should resolve on the lock-free snapshot path,
+    // so cache_lock_waits should stay near zero and cache_snapshot_hits
+    // should track cache_hits.
+    warm.distinct = 4;
+    warm.weight = 0.95;
+
+    xtc::LoadClass trickle;
+    trickle.name = "cold";
+    trickle.family = "xpath";
+    trickle.n = 2;
+    trickle.distinct = 6;
+    trickle.weight = 0.05;
+    trickle.deadline_ms = flags.deadline_ms;
+    return {warm, trickle};
+  }
 
   xtc::LoadClass cold;
   cold.name = "cold";
@@ -115,16 +136,36 @@ void PrintReport(const char* key, const xtc::LoadgenReport& report,
   const xtc::ServiceStats& stats = report.service;
   std::printf("}, \"service\": {\"shed_queue_full\": %llu, "
               "\"shed_overload\": %llu, \"shed_deadline\": %llu, "
+              "\"shed_stream_limit\": %llu, "
               "\"expired_in_queue\": %llu, \"cost_ewma_ms\": %.3f, "
-              "\"cache_hits\": %llu, \"cache_misses\": %llu}}%s\n",
+              "\"cache_hits\": %llu, \"cache_misses\": %llu, "
+              "\"cache_snapshot_hits\": %llu, \"cache_lock_waits\": %llu, "
+              "\"cache_shards\": [",
               static_cast<unsigned long long>(stats.shed_queue_full),
               static_cast<unsigned long long>(stats.shed_overload),
               static_cast<unsigned long long>(stats.shed_deadline),
+              static_cast<unsigned long long>(stats.shed_stream_limit),
               static_cast<unsigned long long>(stats.expired_in_queue),
               stats.cost_ewma_ms,
               static_cast<unsigned long long>(stats.cache.hits),
               static_cast<unsigned long long>(stats.cache.misses),
-              trailing_comma ? "," : "");
+              static_cast<unsigned long long>(stats.cache.snapshot_hits),
+              static_cast<unsigned long long>(stats.cache.lock_waits));
+  // Per-shard convoy telemetry: a single hot shard (skewed key space) or a
+  // high lock_waits column is visible here before it shows up as latency.
+  first = true;
+  for (const xtc::CompileCache::ShardStats& shard : stats.cache.per_shard) {
+    std::printf("%s{\"hits\": %llu, \"misses\": %llu, \"evictions\": %llu, "
+                "\"snapshot_hits\": %llu, \"lock_waits\": %llu}",
+                first ? "" : ", ",
+                static_cast<unsigned long long>(shard.hits),
+                static_cast<unsigned long long>(shard.misses),
+                static_cast<unsigned long long>(shard.evictions),
+                static_cast<unsigned long long>(shard.snapshot_hits),
+                static_cast<unsigned long long>(shard.lock_waits));
+    first = false;
+  }
+  std::printf("]}}%s\n", trailing_comma ? "," : "");
 }
 
 }  // namespace
@@ -136,6 +177,8 @@ int main(int argc, char** argv) {
     std::size_t len = std::strlen("--mode");
     if (std::strncmp(argv[i], "--mode", len) == 0 && argv[i][len] == '=') {
       flags.mode = argv[i] + len + 1;
+    } else if (std::strncmp(argv[i], "--mix", 5) == 0 && argv[i][5] == '=') {
+      flags.mix = argv[i] + 6;
     } else if (ParseNum(argv[i], "--qps", &v)) {
       flags.qps = v;
     } else if (ParseNum(argv[i], "--duration-s", &v)) {
@@ -157,6 +200,7 @@ int main(int argc, char** argv) {
   if (flags.threads < 1 || flags.queue < 1 || flags.duration_s <= 0) {
     return Usage(argv[0]);
   }
+  if (flags.mix != "standard" && flags.mix != "warm") return Usage(argv[0]);
 
   xtc::LoadgenOptions options;
   options.duration_s = flags.duration_s;

@@ -175,7 +175,9 @@ int main(int argc, char** argv) {
       "{\"family\": \"%s\", \"n\": %d, \"count\": %d, \"distinct\": %d, "
       "\"threads\": %d, \"ok\": %d, \"errors\": %d, \"elapsed_s\": %.4f, "
       "\"requests_per_s\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
-      "\"cache_hits\": %llu, \"cache_misses\": %llu, \"shed\": %llu, "
+      "\"cache_hits\": %llu, \"cache_misses\": %llu, "
+      "\"cache_snapshot_hits\": %llu, \"cache_lock_waits\": %llu, "
+      "\"cache_shards\": %zu, \"shed\": %llu, "
       "\"tier_exact\": %llu, \"tier_approximate\": %llu, "
       "\"rejected\": %llu, \"retries\": %llu, \"backoff_ms\": %llu}\n",
       flags.family.c_str(), flags.n, flags.count, flags.distinct,
@@ -184,6 +186,9 @@ int main(int argc, char** argv) {
       stats.latency_p50_ms, stats.latency_p99_ms,
       static_cast<unsigned long long>(stats.cache.hits),
       static_cast<unsigned long long>(stats.cache.misses),
+      static_cast<unsigned long long>(stats.cache.snapshot_hits),
+      static_cast<unsigned long long>(stats.cache.lock_waits),
+      stats.cache.shards,
       static_cast<unsigned long long>(stats.shed), tier_exact, tier_approx,
       rejected, retries_total, backoff_ms_total);
   return errors == 0 ? 0 : 1;

@@ -163,6 +163,8 @@ const char* ShedReasonName(ShedReason reason) {
       return "stopping";
     case ShedReason::kFault:
       return "fault";
+    case ShedReason::kStreamLimit:
+      return "stream_limit";
   }
   return "unknown";
 }

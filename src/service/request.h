@@ -82,6 +82,7 @@ enum class ShedReason {
   kDeadline,   ///< predicted or actual deadline expiry before execution
   kStopping,   ///< the service is draining or shut down
   kFault,      ///< a deterministic injected fault fired (tests)
+  kStreamLimit,  ///< open chunked-stream sessions at max_open_streams
 };
 
 const char* ShedReasonName(ShedReason reason);

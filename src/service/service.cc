@@ -112,6 +112,9 @@ ServiceResponse TypecheckService::ShedResponse(const ServiceRequest& request,
     case ShedReason::kFault:
       shed_fault_.fetch_add(1, std::memory_order_relaxed);
       break;
+    case ShedReason::kStreamLimit:
+      shed_stream_limit_.fetch_add(1, std::memory_order_relaxed);
+      break;
     case ShedReason::kNone:
       break;
   }
@@ -140,6 +143,10 @@ ServiceResponse TypecheckService::ShedResponse(const ServiceRequest& request,
     case ShedReason::kFault:
       response.status =
           ResourceExhaustedError("injected fault at service checkpoint");
+      break;
+    case ShedReason::kStreamLimit:
+      response.status = ResourceExhaustedError(
+          "too many concurrently open stream sessions");
       break;
     case ShedReason::kNone:
       response.status = ResourceExhaustedError("request shed");
@@ -565,12 +572,15 @@ ServiceStats TypecheckService::stats() const {
   stats.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
   stats.shed_stopping = shed_stopping_.load(std::memory_order_relaxed);
   stats.shed_fault = shed_fault_.load(std::memory_order_relaxed);
+  stats.shed_stream_limit =
+      shed_stream_limit_.load(std::memory_order_relaxed);
   stats.expired_in_queue = expired_in_queue_.load(std::memory_order_relaxed);
   stats.drain_cancelled = drain_cancelled_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats.queue_depth = queue_.size();
     stats.cost_ewma_ms = cost_ewma_ms_;
+    stats.open_streams = open_streams_;
   }
   stats.latency_count = latency_.count();
   stats.latency_p50_ms = latency_.Percentile(50);

@@ -98,6 +98,8 @@ struct ServiceStats {
   std::uint64_t shed_deadline = 0;     ///< shed: predicted deadline miss
   std::uint64_t shed_stopping = 0;     ///< shed: draining / shut down
   std::uint64_t shed_fault = 0;        ///< shed: injected fault (tests)
+  std::uint64_t shed_stream_limit = 0; ///< shed: open-stream cap reached
+  std::size_t open_streams = 0;        ///< instantaneous OpenStream sessions
   std::uint64_t expired_in_queue = 0;  ///< admitted, deadline died queued
   std::uint64_t drain_cancelled = 0;   ///< queued work failed by Stop()
   double cost_ewma_ms = 0;             ///< smoothed per-request cost
@@ -166,6 +168,15 @@ class TypecheckService {
     /// process's worst-case engine thread count.
     int max_request_threads = 8;
 
+    /// Backpressure cap on concurrently open chunked-stream sessions
+    /// (OpenStream). Streams run on caller threads and bypass the bounded
+    /// worker queue, so without a cap a slow-client fleet could hold
+    /// unbounded per-session state (reader buffers, compiled artifacts).
+    /// Opens past the cap are shed with kResourceExhausted, reason
+    /// `stream_limit`, and a retry_after_ms hint; the slot frees when the
+    /// session finishes (or is destroyed). 0 = unbounded.
+    std::size_t max_open_streams = 64;
+
     /// Deterministic fault injection (tests only). Borrowed; must outlive
     /// the service.
     ServiceFaultInjector* fault_injector = nullptr;
@@ -231,6 +242,8 @@ class TypecheckService {
   /// Estimated queue wait for a newly admitted request, in ms (mu_ held).
   double EstimatedWaitMsLocked() const;
   void RecordCost(double elapsed_ms);
+  /// Frees the open-stream slot a counted StreamSession held (at Finish).
+  void ReleaseStreamSlot();
 
   const Options options_;
   CompileCache cache_;
@@ -241,6 +254,7 @@ class TypecheckService {
   std::deque<Job> queue_;
   bool draining_ = false;  ///< admission closed; workers still draining
   bool stopping_ = false;  ///< workers exit once the queue is empty
+  std::size_t open_streams_ = 0;  ///< OpenStream sessions not yet finished
   int in_flight_ = 0;      ///< jobs popped but not yet finished
   double cost_ewma_ms_;    ///< guarded by mu_
   std::vector<std::thread> workers_;
@@ -260,6 +274,7 @@ class TypecheckService {
   std::atomic<std::uint64_t> shed_deadline_{0};
   std::atomic<std::uint64_t> shed_stopping_{0};
   std::atomic<std::uint64_t> shed_fault_{0};
+  std::atomic<std::uint64_t> shed_stream_limit_{0};
   std::atomic<std::uint64_t> expired_in_queue_{0};
   std::atomic<std::uint64_t> drain_cancelled_{0};
   LatencyHistogram latency_;

@@ -169,6 +169,10 @@ void StreamSession::Push(std::string_view chunk) {
 ServiceResponse StreamSession::Finish() {
   if (finished_) return response_;
   finished_ = true;
+  if (holds_stream_slot_) {
+    holds_stream_slot_ = false;
+    service_->ReleaseStreamSlot();
+  }
   if (latched_.ok() && reader_.has_value()) {
     reader_->FinishInput();
     Pump();
@@ -224,14 +228,33 @@ std::unique_ptr<StreamSession> TypecheckService::OpenStream(
       return prefailed(
           ShedResponse(request, ShedReason::kStopping, /*retry_after_ms=*/0));
     }
+    // Backpressure: streams bypass the bounded worker queue, so the open-
+    // session count is their queue. Past the cap the open is shed with a
+    // retry hint (same clamp as queue sheds); a slot frees at Finish.
+    if (options_.max_open_streams != 0 &&
+        open_streams_ >= options_.max_open_streams) {
+      constexpr double kMinRetryAfterMs = 10, kMaxRetryAfterMs = 5000;
+      const std::uint64_t hint = static_cast<std::uint64_t>(std::llround(
+          std::clamp(EstimatedWaitMsLocked(), kMinRetryAfterMs,
+                     kMaxRetryAfterMs)));
+      return prefailed(ShedResponse(request, ShedReason::kStreamLimit, hint));
+    }
+    ++open_streams_;
   }
   // Streams bypass the worker queue (their bytes arrive interactively on
-  // the caller's thread), so admission is just the drain gate; they still
-  // count as exact-tier traffic in the stats.
+  // the caller's thread), so admission is just the drain gate plus the
+  // open-session cap; they still count as exact-tier traffic in the stats.
   submitted_.fetch_add(1, std::memory_order_relaxed);
   tier_exact_.fetch_add(1, std::memory_order_relaxed);
-  return std::unique_ptr<StreamSession>(new StreamSession(
+  auto session = std::unique_ptr<StreamSession>(new StreamSession(
       this, request, AdmissionTier::kExact, std::chrono::steady_clock::now()));
+  session->holds_stream_slot_ = true;
+  return session;
+}
+
+void TypecheckService::ReleaseStreamSlot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (open_streams_ > 0) --open_streams_;
 }
 
 }  // namespace xtc

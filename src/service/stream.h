@@ -91,6 +91,7 @@ class StreamSession {
   Status latched_ = Status::Ok();
   bool finished_ = false;
   bool record_ = true;  ///< count completed/failed + latency at Finish
+  bool holds_stream_slot_ = false;  ///< counted against max_open_streams
 };
 
 }  // namespace xtc

@@ -28,6 +28,8 @@ struct Flags {
   std::size_t queue = 256;
   std::uint64_t deadline_ms = 0;
   std::size_t cache_mb = 64;
+  std::size_t cache_shards = 8;   // compile-cache hash partitions
+  std::size_t max_streams = 64;   // open chunked-stream session cap (0 = off)
   std::uint64_t drain_ms = 5000;  // grace period for queued work on signal
   int degrade_pct = 75;           // load %: typechecks go approximate-only
   int reject_pct = 95;            // load %: requests are shed
@@ -64,7 +66,8 @@ bool ParseFlag(const char* arg, const char* name, long long* out) {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--threads=N] [--queue=N] [--deadline-ms=N]\n"
-               "          [--cache-mb=N] [--drain-ms=N] [--degrade-pct=N]\n"
+               "          [--cache-mb=N] [--cache-shards=N] [--max-streams=N]\n"
+               "          [--drain-ms=N] [--degrade-pct=N]\n"
                "          [--reject-pct=N] [--stats]\n"
                "Reads NDJSON requests from stdin, writes NDJSON responses to "
                "stdout.\n"
@@ -88,6 +91,10 @@ int main(int argc, char** argv) {
       flags.deadline_ms = static_cast<std::uint64_t>(v);
     } else if (ParseFlag(argv[i], "--cache-mb", &v)) {
       flags.cache_mb = static_cast<std::size_t>(v);
+    } else if (ParseFlag(argv[i], "--cache-shards", &v)) {
+      flags.cache_shards = static_cast<std::size_t>(v);
+    } else if (ParseFlag(argv[i], "--max-streams", &v)) {
+      flags.max_streams = static_cast<std::size_t>(v);
     } else if (ParseFlag(argv[i], "--drain-ms", &v)) {
       flags.drain_ms = static_cast<std::uint64_t>(v);
     } else if (ParseFlag(argv[i], "--degrade-pct", &v)) {
@@ -111,6 +118,8 @@ int main(int argc, char** argv) {
   options.degrade_load = flags.degrade_pct / 100.0;
   options.reject_load = flags.reject_pct / 100.0;
   options.cache.max_bytes = flags.cache_mb << 20;
+  options.cache.shards = flags.cache_shards;
+  options.max_open_streams = flags.max_streams;
   xtc::TypecheckService service(options);
 
   // The reader (main thread) submits; the writer drains futures in
@@ -222,14 +231,26 @@ int main(int argc, char** argv) {
 
   if (flags.print_stats || interrupted) {
     xtc::ServiceStats stats = service.stats();
+    // Per-shard contention telemetry, compact: hits:misses:evictions per
+    // shard in index order — a convoying shard shows up as one hot column.
+    std::string shard_hme;
+    for (const xtc::CompileCache::ShardStats& shard : stats.cache.per_shard) {
+      if (!shard_hme.empty()) shard_hme += ',';
+      shard_hme += std::to_string(shard.hits) + ':' +
+                   std::to_string(shard.misses) + ':' +
+                   std::to_string(shard.evictions);
+    }
     std::fprintf(stderr,
                  "xtcd: %s drain=%s drained=%llu cancelled=%llu "
                  "submitted=%llu completed=%llu failed=%llu shed=%llu "
                  "tier_exact=%llu tier_approximate=%llu "
                  "shed_queue_full=%llu shed_overload=%llu shed_deadline=%llu "
-                 "shed_stopping=%llu expired_in_queue=%llu "
+                 "shed_stopping=%llu shed_stream_limit=%llu "
+                 "expired_in_queue=%llu "
                  "p50=%.3fms p99=%.3fms cache_hits=%llu cache_misses=%llu "
-                 "cache_bytes=%zu cache_entries=%zu\n",
+                 "cache_snapshot_hits=%llu cache_lock_waits=%llu "
+                 "cache_bytes=%zu cache_entries=%zu cache_shards=%zu "
+                 "cache_shard_hme=%s\n",
                  interrupted ? "signal" : "eof",
                  report.clean ? "clean" : "deadline",
                  static_cast<unsigned long long>(report.drained),
@@ -244,11 +265,15 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(stats.shed_overload),
                  static_cast<unsigned long long>(stats.shed_deadline),
                  static_cast<unsigned long long>(stats.shed_stopping),
+                 static_cast<unsigned long long>(stats.shed_stream_limit),
                  static_cast<unsigned long long>(stats.expired_in_queue),
                  stats.latency_p50_ms, stats.latency_p99_ms,
                  static_cast<unsigned long long>(stats.cache.hits),
                  static_cast<unsigned long long>(stats.cache.misses),
-                 stats.cache.bytes, stats.cache.entries);
+                 static_cast<unsigned long long>(stats.cache.snapshot_hits),
+                 static_cast<unsigned long long>(stats.cache.lock_waits),
+                 stats.cache.bytes, stats.cache.entries, stats.cache.shards,
+                 shard_hme.c_str());
   }
   return 0;
 }

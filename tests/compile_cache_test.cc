@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -332,6 +335,235 @@ TEST(CompileCacheTest, LazySnapshotsSurviveUniverseCascades) {
   cache.GetOrCreateAlphabet(b.universe);
   EXPECT_EQ(cache.stats().entries, 1u);
   EXPECT_EQ(cache.GetLazySnapshot("q").get(), snapshot.get());
+}
+
+TEST(CompileCacheTest, WarmHitsAreServedFromTheSnapshotPath) {
+  CompileCache cache;
+  Wire wire = WireOf(FilterFamily(4));
+  std::shared_ptr<Alphabet> alphabet = cache.GetOrCreateAlphabet(wire.universe);
+  ASSERT_TRUE(cache.GetOrCompileSchema(wire.din, alphabet, nullptr).ok());
+
+  // The insert published a fresh snapshot, so both warm lookups resolve on
+  // the lock-free path: every hit is a snapshot hit, and an uncontended
+  // single-thread run never records a convoy event.
+  bool hit = false;
+  ASSERT_TRUE(cache.GetOrCompileSchema(wire.din, alphabet, &hit).ok());
+  EXPECT_TRUE(hit);
+  ASSERT_TRUE(cache.GetOrCompileSchema(wire.din, alphabet, &hit).ok());
+  EXPECT_TRUE(hit);
+  CompileCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.snapshot_hits, 2u);
+  EXPECT_EQ(stats.lock_waits, 0u);
+}
+
+TEST(CompileCacheTest, ShardCountRoundsToAPowerOfTwo) {
+  const std::vector<std::pair<std::size_t, std::size_t>> cases = {
+      {0, 1}, {1, 1}, {3, 4}, {8, 8}, {9, 16}, {100000, 4096}};
+  for (auto [requested, expect] : cases) {
+    CompileCache::Options options;
+    options.shards = requested;
+    CompileCache cache(options);
+    EXPECT_EQ(cache.shard_count(), expect) << "requested " << requested;
+    EXPECT_EQ(cache.stats().per_shard.size(), expect);
+  }
+}
+
+TEST(CompileCacheTest, PerShardStatsSumToTheTotals) {
+  CompileCache::Options options;
+  options.shards = 4;
+  CompileCache cache(options);
+  for (int n = 2; n < 8; ++n) {
+    Wire wire = WireOf(FilterFamily(n));
+    std::shared_ptr<Alphabet> alphabet =
+        cache.GetOrCreateAlphabet(wire.universe);
+    ASSERT_TRUE(cache.GetOrCompileSchema(wire.din, alphabet, nullptr).ok());
+    ASSERT_TRUE(cache.GetOrCompileSchema(wire.din, alphabet, nullptr).ok());
+  }
+  CompileCache::Stats stats = cache.stats();
+  ASSERT_EQ(stats.per_shard.size(), 4u);
+  std::uint64_t hits = 0, misses = 0, evictions = 0, snapshot_hits = 0;
+  std::size_t bytes = 0, entries = 0;
+  for (const CompileCache::ShardStats& shard : stats.per_shard) {
+    hits += shard.hits;
+    misses += shard.misses;
+    evictions += shard.evictions;
+    snapshot_hits += shard.snapshot_hits;
+    bytes += shard.bytes;
+    entries += shard.entries;
+  }
+  EXPECT_EQ(stats.hits, hits);
+  EXPECT_EQ(stats.misses, misses);
+  EXPECT_EQ(stats.evictions, evictions);
+  EXPECT_EQ(stats.snapshot_hits, snapshot_hits);
+  EXPECT_EQ(stats.bytes, bytes);
+  EXPECT_EQ(stats.entries, entries);
+  EXPECT_EQ(stats.hits, 6u);    // one warm repeat per family size
+  EXPECT_EQ(stats.misses, 6u);  // one compile per family size
+}
+
+TEST(CompileCacheTest, ShardedByteCeilingHoldsAcrossShards) {
+  CompileCache::Options options;
+  options.shards = 4;
+  options.max_bytes = 64 << 10;
+  CompileCache cache(options);
+  for (int n = 2; n < 40; ++n) {
+    Wire wire = WireOf(RelabFamily(n));
+    std::shared_ptr<Alphabet> alphabet =
+        cache.GetOrCreateAlphabet(wire.universe);
+    ASSERT_TRUE(cache.GetOrCompileSchema(wire.din, alphabet, nullptr).ok());
+    ASSERT_TRUE(cache.GetOrCompileSchema(wire.dout, alphabet, nullptr).ok());
+    // The global invariant holds after every insert, not just at the end:
+    // accounted bytes never exceed the ceiling (= the sum of the per-shard
+    // budgets), whichever shard the newest artifact hashed into.
+    EXPECT_LE(cache.stats().bytes, options.max_bytes);
+  }
+  CompileCache::Stats stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(CompileCacheTest, UniverseCascadeReachesEveryShard) {
+  CompileCache::Options options;
+  options.shards = 8;
+  options.max_universes = 1;
+  CompileCache cache(options);
+  // Spread artifacts of one universe across shards: distinct rule bodies
+  // over one shared alphabet yield distinct keys, which hash to distinct
+  // shards with high probability at 8 keys over 8 shards.
+  std::shared_ptr<Alphabet> alphabet =
+      cache.GetOrCreateAlphabet({"a", "b", "c", "r"});
+  const std::vector<std::string> bodies = {"a",     "b",   "c",    "a b",
+                                           "b a",   "a c", "c b a", "a b c"};
+  for (const std::string& body : bodies) {
+    SchemaSpec spec;
+    spec.start = "r";
+    spec.rules = {{"r", body}};
+    ASSERT_TRUE(cache.GetOrCompileSchema(spec, alphabet, nullptr).ok());
+  }
+  std::size_t populated = 0;
+  for (const CompileCache::ShardStats& shard : cache.stats().per_shard) {
+    if (shard.entries > 0) ++populated;
+  }
+  ASSERT_GT(populated, 1u) << "specs all hashed into one shard; the "
+                              "cross-shard cascade would be vacuous";
+
+  // Displacing the universe must clear its artifacts in *every* shard.
+  Wire other = WireOf(RelabFamily(3));
+  cache.GetOrCreateAlphabet(other.universe);
+  CompileCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.universes, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  for (const CompileCache::ShardStats& shard : stats.per_shard) {
+    EXPECT_EQ(shard.entries, 0u);
+    EXPECT_EQ(shard.bytes, 0u);
+  }
+}
+
+TEST(CompileCacheTest, StaleAlphabetGenerationReadsAsAMiss) {
+  CompileCache cache;
+  Wire wire = WireOf(FilterFamily(3));
+  std::shared_ptr<Alphabet> registered =
+      cache.GetOrCreateAlphabet(wire.universe);
+  ASSERT_TRUE(cache.GetOrCompileSchema(wire.din, registered, nullptr).ok());
+
+  // A hand-built alphabet with the same names in the same order produces
+  // the same canonical key, but it is a different object — the pointer
+  // generation check must treat the cached artifact as stale rather than
+  // hand out an artifact the engines would reject (they compare alphabets
+  // by pointer).
+  auto fresh = std::make_shared<Alphabet>();
+  for (const std::string& name : wire.universe) fresh->Intern(name);
+  bool hit = true;
+  StatusOr<std::shared_ptr<const CompiledSchema>> artifact =
+      cache.GetOrCompileSchema(wire.din, fresh, &hit);
+  ASSERT_TRUE(artifact.ok()) << artifact.status().ToString();
+  EXPECT_FALSE(hit);
+  EXPECT_EQ((*artifact)->alphabet.get(), fresh.get());
+
+  // The stale entry was erased and replaced: looking up with the fresh
+  // alphabet again now hits.
+  ASSERT_TRUE(cache.GetOrCompileSchema(wire.din, fresh, &hit).ok());
+  EXPECT_TRUE(hit);
+}
+
+// TSan stress: lock-free warm readers race inserts, byte-pressure
+// evictions, and universe cascades across shards. The assertions are
+// deliberately weak (the schedule is nondeterministic); the test's real
+// teeth are the tsan preset in ci/run_ci.sh, where any torn snapshot
+// publication or unsynchronized map access is a hard failure.
+TEST(CompileCacheStressTest, WarmHitsRaceInsertsEvictionsAndCascades) {
+  CompileCache::Options options;
+  options.shards = 4;
+  options.max_bytes = 48 << 10;  // churn inserts overflow: evictions happen
+  options.max_universes = 2;     // cascade thread displaces constantly
+  CompileCache cache(options);
+
+  struct Keyed {
+    Wire wire;
+    std::shared_ptr<Alphabet> alphabet;
+  };
+  std::vector<Keyed> warm;
+  for (int n = 3; n < 7; ++n) {
+    Keyed k{WireOf(FilterFamily(n)), nullptr};
+    k.alphabet = cache.GetOrCreateAlphabet(k.wire.universe);
+    ASSERT_TRUE(cache.GetOrCompileSchema(k.wire.din, k.alphabet, nullptr).ok());
+    warm.push_back(std::move(k));
+  }
+  std::vector<Wire> churn;
+  for (int n = 2; n < 14; ++n) churn.push_back(WireOf(RelabFamily(n)));
+  Wire cascade_a = WireOf(XPathChainFamily(2));
+  Wire cascade_b = WireOf(XPathChainFamily(3));
+
+  std::vector<std::thread> threads;
+  // Two warm readers: mostly lock-free snapshot hits; when a cascade
+  // displaced their universe they observe a stale-generation miss and
+  // recompile — still a correct artifact bound to their own alphabet.
+  for (int reader = 0; reader < 2; ++reader) {
+    threads.emplace_back([&warm, &cache, reader] {
+      for (int i = 0; i < 200; ++i) {
+        const Keyed& k = warm[static_cast<std::size_t>(reader + i) %
+                              warm.size()];
+        StatusOr<std::shared_ptr<const CompiledSchema>> artifact =
+            cache.GetOrCompileSchema(k.wire.din, k.alphabet, nullptr);
+        ASSERT_TRUE(artifact.ok());
+        ASSERT_EQ((*artifact)->alphabet.get(), k.alphabet.get());
+      }
+    });
+  }
+  // Churn writer: distinct keys under byte pressure — inserts + evictions
+  // + global reconcile racing the readers' snapshot acquires.
+  threads.emplace_back([&churn, &cache] {
+    for (int i = 0; i < 60; ++i) {
+      const Wire& wire = churn[static_cast<std::size_t>(i) % churn.size()];
+      std::shared_ptr<Alphabet> alphabet =
+          cache.GetOrCreateAlphabet(wire.universe);
+      ASSERT_TRUE(cache.GetOrCompileSchema(wire.din, alphabet, nullptr).ok());
+    }
+  });
+  // Cascade thread: alternating universes past max_universes, so universe
+  // evictions cascade into the shards while readers are probing them.
+  threads.emplace_back([&cascade_a, &cascade_b, &cache] {
+    for (int i = 0; i < 60; ++i) {
+      const Wire& wire = (i & 1) != 0 ? cascade_b : cascade_a;
+      std::shared_ptr<Alphabet> alphabet =
+          cache.GetOrCreateAlphabet(wire.universe);
+      ASSERT_TRUE(cache.GetOrCompileSchema(wire.din, alphabet, nullptr).ok());
+    }
+  });
+  for (std::thread& thread : threads) thread.join();
+
+  CompileCache::Stats stats = cache.stats();
+  EXPECT_LE(stats.bytes, options.max_bytes);
+  EXPECT_GE(stats.hits + stats.misses, 520u);  // every call counted once
+  std::uint64_t per_shard_hits = 0, per_shard_misses = 0;
+  for (const CompileCache::ShardStats& shard : stats.per_shard) {
+    per_shard_hits += shard.hits;
+    per_shard_misses += shard.misses;
+  }
+  EXPECT_EQ(stats.hits, per_shard_hits);
+  EXPECT_EQ(stats.misses, per_shard_misses);
 }
 
 TEST(CanonicalTest, SkeletonAndCompiledDtdAgreeOnCanonicalText) {

@@ -342,6 +342,67 @@ TEST(ServiceFaultInjectionTest, ServiceSweepYieldsWellFormedResponses) {
   }
 }
 
+// Streams bypass the bounded worker queue, so the open-session count is
+// their backpressure surface: past max_open_streams an OpenStream is shed
+// up front with a retry hint, and any Finish (or abandonment) frees a slot.
+TEST(ServiceOverloadTest, OpenStreamCapShedsWithRetryHint) {
+  ServiceRequest request;
+  {
+    StatusOr<std::vector<ServiceRequest>> batch =
+        MakeFamilyBatch("vstream", 50, 1, 1);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    request = (*batch)[0];
+  }
+  request.doc.clear();
+  request.chunked = true;
+
+  TypecheckService::Options options;
+  options.num_threads = 1;
+  options.max_open_streams = 2;
+  TypecheckService service(options);
+
+  std::unique_ptr<StreamSession> first = service.OpenStream(request);
+  std::unique_ptr<StreamSession> second = service.OpenStream(request);
+  EXPECT_TRUE(first->stream_status().ok());
+  EXPECT_TRUE(second->stream_status().ok());
+
+  // Third open: past the cap. Shed before any setup work, with a clamped
+  // retry hint, and the response is well-formed without a chunk pushed.
+  std::unique_ptr<StreamSession> third = service.OpenStream(request);
+  EXPECT_FALSE(third->stream_status().ok());
+  ServiceResponse shed = third->Finish();
+  EXPECT_EQ(shed.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(shed.shed_reason, ShedReason::kStreamLimit);
+  EXPECT_GE(shed.retry_after_ms, 10u);
+  EXPECT_LE(shed.retry_after_ms, 5000u);
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.open_streams, 2u);
+  EXPECT_EQ(stats.shed_stream_limit, 1u);
+
+  // Finish frees the slot: the next open is admitted again.
+  first->Finish();
+  EXPECT_EQ(service.stats().open_streams, 1u);
+  std::unique_ptr<StreamSession> fourth = service.OpenStream(request);
+  EXPECT_TRUE(fourth->stream_status().ok());
+  EXPECT_EQ(service.stats().open_streams, 2u);
+
+  // An abandoned session (destroyed unfinished) also frees its slot.
+  fourth.reset();
+  EXPECT_EQ(service.stats().open_streams, 1u);
+
+  // max_open_streams = 0 disables the cap entirely.
+  TypecheckService::Options unlimited;
+  unlimited.num_threads = 1;
+  unlimited.max_open_streams = 0;
+  TypecheckService uncapped(unlimited);
+  std::vector<std::unique_ptr<StreamSession>> many;
+  for (int i = 0; i < 8; ++i) {
+    many.push_back(uncapped.OpenStream(request));
+    EXPECT_TRUE(many.back()->stream_status().ok());
+  }
+}
+
 // The streaming sessions cross the same checkpoint ladder (enqueue,
 // execute, compile, cache-adopt, respond) on the caller's thread. Sweep
 // every crossing: each must yield exactly one well-formed injected-fault
