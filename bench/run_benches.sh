@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Runs the paper-experiment benchmarks in --json mode and aggregates their
-# output into a single machine-readable file (default: BENCH_pr9.json at the
-# repo root). EXPERIMENTS.md documents the format; ci/run_ci.sh compares a
-# fresh run against the checked-in snapshot in its perf-smoke stage and
-# checks the lazy-vs-eager pairs with ci/lazy_gate.py and the streaming
+# output into a single machine-readable file (default: BENCH_pr10.json at
+# the repo root). EXPERIMENTS.md documents the format; ci/run_ci.sh compares
+# a fresh run against the checked-in snapshot in its perf-smoke stage and
+# checks the lazy-vs-eager pairs with ci/lazy_gate.py, the antichain
+# subsumption pairs with ci/antichain_gate.py, and the streaming
 # peak-memory claims with ci/stream_gate.py.
 #
 # When xtc_loadgen is built, one gate-mode run (calibrate, unloaded 0.5x,
@@ -22,7 +23,7 @@ set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build}"
-OUT="${2:-$REPO_ROOT/BENCH_pr9.json}"
+OUT="${2:-$REPO_ROOT/BENCH_pr10.json}"
 PASSES="${PASSES:-2}"
 
 BENCHES=(
@@ -30,6 +31,7 @@ BENCHES=(
   bench_thm18_hardness
   bench_table1_frontier
   bench_thm20_relab
+  bench_antichain
   bench_service
   bench_stream
 )

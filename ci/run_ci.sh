@@ -38,10 +38,10 @@ echo "=== configure + build (TSan, concurrent layers) ==="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "${JOBS}" --target \
   service_test service_stress_test service_overload_test compile_cache_test \
-  concurrent_interner_test lazy_determinize_test stream_test
+  concurrent_interner_test lazy_determinize_test antichain_test stream_test
 
 echo "=== service + parallel-emptiness concurrency tests (TSan) ==="
-ctest --preset tsan -R "Service|CompileCache|ConcurrentInterner|ConcurrentLog|LazyParallel|Stream|XmlEventReader|SharedGrammar" \
+ctest --preset tsan -R "Service|CompileCache|ConcurrentInterner|ConcurrentLog|LazyParallel|Antichain|Stream|XmlEventReader|SharedGrammar" \
   --output-on-failure
 
 echo "=== overload smoke (loadgen at 2x sustainable rate) ==="
@@ -64,18 +64,30 @@ done
 
 echo "=== perf smoke (Release benches vs checked-in snapshot) ==="
 SNAPSHOT=""
-for candidate in BENCH_pr9.json BENCH_pr8.json BENCH_pr7.json BENCH_pr6.json BENCH_pr4.json BENCH_pr3.json BENCH_pr2.json; do
+for candidate in BENCH_pr10.json BENCH_pr9.json BENCH_pr8.json BENCH_pr7.json BENCH_pr6.json BENCH_pr4.json BENCH_pr3.json BENCH_pr2.json; do
   if [[ -f "$candidate" ]]; then SNAPSHOT="$candidate"; break; fi
 done
 if [[ -n "$SNAPSHOT" ]]; then
   cmake --preset release >/dev/null
   cmake --build --preset release -j "${JOBS}" --target \
     bench_lemma14_scaling bench_thm18_hardness bench_table1_frontier \
-    bench_thm20_relab bench_service bench_stream
+    bench_thm20_relab bench_antichain bench_service bench_stream
   bench/run_benches.sh build-release /tmp/bench_smoke.json
-  python3 ci/perf_compare.py "$SNAPSHOT" /tmp/bench_smoke.json 2.0
+  # Best-of-N retry: one preempted measurement window on the shared CI box
+  # can read as a 2x "regression". A failing first comparison earns one
+  # more full bench run; perf_compare.py then takes the min across both
+  # fresh files per benchmark, so noise has two chances to get out of the
+  # way while a real regression fails both times.
+  if ! python3 ci/perf_compare.py "$SNAPSHOT" /tmp/bench_smoke.json 2.0; then
+    echo "perf smoke attempt 1 failed; re-running benches" >&2
+    bench/run_benches.sh build-release /tmp/bench_smoke2.json
+    python3 ci/perf_compare.py "$SNAPSHOT" /tmp/bench_smoke.json \
+      /tmp/bench_smoke2.json 2.0
+  fi
   echo "=== lazy-vs-eager emptiness gate ==="
   python3 ci/lazy_gate.py /tmp/bench_smoke.json 2.0
+  echo "=== antichain subsumption gate ==="
+  python3 ci/antichain_gate.py /tmp/bench_smoke.json 2.0
   echo "=== parallel frontier scaling gate ==="
   # The fresh run's metadata records this host's core count; the gate only
   # enforces its speedup floors when the host can physically exhibit them.

@@ -351,6 +351,79 @@ class ConcurrentLog {
   std::mutex mutex_;
 };
 
+/// Segmented atomic flag log: the parallel engine's antichain tombstones
+/// (config id → "displaced, skip expanding"). Unlike ConcurrentLog<T>,
+/// Test() tolerates ids whose segment was never allocated — most configs
+/// are never tombstoned, and the reader side must not pay an allocation
+/// (or a null-deref) to learn that. Set() uses exchange so each id's
+/// displacement is observed by exactly one caller (the engine counts
+/// displacements from Set's return value).
+///
+/// Tombstones are monotone (set-only) and advisory: a racing worker that
+/// expands a config before observing its tombstone does sound extra work,
+/// so relaxed ordering suffices.
+class TombstoneLog {
+ public:
+  explicit TombstoneLog(std::size_t max_entries) {
+    num_seg_slots_ = (max_entries >> kSegBits) + 1;
+    segs_ = std::make_unique<std::atomic<std::atomic<std::uint8_t>*>[]>(
+        num_seg_slots_);
+    for (std::size_t i = 0; i < num_seg_slots_; ++i) {
+      segs_[i].store(nullptr, std::memory_order_relaxed);
+    }
+  }
+
+  ~TombstoneLog() {
+    for (std::size_t i = 0; i < num_seg_slots_; ++i) {
+      delete[] segs_[i].load(std::memory_order_relaxed);
+    }
+  }
+
+  TombstoneLog(const TombstoneLog&) = delete;
+  TombstoneLog& operator=(const TombstoneLog&) = delete;
+
+  /// Whether `id` was tombstoned. False (without allocating) when the
+  /// segment does not exist yet.
+  bool Test(int id) const {
+    const std::atomic<std::uint8_t>* seg =
+        segs_[static_cast<std::size_t>(id) >> kSegBits].load(
+            std::memory_order_acquire);
+    if (seg == nullptr) return false;
+    return seg[id & (kSegSize - 1)].load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Tombstones `id`; returns whether this call flipped it (exactly one
+  /// caller per id sees true).
+  bool Set(int id) {
+    std::atomic<std::uint8_t>* seg = EnsureSegment(id);
+    return seg[id & (kSegSize - 1)].exchange(1, std::memory_order_relaxed) ==
+           0;
+  }
+
+ private:
+  static constexpr std::size_t kSegBits = 12;
+  static constexpr std::size_t kSegSize = std::size_t{1} << kSegBits;
+
+  std::atomic<std::uint8_t>* EnsureSegment(int id) {
+    const std::size_t seg = static_cast<std::size_t>(id) >> kSegBits;
+    XTC_CHECK(seg < num_seg_slots_);
+    std::atomic<std::uint8_t>* p = segs_[seg].load(std::memory_order_acquire);
+    if (p == nullptr) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      p = segs_[seg].load(std::memory_order_acquire);
+      if (p == nullptr) {
+        p = new std::atomic<std::uint8_t>[kSegSize]();
+        segs_[seg].store(p, std::memory_order_release);
+      }
+    }
+    return p;
+  }
+
+  std::unique_ptr<std::atomic<std::atomic<std::uint8_t>*>[]> segs_;
+  std::size_t num_seg_slots_ = 0;
+  std::mutex mutex_;
+};
+
 }  // namespace xtc
 
 #endif  // XTC_BASE_CONCURRENT_INTERNER_H_

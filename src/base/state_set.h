@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace xtc {
@@ -171,6 +172,15 @@ class StateSet {
       h = (h ^ Mix(w)) * 0x100000001b3ULL;
     }
     return h ^ static_cast<std::uint64_t>(num_bits_);
+  }
+
+  /// Builds from a sorted, duplicate-free member list over the universe
+  /// {0, .., universe-1} — the shape interner keys and ScratchSet
+  /// extractions already have.
+  static StateSet FromSorted(std::span<const int> sorted, int universe) {
+    StateSet out(universe);
+    for (const int i : sorted) out.Set(i);
+    return out;
   }
 
   static StateSet FromBools(const std::vector<bool>& bools) {

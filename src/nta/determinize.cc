@@ -6,6 +6,7 @@
 
 #include "src/base/interner.h"
 #include "src/base/logging.h"
+#include "src/base/sparse_state_set.h"
 #include "src/base/state_set.h"
 #include "src/nta/horizontal_space.h"
 
@@ -22,19 +23,20 @@ StatusOr<Nta> DeterminizeToDtac(const Nta& nta, int max_states,
 
   // Interned determinized states (subsets of Q), hashed; interner ids are
   // dense so they double as DTA state ids. det_masks mirrors each subset as
-  // a packed mask for the O(1) membership tests in StepH.
+  // an adaptive mask (dense words under kDefaultDenseThreshold states,
+  // sorted-sparse above) for the membership tests in StepH.
   SubsetInterner det_ids;
   std::vector<std::vector<int>> det_states;
-  std::vector<StateSet> det_masks;
+  std::vector<AdaptiveStateSet> det_masks;
   auto intern_det = [&](std::vector<int> subset) {
     int id = det_ids.Intern(subset);
     if (id < static_cast<int>(det_states.size())) return id;
-    StateSet mask(nta.num_states());
-    for (int q : subset) mask.Set(q);
-    det_masks.push_back(std::move(mask));
+    det_masks.emplace_back(subset, nta.num_states(), kDefaultDenseThreshold);
     det_states.push_back(std::move(subset));
     return id;
   };
+  ScratchSet scratch;
+  std::vector<int> step_buf;
 
   // Per symbol: interned h-states and their transition rows (indexed by
   // det-state id; -1 means "not yet computed").
@@ -73,9 +75,9 @@ StatusOr<Nta> DeterminizeToDtac(const Nta& nta, int max_states,
         for (std::size_t s = 0; s < det_states.size(); ++s) {
           if (g.trans[h][s] != -1) continue;
           XTC_RETURN_IF_ERROR(BudgetCheck(budget, "DeterminizeToDtac"));
-          std::vector<int> next = StepH(spaces[static_cast<std::size_t>(a)],
-                                        g.states[h], det_masks[s]);
-          int hid = intern_h(a, std::move(next));
+          StepH(spaces[static_cast<std::size_t>(a)], g.states[h],
+                det_masks[s], &scratch, &step_buf);
+          int hid = intern_h(a, step_buf);
           g.trans[h].resize(det_states.size(), -1);  // intern may grow dets
           g.trans[h][s] = hid;
           changed = true;

@@ -54,4 +54,16 @@ std::vector<int> StepH(const HorizontalSpace& sp, std::span<const int> h,
   return next.ToVector();
 }
 
+void StepH(const HorizontalSpace& sp, std::span<const int> h,
+           const AdaptiveStateSet& subset, ScratchSet* scratch,
+           std::vector<int>* out) {
+  scratch->EnsureUniverse(sp.total);
+  for (int g : h) {
+    sp.ForEachEdge(g, [&](int sym, int to) {
+      if (subset.Test(sym)) scratch->Add(to);
+    });
+  }
+  scratch->ExtractSortedAndClear(out);
+}
+
 }  // namespace xtc

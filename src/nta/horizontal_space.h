@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/base/sparse_state_set.h"
 #include "src/base/state_set.h"
 #include "src/nta/nta.h"
 
@@ -51,6 +52,13 @@ std::vector<int> TargetSubset(const HorizontalSpace& sp,
 /// (a packed mask over the original Q).
 std::vector<int> StepH(const HorizontalSpace& sp, std::span<const int> h,
                        const StateSet& subset);
+
+/// Allocation-free variant against an adaptive mask: accumulates into the
+/// caller's (logically empty) scratch sized to sp.total and writes the
+/// sorted successor h-state into `*out`, leaving the scratch empty again.
+void StepH(const HorizontalSpace& sp, std::span<const int> h,
+           const AdaptiveStateSet& subset, ScratchSet* scratch,
+           std::vector<int>* out);
 
 }  // namespace xtc
 

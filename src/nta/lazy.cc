@@ -5,8 +5,10 @@
 #include <utility>
 #include <vector>
 
+#include "src/base/antichain.h"
 #include "src/base/interner.h"
 #include "src/base/logging.h"
+#include "src/base/sparse_state_set.h"
 #include "src/base/state_set.h"
 #include "src/nta/analysis.h"
 #include "src/nta/determinize.h"
@@ -67,6 +69,21 @@ class LazyEngine {
       }
       sym.det.resize(det_comps_.size());
     }
+    dense_threshold_ = options.dense_threshold >= 1 ? options.dense_threshold
+                                                    : kDefaultDenseThreshold;
+    // Antichain pruning only relaxes det coordinates; a purely existential
+    // product has nothing to relax (interner equality dedup is already the
+    // maximal sound pruning there), so skip the index entirely.
+    antichain_enabled_ = options.antichain && !det_comps_.empty();
+    if (antichain_enabled_) {
+      std::vector<int> ex_positions;
+      for (int i = 0; i < num_components_; ++i) {
+        if (det_slot_[static_cast<std::size_t>(i)] < 0) {
+          ex_positions.push_back(i);
+        }
+      }
+      antichain_.Configure(std::move(ex_positions));
+    }
   }
 
   StatusOr<EmptinessOutcome> Run() {
@@ -87,6 +104,13 @@ class LazyEngine {
                      static_cast<int>(cfg_accepting_.size()) &&
                  found_ < 0) {
             const int c = sym.h_cursor[static_cast<std::size_t>(hi)]++;
+            // Subsumed configs never act as letters: skipping them (without
+            // charging a step or re-arming `changed`) is exactly the pruning
+            // DESIGN.md §3e argues sound.
+            if (antichain_enabled_ &&
+                cfg_pruned_[static_cast<std::size_t>(c)] != 0) {
+              continue;
+            }
             XTC_RETURN_IF_ERROR(BudgetCheck(options_.budget, "LazyEmptiness"));
             ++stats_.steps;
             XTC_RETURN_IF_ERROR(StepJoint(a, hi, c));
@@ -122,6 +146,9 @@ class LazyEngine {
       }
       snap.complete = true;
       snap.empty = out.empty;
+      snap.antichain = antichain_enabled_;
+      snap.pruned_configs =
+          stats_.pruned_configs + stats_.displaced_configs;
       *options_.export_snapshot = std::move(snap);
     }
     return out;
@@ -131,9 +158,12 @@ class LazyEngine {
   // Interned state subsets of one determinized component's Q, shared across
   // symbols; ids are the det coordinates of configs.
   struct DetComponent {
-    int component = -1;           ///< index into spec components
-    SubsetInterner ids;           ///< subsets of the component's Q
-    std::vector<StateSet> masks;  ///< id -> packed subset (for StepH tests)
+    int component = -1;  ///< index into spec components
+    SubsetInterner ids;  ///< subsets of the component's Q
+    /// id -> subset mask (StepDet letter tests, antichain subsumption);
+    /// dense words or sorted-sparse depending on the component's universe
+    /// vs dense_threshold_.
+    std::vector<AdaptiveStateSet> masks;
     std::vector<bool> accepting;  ///< id -> acceptance after polarity flip
   };
 
@@ -184,13 +214,11 @@ class LazyEngine {
     if (id < static_cast<int>(dc.masks.size())) return id;
     const LazyComponent& comp =
         spec_.components()[static_cast<std::size_t>(dc.component)];
-    StateSet mask(comp.nta->num_states());
     bool any_final = false;
-    for (int q : subset) {
-      mask.Set(q);
-      any_final = any_final || comp.nta->final(q);
-    }
-    dc.masks.push_back(std::move(mask));
+    for (int q : subset) any_final = any_final || comp.nta->final(q);
+    // Interner keys are sorted subsets, so the adaptive set can take the
+    // span as-is.
+    dc.masks.emplace_back(subset, comp.nta->num_states(), dense_threshold_);
     dc.accepting.push_back(comp.complement ? !any_final : any_final);
     return id;
   }
@@ -226,18 +254,19 @@ class LazyEngine {
     if (pid < static_cast<int>(dh.memo.size())) return dh.memo[pid];
     const int comp = det_comps_[static_cast<std::size_t>(d)].component;
     const HorizontalSpace& sp = sym.spaces[static_cast<std::size_t>(comp)];
-    const StateSet& mask =
+    const AdaptiveStateSet& mask =
         det_comps_[static_cast<std::size_t>(d)]
             .masks[static_cast<std::size_t>(det_letter)];
     const std::span<const int> span = dh.ids.Get(hsub);
     const std::vector<int> members(span.begin(), span.end());
-    StateSet next(sp.total);
+    scratch_.EnsureUniverse(sp.total);
     for (int g : members) {
       sp.ForEachEdge(g, [&](int symq, int to) {
-        if (mask.Test(symq)) next.Set(to);
+        if (mask.Test(symq)) scratch_.Add(to);
       });
     }
-    const int result = InternDetH(a, d, next.ToVector());
+    scratch_.ExtractSortedAndClear(&step_buf_);
+    const int result = InternDetH(a, d, step_buf_);
     dh.memo.push_back(result);
     return result;
   }
@@ -319,8 +348,63 @@ class LazyEngine {
     } else {
       cfg_witness_.push_back(-1);
     }
-    if (accepting && found_ < 0) found_ = id;
+    cfg_pruned_.push_back(0);
+    if (accepting) {
+      // Acceptance decides the run before the antichain ever sees the
+      // config, so pruning cannot delay or change the early exit.
+      if (found_ < 0) found_ = id;
+      return Status::Ok();
+    }
+    if (antichain_enabled_) {
+      displaced_buf_.clear();
+      const bool pruned = antichain_.Insert(
+          id, key,
+          [this](std::span<const int> x, std::span<const int> y) {
+            return Dominates(x, y);
+          },
+          &displaced_buf_);
+      if (pruned) {
+        cfg_pruned_.back() = 1;
+        ++stats_.pruned_configs;
+      } else {
+        for (const int old : displaced_buf_) {
+          // Witness/back-pointer data of displaced configs stays intact —
+          // only their remaining frontier work is skipped.
+          cfg_pruned_[static_cast<std::size_t>(old)] = 1;
+          ++stats_.displaced_configs;
+        }
+      }
+    }
     return Status::Ok();
+  }
+
+  // Whether the config keyed `x` subsumes the config keyed `y` (§3e):
+  // existential coordinates must match exactly; each determinized subset
+  // coordinate of x must be ⊇ its counterpart in y for plain polarity
+  // (acceptance = some tracked run accepts, upward-closed) and ⊆ for
+  // complemented polarity (acceptance = no tracked run accepts,
+  // downward-closed).
+  bool Dominates(std::span<const int> x, std::span<const int> y) const {
+    for (int i = 0; i < num_components_; ++i) {
+      const int d = det_slot_[static_cast<std::size_t>(i)];
+      const int xi = x[static_cast<std::size_t>(i)];
+      const int yi = y[static_cast<std::size_t>(i)];
+      if (d < 0) {
+        if (xi != yi) return false;
+        continue;
+      }
+      if (xi == yi) continue;
+      const DetComponent& dc = det_comps_[static_cast<std::size_t>(d)];
+      const bool complement =
+          spec_.components()[static_cast<std::size_t>(dc.component)]
+              .complement;
+      const AdaptiveStateSet& xm = dc.masks[static_cast<std::size_t>(xi)];
+      const AdaptiveStateSet& ym = dc.masks[static_cast<std::size_t>(yi)];
+      if (!(complement ? ym.ContainsAll(xm) : xm.ContainsAll(ym))) {
+        return false;
+      }
+    }
+    return true;
   }
 
   // Cross product of the existential successor choices; det coordinates in
@@ -408,6 +492,13 @@ class LazyEngine {
   SubsetInterner cfg_ids_;  ///< global config tuples (k ints)
   std::vector<bool> cfg_accepting_;
   std::vector<int> cfg_witness_;  ///< forest id per config, -1 w/o forest
+  std::vector<char> cfg_pruned_;  ///< config id -> subsumed, skip as letter
+  AntichainIndex antichain_;
+  std::vector<int> displaced_buf_;  ///< reused Insert out-param
+  bool antichain_enabled_ = false;
+  int dense_threshold_ = kDefaultDenseThreshold;
+  ScratchSet scratch_;        ///< StepDet successor accumulator
+  std::vector<int> step_buf_;  ///< reused ExtractSortedAndClear target
   int total_h_ = 0;
   int found_ = -1;  ///< first accepting config, -1 while none
   LazyStats stats_;

@@ -13,9 +13,11 @@
 #include <utility>
 #include <vector>
 
+#include "src/base/antichain.h"
 #include "src/base/concurrent_interner.h"
 #include "src/base/interner.h"
 #include "src/base/logging.h"
+#include "src/base/sparse_state_set.h"
 #include "src/base/state_set.h"
 #include "src/nta/horizontal_space.h"
 
@@ -101,7 +103,7 @@ class ParallelEngine {
         DetGlobal& dc = det_comps_.back();
         dc.component = i;
         dc.ids = std::make_unique<ConcurrentInterner>(nthreads_, aux_cap, 256);
-        dc.masks = std::make_unique<ConcurrentLog<StateSet>>(aux_cap);
+        dc.masks = std::make_unique<ConcurrentLog<AdaptiveStateSet>>(aux_cap);
         dc.accepting = std::make_unique<ConcurrentLog<unsigned char>>(aux_cap);
       }
     }
@@ -110,6 +112,22 @@ class ParallelEngine {
     cfg_acc_ = std::make_unique<ConcurrentLog<unsigned char>>(cfg_cap);
     cfg_sym_ = std::make_unique<ConcurrentLog<int>>(cfg_cap);
     cfg_hid_ = std::make_unique<ConcurrentLog<int>>(cfg_cap);
+
+    dense_threshold_ = options.dense_threshold >= 1 ? options.dense_threshold
+                                                    : kDefaultDenseThreshold;
+    // Same applicability rule as the sequential engine: nothing to relax in
+    // a purely existential product.
+    antichain_enabled_ = options.antichain && !det_comps_.empty();
+    if (antichain_enabled_) {
+      tombs_ = std::make_unique<TombstoneLog>(cfg_cap);
+      std::vector<int> ex_positions;
+      for (int i = 0; i < num_components_; ++i) {
+        if (det_slot_[static_cast<std::size_t>(i)] < 0) {
+          ex_positions.push_back(i);
+        }
+      }
+      antichain_.Configure(std::move(ex_positions));
+    }
 
     symbols_.reserve(static_cast<std::size_t>(num_symbols_));
     const std::size_t h_cap = static_cast<std::size_t>(max_h_);
@@ -191,6 +209,10 @@ class ParallelEngine {
       stats_.det_states += static_cast<std::uint64_t>(dc.ids->size());
     }
     stats_.steps = steps_total_;
+    for (const auto& w : workers_) {
+      stats_.pruned_configs += w->pruned;
+      stats_.displaced_configs += w->displaced_count;
+    }
     stats_.early_exit = found >= 0;
     stats_.resumed = resumed_;
     out.stats = stats_;
@@ -211,6 +233,9 @@ class ParallelEngine {
       }
       snap.complete = true;
       snap.empty = out.empty;
+      snap.antichain = antichain_enabled_;
+      snap.pruned_configs =
+          stats_.pruned_configs + stats_.displaced_configs;
       *options_.export_snapshot = std::move(snap);
     }
     return out;
@@ -255,12 +280,19 @@ class ParallelEngine {
     std::vector<int> key, cfg_key, ex_slots;
     std::vector<std::vector<int>> ex_options;
     std::vector<std::size_t> odometer;
+
+    ScratchSet scratch;          ///< StepDetP successor accumulator
+    std::vector<int> step_buf;   ///< reused ExtractSortedAndClear target
+    std::vector<int> displaced;  ///< reused antichain Insert out-param
+    // Antichain counters; never reset across epochs, summed after the join.
+    std::uint64_t pruned = 0;
+    std::uint64_t displaced_count = 0;
   };
 
   struct DetGlobal {
     int component = -1;
     std::unique_ptr<ConcurrentInterner> ids;
-    std::unique_ptr<ConcurrentLog<StateSet>> masks;
+    std::unique_ptr<ConcurrentLog<AdaptiveStateSet>> masks;
     std::unique_ptr<ConcurrentLog<unsigned char>> accepting;
   };
 
@@ -351,13 +383,12 @@ class ParallelEngine {
     const LazyComponent& comp =
         spec_.components()[static_cast<std::size_t>(dc.component)];
     const auto res = dc.ids->TryIntern(w.index, subset, [&](int id) {
-      StateSet mask(comp.nta->num_states());
       bool any_final = false;
-      for (int q : subset) {
-        mask.Set(q);
-        any_final = any_final || comp.nta->final(q);
-      }
-      dc.masks->Slot(id) = std::move(mask);
+      for (int q : subset) any_final = any_final || comp.nta->final(q);
+      // Interner keys are sorted subsets, so the adaptive set can take the
+      // span as-is.
+      dc.masks->Slot(id) =
+          AdaptiveStateSet(subset, comp.nta->num_states(), dense_threshold_);
       dc.accepting->Slot(id) =
           (comp.complement ? !any_final : any_final) ? 1 : 0;
     });
@@ -419,16 +450,17 @@ class ParallelEngine {
       const int comp = det_comps_[static_cast<std::size_t>(d)].component;
       const HorizontalSpace& sp =
           sym.spaces[static_cast<std::size_t>(comp)];
-      const StateSet& mask =
+      const AdaptiveStateSet& mask =
           det_comps_[static_cast<std::size_t>(d)].masks->Get(det_letter);
       const std::span<const int> members = dh.ids->Get(hsub);
-      StateSet next(sp.total);
+      w.scratch.EnsureUniverse(sp.total);
       for (int g : members) {
         sp.ForEachEdge(g, [&](int symq, int to) {
-          if (mask.Test(symq)) next.Set(to);
+          if (mask.Test(symq)) w.scratch.Add(to);
         });
       }
-      const int succ = InternDetH(w, a, d, next.ToVector());
+      w.scratch.ExtractSortedAndClear(&w.step_buf);
+      const int succ = InternDetH(w, a, d, w.step_buf);
       if (succ < 0) return -1;
       cell.store(succ, std::memory_order_release);
       value = succ;
@@ -457,7 +489,56 @@ class ParallelEngine {
     });
     if (res.full) return ReportFull(*cfg_ids_, kMsgMaxConfigs);
     w.cfg_cache.keys.Intern(w.cfg_key);
-    if (res.inserted && cfg_acc_->Get(res.id) != 0) TryMarkFound(res.id);
+    if (res.inserted) {
+      if (cfg_acc_->Get(res.id) != 0) {
+        TryMarkFound(res.id);
+      } else if (antichain_enabled_) {
+        // Only the interning winner offers the config, so each id meets the
+        // antichain exactly once. The tombstone is advisory: a peer that
+        // steps a config before observing its tombstone does sound extra
+        // work (§3e), so no ordering beyond the stripe lock is needed.
+        w.displaced.clear();
+        const bool pruned = antichain_.Insert(
+            res.id, cfg_ids_->Get(res.id),
+            [this](std::span<const int> x, std::span<const int> y) {
+              return DominatesP(x, y);
+            },
+            &w.displaced);
+        if (pruned) {
+          tombs_->Set(res.id);
+          ++w.pruned;
+        } else {
+          for (const int old : w.displaced) {
+            if (tombs_->Set(old)) ++w.displaced_count;
+          }
+        }
+      }
+    }
+    return true;
+  }
+
+  // Same subsumption order as the sequential engine (§3e): exact match on
+  // existential coordinates, ⊇ per plain det slot, ⊆ per complemented one.
+  bool DominatesP(std::span<const int> x, std::span<const int> y) const {
+    for (int i = 0; i < num_components_; ++i) {
+      const int d = det_slot_[static_cast<std::size_t>(i)];
+      const int xi = x[static_cast<std::size_t>(i)];
+      const int yi = y[static_cast<std::size_t>(i)];
+      if (d < 0) {
+        if (xi != yi) return false;
+        continue;
+      }
+      if (xi == yi) continue;
+      const DetGlobal& dc = det_comps_[static_cast<std::size_t>(d)];
+      const bool complement =
+          spec_.components()[static_cast<std::size_t>(dc.component)]
+              .complement;
+      const AdaptiveStateSet& xm = dc.masks->Get(xi);
+      const AdaptiveStateSet& ym = dc.masks->Get(yi);
+      if (!(complement ? ym.ContainsAll(xm) : xm.ContainsAll(ym))) {
+        return false;
+      }
+    }
     return true;
   }
 
@@ -675,6 +756,11 @@ class ParallelEngine {
     int& cursor = sym.h_cursor->Slot(item.hid);
     while (cursor < snapshot_) {
       if (stop_.load(std::memory_order_relaxed)) return false;
+      // Tombstoned configs never act as letters; skipping costs no step.
+      if (antichain_enabled_ && tombs_->Test(cursor)) {
+        ++cursor;
+        continue;
+      }
       if (!StepJoint(w, item.sym, item.hid, cursor)) return false;
       ++cursor;
       ++w.epoch_steps;
@@ -823,6 +909,11 @@ class ParallelEngine {
   std::unique_ptr<ConcurrentLog<unsigned char>> cfg_acc_;
   std::unique_ptr<ConcurrentLog<int>> cfg_sym_;  ///< minting symbol
   std::unique_ptr<ConcurrentLog<int>> cfg_hid_;  ///< minting joint h-state
+
+  bool antichain_enabled_ = false;
+  int dense_threshold_ = kDefaultDenseThreshold;
+  SharedAntichainIndex antichain_;
+  std::unique_ptr<TombstoneLog> tombs_;  ///< config id -> subsumed
 
   std::vector<std::unique_ptr<WorkerCtx>> workers_;
   std::vector<std::thread> pool_;

@@ -131,6 +131,13 @@ struct ServiceRequest {
   /// [1, Options::max_request_threads] at execution, so a client can ask
   /// but the operator bounds the per-request fan-out.
   int threads = 1;
+  /// Antichain subsumption pruning in the lazy emptiness engine (wire field
+  /// `antichain`). Tri-state: -1 defers to the service's configured
+  /// default, 0 forces off, 1 forces on.
+  int antichain = -1;
+  /// Dense/sparse switch-over for determinized subset masks (wire field
+  /// `dense_threshold`). 0 defers to the service default / engine default.
+  int dense_threshold = 0;
 };
 
 /// Parses one request line. Errors are protocol-shaped (missing fields,

@@ -296,6 +296,12 @@ TEST(LazyParallelTest, SnapshotsInterchangeableWithSequential) {
     LazySnapshot from_parallel;
     LazyOptions par_export;
     par_export.threads = 4;
+    // Antichain pruning makes the discovered-table fixpoint
+    // schedule-dependent (a config stepped before its tombstone is observed
+    // can mint extra det states), so the table-size equality below only
+    // holds for the unpruned discovery fixpoint; antichain_test.cc covers
+    // snapshots with pruning enabled.
+    par_export.antichain = false;
     par_export.export_snapshot = &from_parallel;
     StatusOr<EmptinessOutcome> par_cold =
         LazyEmptiness(q.spec, nullptr, par_export);
@@ -306,19 +312,26 @@ TEST(LazyParallelTest, SnapshotsInterchangeableWithSequential) {
 
     LazySnapshot from_sequential;
     LazyOptions seq_export;
+    seq_export.antichain = false;
     seq_export.export_snapshot = &from_sequential;
     StatusOr<EmptinessOutcome> seq_cold =
         LazyEmptiness(q.spec, nullptr, seq_export);
     ASSERT_TRUE(seq_cold.ok()) << "seed " << seed;
     EXPECT_EQ(par_cold->empty, seq_cold->empty) << "seed " << seed;
     // Same discovery fixpoint: the merged det tables agree in size (ids may
-    // be permuted — insertion order is race-dependent).
+    // be permuted — insertion order is race-dependent). Only saturating
+    // (empty-verdict) runs reach the unique fixpoint; on early exit the
+    // parallel tables are a schedule-dependent prefix — workers observe
+    // `stop_` asynchronously, so how many det states get minted after the
+    // winning config varies run to run.
     ASSERT_EQ(from_parallel.det_tables.size(),
               from_sequential.det_tables.size());
-    for (std::size_t d = 0; d < from_parallel.det_tables.size(); ++d) {
-      EXPECT_EQ(from_parallel.det_tables[d].offsets.size(),
-                from_sequential.det_tables[d].offsets.size())
-          << "seed " << seed << " det " << d;
+    if (seq_cold->empty) {
+      for (std::size_t d = 0; d < from_parallel.det_tables.size(); ++d) {
+        EXPECT_EQ(from_parallel.det_tables[d].offsets.size(),
+                  from_sequential.det_tables[d].offsets.size())
+            << "seed " << seed << " det " << d;
+      }
     }
 
     // Cross-resume both ways, re-sharding where the resumer is parallel.
